@@ -1,0 +1,179 @@
+// Command benchfig regenerates the paper's evaluation figures (§4):
+//
+//	benchfig -fig 8 [-stride 4]   Figure 8: log10(compose time in ms) for
+//	                              each corpus model with every other model,
+//	                              ascending by size, SBMLCompose only.
+//	benchfig -fig 9               Figure 9: log10(compose time in ms) for
+//	                              semanticSBML and SBMLCompose over all
+//	                              pairs of the 17 annotated models.
+//
+// Output is one whitespace-separated row per composition (ready for
+// gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
+// stderr. -stride samples every Nth model of the 187-model corpus so a
+// full Figure 8 sweep can be traded against runtime (stride 1 = the
+// complete 17,578-pair sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"sbmlcompose/internal/biomodels"
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/semanticsbml"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.Int("fig", 8, "figure to regenerate: 8 or 9")
+		stride = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
+		reps   = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
+	)
+	flag.Parse()
+	switch *fig {
+	case 8:
+		return figure8(*stride, *reps)
+	case 9:
+		return figure9(*reps)
+	default:
+		return fmt.Errorf("unknown figure %d (want 8 or 9)", *fig)
+	}
+}
+
+// timeCompose returns the minimum wall-clock seconds over reps runs.
+func timeCompose(a, b *sbml.Model, reps int, f func(a, b *sbml.Model) error) (float64, error) {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(a, b); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func log10ms(seconds float64) float64 {
+	ms := seconds * 1000
+	if ms <= 0 {
+		ms = 1e-6
+	}
+	return math.Log10(ms)
+}
+
+func figure8(stride, reps int) error {
+	if stride < 1 {
+		stride = 1
+	}
+	models := biomodels.Corpus187()
+	var sampled []*sbml.Model
+	for i := 0; i < len(models); i += stride {
+		sampled = append(sampled, models[i])
+	}
+	fmt.Fprintf(os.Stderr, "figure 8: %d models (stride %d), %d pairs, ascending size\n",
+		len(sampled), stride, len(sampled)*(len(sampled)+1)/2)
+	fmt.Println("# pair_index combined_size size_a size_b time_ms log10_time_ms")
+
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := range sampled {
+		for j := i; j < len(sampled); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	// The paper orders the sweep smallest-with-smallest → largest-with-
+	// largest; combined size realizes that order.
+	sort.Slice(pairs, func(x, y int) bool {
+		sx := sampled[pairs[x].i].Size() + sampled[pairs[x].j].Size()
+		sy := sampled[pairs[y].i].Size() + sampled[pairs[y].j].Size()
+		return sx < sy
+	})
+
+	var times []float64
+	for idx, p := range pairs {
+		a, b := sampled[p.i], sampled[p.j]
+		secs, err := timeCompose(a, b, reps, func(a, b *sbml.Model) error {
+			_, err := core.Compose(a, b, core.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		times = append(times, secs)
+		fmt.Printf("%d %d %d %d %.4f %.3f\n",
+			idx, a.Size()+b.Size(), a.Size(), b.Size(), secs*1000, log10ms(secs))
+	}
+	// Shape summary: smallest and largest quartile means show the O(nm)
+	// growth the paper's Figure 8 plots.
+	q := len(times) / 4
+	fmt.Fprintf(os.Stderr, "first-quartile mean %.4f ms, last-quartile mean %.4f ms (growth ×%.1f)\n",
+		mean(times[:q])*1000, mean(times[len(times)-q:])*1000,
+		mean(times[len(times)-q:])/mean(times[:q]))
+	return nil
+}
+
+func figure9(reps int) error {
+	models := biomodels.Annotated17()
+	fmt.Fprintf(os.Stderr, "figure 9: %d models, %d pairs, both engines\n",
+		len(models), len(models)*len(models))
+	fmt.Println("# pair_index size_a size_b sbmlcompose_ms semanticsbml_ms log10_ours log10_theirs")
+
+	var ours, theirs []float64
+	idx := 0
+	for _, a := range models {
+		for _, b := range models {
+			tOurs, err := timeCompose(a, b, reps, func(a, b *sbml.Model) error {
+				_, err := core.Compose(a, b, core.Options{})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			tTheirs, err := timeCompose(a, b, reps, func(a, b *sbml.Model) error {
+				_, err := semanticsbml.Merge(a, b)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			ours = append(ours, tOurs)
+			theirs = append(theirs, tTheirs)
+			fmt.Printf("%d %d %d %.4f %.4f %.3f %.3f\n",
+				idx, a.Size(), b.Size(), tOurs*1000, tTheirs*1000, log10ms(tOurs), log10ms(tTheirs))
+			idx++
+		}
+	}
+	speedup := mean(theirs) / mean(ours)
+	fmt.Fprintf(os.Stderr,
+		"SBMLCompose mean %.4f ms, semanticSBML mean %.2f ms, speedup ×%.0f (paper: ≥1 order of magnitude)\n",
+		mean(ours)*1000, mean(theirs)*1000, speedup)
+	if speedup < 10 {
+		fmt.Fprintln(os.Stderr, "WARNING: speedup below one order of magnitude")
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

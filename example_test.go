@@ -1,0 +1,95 @@
+package sbmlcompose_test
+
+import (
+	"fmt"
+	"log"
+
+	"sbmlcompose"
+)
+
+const chainAB = `<sbml level="2" version="4"><model id="chain1">
+  <listOfCompartments><compartment id="cell" size="1"/></listOfCompartments>
+  <listOfSpecies>
+    <species id="A" compartment="cell" initialConcentration="1"/>
+    <species id="B" compartment="cell" initialConcentration="0"/>
+  </listOfSpecies>
+  <listOfParameters><parameter id="k1" value="0.5"/></listOfParameters>
+  <listOfReactions>
+    <reaction id="r1" reversible="false">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+      <kineticLaw><math xmlns="http://www.w3.org/1998/Math/MathML">
+        <apply><times/><ci>k1</ci><ci>A</ci></apply>
+      </math></kineticLaw>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+
+const chainBC = `<sbml level="2" version="4"><model id="chain2">
+  <listOfCompartments><compartment id="cell" size="1"/></listOfCompartments>
+  <listOfSpecies>
+    <species id="B" compartment="cell" initialConcentration="0"/>
+    <species id="C" compartment="cell" initialConcentration="0"/>
+  </listOfSpecies>
+  <listOfParameters><parameter id="k2" value="0.25"/></listOfParameters>
+  <listOfReactions>
+    <reaction id="r2" reversible="false">
+      <listOfReactants><speciesReference species="B"/></listOfReactants>
+      <listOfProducts><speciesReference species="C"/></listOfProducts>
+      <kineticLaw><math xmlns="http://www.w3.org/1998/Math/MathML">
+        <apply><times/><ci>k2</ci><ci>B</ci></apply>
+      </math></kineticLaw>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+
+// ExampleCompose merges two chain fragments that share species B.
+func ExampleCompose() {
+	a, err := sbmlcompose.ParseModelString(chainAB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sbmlcompose.ParseModelString(chainBC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sbmlcompose.Compose(a, b, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("species: %d, reactions: %d, warnings: %d\n",
+		len(res.Model.Species), len(res.Model.Reactions), len(res.Warnings))
+	// Output:
+	// species: 3, reactions: 2, warnings: 0
+}
+
+// ExampleMatchModels reports which components two models share without
+// merging them.
+func ExampleMatchModels() {
+	a, _ := sbmlcompose.ParseModelString(chainAB)
+	b, _ := sbmlcompose.ParseModelString(chainBC)
+	matches, err := sbmlcompose.MatchModels(a, b, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Println(m.First)
+	}
+	// Output:
+	// cell
+	// B
+}
+
+// ExampleCheckProperty verifies a temporal-logic property on a simulated
+// model.
+func ExampleCheckProperty() {
+	m, _ := sbmlcompose.ParseModelString(chainAB)
+	ok, err := sbmlcompose.CheckProperty(m, "G({A >= 0}) & F({B > 0.9})",
+		sbmlcompose.SimOptions{T0: 0, T1: 20, Step: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ok)
+	// Output:
+	// true
+}

@@ -1,0 +1,296 @@
+// Package biomodels generates the synthetic evaluation corpora standing in
+// for the two model collections the paper measures (§4):
+//
+//   - Corpus187 reproduces the BioModels-database workload: 187 models with
+//     sizes spanning 0–194 nodes (species) and 0–313 edges (reaction arcs),
+//     used for the Figure 8 pairwise-composition sweep;
+//
+//   - Annotated17 reproduces the semanticSBML test collection: 17 small
+//     models of 4–7 nodes and 0–3 edges whose species names all resolve
+//     against the annotation database, used for the Figure 9 comparison.
+//
+// Generation is fully deterministic: the same seed always yields
+// byte-identical models. Species names are drawn from the annotation
+// database's vocabulary (internal/semanticsbml.SyntheticName), so distinct
+// corpus models share entities with realistic frequency — which is exactly
+// what makes pairwise composition non-trivial — and annotation in the
+// baseline genuinely resolves.
+package biomodels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sbmlcompose/internal/kinetics"
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/semanticsbml"
+	"sbmlcompose/internal/units"
+)
+
+// Config controls one generated model.
+type Config struct {
+	// ID is the model id.
+	ID string
+	// Nodes is the exact species count.
+	Nodes int
+	// Edges is the exact reaction-arc count (reactants + products +
+	// modifiers across all reactions).
+	Edges int
+	// Seed drives all random choices.
+	Seed int64
+	// VocabularySize bounds the name pool; smaller pools mean more
+	// inter-model overlap. Zero defaults to 400.
+	VocabularySize int
+	// Decorate adds the optional component types (unit definitions,
+	// function definitions, rules, events, initial assignments) with
+	// size-proportional probability; the BioModels corpus has them, the
+	// 17-model collection is bare.
+	Decorate bool
+}
+
+// Generate builds one deterministic model.
+func Generate(cfg Config) *sbml.Model {
+	if cfg.VocabularySize <= 0 {
+		cfg.VocabularySize = 400
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := sbml.NewModel(cfg.ID)
+	m.Name = "synthetic model " + cfg.ID
+
+	m.Compartments = append(m.Compartments, &sbml.Compartment{
+		ID: "cell", SpatialDimensions: 3, Size: 1, HasSize: true, Constant: true,
+	})
+
+	// Species: names sampled without replacement from the shared
+	// vocabulary; ids derive from the names so same-entity species in two
+	// models also share ids (the common case in BioModels).
+	seen := make(map[int]bool, cfg.Nodes)
+	for len(m.Species) < cfg.Nodes {
+		pick := r.Intn(cfg.VocabularySize)
+		if seen[pick] {
+			continue
+		}
+		seen[pick] = true
+		name := semanticsbml.SyntheticName(pick)
+		m.Species = append(m.Species, &sbml.Species{
+			ID:                      "s_" + name,
+			Name:                    name,
+			Compartment:             "cell",
+			InitialConcentration:    float64(1+pick%7) * 0.5,
+			HasInitialConcentration: true,
+		})
+	}
+
+	if cfg.Decorate {
+		m.UnitDefinitions = append(m.UnitDefinitions,
+			&sbml.UnitDefinition{ID: "per_second", Units: []units.Unit{{Kind: "second", Exponent: -1, Multiplier: 1}}},
+			&sbml.UnitDefinition{ID: "molar", Units: []units.Unit{
+				{Kind: "mole", Exponent: 1, Multiplier: 1},
+				{Kind: "litre", Exponent: -1, Multiplier: 1},
+			}},
+		)
+		m.FunctionDefinitions = append(m.FunctionDefinitions, &sbml.FunctionDefinition{
+			ID: "mm",
+			Math: mathml.Lambda{
+				Params: []string{"s", "vmax", "km"},
+				Body:   mathml.MustParseInfix("vmax*s/(km+s)"),
+			},
+		})
+	}
+
+	// Reactions consume the edge budget: each takes 1–3 arcs depending on
+	// what remains.
+	edgesLeft := cfg.Edges
+	rxn := 0
+	paramN := 0
+	newParam := func(value float64) string {
+		paramN++
+		id := fmt.Sprintf("k%d", paramN)
+		p := &sbml.Parameter{ID: id, Value: value, HasValue: true, Constant: true}
+		if cfg.Decorate {
+			p.Units = "per_second"
+		}
+		m.Parameters = append(m.Parameters, p)
+		return id
+	}
+	pickSpecies := func() *sbml.Species {
+		return m.Species[r.Intn(len(m.Species))]
+	}
+	for edgesLeft > 0 {
+		rxn++
+		rx := &sbml.Reaction{ID: fmt.Sprintf("r%d_%s", rxn, cfg.ID)}
+		if cfg.Nodes == 0 {
+			// Degenerate corner of the size distribution: no species to
+			// connect, so no edges can exist either.
+			break
+		}
+		switch {
+		case edgesLeft == 1:
+			// Zeroth-order synthesis: one product arc.
+			rx.Products = append(rx.Products, &sbml.SpeciesReference{Species: pickSpecies().ID, Stoichiometry: 1})
+			edgesLeft--
+		case edgesLeft >= 3 && r.Intn(4) == 0 && len(m.Species) >= 3:
+			// Catalyzed conversion: reactant + product + modifier.
+			a, b, e := pickSpecies(), pickSpecies(), pickSpecies()
+			rx.Reactants = append(rx.Reactants, &sbml.SpeciesReference{Species: a.ID, Stoichiometry: 1})
+			rx.Products = append(rx.Products, &sbml.SpeciesReference{Species: b.ID, Stoichiometry: 1})
+			rx.Modifiers = append(rx.Modifiers, &sbml.ModifierSpeciesReference{Species: e.ID})
+			edgesLeft -= 3
+		default:
+			// Plain conversion: reactant + product.
+			a, b := pickSpecies(), pickSpecies()
+			rx.Reactants = append(rx.Reactants, &sbml.SpeciesReference{Species: a.ID, Stoichiometry: 1})
+			rx.Products = append(rx.Products, &sbml.SpeciesReference{Species: b.ID, Stoichiometry: 1})
+			edgesLeft -= 2
+		}
+		rx.KineticLaw = buildLaw(r, m, rx, cfg, newParam)
+		m.Reactions = append(m.Reactions, rx)
+	}
+
+	if cfg.Decorate && cfg.Nodes > 0 {
+		// Sprinkle the remaining component types proportionally to size.
+		if r.Intn(3) == 0 {
+			target := newParam(0)
+			m.Parameters[len(m.Parameters)-1].Constant = true
+			m.InitialAssignments = append(m.InitialAssignments, &sbml.InitialAssignment{
+				Symbol: target,
+				Math:   mathml.Mul(mathml.N(0.5), mathml.S(m.Species[0].ID)),
+			})
+		}
+		if r.Intn(3) == 0 {
+			obs := &sbml.Parameter{ID: "observable_" + cfg.ID, Constant: false}
+			m.Parameters = append(m.Parameters, obs)
+			m.Rules = append(m.Rules, &sbml.Rule{
+				Kind:     sbml.AssignmentRule,
+				Variable: obs.ID,
+				Math:     mathml.Mul(mathml.N(2), mathml.S(m.Species[0].ID)),
+			})
+		}
+		if r.Intn(4) == 0 {
+			m.Constraints = append(m.Constraints, &sbml.Constraint{
+				Math:    mathml.Call("geq", mathml.S(m.Species[0].ID), mathml.N(0)),
+				Message: "concentrations stay non-negative",
+			})
+		}
+		if r.Intn(5) == 0 && len(m.Species) >= 2 {
+			sp := m.Species[len(m.Species)-1]
+			m.Events = append(m.Events, &sbml.Event{
+				ID:      "e_" + cfg.ID,
+				Trigger: mathml.Call("gt", mathml.S(m.Species[0].ID), mathml.N(100)),
+				Assignments: []*sbml.EventAssignment{
+					{Variable: sp.ID, Math: mathml.N(0)},
+				},
+			})
+		}
+	}
+	return m
+}
+
+// buildLaw picks a kinetic-law family for the reaction.
+func buildLaw(r *rand.Rand, m *sbml.Model, rx *sbml.Reaction, cfg Config, newParam func(float64) string) *sbml.KineticLaw {
+	value := 0.05 + r.Float64()*0.5
+	if cfg.Decorate && len(rx.Reactants) == 1 && r.Intn(5) == 0 {
+		vmax := newParam(value)
+		km := newParam(1 + r.Float64())
+		enzyme := ""
+		if len(rx.Modifiers) > 0 {
+			enzyme = rx.Modifiers[0].Species
+		}
+		return &sbml.KineticLaw{Math: kinetics.MichaelisMentenLaw(rx.Reactants[0].Species, enzyme, vmax, km)}
+	}
+	if r.Intn(3) == 0 {
+		// Law-local parameter instead of a global one.
+		local := &sbml.Parameter{ID: "k_local", Value: value, HasValue: true, Constant: true}
+		return &sbml.KineticLaw{
+			Math:       kinetics.MassActionLaw(rx, local.ID, ""),
+			Parameters: []*sbml.Parameter{local},
+		}
+	}
+	k := newParam(value)
+	return &sbml.KineticLaw{Math: kinetics.MassActionLaw(rx, k, "")}
+}
+
+// CorpusSize is the BioModels snapshot size the paper reports.
+const CorpusSize = 187
+
+// MaxNodes and MaxEdges bound the corpus size distribution, matching the
+// paper ("model size ranged from 0 to 194 nodes and 0 to 313 edges").
+const (
+	MaxNodes = 194
+	MaxEdges = 313
+)
+
+// Corpus187 generates the 187-model corpus, sorted ascending by size
+// (nodes+edges) exactly as the Figure 8 sweep requires.
+func Corpus187() []*sbml.Model {
+	models := make([]*sbml.Model, 0, CorpusSize)
+	r := rand.New(rand.NewSource(20100322)) // EDBT 2010 opening day
+	for i := 0; i < CorpusSize; i++ {
+		frac := float64(i) / float64(CorpusSize-1)
+		// A superlinear ramp reproduces BioModels' skew toward small
+		// models while pinning the extremes to 0 and the maxima.
+		nodes := int(float64(MaxNodes) * frac * frac)
+		edges := int(float64(MaxEdges) * frac * frac)
+		if i > 0 && i < CorpusSize-1 {
+			nodes += r.Intn(7) - 3
+			edges += r.Intn(9) - 4
+			if nodes < 0 {
+				nodes = 0
+			}
+			if edges < 0 {
+				edges = 0
+			}
+			if nodes > MaxNodes {
+				nodes = MaxNodes
+			}
+			if edges > MaxEdges {
+				edges = MaxEdges
+			}
+		}
+		if nodes == 0 {
+			edges = 0 // arcs need species
+		}
+		models = append(models, Generate(Config{
+			ID:       fmt.Sprintf("BIOMD%03d", i+1),
+			Nodes:    nodes,
+			Edges:    edges,
+			Seed:     int64(7000 + i),
+			Decorate: true,
+		}))
+	}
+	// The jitter can perturb ordering slightly; restore ascending size.
+	sortModelsBySize(models)
+	return models
+}
+
+// Annotated17 generates the 17-model semanticSBML test collection: 4–7
+// nodes, 0–3 edges, bare component lists, fully annotatable names.
+func Annotated17() []*sbml.Model {
+	models := make([]*sbml.Model, 0, 17)
+	for i := 0; i < 17; i++ {
+		nodes := 4 + i%4 // 4..7
+		edges := i % 4   // 0..3
+		models = append(models, Generate(Config{
+			ID:    fmt.Sprintf("ANNOT%02d", i+1),
+			Nodes: nodes,
+			Edges: edges,
+			Seed:  int64(100 + i),
+			// Tight vocabulary: the 17 models overlap heavily, as curated
+			// test models built around the same pathways do.
+			VocabularySize: 40,
+		}))
+	}
+	sortModelsBySize(models)
+	return models
+}
+
+func sortModelsBySize(models []*sbml.Model) {
+	// Insertion sort keeps generation order among equals (stable, no extra
+	// allocation; corpora are small).
+	for i := 1; i < len(models); i++ {
+		for j := i; j > 0 && models[j-1].Size() > models[j].Size(); j-- {
+			models[j-1], models[j] = models[j], models[j-1]
+		}
+	}
+}

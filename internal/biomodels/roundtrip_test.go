@@ -1,0 +1,45 @@
+package biomodels
+
+import (
+	"testing"
+
+	"sbmlcompose/internal/sbml"
+)
+
+// TestCorpusWriteParseRoundTrip pushes every fifth corpus model through the
+// full serialize → parse cycle and requires canonical equality — the
+// strongest whole-system check on the SBML writer/parser pair, using
+// realistic decorated models rather than hand-written fixtures.
+func TestCorpusWriteParseRoundTrip(t *testing.T) {
+	corpus := Corpus187()
+	for i := 0; i < len(corpus); i += 5 {
+		m := corpus[i]
+		text := sbml.WrapModel(m).String()
+		doc, err := sbml.ParseString(text)
+		if err != nil {
+			t.Fatalf("model %s does not reparse: %v", m.ID, err)
+		}
+		want := sbml.WrapModel(m).ToXML().Canonical()
+		got := sbml.WrapModel(doc.Model).ToXML().Canonical()
+		if want != got {
+			t.Errorf("model %s changed across write/parse", m.ID)
+		}
+		if m.Size() != doc.Model.Size() || m.ComponentCount() != doc.Model.ComponentCount() {
+			t.Errorf("model %s size drifted: %d/%d vs %d/%d",
+				m.ID, m.Size(), m.ComponentCount(), doc.Model.Size(), doc.Model.ComponentCount())
+		}
+	}
+}
+
+// TestAnnotated17WriteParseRoundTrip does the same for the small corpus.
+func TestAnnotated17WriteParseRoundTrip(t *testing.T) {
+	for _, m := range Annotated17() {
+		doc, err := sbml.ParseString(sbml.WrapModel(m).String())
+		if err != nil {
+			t.Fatalf("model %s does not reparse: %v", m.ID, err)
+		}
+		if sbml.WrapModel(m).ToXML().Canonical() != sbml.WrapModel(doc.Model).ToXML().Canonical() {
+			t.Errorf("model %s changed across write/parse", m.ID)
+		}
+	}
+}

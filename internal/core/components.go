@@ -1,0 +1,721 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sbmlcompose/internal/kinetics"
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/units"
+)
+
+// mathKey returns the index key for an expression: the Figure 7 pattern
+// under light/heavy semantics, the exact structural rendering under none.
+// Second-model expressions have already had all accepted mappings applied
+// in place, so no mapping argument is needed here.
+func (c *composer) mathKey(e mathml.Expr) string {
+	if e == nil {
+		return ""
+	}
+	if c.opts.Semantics == NoSemantics {
+		return mathml.FormatInfix(e)
+	}
+	return mathml.Pattern(e, nil)
+}
+
+// --- function definitions ---
+
+func (c *composer) composeFunctionDefinitions() {
+	idx := c.newIndex()
+	byID := make(map[string]*sbml.FunctionDefinition, len(c.out.FunctionDefinitions))
+	for _, f := range c.out.FunctionDefinitions {
+		idx.Insert(c.mathKey(f.Math), f)
+		byID[f.ID] = f
+	}
+	for _, f := range c.second.FunctionDefinitions {
+		if hit, ok := idx.Lookup(c.mathKey(f.Math)); ok {
+			existing := hit.(*sbml.FunctionDefinition)
+			c.res.Stats.Merged++
+			c.mapID(f.ID, existing.ID)
+			continue
+		}
+		if _, clash := byID[f.ID]; clash || c.outIDs[f.ID] {
+			c.renameID(f.ID, fmt.Sprintf("functionDefinition %q", f.ID))
+		}
+		c.out.FunctionDefinitions = append(c.out.FunctionDefinitions, f)
+		byID[f.ID] = f
+		idx.Insert(c.mathKey(f.Math), f)
+		c.claimID(f.ID)
+		c.res.Stats.Added++
+	}
+}
+
+// --- unit definitions ---
+
+// unitKey reduces a definition against the list of known units (§3: "unit
+// definitions are compared by checking the list of known units"); unknown
+// kinds fall back to a structural key.
+func unitKey(u *sbml.UnitDefinition) string {
+	vec, err := u.Definition().Canonical()
+	if err != nil {
+		parts := make([]string, len(u.Units))
+		for i, unit := range u.Units {
+			parts[i] = fmt.Sprintf("%s^%d@%d*%g", unit.Kind, unit.Exponent, unit.Scale, unit.Multiplier)
+		}
+		sort.Strings(parts)
+		return "struct:" + strings.Join(parts, ",")
+	}
+	return "vec:" + vec.String()
+}
+
+func (c *composer) composeUnitDefinitions() {
+	idx := c.newIndex()
+	byID := make(map[string]*sbml.UnitDefinition, len(c.out.UnitDefinitions))
+	for _, u := range c.out.UnitDefinitions {
+		idx.Insert(unitKey(u), u)
+		byID[u.ID] = u
+	}
+	for _, u := range c.second.UnitDefinitions {
+		if hit, ok := idx.Lookup(unitKey(u)); ok {
+			existing := hit.(*sbml.UnitDefinition)
+			c.res.Stats.Merged++
+			c.mapID(u.ID, existing.ID)
+			continue
+		}
+		if _, clash := byID[u.ID]; clash || c.outIDs[u.ID] {
+			c.renameID(u.ID, fmt.Sprintf("unitDefinition %q", u.ID))
+		}
+		c.out.UnitDefinitions = append(c.out.UnitDefinitions, u)
+		byID[u.ID] = u
+		idx.Insert(unitKey(u), u)
+		c.claimID(u.ID)
+		c.res.Stats.Added++
+	}
+}
+
+// --- compartment and species types ---
+
+func (c *composer) composeCompartmentTypes() {
+	idx := c.newIndex()
+	for _, ct := range c.out.CompartmentTypes {
+		idx.Insert(ct.ID, ct)
+		if ct.Name != "" {
+			idx.Insert("n:"+c.canonicalName(ct.Name), ct)
+		}
+	}
+	for _, ct := range c.second.CompartmentTypes {
+		hit, ok := idx.Lookup(ct.ID)
+		if !ok && ct.Name != "" {
+			hit, ok = idx.Lookup("n:" + c.canonicalName(ct.Name))
+		}
+		if ok {
+			existing := hit.(*sbml.CompartmentType)
+			c.res.Stats.Merged++
+			c.mapID(ct.ID, existing.ID)
+			continue
+		}
+		if c.outIDs[ct.ID] {
+			c.renameID(ct.ID, fmt.Sprintf("compartmentType %q", ct.ID))
+		}
+		c.out.CompartmentTypes = append(c.out.CompartmentTypes, ct)
+		idx.Insert(ct.ID, ct)
+		if ct.Name != "" {
+			idx.Insert("n:"+c.canonicalName(ct.Name), ct)
+		}
+		c.claimID(ct.ID)
+		c.res.Stats.Added++
+	}
+}
+
+func (c *composer) composeSpeciesTypes() {
+	idx := c.newIndex()
+	for _, st := range c.out.SpeciesTypes {
+		idx.Insert(st.ID, st)
+		if st.Name != "" {
+			idx.Insert("n:"+c.canonicalName(st.Name), st)
+		}
+	}
+	for _, st := range c.second.SpeciesTypes {
+		hit, ok := idx.Lookup(st.ID)
+		if !ok && st.Name != "" {
+			hit, ok = idx.Lookup("n:" + c.canonicalName(st.Name))
+		}
+		if ok {
+			existing := hit.(*sbml.SpeciesType)
+			c.res.Stats.Merged++
+			c.mapID(st.ID, existing.ID)
+			continue
+		}
+		if c.outIDs[st.ID] {
+			c.renameID(st.ID, fmt.Sprintf("speciesType %q", st.ID))
+		}
+		c.out.SpeciesTypes = append(c.out.SpeciesTypes, st)
+		idx.Insert(st.ID, st)
+		if st.Name != "" {
+			idx.Insert("n:"+c.canonicalName(st.Name), st)
+		}
+		c.claimID(st.ID)
+		c.res.Stats.Added++
+	}
+}
+
+// --- compartments ---
+
+func (c *composer) composeCompartments() {
+	idx := c.newIndex()
+	insert := func(comp *sbml.Compartment) {
+		idx.Insert("id:"+comp.ID, comp)
+		if comp.Name != "" && c.opts.Semantics != NoSemantics {
+			idx.Insert("n:"+c.canonicalName(comp.Name), comp)
+		}
+	}
+	for _, comp := range c.out.Compartments {
+		insert(comp)
+	}
+	for _, comp := range c.second.Compartments {
+		hit, ok := idx.Lookup("id:" + comp.ID)
+		if !ok && comp.Name != "" && c.opts.Semantics != NoSemantics {
+			hit, ok = idx.Lookup("n:" + c.canonicalName(comp.Name))
+		}
+		if ok {
+			existing := hit.(*sbml.Compartment)
+			c.res.Stats.Merged++
+			label := fmt.Sprintf("compartment %q", existing.ID)
+			if existing.HasSize && comp.HasSize && !valuesEqual(existing.Size, comp.Size) {
+				c.res.Stats.Conflicts++
+				c.warn(label, "size conflict: first model %g, second model %g; keeping %g",
+					existing.Size, comp.Size, existing.Size)
+			}
+			if existing.SpatialDimensions != comp.SpatialDimensions {
+				c.res.Stats.Conflicts++
+				c.warn(label, "spatialDimensions conflict: %d vs %d; keeping %d",
+					existing.SpatialDimensions, comp.SpatialDimensions, existing.SpatialDimensions)
+			}
+			if !existing.HasSize && comp.HasSize {
+				existing.Size, existing.HasSize = comp.Size, true
+				c.note(label, "adopted size %g from second model", comp.Size)
+			}
+			c.mapID(comp.ID, existing.ID)
+			continue
+		}
+		if c.outIDs[comp.ID] {
+			c.renameID(comp.ID, fmt.Sprintf("compartment %q", comp.ID))
+		}
+		c.out.Compartments = append(c.out.Compartments, comp)
+		insert(comp)
+		c.claimID(comp.ID)
+		c.res.Stats.Added++
+	}
+}
+
+// --- species ---
+
+// speciesKey matches the paper's rule: species are identical when their
+// names or identifiers are identical or synonymous. Species in different
+// compartments are different entities, so the (mapped) compartment is part
+// of the key.
+func (c *composer) speciesLookupKeys(s *sbml.Species) []string {
+	keys := []string{"id:" + s.ID + "@" + s.Compartment}
+	if s.Name != "" && c.opts.Semantics != NoSemantics {
+		keys = append(keys, "n:"+c.canonicalName(s.Name)+"@"+s.Compartment)
+	}
+	if c.opts.Semantics != NoSemantics {
+		// An id in one model can match a name in the other.
+		keys = append(keys, "n:"+c.canonicalName(s.ID)+"@"+s.Compartment)
+	}
+	return keys
+}
+
+func (c *composer) composeSpecies() {
+	idx := c.newIndex()
+	insert := func(s *sbml.Species) {
+		for _, k := range c.speciesLookupKeys(s) {
+			idx.Insert(k, s)
+		}
+	}
+	for _, s := range c.out.Species {
+		insert(s)
+	}
+	for _, s := range c.second.Species {
+		var existing *sbml.Species
+		for _, k := range c.speciesLookupKeys(s) {
+			if hit, ok := idx.Lookup(k); ok {
+				existing = hit.(*sbml.Species)
+				break
+			}
+		}
+		if existing != nil {
+			c.res.Stats.Merged++
+			c.checkSpeciesConflicts(existing, s)
+			c.mapID(s.ID, existing.ID)
+			continue
+		}
+		if c.outIDs[s.ID] {
+			c.renameID(s.ID, fmt.Sprintf("species %q", s.ID))
+		}
+		c.out.Species = append(c.out.Species, s)
+		insert(s)
+		c.claimID(s.ID)
+		c.res.Stats.Added++
+	}
+}
+
+// checkSpeciesConflicts compares the initial quantities and flags of two
+// matched species, converting between amount/concentration and
+// mole/molecule bases before declaring a conflict (Figure 6).
+func (c *composer) checkSpeciesConflicts(first, second *sbml.Species) {
+	label := fmt.Sprintf("species %q", first.ID)
+	convert := c.opts.Semantics == HeavySemantics
+	v1, ok1 := initialSpeciesValue(c.out, first, convert)
+	v2, ok2 := initialSpeciesValue(c.second, second, convert)
+	if ok1 && ok2 && !valuesEqual(v1, v2) {
+		c.res.Stats.Conflicts++
+		c.warn(label, "initial value conflict: first model %g, second model %g (normalized); keeping first", v1, v2)
+	}
+	if ok1 && ok2 && valuesEqual(v1, v2) &&
+		(first.HasInitialAmount != second.HasInitialAmount || speciesBasis(c.out, first) != speciesBasis(c.second, second)) {
+		c.note(label, "initial quantities agree after unit conversion (%g)", v1)
+	}
+	if !ok1 && ok2 {
+		// First model left the value unset; adopt the second's.
+		first.HasInitialAmount = second.HasInitialAmount
+		first.InitialAmount = second.InitialAmount
+		first.HasInitialConcentration = second.HasInitialConcentration
+		first.InitialConcentration = second.InitialConcentration
+		c.note(label, "adopted initial quantity from second model")
+	}
+	if first.BoundaryCondition != second.BoundaryCondition {
+		c.res.Stats.Conflicts++
+		c.warn(label, "boundaryCondition conflict (%v vs %v); keeping %v",
+			first.BoundaryCondition, second.BoundaryCondition, first.BoundaryCondition)
+	}
+	if first.Constant != second.Constant {
+		c.res.Stats.Conflicts++
+		c.warn(label, "constant flag conflict (%v vs %v); keeping %v",
+			first.Constant, second.Constant, first.Constant)
+	}
+	if first.Charge != second.Charge && second.Charge != 0 && first.Charge != 0 {
+		c.res.Stats.Conflicts++
+		c.warn(label, "charge conflict (%d vs %d); keeping %d", first.Charge, second.Charge, first.Charge)
+	}
+}
+
+// --- parameters ---
+
+func (c *composer) composeParameters() {
+	byID := make(map[string]*sbml.Parameter, len(c.out.Parameters))
+	for _, p := range c.out.Parameters {
+		byID[p.ID] = p
+	}
+	for _, p := range c.second.Parameters {
+		if existing, ok := byID[p.ID]; ok {
+			// The paper: parameters merge only when nothing distinguishes
+			// them; a same-named parameter with a different value is
+			// renamed so both survive.
+			sameValue := existing.HasValue == p.HasValue && (!p.HasValue || valuesEqual(existing.Value, p.Value))
+			sameUnits := parameterUnitsEquivalent(c.out, existing, c.second, p)
+			if sameValue && sameUnits {
+				c.res.Stats.Merged++
+				c.mapID(p.ID, existing.ID)
+				continue
+			}
+			c.res.Stats.Conflicts++
+			c.renameID(p.ID, fmt.Sprintf("parameter %q", p.ID))
+		} else if c.outIDs[p.ID] {
+			c.renameID(p.ID, fmt.Sprintf("parameter %q", p.ID))
+		}
+		c.out.Parameters = append(c.out.Parameters, p)
+		byID[p.ID] = p
+		c.claimID(p.ID)
+		c.res.Stats.Added++
+	}
+}
+
+func parameterUnitsEquivalent(m1 *sbml.Model, p1 *sbml.Parameter, m2 *sbml.Model, p2 *sbml.Parameter) bool {
+	if p1.Units == p2.Units {
+		return true
+	}
+	d1, ok1 := resolveUnits(m1, p1.Units)
+	d2, ok2 := resolveUnits(m2, p2.Units)
+	if !ok1 || !ok2 {
+		return false
+	}
+	eq, err := units.Equivalent(d1, d2)
+	return err == nil && eq
+}
+
+func resolveUnits(m *sbml.Model, ref string) (units.Definition, bool) {
+	if ref == "" {
+		return units.Definition{ID: "dimensionless", Units: []units.Unit{units.NewUnit("dimensionless")}}, true
+	}
+	if ud := m.UnitDefinitionByID(ref); ud != nil {
+		return ud.Definition(), true
+	}
+	if units.IsKnownKind(ref) {
+		return units.Definition{ID: ref, Units: []units.Unit{units.NewUnit(ref)}}, true
+	}
+	return units.Definition{}, false
+}
+
+// --- initial assignments ---
+
+func (c *composer) composeInitialAssignments() {
+	bySymbol := make(map[string]*sbml.InitialAssignment, len(c.out.InitialAssignments))
+	for _, ia := range c.out.InitialAssignments {
+		bySymbol[ia.Symbol] = ia
+	}
+	for _, ia := range c.second.InitialAssignments {
+		existing, ok := bySymbol[ia.Symbol]
+		if !ok {
+			c.out.InitialAssignments = append(c.out.InitialAssignments, ia)
+			bySymbol[ia.Symbol] = ia
+			c.res.Stats.Added++
+			continue
+		}
+		label := fmt.Sprintf("initialAssignment %q", ia.Symbol)
+		// Pattern equality first; the evaluated values break ties (the
+		// capability semanticSBML lacks: deciding whether "the maths of
+		// initial assignments are equal").
+		if c.mathKey(existing.Math) == c.mathKey(ia.Math) {
+			c.res.Stats.Merged++
+			continue
+		}
+		v1, err1 := mathml.Eval(existing.Math, envFor(c.out, c.firstValues))
+		v2, err2 := mathml.Eval(ia.Math, envFor(c.second, c.secondValues))
+		if err1 == nil && err2 == nil && valuesEqual(v1, v2) {
+			c.res.Stats.Merged++
+			c.note(label, "maths differ syntactically but evaluate equally (%g)", v1)
+			continue
+		}
+		c.res.Stats.Conflicts++
+		c.warn(label, "conflicting initial assignments; keeping first model's (%s over %s)",
+			mathml.FormatInfix(existing.Math), mathml.FormatInfix(ia.Math))
+	}
+}
+
+func envFor(m *sbml.Model, vals map[string]float64) mathml.Env {
+	funcs := make(map[string]mathml.Lambda, len(m.FunctionDefinitions))
+	for _, f := range m.FunctionDefinitions {
+		funcs[f.ID] = f.Math
+	}
+	return &mathml.MapEnv{Values: vals, Functions: funcs}
+}
+
+// --- rules ---
+
+func (c *composer) composeRules() {
+	byVar := make(map[string]*sbml.Rule)
+	algebraic := c.newIndex()
+	for _, r := range c.out.Rules {
+		if r.Kind == sbml.AlgebraicRule {
+			algebraic.Insert(c.mathKey(r.Math), r)
+			continue
+		}
+		byVar[r.Kind.String()+":"+r.Variable] = r
+	}
+	for _, r := range c.second.Rules {
+		if r.Kind == sbml.AlgebraicRule {
+			if _, ok := algebraic.Lookup(c.mathKey(r.Math)); ok {
+				c.res.Stats.Merged++
+				continue
+			}
+			c.out.Rules = append(c.out.Rules, r)
+			algebraic.Insert(c.mathKey(r.Math), r)
+			c.res.Stats.Added++
+			continue
+		}
+		key := r.Kind.String() + ":" + r.Variable
+		existing, ok := byVar[key]
+		if !ok {
+			c.out.Rules = append(c.out.Rules, r)
+			byVar[key] = r
+			c.res.Stats.Added++
+			continue
+		}
+		if c.mathKey(existing.Math) == c.mathKey(r.Math) {
+			c.res.Stats.Merged++
+			continue
+		}
+		c.res.Stats.Conflicts++
+		c.warn(fmt.Sprintf("%s for %q", r.Kind, r.Variable),
+			"conflicting rules; keeping first model's (%s over %s)",
+			mathml.FormatInfix(existing.Math), mathml.FormatInfix(r.Math))
+	}
+}
+
+// --- constraints ---
+
+func (c *composer) composeConstraints() {
+	idx := c.newIndex()
+	for _, con := range c.out.Constraints {
+		idx.Insert(c.mathKey(con.Math), con)
+	}
+	for _, con := range c.second.Constraints {
+		if _, ok := idx.Lookup(c.mathKey(con.Math)); ok {
+			c.res.Stats.Merged++
+			continue
+		}
+		c.out.Constraints = append(c.out.Constraints, con)
+		idx.Insert(c.mathKey(con.Math), con)
+		c.res.Stats.Added++
+	}
+}
+
+// --- reactions ---
+
+// reactionStructureKey canonicalizes a reaction's connectivity: sorted
+// reactant, product and modifier references with stoichiometries, plus
+// reversibility. Species ids in the second model have already been mapped
+// onto first-model ids, so shared species produce identical keys.
+func reactionStructureKey(r *sbml.Reaction) string {
+	refs := func(list []*sbml.SpeciesReference) string {
+		parts := make([]string, len(list))
+		for i, sr := range list {
+			st := sr.Stoichiometry
+			if st == 0 {
+				st = 1
+			}
+			parts[i] = sr.Species + "*" + strconv.FormatFloat(st, 'g', -1, 64)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	mods := make([]string, len(r.Modifiers))
+	for i, mr := range r.Modifiers {
+		mods[i] = mr.Species
+	}
+	sort.Strings(mods)
+	return fmt.Sprintf("R[%s]P[%s]M[%s]rev=%v",
+		refs(r.Reactants), refs(r.Products), strings.Join(mods, ","), r.Reversible)
+}
+
+func (c *composer) composeReactions() {
+	idx := c.newIndex()
+	for _, r := range c.out.Reactions {
+		idx.Insert(reactionStructureKey(r), r)
+	}
+	for _, r := range c.second.Reactions {
+		hit, ok := idx.Lookup(reactionStructureKey(r))
+		if !ok {
+			if c.outIDs[r.ID] {
+				c.renameID(r.ID, fmt.Sprintf("reaction %q", r.ID))
+			}
+			c.out.Reactions = append(c.out.Reactions, r)
+			idx.Insert(reactionStructureKey(r), r)
+			c.claimID(r.ID)
+			c.res.Stats.Added++
+			continue
+		}
+		existing := hit.(*sbml.Reaction)
+		label := fmt.Sprintf("reaction %q", existing.ID)
+		c.res.Stats.Merged++
+		switch {
+		case existing.KineticLaw == nil && r.KineticLaw != nil:
+			existing.KineticLaw = r.KineticLaw
+			c.note(label, "adopted kinetic law from second model")
+		case existing.KineticLaw != nil && r.KineticLaw != nil:
+			if !c.kineticLawsEqual(existing, r) {
+				c.res.Stats.Conflicts++
+				c.warn(label, "kinetic law conflict; keeping first model's (%s over %s)",
+					mathml.FormatInfix(existing.KineticLaw.Math), mathml.FormatInfix(r.KineticLaw.Math))
+			}
+		}
+		c.mapID(r.ID, existing.ID)
+	}
+}
+
+// kineticLawsEqual decides whether two kinetic laws of structurally
+// identical reactions agree. Pattern equality wins immediately; otherwise,
+// under heavy semantics, recognized mass-action laws are compared through
+// the Figure 6 mole↔molecule rate-constant conversion before a conflict is
+// declared.
+func (c *composer) kineticLawsEqual(first, second *sbml.Reaction) bool {
+	m1, m2 := first.KineticLaw.Math, second.KineticLaw.Math
+	if m1 == nil || m2 == nil {
+		return m1 == nil && m2 == nil
+	}
+	if c.mathKey(m1) == c.mathKey(m2) {
+		// Same formula — but law-local parameters carry values the pattern
+		// cannot see ("conflicts in rate constants … within reactions are
+		// resolved", §3). Identical ids with different values are still a
+		// rate-constant conflict unless Figure 6 reconciles them.
+		if c.localParamsAgree(first, second) {
+			return true
+		}
+		return c.ratesReconcileByConversion(first, second)
+	}
+	if c.opts.Semantics != HeavySemantics {
+		return false
+	}
+	isSp1 := func(id string) bool { return c.out.SpeciesByID(id) != nil }
+	isSp2 := func(id string) bool { return c.second.SpeciesByID(id) != nil || c.out.SpeciesByID(id) != nil }
+	rec1, err1 := kinetics.Recognize(first, isSp1)
+	rec2, err2 := kinetics.Recognize(second, isSp2)
+	if err1 != nil || err2 != nil || rec1.Kind != kinetics.MassAction || rec2.Kind != kinetics.MassAction {
+		return false
+	}
+	if rec1.Order != rec2.Order {
+		return false
+	}
+	k1, ok1 := c.rateConstantValue(c.out, first, rec1.RateConstant, c.firstValues)
+	k2, ok2 := c.rateConstantValue(c.second, second, rec2.RateConstant, c.secondValues)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if valuesEqual(k1, k2) {
+		c.note(fmt.Sprintf("reaction %q", first.ID),
+			"kinetic laws match up to rate-constant naming (%s=%s=%g)", rec1.RateConstant, rec2.RateConstant, k1)
+		return true
+	}
+	return c.convertAndCompare(first, rec2.Order, k1, k2, second)
+}
+
+// localParamsAgree compares the values of same-id law-local parameters.
+func (c *composer) localParamsAgree(first, second *sbml.Reaction) bool {
+	for _, p2 := range second.KineticLaw.Parameters {
+		for _, p1 := range first.KineticLaw.Parameters {
+			if p1.ID != p2.ID {
+				continue
+			}
+			if p1.HasValue && p2.HasValue && !valuesEqual(p1.Value, p2.Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ratesReconcileByConversion handles the same-formula, different-constant
+// case: recognize the law, pull both constants, and test whether the
+// Figure 6 basis conversion equates them.
+func (c *composer) ratesReconcileByConversion(first, second *sbml.Reaction) bool {
+	if c.opts.Semantics != HeavySemantics {
+		return false
+	}
+	isSp1 := func(id string) bool { return c.out.SpeciesByID(id) != nil }
+	rec1, err1 := kinetics.Recognize(first, isSp1)
+	if err1 != nil || rec1.Kind != kinetics.MassAction {
+		return false
+	}
+	k1, ok1 := c.rateConstantValue(c.out, first, rec1.RateConstant, c.firstValues)
+	k2, ok2 := c.rateConstantValue(c.second, second, rec1.RateConstant, c.secondValues)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return c.convertAndCompare(first, rec1.Order, k1, k2, second)
+}
+
+// convertAndCompare applies the Figure 6 mole↔molecule conversion to the
+// second model's constant and reports whether it matches the first's.
+func (c *composer) convertAndCompare(first *sbml.Reaction, order int, k1, k2 float64, second *sbml.Reaction) bool {
+	vol := compartmentVolume(c.out, reactionCompartment(c.out, first))
+	basis1 := reactionBasis(c.out, first)
+	basis2 := reactionBasis(c.second, second)
+	if basis1 == basis2 {
+		return false
+	}
+	converted, err := units.ConvertRateConstant(order, k2, basis2, basis1, vol)
+	if err != nil {
+		return false
+	}
+	if valuesEqual(k1, converted) {
+		c.note(fmt.Sprintf("reaction %q", first.ID),
+			"rate constants agree after %s→%s conversion (order %d, V=%g L): %g ≡ %g",
+			basis2, basis1, order, vol, k2, k1)
+		return true
+	}
+	return false
+}
+
+// rateConstantValue resolves a rate-constant id to its numeric value,
+// checking kinetic-law-local parameters first, then the model's globals.
+func (c *composer) rateConstantValue(m *sbml.Model, r *sbml.Reaction, id string, vals map[string]float64) (float64, bool) {
+	if r.KineticLaw != nil {
+		for _, p := range r.KineticLaw.Parameters {
+			if p.ID == id && p.HasValue {
+				return p.Value, true
+			}
+		}
+	}
+	if v, ok := vals[id]; ok {
+		return v, true
+	}
+	if p := m.ParameterByID(id); p != nil && p.HasValue {
+		return p.Value, true
+	}
+	return 0, false
+}
+
+// reactionCompartment picks the compartment the reaction happens in: the
+// first reactant's, else the first product's.
+func reactionCompartment(m *sbml.Model, r *sbml.Reaction) string {
+	pick := func(refs []*sbml.SpeciesReference) string {
+		for _, sr := range refs {
+			if s := m.SpeciesByID(sr.Species); s != nil {
+				return s.Compartment
+			}
+		}
+		return ""
+	}
+	if comp := pick(r.Reactants); comp != "" {
+		return comp
+	}
+	return pick(r.Products)
+}
+
+// reactionBasis reports the substance basis of the reaction's species.
+func reactionBasis(m *sbml.Model, r *sbml.Reaction) units.SubstanceBasis {
+	for _, sr := range r.Reactants {
+		if s := m.SpeciesByID(sr.Species); s != nil {
+			return speciesBasis(m, s)
+		}
+	}
+	for _, sr := range r.Products {
+		if s := m.SpeciesByID(sr.Species); s != nil {
+			return speciesBasis(m, s)
+		}
+	}
+	return units.Moles
+}
+
+// --- events ---
+
+// eventKey canonicalizes an event by its trigger, delay and assignment
+// patterns.
+func (c *composer) eventKey(e *sbml.Event) string {
+	parts := make([]string, 0, len(e.Assignments)+2)
+	parts = append(parts, "t:"+c.mathKey(e.Trigger), "d:"+c.mathKey(e.Delay))
+	assigns := make([]string, len(e.Assignments))
+	for i, a := range e.Assignments {
+		assigns[i] = a.Variable + "=" + c.mathKey(a.Math)
+	}
+	sort.Strings(assigns)
+	return strings.Join(append(parts, assigns...), "|")
+}
+
+func (c *composer) composeEvents() {
+	idx := c.newIndex()
+	for _, e := range c.out.Events {
+		idx.Insert(c.eventKey(e), e)
+	}
+	for _, e := range c.second.Events {
+		if hit, ok := idx.Lookup(c.eventKey(e)); ok {
+			existing := hit.(*sbml.Event)
+			c.res.Stats.Merged++
+			if e.ID != "" && existing.ID != "" {
+				c.mapID(e.ID, existing.ID)
+			}
+			continue
+		}
+		if e.ID != "" && c.outIDs[e.ID] {
+			c.renameID(e.ID, fmt.Sprintf("event %q", e.ID))
+		}
+		c.out.Events = append(c.out.Events, e)
+		idx.Insert(c.eventKey(e), e)
+		c.claimID(e.ID)
+		c.res.Stats.Added++
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+// Decomposition — the inverse of composition — is item 2 of the paper's
+// future-work list ("defining a method for XML graph decomposition or
+// splitting"). This file implements it for SBML models: a model is split
+// into its weakly connected reaction subnetworks, each a standalone valid
+// model carrying exactly the global components (parameters, units, function
+// definitions, compartments, rules, events) its own species and reactions
+// reference. Composing the parts back with Compose reconstructs the
+// original network.
+
+import (
+	"fmt"
+	"sort"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+)
+
+// Decompose splits m into one model per weakly connected component of its
+// species–reaction graph. Isolated species (touched by no reaction) are
+// grouped into a single trailing part. Parts are ordered by their smallest
+// species id; each part is valid whenever m is. Components that belong to
+// no species (e.g. a rule over parameters only) go to the first part.
+func Decompose(m *sbml.Model) ([]*sbml.Model, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: Decompose requires a model")
+	}
+	if len(m.Species) == 0 {
+		return []*sbml.Model{m.Clone()}, nil
+	}
+
+	// Union-find over species ids; each reaction unions everything it
+	// touches.
+	parent := make(map[string]string, len(m.Species))
+	for _, s := range m.Species {
+		parent[s.ID] = s.ID
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, r := range m.Reactions {
+		var first string
+		touch := func(id string) {
+			if _, ok := parent[id]; !ok {
+				return
+			}
+			if first == "" {
+				first = id
+				return
+			}
+			union(first, id)
+		}
+		for _, sr := range r.Reactants {
+			touch(sr.Species)
+		}
+		for _, sr := range r.Products {
+			touch(sr.Species)
+		}
+		for _, mr := range r.Modifiers {
+			touch(mr.Species)
+		}
+	}
+
+	// Group species by root; isolated species share one group.
+	const isolatedKey = "\x00isolated"
+	groups := make(map[string][]*sbml.Species)
+	connected := make(map[string]bool)
+	for _, r := range m.Reactions {
+		for _, sr := range r.Reactants {
+			connected[sr.Species] = true
+		}
+		for _, sr := range r.Products {
+			connected[sr.Species] = true
+		}
+		for _, mr := range r.Modifiers {
+			connected[mr.Species] = true
+		}
+	}
+	for _, s := range m.Species {
+		key := isolatedKey
+		if connected[s.ID] {
+			key = find(s.ID)
+		}
+		groups[key] = append(groups[key], s)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i] == isolatedKey {
+			return false
+		}
+		if keys[j] == isolatedKey {
+			return true
+		}
+		return groups[keys[i]][0].ID < groups[keys[j]][0].ID
+	})
+
+	parts := make([]*sbml.Model, 0, len(keys))
+	for i, key := range keys {
+		part := buildPart(m, fmt.Sprintf("%s_part%d", m.ID, i+1), groups[key])
+		parts = append(parts, part)
+	}
+	// Orphan components referencing no species (parameter-only rules,
+	// events over parameters) attach to the first part so nothing is lost.
+	attachOrphans(m, parts)
+	return parts, nil
+}
+
+// buildPart assembles one component's standalone model.
+func buildPart(m *sbml.Model, id string, species []*sbml.Species) *sbml.Model {
+	part := sbml.NewModel(id)
+	part.Name = m.Name
+
+	inPart := make(map[string]bool, len(species))
+	for _, s := range species {
+		inPart[s.ID] = true
+	}
+
+	// Reactions whose every species reference lies in this part.
+	var reactions []*sbml.Reaction
+	for _, r := range m.Reactions {
+		belongs := len(r.Reactants)+len(r.Products)+len(r.Modifiers) > 0
+		for _, sr := range r.Reactants {
+			belongs = belongs && inPart[sr.Species]
+		}
+		for _, sr := range r.Products {
+			belongs = belongs && inPart[sr.Species]
+		}
+		for _, mr := range r.Modifiers {
+			belongs = belongs && inPart[mr.Species]
+		}
+		if belongs {
+			reactions = append(reactions, r)
+		}
+	}
+
+	// Gather every identifier the part's species, reactions, rules and
+	// events mention, then copy the referenced globals.
+	needed := make(map[string]bool)
+	for _, s := range species {
+		needed[s.Compartment] = true
+		needed[s.SpeciesType] = true
+		needed[s.SubstanceUnits] = true
+	}
+	addMathRefs := func(e mathml.Expr) {
+		for v := range mathml.Vars(e) {
+			needed[v] = true
+		}
+		// Function calls are operators, not variables.
+		var walk func(mathml.Expr)
+		walk = func(x mathml.Expr) {
+			switch a := x.(type) {
+			case mathml.Apply:
+				needed[a.Op] = true
+				for _, arg := range a.Args {
+					walk(arg)
+				}
+			case mathml.Lambda:
+				walk(a.Body)
+			case mathml.Piecewise:
+				for _, p := range a.Pieces {
+					walk(p.Value)
+					walk(p.Cond)
+				}
+				if a.Otherwise != nil {
+					walk(a.Otherwise)
+				}
+			}
+		}
+		walk(e)
+	}
+	for _, r := range reactions {
+		if r.KineticLaw != nil && r.KineticLaw.Math != nil {
+			addMathRefs(r.KineticLaw.Math)
+		}
+	}
+
+	// Rules, initial assignments, constraints and events belong here when
+	// they mention a part species.
+	mentionsPart := func(e mathml.Expr, extra ...string) bool {
+		for _, id := range extra {
+			if inPart[id] {
+				return true
+			}
+		}
+		if e == nil {
+			return false
+		}
+		for v := range mathml.Vars(e) {
+			if inPart[v] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range m.Rules {
+		if mentionsPart(r.Math, r.Variable) {
+			part.Rules = append(part.Rules, r)
+			addMathRefs(r.Math)
+			needed[r.Variable] = true
+		}
+	}
+	for _, ia := range m.InitialAssignments {
+		if mentionsPart(ia.Math, ia.Symbol) {
+			part.InitialAssignments = append(part.InitialAssignments, ia)
+			addMathRefs(ia.Math)
+			needed[ia.Symbol] = true
+		}
+	}
+	for _, c := range m.Constraints {
+		if mentionsPart(c.Math) {
+			part.Constraints = append(part.Constraints, c)
+			addMathRefs(c.Math)
+		}
+	}
+	for _, e := range m.Events {
+		belongs := mentionsPart(e.Trigger)
+		for _, a := range e.Assignments {
+			belongs = belongs || mentionsPart(a.Math, a.Variable)
+		}
+		if belongs {
+			part.Events = append(part.Events, e)
+			addMathRefs(e.Trigger)
+			if e.Delay != nil {
+				addMathRefs(e.Delay)
+			}
+			for _, a := range e.Assignments {
+				addMathRefs(a.Math)
+				needed[a.Variable] = true
+			}
+		}
+	}
+
+	// Copy referenced globals (and their own transitive references).
+	for _, f := range m.FunctionDefinitions {
+		if needed[f.ID] {
+			part.FunctionDefinitions = append(part.FunctionDefinitions, f)
+		}
+	}
+	for _, p := range m.Parameters {
+		if needed[p.ID] {
+			part.Parameters = append(part.Parameters, p)
+			needed[p.Units] = true
+		}
+	}
+	for _, c := range m.Compartments {
+		if needed[c.ID] {
+			part.Compartments = append(part.Compartments, c)
+			needed[c.CompartmentType] = true
+			needed[c.Units] = true
+			// Nested compartments pull their ancestors in.
+			for outer := c.Outside; outer != ""; {
+				needed[outer] = true
+				next := m.CompartmentByID(outer)
+				if next == nil {
+					break
+				}
+				outer = next.Outside
+			}
+		}
+	}
+	// Second pass for compartments that became needed transitively.
+	for _, c := range m.Compartments {
+		if needed[c.ID] && part.CompartmentByID(c.ID) == nil {
+			part.Compartments = append(part.Compartments, c)
+		}
+	}
+	for _, ct := range m.CompartmentTypes {
+		if needed[ct.ID] {
+			part.CompartmentTypes = append(part.CompartmentTypes, ct)
+		}
+	}
+	for _, st := range m.SpeciesTypes {
+		if needed[st.ID] {
+			part.SpeciesTypes = append(part.SpeciesTypes, st)
+		}
+	}
+	for _, u := range m.UnitDefinitions {
+		if needed[u.ID] {
+			part.UnitDefinitions = append(part.UnitDefinitions, u)
+		}
+	}
+
+	part.Species = species
+	part.Reactions = reactions
+
+	// Deep-copy so parts are independent of the original.
+	return part.Clone()
+}
+
+// attachOrphans adds components no part claimed to the first part.
+func attachOrphans(m *sbml.Model, parts []*sbml.Model) {
+	if len(parts) == 0 {
+		return
+	}
+	first := parts[0]
+	claimedReaction := make(map[string]bool)
+	for _, p := range parts {
+		for _, r := range p.Reactions {
+			claimedReaction[r.ID] = true
+		}
+	}
+	for _, r := range m.Reactions {
+		if !claimedReaction[r.ID] {
+			// Reaction touching no species at all (degenerate but legal).
+			// Deep-copy via a scratch model so parts stay independent.
+			scratch := sbml.Model{Reactions: []*sbml.Reaction{r}}
+			first.Reactions = append(first.Reactions, scratch.Clone().Reactions[0])
+		}
+	}
+	claimedRules := 0
+	for _, p := range parts {
+		claimedRules += len(p.Rules)
+	}
+	if claimedRules < len(m.Rules) {
+		have := make(map[*sbml.Rule]bool)
+		for _, p := range parts {
+			for _, r := range p.Rules {
+				have[r] = true
+			}
+		}
+		// Clone-based parts lose pointer identity; compare by rendering.
+		rendered := make(map[string]bool)
+		for _, p := range parts {
+			for _, r := range p.Rules {
+				rendered[r.Kind.String()+r.Variable+mathml.FormatInfix(r.Math)] = true
+			}
+		}
+		for _, r := range m.Rules {
+			key := r.Kind.String() + r.Variable + mathml.FormatInfix(r.Math)
+			if !rendered[key] {
+				cp := *r
+				cp.Math = mathml.Clone(r.Math)
+				first.Rules = append(first.Rules, &cp)
+				// Its variable may be a parameter not yet copied.
+				if m.ParameterByID(r.Variable) != nil && first.ParameterByID(r.Variable) == nil {
+					pc := *m.ParameterByID(r.Variable)
+					first.Parameters = append(first.Parameters, &pc)
+				}
+			}
+		}
+	}
+}

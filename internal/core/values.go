@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/units"
+)
+
+// collectInitialValues gathers the initial value of every symbol in the
+// model: compartment sizes, species amounts/concentrations, parameter
+// values, and the evaluated results of initial assignments (which override
+// attribute values, as in SBML semantics). The paper collects these before
+// composition begins so conflict checks can compare concrete numbers even
+// when the values are set in different places in each model (§3, last
+// paragraph).
+func collectInitialValues(m *sbml.Model) map[string]float64 {
+	vals := make(map[string]float64)
+	for _, comp := range m.Compartments {
+		if comp.HasSize {
+			vals[comp.ID] = comp.Size
+		}
+	}
+	for _, s := range m.Species {
+		switch {
+		case s.HasInitialConcentration:
+			vals[s.ID] = s.InitialConcentration
+		case s.HasInitialAmount:
+			vals[s.ID] = s.InitialAmount
+		}
+	}
+	for _, p := range m.Parameters {
+		if p.HasValue {
+			vals[p.ID] = p.Value
+		}
+	}
+	funcs := make(map[string]mathml.Lambda, len(m.FunctionDefinitions))
+	for _, f := range m.FunctionDefinitions {
+		funcs[f.ID] = f.Math
+	}
+	env := &mathml.MapEnv{Values: vals, Functions: funcs}
+	// Initial assignments may reference each other; a couple of passes
+	// resolve simple chains without building a dependency graph.
+	for pass := 0; pass < 3; pass++ {
+		progressed := false
+		for _, ia := range m.InitialAssignments {
+			v, err := mathml.Eval(ia.Math, env)
+			if err != nil {
+				continue
+			}
+			if old, ok := vals[ia.Symbol]; !ok || old != v {
+				vals[ia.Symbol] = v
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return vals
+}
+
+const valueTolerance = 1e-9
+
+// valuesEqual compares two initial values with a relative tolerance.
+func valuesEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= valueTolerance*math.Max(scale, 1)
+}
+
+// speciesBasis reports how a species quantifies its amount: Molecules when
+// its substance units reduce to items, Moles otherwise.
+func speciesBasis(m *sbml.Model, s *sbml.Species) units.SubstanceBasis {
+	if s.SubstanceUnits == "" {
+		return units.Moles // SBML default substance is mole
+	}
+	def := units.Definition{ID: s.SubstanceUnits, Units: []units.Unit{units.NewUnit(s.SubstanceUnits)}}
+	if ud := m.UnitDefinitionByID(s.SubstanceUnits); ud != nil {
+		def = ud.Definition()
+	}
+	f, err := units.ConversionFactor(def, units.ItemCount)
+	if err != nil {
+		return units.Moles
+	}
+	// item→item is 1; mole→item is Avogadro.
+	if math.Abs(f-1) < 1e-6 {
+		return units.Molecules
+	}
+	return units.Moles
+}
+
+// compartmentVolume returns the volume (litres) of the species' compartment,
+// defaulting to 1 when unset so conversions remain defined.
+func compartmentVolume(m *sbml.Model, compartmentID string) float64 {
+	if comp := m.CompartmentByID(compartmentID); comp != nil && comp.HasSize && comp.Size > 0 {
+		return comp.Size
+	}
+	return 1
+}
+
+// initialSpeciesValue normalizes a species' initial quantity to a
+// concentration in the model's own terms: concentrations pass through;
+// amounts divide by compartment volume; molecule counts additionally divide
+// by Avogadro (heavy semantics only — the caller gates this).
+func initialSpeciesValue(m *sbml.Model, s *sbml.Species, convertBasis bool) (float64, bool) {
+	var v float64
+	switch {
+	case s.HasInitialConcentration:
+		return s.InitialConcentration, true
+	case s.HasInitialAmount:
+		v = s.InitialAmount
+	default:
+		return 0, false
+	}
+	vol := compartmentVolume(m, s.Compartment)
+	v /= vol
+	if convertBasis && speciesBasis(m, s) == units.Molecules {
+		v /= units.Avogadro
+	}
+	return v, true
+}

@@ -1,0 +1,377 @@
+// Package graph implements the paper's formal model of network composition
+// (§2): a graph G = (V, E, L, φ, ψ) with node labels φ : V → Σ_L and edge
+// labels ψ : E → Σ_L, where composition is the union G1 ∪ G2 with shared
+// nodes matched by label equality or synonymy, and shared edges united when
+// their labels are unitable. It also implements the decomposition
+// (splitting) and zooming operations from the paper's future-work list
+// (§5 items 2 and 4), and a bridge from SBML models to their reaction
+// graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/synonym"
+)
+
+// Node is a labeled vertex. The label is the φ value used for matching.
+type Node struct {
+	ID    string // unique within a graph
+	Label string
+}
+
+// Edge is a directed labeled edge between node ids. The label is the ψ
+// value; for biochemical graphs it carries the rate-constant expression.
+type Edge struct {
+	From  string
+	To    string
+	Label string
+}
+
+// Graph is a directed labeled multigraph.
+type Graph struct {
+	Name  string
+	nodes map[string]*Node
+	order []string // insertion order of node ids, for deterministic output
+	edges []*Edge
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, nodes: make(map[string]*Node)}
+}
+
+// AddNode inserts a node; adding an existing id updates its label and
+// reports false.
+func (g *Graph) AddNode(id, label string) bool {
+	if n, ok := g.nodes[id]; ok {
+		n.Label = label
+		return false
+	}
+	g.nodes[id] = &Node{ID: id, Label: label}
+	g.order = append(g.order, id)
+	return true
+}
+
+// AddEdge inserts a directed edge. Both endpoints must exist.
+func (g *Graph) AddEdge(from, to, label string) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("graph: edge source %q not in graph", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("graph: edge target %q not in graph", to)
+	}
+	g.edges = append(g.edges, &Edge{From: from, To: to, Label: label})
+	return nil
+}
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// Nodes returns the nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// Edges returns the edge list in insertion order.
+func (g *Graph) Edges() []*Edge {
+	return append([]*Edge(nil), g.edges...)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Size returns nodes+edges, matching the paper's model-size measure.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New(g.Name)
+	for _, id := range g.order {
+		n := g.nodes[id]
+		out.AddNode(n.ID, n.Label)
+	}
+	for _, e := range g.edges {
+		out.edges = append(out.edges, &Edge{From: e.From, To: e.To, Label: e.Label})
+	}
+	return out
+}
+
+// String renders nodes and edges deterministically, for goldens and logs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q: %d nodes, %d edges\n", g.Name, g.NumNodes(), g.NumEdges())
+	for _, id := range g.order {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "  node %s (%s)\n", n.ID, n.Label)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Label < edges[j].Label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  edge %s -> %s [%s]\n", e.From, e.To, e.Label)
+	}
+	return b.String()
+}
+
+// --- composition (§2) ---
+
+// ComposeOptions configures graph composition.
+type ComposeOptions struct {
+	// Synonyms matches node labels; nil matches only normalized-equal
+	// labels ("two nodes are equal iff their labels are identical or
+	// synonymous").
+	Synonyms *synonym.Table
+	// UniteEdges merges parallel edges between matched endpoints by
+	// combining their labels ("two edges are equivalent iff their labels
+	// can be united via an arithmetic operation"). Nil keeps both edges.
+	UniteEdges func(a, b string) (string, bool)
+}
+
+// Compose returns the union g1 ∪ g2 with set semantics: nodes with equal or
+// synonymous labels are merged (g1's id wins), and duplicate
+// (from, to, label) edges collapse, matching Figure 3 where shared edges
+// between shared nodes merge. Edges between merged endpoints are united when
+// the UniteEdges option allows, otherwise parallel distinct-label edges are
+// kept.
+func Compose(g1, g2 *Graph, opts ComposeOptions) *Graph {
+	out := g1.Clone()
+	out.Name = g1.Name + "+" + g2.Name
+	// Set semantics: exact-duplicate edges within g1 collapse first.
+	dedupe := make(map[string]bool)
+	kept := out.edges[:0]
+	for _, e := range out.edges {
+		key := e.From + "\x00" + e.To + "\x00" + e.Label
+		if dedupe[key] {
+			continue
+		}
+		dedupe[key] = true
+		kept = append(kept, e)
+	}
+	out.edges = kept
+
+	// Label-match index over g1's nodes.
+	byLabel := make(map[string]string) // canonical label -> node id
+	for _, n := range out.Nodes() {
+		byLabel[opts.Synonyms.Canonical(n.Label)] = n.ID
+	}
+	// Map g2 node ids into the composed graph.
+	rename := make(map[string]string)
+	for _, n := range g2.Nodes() {
+		key := opts.Synonyms.Canonical(n.Label)
+		if existing, ok := byLabel[key]; ok {
+			rename[n.ID] = existing
+			continue
+		}
+		id := n.ID
+		for out.nodes[id] != nil {
+			id = id + "_2" // fresh id: same label-distinct node with clashing id
+		}
+		out.AddNode(id, n.Label)
+		byLabel[key] = id
+		rename[n.ID] = id
+	}
+	for _, e := range g2.Edges() {
+		from, to := rename[e.From], rename[e.To]
+		merged := false
+		if opts.UniteEdges != nil {
+			for _, existing := range out.edges {
+				if existing.From == from && existing.To == to {
+					if united, ok := opts.UniteEdges(existing.Label, e.Label); ok {
+						existing.Label = united
+						merged = true
+						break
+					}
+				}
+			}
+		} else {
+			// Identical parallel edges always merge (Figure 3: shared
+			// edges between shared nodes collapse).
+			for _, existing := range out.edges {
+				if existing.From == from && existing.To == to && existing.Label == e.Label {
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			out.edges = append(out.edges, &Edge{From: from, To: to, Label: e.Label})
+		}
+	}
+	return out
+}
+
+// --- decomposition (future work §5 item 2) ---
+
+// Decompose splits g into its weakly connected components, each a standalone
+// graph named after its smallest node id. The union of the results composes
+// back to g.
+func Decompose(g *Graph) []*Graph {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for id := range g.nodes {
+		parent[id] = id
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range g.edges {
+		union(e.From, e.To)
+	}
+	groups := make(map[string][]string)
+	for _, id := range g.order {
+		root := find(id)
+		groups[root] = append(groups[root], id)
+	}
+	var roots []string
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return minString(groups[roots[i]]) < minString(groups[roots[j]])
+	})
+	var out []*Graph
+	for _, root := range roots {
+		ids := groups[root]
+		sub := New(g.Name + "/" + minString(ids))
+		inSub := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			sub.AddNode(id, g.nodes[id].Label)
+			inSub[id] = true
+		}
+		for _, e := range g.edges {
+			if inSub[e.From] && inSub[e.To] {
+				sub.edges = append(sub.edges, &Edge{From: e.From, To: e.To, Label: e.Label})
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// Split partitions g's nodes by the given assignment (node id → part name)
+// and returns one subgraph per part plus the list of edges that cross parts.
+// Cross edges are what a re-composition must reconstruct.
+func Split(g *Graph, partOf func(nodeID string) string) (map[string]*Graph, []*Edge) {
+	parts := make(map[string]*Graph)
+	ensure := func(name string) *Graph {
+		if p, ok := parts[name]; ok {
+			return p
+		}
+		p := New(g.Name + "/" + name)
+		parts[name] = p
+		return p
+	}
+	for _, id := range g.order {
+		ensure(partOf(id)).AddNode(id, g.nodes[id].Label)
+	}
+	var cross []*Edge
+	for _, e := range g.edges {
+		pf, pt := partOf(e.From), partOf(e.To)
+		if pf == pt {
+			p := parts[pf]
+			p.edges = append(p.edges, &Edge{From: e.From, To: e.To, Label: e.Label})
+			continue
+		}
+		cross = append(cross, &Edge{From: e.From, To: e.To, Label: e.Label})
+	}
+	return parts, cross
+}
+
+// --- zooming (future work §5 item 4) ---
+
+// Zoom collapses every group of nodes that share the same region (node id →
+// region name) into a single super-node labeled with the region name,
+// keeping one edge per distinct (region, region, label) triple and dropping
+// intra-region edges. It is the "zoom out" operation over semantic
+// subgraphs.
+func Zoom(g *Graph, regionOf func(nodeID string) string) *Graph {
+	out := New(g.Name + "[zoomed]")
+	for _, id := range g.order {
+		region := regionOf(id)
+		out.AddNode(region, region)
+	}
+	seen := make(map[string]bool)
+	for _, e := range g.edges {
+		rf, rt := regionOf(e.From), regionOf(e.To)
+		if rf == rt {
+			continue
+		}
+		key := rf + "\x00" + rt + "\x00" + e.Label
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.edges = append(out.edges, &Edge{From: rf, To: rt, Label: e.Label})
+	}
+	return out
+}
+
+// --- SBML bridge ---
+
+// FromSBML converts a model to its reaction graph: species become nodes
+// labeled with their name (falling back to id), and each reactant→product
+// pair of every reaction becomes an edge labeled with the reaction id.
+// Modifiers contribute edges labeled "mod:<reaction>". The node and edge
+// counts match sbml.Model.Nodes and Edges only when every reaction has
+// exactly one reactant and one product; the graph view is for topology
+// operations, not size accounting.
+func FromSBML(m *sbml.Model) *Graph {
+	g := New(m.ID)
+	for _, s := range m.Species {
+		label := s.Name
+		if label == "" {
+			label = s.ID
+		}
+		g.AddNode(s.ID, label)
+	}
+	for _, r := range m.Reactions {
+		for _, from := range r.Reactants {
+			for _, to := range r.Products {
+				_ = g.AddEdge(from.Species, to.Species, r.ID)
+			}
+		}
+		for _, mod := range r.Modifiers {
+			for _, to := range r.Products {
+				_ = g.AddEdge(mod.Species, to.Species, "mod:"+r.ID)
+			}
+		}
+	}
+	return g
+}
+
+func minString(ss []string) string {
+	m := ss[0]
+	for _, s := range ss[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}

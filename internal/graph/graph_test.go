@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/synonym"
+)
+
+// chain builds the paper's running example A → B ⇌ C as a graph.
+func chain(name string) *Graph {
+	g := New(name)
+	g.AddNode("A", "A")
+	g.AddNode("B", "B")
+	g.AddNode("C", "C")
+	_ = g.AddEdge("A", "B", "k1")
+	_ = g.AddEdge("B", "C", "k2")
+	_ = g.AddEdge("C", "B", "k3")
+	return g
+}
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New("g")
+	if !g.AddNode("A", "a") {
+		t.Error("first add should return true")
+	}
+	if g.AddNode("A", "a2") {
+		t.Error("re-add should return false")
+	}
+	if g.Node("A").Label != "a2" {
+		t.Error("re-add should update label")
+	}
+	if err := g.AddEdge("A", "missing", "x"); err == nil {
+		t.Error("edge to missing node should fail")
+	}
+	if err := g.AddEdge("missing", "A", "x"); err == nil {
+		t.Error("edge from missing node should fail")
+	}
+}
+
+func TestFigure1IdenticalModels(t *testing.T) {
+	// Figure 1: merging two identical models yields the same model.
+	a, b := chain("a"), chain("b")
+	c := Compose(a, b, ComposeOptions{})
+	if c.NumNodes() != 3 || c.NumEdges() != 3 {
+		t.Errorf("a+a = %d nodes %d edges, want 3/3\n%s", c.NumNodes(), c.NumEdges(), c)
+	}
+}
+
+func TestFigure2DisjointModels(t *testing.T) {
+	// Figure 2: A→B→C plus D→E gives both chains side by side.
+	a := New("a")
+	a.AddNode("A", "A")
+	a.AddNode("B", "B")
+	a.AddNode("C", "C")
+	_ = a.AddEdge("A", "B", "k1")
+	_ = a.AddEdge("B", "C", "k2")
+	b := New("b")
+	b.AddNode("D", "D")
+	b.AddNode("E", "E")
+	_ = b.AddEdge("D", "E", "k3")
+	c := Compose(a, b, ComposeOptions{})
+	if c.NumNodes() != 5 || c.NumEdges() != 3 {
+		t.Errorf("disjoint compose = %d/%d, want 5/3", c.NumNodes(), c.NumEdges())
+	}
+}
+
+func TestFigure3SharedSubgraph(t *testing.T) {
+	// Figure 3: A→B⇌C→D merged with A→B→C keeps the union: shared nodes
+	// and shared edges collapse.
+	a := chain("a")
+	a.AddNode("D", "D")
+	_ = a.AddEdge("C", "D", "k4")
+	b := New("b")
+	b.AddNode("A", "A")
+	b.AddNode("B", "B")
+	b.AddNode("C", "C")
+	_ = b.AddEdge("A", "B", "k1")
+	_ = b.AddEdge("B", "C", "k2")
+	c := Compose(a, b, ComposeOptions{})
+	if c.NumNodes() != 4 || c.NumEdges() != 4 {
+		t.Errorf("Figure 3 compose = %d/%d, want 4/4\n%s", c.NumNodes(), c.NumEdges(), c)
+	}
+}
+
+func TestComposeWithSynonyms(t *testing.T) {
+	tab := synonym.NewTable()
+	tab.Add("glucose", "dextrose")
+	a := New("a")
+	a.AddNode("g1", "glucose")
+	b := New("b")
+	b.AddNode("g2", "dextrose")
+	c := Compose(a, b, ComposeOptions{Synonyms: tab})
+	if c.NumNodes() != 1 {
+		t.Errorf("synonymous nodes should merge: %s", c)
+	}
+	// Without the table they stay separate.
+	c = Compose(a, b, ComposeOptions{})
+	if c.NumNodes() != 2 {
+		t.Errorf("without synonyms: %s", c)
+	}
+}
+
+func TestComposeIDCollisionDifferentLabels(t *testing.T) {
+	a := New("a")
+	a.AddNode("x", "alpha")
+	b := New("b")
+	b.AddNode("x", "beta") // same id, different meaning
+	c := Compose(a, b, ComposeOptions{})
+	if c.NumNodes() != 2 {
+		t.Errorf("distinct labels with same id must both survive: %s", c)
+	}
+}
+
+func TestComposeUniteEdges(t *testing.T) {
+	a := New("a")
+	a.AddNode("A", "A")
+	a.AddNode("B", "B")
+	_ = a.AddEdge("A", "B", "k1")
+	b := New("b")
+	b.AddNode("A", "A")
+	b.AddNode("B", "B")
+	_ = b.AddEdge("A", "B", "k2")
+	unite := func(x, y string) (string, bool) { return x + "+" + y, true }
+	c := Compose(a, b, ComposeOptions{UniteEdges: unite})
+	if c.NumEdges() != 1 {
+		t.Fatalf("edges should unite: %s", c)
+	}
+	if c.Edges()[0].Label != "k1+k2" {
+		t.Errorf("united label = %q", c.Edges()[0].Label)
+	}
+	// Without uniting, different labels give parallel edges.
+	c = Compose(a, b, ComposeOptions{})
+	if c.NumEdges() != 2 {
+		t.Errorf("parallel edges expected: %s", c)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	g := New("g")
+	for _, id := range []string{"A", "B", "C", "X", "Y", "lone"} {
+		g.AddNode(id, id)
+	}
+	_ = g.AddEdge("A", "B", "e1")
+	_ = g.AddEdge("B", "C", "e2")
+	_ = g.AddEdge("X", "Y", "e3")
+	parts := Decompose(g)
+	if len(parts) != 3 {
+		t.Fatalf("components = %d, want 3", len(parts))
+	}
+	// Components sort by smallest node id: "A…" < "X…" < "lone" (ASCII).
+	sizes := []int{parts[0].NumNodes(), parts[1].NumNodes(), parts[2].NumNodes()}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("component sizes = %v (order: A-chain, X-Y, lone)", sizes)
+	}
+}
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	g := chain("g")
+	g.AddNode("X", "X")
+	g.AddNode("Y", "Y")
+	_ = g.AddEdge("X", "Y", "kx")
+	parts := Decompose(g)
+	recomposed := parts[0]
+	for _, p := range parts[1:] {
+		recomposed = Compose(recomposed, p, ComposeOptions{})
+	}
+	if recomposed.NumNodes() != g.NumNodes() || recomposed.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip = %d/%d, want %d/%d", recomposed.NumNodes(), recomposed.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	g := chain("g")
+	parts, cross := Split(g, func(id string) string {
+		if id == "A" {
+			return "left"
+		}
+		return "right"
+	})
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts["left"].NumNodes() != 1 || parts["right"].NumNodes() != 2 {
+		t.Errorf("split sizes wrong: %v", parts)
+	}
+	if len(cross) != 1 || cross[0].From != "A" || cross[0].To != "B" {
+		t.Errorf("cross edges = %v", cross)
+	}
+	// Intra-part edges stay in their part.
+	if parts["right"].NumEdges() != 2 {
+		t.Errorf("right part edges = %d, want 2", parts["right"].NumEdges())
+	}
+}
+
+func TestZoom(t *testing.T) {
+	g := chain("g")
+	g.AddNode("D", "D")
+	_ = g.AddEdge("C", "D", "k4")
+	region := func(id string) string {
+		if id == "A" || id == "B" {
+			return "upstream"
+		}
+		return "downstream"
+	}
+	z := Zoom(g, region)
+	if z.NumNodes() != 2 {
+		t.Fatalf("zoomed nodes = %d, want 2\n%s", z.NumNodes(), z)
+	}
+	// Edges: B→C (k2) crosses, C→B (k3) crosses back; A→B and C→D are
+	// intra-region and disappear.
+	if z.NumEdges() != 2 {
+		t.Errorf("zoomed edges = %d, want 2\n%s", z.NumEdges(), z)
+	}
+}
+
+func TestFromSBML(t *testing.T) {
+	m := sbml.NewModel("m")
+	m.Compartments = append(m.Compartments, &sbml.Compartment{ID: "c", SpatialDimensions: 3})
+	m.Species = append(m.Species,
+		&sbml.Species{ID: "A", Name: "glucose", Compartment: "c"},
+		&sbml.Species{ID: "B", Compartment: "c"},
+		&sbml.Species{ID: "E", Name: "enzyme", Compartment: "c"},
+	)
+	m.Reactions = append(m.Reactions, &sbml.Reaction{
+		ID:        "r1",
+		Reactants: []*sbml.SpeciesReference{{Species: "A", Stoichiometry: 1}},
+		Products:  []*sbml.SpeciesReference{{Species: "B", Stoichiometry: 1}},
+		Modifiers: []*sbml.ModifierSpeciesReference{{Species: "E"}},
+	})
+	g := FromSBML(m)
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 2 { // A→B and mod edge E→B
+		t.Errorf("edges = %d\n%s", g.NumEdges(), g)
+	}
+	if g.Node("A").Label != "glucose" {
+		t.Errorf("label = %q, want name", g.Node("A").Label)
+	}
+	if g.Node("B").Label != "B" {
+		t.Errorf("label fallback = %q, want id", g.Node("B").Label)
+	}
+	if !strings.Contains(g.String(), "mod:r1") {
+		t.Errorf("modifier edge missing:\n%s", g)
+	}
+}
+
+func TestQuickComposeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		c := Compose(g, g, ComposeOptions{})
+		return c.NumNodes() == g.NumNodes() && c.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComposeCommutativeOnSizes(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomGraph(rand.New(rand.NewSource(s1)))
+		b := randomGraph(rand.New(rand.NewSource(s2)))
+		ab := Compose(a, b, ComposeOptions{})
+		ba := Compose(b, a, ComposeOptions{})
+		return ab.NumNodes() == ba.NumNodes() && ab.NumEdges() == ba.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecomposePreservesSize(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		nodes, edges := 0, 0
+		for _, p := range Decompose(g) {
+			nodes += p.NumNodes()
+			edges += p.NumEdges()
+		}
+		return nodes == g.NumNodes() && edges == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGraph(r *rand.Rand) *Graph {
+	g := New("rand")
+	n := 1 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		id := string(rune('A' + i))
+		g.AddNode(id, strings.ToLower(id))
+	}
+	nodes := g.Nodes()
+	seen := make(map[string]bool)
+	for i := 0; i < r.Intn(10); i++ {
+		from := nodes[r.Intn(len(nodes))].ID
+		to := nodes[r.Intn(len(nodes))].ID
+		label := "k" + string(rune('0'+r.Intn(4)))
+		key := from + "/" + to + "/" + label
+		if seen[key] {
+			continue // Compose has set semantics; keep inputs duplicate-free
+		}
+		seen[key] = true
+		_ = g.AddEdge(from, to, label)
+	}
+	return g
+}

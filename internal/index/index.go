@@ -1,0 +1,221 @@
+// Package index provides the pluggable component indexes used by the
+// composer's Figure 5 lookup step ("Look for SBML component S2 in index of
+// first model"). The paper's implementation uses a hash map and flags the
+// choice of index structure as an open research question (§3, future work
+// §5 items 3 and 7); this package supplies four interchangeable structures —
+// hash map, linear scan, sorted array and suffix tree — so the benchmark
+// harness can ablate the choice.
+package index
+
+import (
+	"sort"
+
+	"sbmlcompose/internal/suffixtree"
+)
+
+// Index maps string keys (component ids, names, canonical forms or math
+// patterns) to arbitrary component values. Duplicate keys overwrite.
+type Index interface {
+	// Insert stores value under key, replacing any previous value.
+	Insert(key string, value any)
+	// Lookup returns the value stored under key.
+	Lookup(key string) (any, bool)
+	// Len returns the number of distinct keys.
+	Len() int
+	// Name identifies the structure in benchmark output.
+	Name() string
+}
+
+// Kind selects an index implementation.
+type Kind int
+
+const (
+	// Hash is the paper's choice: a hash map.
+	Hash Kind = iota
+	// Linear scans an unsorted slice; the no-index baseline.
+	Linear
+	// Sorted keeps a sorted slice and binary-searches it.
+	Sorted
+	// SuffixTree indexes keys in a generalized suffix tree (future work
+	// item 7) and additionally supports substring queries.
+	SuffixTree
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Hash:
+		return "hash"
+	case Linear:
+		return "linear"
+	case Sorted:
+		return "sorted"
+	case SuffixTree:
+		return "suffixtree"
+	default:
+		return "unknown"
+	}
+}
+
+// New returns an empty index of the given kind.
+func New(kind Kind) Index {
+	switch kind {
+	case Linear:
+		return &linearIndex{}
+	case Sorted:
+		return &sortedIndex{}
+	case SuffixTree:
+		return newSuffixIndex()
+	default:
+		return hashIndex{m: make(map[string]any)}
+	}
+}
+
+// --- hash ---
+
+type hashIndex struct {
+	m map[string]any
+}
+
+func (h hashIndex) Insert(key string, value any) { h.m[key] = value }
+func (h hashIndex) Lookup(key string) (any, bool) {
+	v, ok := h.m[key]
+	return v, ok
+}
+func (h hashIndex) Len() int     { return len(h.m) }
+func (h hashIndex) Name() string { return "hash" }
+
+// --- linear ---
+
+type kv struct {
+	key   string
+	value any
+}
+
+type linearIndex struct {
+	items []kv
+}
+
+func (l *linearIndex) Insert(key string, value any) {
+	for i := range l.items {
+		if l.items[i].key == key {
+			l.items[i].value = value
+			return
+		}
+	}
+	l.items = append(l.items, kv{key, value})
+}
+
+func (l *linearIndex) Lookup(key string) (any, bool) {
+	for i := range l.items {
+		if l.items[i].key == key {
+			return l.items[i].value, true
+		}
+	}
+	return nil, false
+}
+
+func (l *linearIndex) Len() int     { return len(l.items) }
+func (l *linearIndex) Name() string { return "linear" }
+
+// --- sorted ---
+
+type sortedIndex struct {
+	items []kv // sorted by key
+}
+
+func (s *sortedIndex) search(key string) int {
+	return sort.Search(len(s.items), func(i int) bool { return s.items[i].key >= key })
+}
+
+func (s *sortedIndex) Insert(key string, value any) {
+	i := s.search(key)
+	if i < len(s.items) && s.items[i].key == key {
+		s.items[i].value = value
+		return
+	}
+	s.items = append(s.items, kv{})
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = kv{key, value}
+}
+
+func (s *sortedIndex) Lookup(key string) (any, bool) {
+	i := s.search(key)
+	if i < len(s.items) && s.items[i].key == key {
+		return s.items[i].value, true
+	}
+	return nil, false
+}
+
+func (s *sortedIndex) Len() int     { return len(s.items) }
+func (s *sortedIndex) Name() string { return "sorted" }
+
+// --- suffix tree ---
+
+// suffixIndex stores values in insertion order and resolves exact-match
+// lookups through the generalized suffix tree. Keys containing reserved
+// runes fall back to a small overflow map so Insert never fails.
+type suffixIndex struct {
+	tree     *suffixtree.Tree
+	values   []any
+	keys     []string
+	overflow map[string]any
+}
+
+func newSuffixIndex() *suffixIndex {
+	return &suffixIndex{tree: suffixtree.New(), overflow: make(map[string]any)}
+}
+
+func (s *suffixIndex) Insert(key string, value any) {
+	// Replace semantics: if the key exists, update in place.
+	if ids := s.tree.ExactMatches(key); len(ids) > 0 {
+		s.values[ids[len(ids)-1]] = value
+		return
+	}
+	if _, dup := s.overflow[key]; dup {
+		s.overflow[key] = value
+		return
+	}
+	id, err := s.tree.Add(key)
+	if err != nil {
+		s.overflow[key] = value
+		return
+	}
+	if id != len(s.values) {
+		// Defensive: ids are sequential by construction.
+		panic("index: suffix tree id out of sync")
+	}
+	s.values = append(s.values, value)
+	s.keys = append(s.keys, key)
+}
+
+func (s *suffixIndex) Lookup(key string) (any, bool) {
+	if v, ok := s.overflow[key]; ok {
+		return v, true
+	}
+	ids := s.tree.ExactMatches(key)
+	if len(ids) == 0 {
+		return nil, false
+	}
+	return s.values[ids[len(ids)-1]], true
+}
+
+// LookupSubstring returns the values of every key containing pattern; this
+// capability is what distinguishes the suffix tree from the other indexes.
+func (s *suffixIndex) LookupSubstring(pattern string) []any {
+	ids := s.tree.FindAll(pattern)
+	out := make([]any, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.values[id])
+	}
+	return out
+}
+
+func (s *suffixIndex) Len() int     { return len(s.values) + len(s.overflow) }
+func (s *suffixIndex) Name() string { return "suffixtree" }
+
+// Substring is the optional interface exposing substring search; only the
+// suffix-tree index implements it.
+type Substring interface {
+	LookupSubstring(pattern string) []any
+}

@@ -1,0 +1,178 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var allKinds = []Kind{Hash, Linear, Sorted, SuffixTree}
+
+func TestBasicOperationsAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			idx := New(kind)
+			if idx.Name() != kind.String() {
+				t.Errorf("Name = %q, want %q", idx.Name(), kind)
+			}
+			if _, ok := idx.Lookup("missing"); ok {
+				t.Error("empty index found a key")
+			}
+			idx.Insert("a", 1)
+			idx.Insert("b", 2)
+			idx.Insert("ab", 3)
+			for key, want := range map[string]int{"a": 1, "b": 2, "ab": 3} {
+				v, ok := idx.Lookup(key)
+				if !ok || v.(int) != want {
+					t.Errorf("Lookup(%q) = %v %v, want %d", key, v, ok, want)
+				}
+			}
+			if idx.Len() != 3 {
+				t.Errorf("Len = %d, want 3", idx.Len())
+			}
+			// Overwrite.
+			idx.Insert("a", 10)
+			if v, _ := idx.Lookup("a"); v.(int) != 10 {
+				t.Errorf("overwrite failed: %v", v)
+			}
+			if idx.Len() != 3 {
+				t.Errorf("Len after overwrite = %d, want 3", idx.Len())
+			}
+			// Prefix is not a match.
+			if _, ok := idx.Lookup("aa"); ok {
+				t.Error("prefix matched")
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Hash.String() != "hash" || Linear.String() != "linear" ||
+		Sorted.String() != "sorted" || SuffixTree.String() != "suffixtree" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind name")
+	}
+	if New(Kind(99)).Name() != "hash" {
+		t.Error("unknown kind should default to hash")
+	}
+}
+
+func TestSubstringCapability(t *testing.T) {
+	idx := New(SuffixTree)
+	sub, ok := idx.(Substring)
+	if !ok {
+		t.Fatal("suffix tree index should support substring lookup")
+	}
+	idx.Insert("glucose", "g")
+	idx.Insert("glucose_6_phosphate", "g6p")
+	idx.Insert("pyruvate", "pyr")
+	got := sub.LookupSubstring("glucose")
+	if len(got) != 2 {
+		t.Errorf("LookupSubstring(glucose) = %v", got)
+	}
+	if got := sub.LookupSubstring("vate"); len(got) != 1 || got[0] != "pyr" {
+		t.Errorf("LookupSubstring(vate) = %v", got)
+	}
+	for _, kind := range []Kind{Hash, Linear, Sorted} {
+		if _, ok := New(kind).(Substring); ok {
+			t.Errorf("%s should not claim substring capability", kind)
+		}
+	}
+}
+
+func TestSuffixIndexReservedRuneOverflow(t *testing.T) {
+	idx := New(SuffixTree)
+	weird := "key" + string(rune(0xE500))
+	idx.Insert(weird, 42)
+	if v, ok := idx.Lookup(weird); !ok || v.(int) != 42 {
+		t.Errorf("overflow lookup = %v %v", v, ok)
+	}
+	idx.Insert(weird, 43)
+	if v, _ := idx.Lookup(weird); v.(int) != 43 {
+		t.Error("overflow overwrite failed")
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d, want 1", idx.Len())
+	}
+}
+
+func TestQuickAllKindsAgreeWithMap(t *testing.T) {
+	const letters = "abcde"
+	randKey := func(r *rand.Rand) string {
+		n := 1 + r.Intn(6)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(letters[r.Intn(len(letters))])
+		}
+		return b.String()
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := make(map[string]int)
+		indexes := make([]Index, len(allKinds))
+		for i, k := range allKinds {
+			indexes[i] = New(k)
+		}
+		for op := 0; op < 60; op++ {
+			key := randKey(r)
+			if r.Intn(3) < 2 {
+				val := r.Intn(1000)
+				ref[key] = val
+				for _, idx := range indexes {
+					idx.Insert(key, val)
+				}
+			} else {
+				want, wantOK := ref[key]
+				for _, idx := range indexes {
+					got, ok := idx.Lookup(key)
+					if ok != wantOK {
+						t.Logf("%s: Lookup(%q) ok=%v want %v", idx.Name(), key, ok, wantOK)
+						return false
+					}
+					if ok && got.(int) != want {
+						t.Logf("%s: Lookup(%q) = %v want %v", idx.Name(), key, got, want)
+						return false
+					}
+				}
+			}
+		}
+		for _, idx := range indexes {
+			if idx.Len() != len(ref) {
+				t.Logf("%s: Len = %d want %d", idx.Name(), idx.Len(), len(ref))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndexInsertLookup(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	var keys []string
+	for i := 0; i < 300; i++ {
+		keys = append(keys, fmt.Sprintf("component_%c%c_%d", 'a'+r.Intn(26), 'a'+r.Intn(26), i))
+	}
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx := New(kind)
+				for j, k := range keys {
+					idx.Insert(k, j)
+				}
+				for _, k := range keys {
+					if _, ok := idx.Lookup(k); !ok {
+						b.Fatal("lost key")
+					}
+				}
+			}
+		})
+	}
+}

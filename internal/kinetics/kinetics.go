@@ -1,0 +1,286 @@
+// Package kinetics constructs and recognizes the two rate-law families the
+// paper's composer must reconcile (§3, Figures 10–12): mass-action kinetics
+// (rate = k·∏[reactant]^stoichiometry) and Michaelis–Menten kinetics
+// (rate = kcat·[E]·[S]/(KM+[S]), or Vmax·[S]/(KM+[S]) with Vmax = kcat·[ET]).
+//
+// Construction is used by the synthetic corpus generator and the examples;
+// recognition is used by the composer to decide whether two syntactically
+// different kinetic laws describe the same chemistry and to find the
+// reaction order for Figure 6 rate-constant unit conversion.
+package kinetics
+
+import (
+	"fmt"
+	"math"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+)
+
+// LawKind classifies a recognized kinetic law.
+type LawKind int
+
+const (
+	// Unknown means the law matched no known family.
+	Unknown LawKind = iota
+	// MassAction is k·∏[reactant]^stoich (Figures 10 and 11, irreversible)
+	// or kf·∏[reactants] − kr·∏[products] (Figure 11, reversible).
+	MassAction
+	// MichaelisMenten is Vmax·[S]/(KM+[S]) or kcat·[E]·[S]/(KM+[S])
+	// (Figure 12).
+	MichaelisMenten
+)
+
+// String names the law kind.
+func (k LawKind) String() string {
+	switch k {
+	case MassAction:
+		return "mass-action"
+	case MichaelisMenten:
+		return "michaelis-menten"
+	default:
+		return "unknown"
+	}
+}
+
+// MassActionLaw builds the mass-action rate expression for r using the
+// given forward (and, when r.Reversible, reverse) rate-constant parameter
+// ids. Stoichiometries > 1 become integer powers: A+A→B gives k·A².
+func MassActionLaw(r *sbml.Reaction, kForward, kReverse string) mathml.Expr {
+	fwd := concentrationProduct(mathml.S(kForward), r.Reactants)
+	if !r.Reversible || kReverse == "" {
+		return fwd
+	}
+	rev := concentrationProduct(mathml.S(kReverse), r.Products)
+	return mathml.Sub(fwd, rev)
+}
+
+func concentrationProduct(rate mathml.Expr, refs []*sbml.SpeciesReference) mathml.Expr {
+	args := []mathml.Expr{rate}
+	for _, sr := range refs {
+		st := sr.Stoichiometry
+		if st == 0 {
+			st = 1
+		}
+		if st == 1 {
+			args = append(args, mathml.S(sr.Species))
+			continue
+		}
+		if st == math.Trunc(st) && st > 1 && st <= 4 {
+			// Small integer stoichiometries unroll to repeated factors,
+			// matching how modelers usually write mass action by hand.
+			for i := 0; i < int(st); i++ {
+				args = append(args, mathml.S(sr.Species))
+			}
+			continue
+		}
+		args = append(args, mathml.Pow(mathml.S(sr.Species), mathml.N(st)))
+	}
+	if len(args) == 1 {
+		return args[0] // zeroth order: rate constant alone
+	}
+	return mathml.Mul(args...)
+}
+
+// MichaelisMentenLaw builds Vmax·[S]/(KM+[S]) when enzyme is empty, or
+// kcat·[E]·[S]/(KM+[S]) when an enzyme species id is supplied (Figure 12).
+func MichaelisMentenLaw(substrate, enzyme, vmaxOrKcat, km string) mathml.Expr {
+	s := mathml.S(substrate)
+	denom := mathml.Add(mathml.S(km), s)
+	var numer mathml.Expr
+	if enzyme == "" {
+		numer = mathml.Mul(mathml.S(vmaxOrKcat), s)
+	} else {
+		numer = mathml.Mul(mathml.S(vmaxOrKcat), mathml.S(enzyme), s)
+	}
+	return mathml.Div(numer, denom)
+}
+
+// Order returns the reaction order implied by r's reactant stoichiometries
+// (0, 1, 2, …). This is what Figure 6's rate-constant conversion needs.
+func Order(r *sbml.Reaction) int {
+	total := 0.0
+	for _, sr := range r.Reactants {
+		st := sr.Stoichiometry
+		if st == 0 {
+			st = 1
+		}
+		total += st
+	}
+	return int(math.Round(total))
+}
+
+// Recognition holds the result of classifying a kinetic law.
+type Recognition struct {
+	Kind LawKind
+	// RateConstant is the forward rate-constant id for mass action, or the
+	// Vmax/kcat id for Michaelis–Menten.
+	RateConstant string
+	// ReverseConstant is the reverse rate-constant id for reversible
+	// mass action; empty otherwise.
+	ReverseConstant string
+	// Km is the Michaelis-constant id for Michaelis–Menten laws.
+	Km string
+	// Order is the forward reaction order for mass-action laws.
+	Order int
+}
+
+// Recognize classifies the kinetic law of r. The species set tells the
+// classifier which identifiers are concentrations as opposed to parameters.
+func Recognize(r *sbml.Reaction, isSpecies func(id string) bool) (Recognition, error) {
+	if r.KineticLaw == nil || r.KineticLaw.Math == nil {
+		return Recognition{}, fmt.Errorf("kinetics: reaction %q has no kinetic law", r.ID)
+	}
+	e := mathml.Simplify(r.KineticLaw.Math)
+
+	if rec, ok := recognizeMichaelisMenten(e, isSpecies); ok {
+		return rec, nil
+	}
+	if rec, ok := recognizeMassAction(e, isSpecies); ok {
+		return rec, nil
+	}
+	return Recognition{Kind: Unknown}, nil
+}
+
+// recognizeMassAction matches k·s1·s2·… and kf·∏ − kr·∏ shapes.
+func recognizeMassAction(e mathml.Expr, isSpecies func(string) bool) (Recognition, bool) {
+	if ap, ok := e.(mathml.Apply); ok && ap.Op == "minus" && len(ap.Args) == 2 {
+		fwd, okF := splitRateTerm(ap.Args[0], isSpecies)
+		rev, okR := splitRateTerm(ap.Args[1], isSpecies)
+		if okF && okR {
+			return Recognition{
+				Kind:            MassAction,
+				RateConstant:    fwd.k,
+				ReverseConstant: rev.k,
+				Order:           fwd.order,
+			}, true
+		}
+		return Recognition{}, false
+	}
+	term, ok := splitRateTerm(e, isSpecies)
+	if !ok {
+		return Recognition{}, false
+	}
+	return Recognition{Kind: MassAction, RateConstant: term.k, Order: term.order}, true
+}
+
+type rateTerm struct {
+	k     string
+	order int
+}
+
+// splitRateTerm decomposes k·s1·s2·… (or a bare k, or a bare species) into
+// one parameter factor and counted species factors.
+func splitRateTerm(e mathml.Expr, isSpecies func(string) bool) (rateTerm, bool) {
+	var factors []mathml.Expr
+	switch x := e.(type) {
+	case mathml.Apply:
+		if x.Op != "times" {
+			if x.Op == "power" {
+				factors = []mathml.Expr{x}
+			} else {
+				return rateTerm{}, false
+			}
+		} else {
+			factors = x.Args
+		}
+	case mathml.Sym:
+		factors = []mathml.Expr{x}
+	default:
+		return rateTerm{}, false
+	}
+	var term rateTerm
+	seenK := false
+	for _, f := range flattenTimes(factors) {
+		switch v := f.(type) {
+		case mathml.Sym:
+			if isSpecies(v.Name) {
+				term.order++
+				continue
+			}
+			if seenK {
+				return rateTerm{}, false // two parameters: not simple mass action
+			}
+			term.k = v.Name
+			seenK = true
+		case mathml.Apply:
+			if v.Op == "power" && len(v.Args) == 2 {
+				base, okB := v.Args[0].(mathml.Sym)
+				exp, okE := v.Args[1].(mathml.Num)
+				if okB && okE && isSpecies(base.Name) && exp.Value == math.Trunc(exp.Value) && exp.Value > 0 {
+					term.order += int(exp.Value)
+					continue
+				}
+			}
+			return rateTerm{}, false
+		case mathml.Num:
+			// Numeric prefactors (e.g. compartment volume folded in) are
+			// tolerated but anonymous.
+			continue
+		default:
+			return rateTerm{}, false
+		}
+	}
+	if !seenK && term.order == 0 {
+		return rateTerm{}, false
+	}
+	return term, true
+}
+
+func flattenTimes(args []mathml.Expr) []mathml.Expr {
+	var out []mathml.Expr
+	for _, a := range args {
+		if ap, ok := a.(mathml.Apply); ok && ap.Op == "times" {
+			out = append(out, flattenTimes(ap.Args)...)
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// recognizeMichaelisMenten matches numer/(Km+S) with numer = Vmax·S or
+// kcat·E·S.
+func recognizeMichaelisMenten(e mathml.Expr, isSpecies func(string) bool) (Recognition, bool) {
+	div, ok := e.(mathml.Apply)
+	if !ok || div.Op != "divide" || len(div.Args) != 2 {
+		return Recognition{}, false
+	}
+	denom, ok := div.Args[1].(mathml.Apply)
+	if !ok || denom.Op != "plus" || len(denom.Args) != 2 {
+		return Recognition{}, false
+	}
+	// Identify Km (parameter) and S (species) in the denominator,
+	// accepting either order.
+	var km, substrate string
+	for _, arg := range denom.Args {
+		sym, ok := arg.(mathml.Sym)
+		if !ok {
+			return Recognition{}, false
+		}
+		if isSpecies(sym.Name) {
+			substrate = sym.Name
+		} else {
+			km = sym.Name
+		}
+	}
+	if km == "" || substrate == "" {
+		return Recognition{}, false
+	}
+	// Numerator: Vmax·S or kcat·E·S, in any order.
+	numer, ok := splitRateTerm(div.Args[0], isSpecies)
+	if !ok || numer.k == "" {
+		return Recognition{}, false
+	}
+	if !numeratorMentions(div.Args[0], substrate) {
+		return Recognition{}, false
+	}
+	if numer.order != 1 && numer.order != 2 { // S alone, or E and S
+		return Recognition{}, false
+	}
+	return Recognition{Kind: MichaelisMenten, RateConstant: numer.k, Km: km}, true
+}
+
+func numeratorMentions(e mathml.Expr, species string) bool {
+	return mathml.Vars(e)[species]
+}

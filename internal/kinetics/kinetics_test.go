@@ -1,0 +1,220 @@
+package kinetics
+
+import (
+	"math"
+	"testing"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+)
+
+func speciesSet(ids ...string) func(string) bool {
+	set := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(id string) bool { return set[id] }
+}
+
+func rxn(reversible bool, reactants, products []*sbml.SpeciesReference) *sbml.Reaction {
+	return &sbml.Reaction{ID: "r", Reversible: reversible, Reactants: reactants, Products: products}
+}
+
+func ref(id string, st float64) *sbml.SpeciesReference {
+	return &sbml.SpeciesReference{Species: id, Stoichiometry: st}
+}
+
+func TestMassActionFigure10(t *testing.T) {
+	// Figure 10: A →(k1) B has mass action kinetics k1[A].
+	r := rxn(false, []*sbml.SpeciesReference{ref("A", 1)}, []*sbml.SpeciesReference{ref("B", 1)})
+	law := MassActionLaw(r, "k1", "")
+	want := mathml.MustParseInfix("k1*A")
+	if !mathml.PatternEqual(law, want, nil) {
+		t.Errorf("law = %s, want k1*A", mathml.FormatInfix(law))
+	}
+}
+
+func TestMassActionFigure11Bimolecular(t *testing.T) {
+	// Figure 11: A + B →(k1) C has kinetics k1[A][B].
+	r := rxn(false, []*sbml.SpeciesReference{ref("A", 1), ref("B", 1)}, []*sbml.SpeciesReference{ref("C", 1)})
+	law := MassActionLaw(r, "k1", "")
+	if !mathml.PatternEqual(law, mathml.MustParseInfix("k1*A*B"), nil) {
+		t.Errorf("law = %s, want k1*A*B", mathml.FormatInfix(law))
+	}
+}
+
+func TestMassActionFigure11Reversible(t *testing.T) {
+	// Figure 11: A ⇌ B with k1 forward, k2 reverse: k1[A] − k2[B].
+	r := rxn(true, []*sbml.SpeciesReference{ref("A", 1)}, []*sbml.SpeciesReference{ref("B", 1)})
+	law := MassActionLaw(r, "k1", "k2")
+	if !mathml.PatternEqual(law, mathml.MustParseInfix("k1*A - k2*B"), nil) {
+		t.Errorf("law = %s, want k1*A - k2*B", mathml.FormatInfix(law))
+	}
+}
+
+func TestMassActionStoichiometry(t *testing.T) {
+	// 2A → B unrolls to k·A·A.
+	r := rxn(false, []*sbml.SpeciesReference{ref("A", 2)}, []*sbml.SpeciesReference{ref("B", 1)})
+	law := MassActionLaw(r, "k", "")
+	if !mathml.PatternEqual(law, mathml.MustParseInfix("k*A*A"), nil) {
+		t.Errorf("law = %s, want k*A*A", mathml.FormatInfix(law))
+	}
+	// Large stoichiometry uses power form.
+	r = rxn(false, []*sbml.SpeciesReference{ref("A", 6)}, nil)
+	law = MassActionLaw(r, "k", "")
+	if !mathml.PatternEqual(law, mathml.MustParseInfix("k*A^6"), nil) {
+		t.Errorf("law = %s, want k*A^6", mathml.FormatInfix(law))
+	}
+}
+
+func TestZerothOrderLaw(t *testing.T) {
+	// 0 → X: rate is the bare constant.
+	r := rxn(false, nil, []*sbml.SpeciesReference{ref("X", 1)})
+	law := MassActionLaw(r, "k0", "")
+	if !mathml.PatternEqual(law, mathml.S("k0"), nil) {
+		t.Errorf("law = %s, want k0", mathml.FormatInfix(law))
+	}
+	if Order(r) != 0 {
+		t.Errorf("Order = %d, want 0", Order(r))
+	}
+}
+
+func TestOrder(t *testing.T) {
+	cases := []struct {
+		reactants []*sbml.SpeciesReference
+		want      int
+	}{
+		{nil, 0},
+		{[]*sbml.SpeciesReference{ref("A", 1)}, 1},
+		{[]*sbml.SpeciesReference{ref("A", 1), ref("B", 1)}, 2},
+		{[]*sbml.SpeciesReference{ref("A", 2)}, 2},
+		{[]*sbml.SpeciesReference{{Species: "A"}}, 1}, // default stoichiometry
+	}
+	for _, tc := range cases {
+		r := rxn(false, tc.reactants, nil)
+		if got := Order(r); got != tc.want {
+			t.Errorf("Order(%v) = %d, want %d", tc.reactants, got, tc.want)
+		}
+	}
+}
+
+func TestMichaelisMentenConstruction(t *testing.T) {
+	law := MichaelisMentenLaw("S", "", "Vmax", "Km")
+	want := mathml.MustParseInfix("Vmax*S/(Km+S)")
+	if !mathml.PatternEqual(law, want, nil) {
+		t.Errorf("law = %s", mathml.FormatInfix(law))
+	}
+	lawE := MichaelisMentenLaw("S", "E", "kcat", "Km")
+	wantE := mathml.MustParseInfix("kcat*E*S/(Km+S)")
+	if !mathml.PatternEqual(lawE, wantE, nil) {
+		t.Errorf("law = %s", mathml.FormatInfix(lawE))
+	}
+}
+
+func TestMichaelisMentenValue(t *testing.T) {
+	// Figure 12: V = Vmax[A]/(KM+[A]); at [A]=KM the velocity is Vmax/2.
+	law := MichaelisMentenLaw("A", "", "Vmax", "KM")
+	env := &mathml.MapEnv{Values: map[string]float64{"A": 2, "KM": 2, "Vmax": 10}}
+	v, err := mathml.Eval(law, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-5) > 1e-12 {
+		t.Errorf("velocity at [A]=KM is %g, want Vmax/2 = 5", v)
+	}
+}
+
+func makeReactionWithLaw(law mathml.Expr, reversible bool) *sbml.Reaction {
+	r := rxn(reversible, []*sbml.SpeciesReference{ref("A", 1)}, []*sbml.SpeciesReference{ref("B", 1)})
+	r.KineticLaw = &sbml.KineticLaw{Math: law}
+	return r
+}
+
+func TestRecognizeMassAction(t *testing.T) {
+	isSp := speciesSet("A", "B", "C")
+	cases := []struct {
+		src     string
+		k, kRev string
+		order   int
+	}{
+		{"k1*A", "k1", "", 1},
+		{"A*k1", "k1", "", 1}, // commutative order
+		{"k1*A*B", "k1", "", 2},
+		{"k1*A*A", "k1", "", 2},
+		{"k1*A^2", "k1", "", 2},
+		{"k1*A - k2*B", "k1", "k2", 1},
+		{"k0", "k0", "", 0},
+	}
+	for _, tc := range cases {
+		r := makeReactionWithLaw(mathml.MustParseInfix(tc.src), tc.kRev != "")
+		rec, err := Recognize(r, isSp)
+		if err != nil {
+			t.Fatalf("Recognize(%q): %v", tc.src, err)
+		}
+		if rec.Kind != MassAction {
+			t.Errorf("Recognize(%q).Kind = %s, want mass-action", tc.src, rec.Kind)
+			continue
+		}
+		if rec.RateConstant != tc.k || rec.ReverseConstant != tc.kRev || rec.Order != tc.order {
+			t.Errorf("Recognize(%q) = %+v, want k=%s kRev=%s order=%d", tc.src, rec, tc.k, tc.kRev, tc.order)
+		}
+	}
+}
+
+func TestRecognizeMichaelisMenten(t *testing.T) {
+	isSp := speciesSet("S", "E")
+	cases := []struct {
+		src   string
+		k, km string
+	}{
+		{"Vmax*S/(Km+S)", "Vmax", "Km"},
+		{"S*Vmax/(S+Km)", "Vmax", "Km"}, // commuted
+		{"kcat*E*S/(Km+S)", "kcat", "Km"},
+	}
+	for _, tc := range cases {
+		r := makeReactionWithLaw(mathml.MustParseInfix(tc.src), false)
+		rec, err := Recognize(r, isSp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind != MichaelisMenten {
+			t.Errorf("Recognize(%q).Kind = %s, want michaelis-menten", tc.src, rec.Kind)
+			continue
+		}
+		if rec.RateConstant != tc.k || rec.Km != tc.km {
+			t.Errorf("Recognize(%q) = %+v", tc.src, rec)
+		}
+	}
+}
+
+func TestRecognizeUnknown(t *testing.T) {
+	isSp := speciesSet("A", "B")
+	for _, src := range []string{
+		"k1*A + k2*B", // sum, not mass action difference
+		"k1*k2*A",     // two parameters
+		"sin(A)",      // arbitrary math
+		"A/(Km+B)",    // denominator species mismatch
+	} {
+		r := makeReactionWithLaw(mathml.MustParseInfix(src), false)
+		rec, err := Recognize(r, isSp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind != Unknown {
+			t.Errorf("Recognize(%q).Kind = %s, want unknown", src, rec.Kind)
+		}
+	}
+}
+
+func TestRecognizeNoLaw(t *testing.T) {
+	r := rxn(false, nil, nil)
+	if _, err := Recognize(r, speciesSet()); err == nil {
+		t.Error("missing kinetic law should error")
+	}
+}
+
+func TestLawKindString(t *testing.T) {
+	if MassAction.String() != "mass-action" || MichaelisMenten.String() != "michaelis-menten" || Unknown.String() != "unknown" {
+		t.Error("LawKind strings wrong")
+	}
+}

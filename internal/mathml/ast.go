@@ -1,0 +1,421 @@
+// Package mathml implements the MathML content-markup subset used by SBML
+// kinetic laws, rules, constraints, events and function definitions.
+//
+// It provides an expression AST, parsers from MathML XML and from a
+// conventional infix syntax, a numeric evaluator (which plays the role
+// BeanShell played in the paper's Java implementation), algebraic
+// simplification, and — the paper's key device — commutativity-aware
+// pattern extraction (Figure 7). Two mathematically equivalent expressions
+// that differ only in the order of commutative operands, in the nesting of
+// associative applications, or in the names assigned by a renaming map
+// produce the same pattern string, which makes the pattern usable as an
+// index key during composition.
+package mathml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expr is a MathML content expression. The concrete types are Num, Sym,
+// Apply, Lambda and Piecewise.
+type Expr interface {
+	// String renders the expression in infix syntax.
+	String() string
+	isExpr()
+}
+
+// Num is a numeric literal (MathML <cn>).
+type Num struct {
+	Value float64
+}
+
+// Sym is an identifier reference (MathML <ci>), e.g. a species, parameter or
+// compartment id, or a bound lambda variable.
+type Sym struct {
+	Name string
+}
+
+// Apply is an operator or function application (MathML <apply>). Op is the
+// MathML operator name ("plus", "times", …) or, for user-defined function
+// calls, the function id.
+type Apply struct {
+	Op   string
+	Args []Expr
+}
+
+// Lambda is a function definition body (MathML <lambda>), used by SBML
+// function definitions.
+type Lambda struct {
+	Params []string
+	Body   Expr
+}
+
+// Piece is one <piece> of a piecewise expression: Value applies when Cond is
+// true.
+type Piece struct {
+	Value Expr
+	Cond  Expr
+}
+
+// Piecewise is a conditional expression (MathML <piecewise>).
+type Piecewise struct {
+	Pieces    []Piece
+	Otherwise Expr // may be nil
+}
+
+func (Num) isExpr()       {}
+func (Sym) isExpr()       {}
+func (Apply) isExpr()     {}
+func (Lambda) isExpr()    {}
+func (Piecewise) isExpr() {}
+
+// N returns a numeric literal expression.
+func N(v float64) Num { return Num{Value: v} }
+
+// S returns a symbol expression.
+func S(name string) Sym { return Sym{Name: name} }
+
+// Call returns an application of op to args.
+func Call(op string, args ...Expr) Apply { return Apply{Op: op, Args: args} }
+
+// Convenience constructors for the common arithmetic forms.
+
+// Add returns args[0] + args[1] + … .
+func Add(args ...Expr) Expr { return Apply{Op: "plus", Args: args} }
+
+// Mul returns the product of args.
+func Mul(args ...Expr) Expr { return Apply{Op: "times", Args: args} }
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return Apply{Op: "minus", Args: []Expr{a, b}} }
+
+// Neg returns -a (unary minus).
+func Neg(a Expr) Expr { return Apply{Op: "minus", Args: []Expr{a}} }
+
+// Div returns a / b.
+func Div(a, b Expr) Expr { return Apply{Op: "divide", Args: []Expr{a, b}} }
+
+// Pow returns a ^ b.
+func Pow(a, b Expr) Expr { return Apply{Op: "power", Args: []Expr{a, b}} }
+
+// commutative lists the MathML operators for which argument order is
+// irrelevant. Pattern extraction (Figure 7) sorts the operand patterns of
+// these operators so that a+b and b+a produce identical patterns.
+var commutative = map[string]bool{
+	"plus":  true,
+	"times": true,
+	"eq":    true,
+	"neq":   true,
+	"and":   true,
+	"or":    true,
+	"xor":   true,
+	"min":   true,
+	"max":   true,
+	"gcd":   true,
+	"lcm":   true,
+}
+
+// IsCommutative reports whether op is a commutative MathML operator.
+func IsCommutative(op string) bool { return commutative[op] }
+
+// associative lists operators that can be flattened: a+(b+c) == (a+b)+c.
+var associative = map[string]bool{
+	"plus":  true,
+	"times": true,
+	"and":   true,
+	"or":    true,
+	"min":   true,
+	"max":   true,
+}
+
+// String renders the literal. Integral values print without a decimal point
+// so that <cn>2</cn> round-trips as "2".
+func (n Num) String() string {
+	if n.Value == math.Trunc(n.Value) && math.Abs(n.Value) < 1e15 {
+		return strconv.FormatInt(int64(n.Value), 10)
+	}
+	return strconv.FormatFloat(n.Value, 'g', -1, 64)
+}
+
+func (s Sym) String() string { return s.Name }
+
+// infix operators and their precedence for printing.
+var infixOps = map[string]struct {
+	symbol string
+	prec   int
+}{
+	"plus":   {"+", 1},
+	"minus":  {"-", 1},
+	"times":  {"*", 2},
+	"divide": {"/", 2},
+	"power":  {"^", 3},
+	"eq":     {"==", 0},
+	"neq":    {"!=", 0},
+	"gt":     {">", 0},
+	"lt":     {"<", 0},
+	"geq":    {">=", 0},
+	"leq":    {"<=", 0},
+	"and":    {"&&", -1},
+	"or":     {"||", -2},
+}
+
+func (a Apply) String() string { return a.render(-10) }
+
+func (a Apply) render(parentPrec int) string {
+	if op, ok := infixOps[a.Op]; ok && len(a.Args) >= 2 {
+		parts := make([]string, len(a.Args))
+		for i, arg := range a.Args {
+			parts[i] = renderChild(arg, op.prec)
+		}
+		s := strings.Join(parts, " "+op.symbol+" ")
+		if op.prec <= parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	if a.Op == "minus" && len(a.Args) == 1 {
+		return "-" + renderChild(a.Args[0], 4)
+	}
+	parts := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		parts[i] = arg.String()
+	}
+	return a.Op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func renderChild(e Expr, parentPrec int) string {
+	if ap, ok := e.(Apply); ok {
+		return ap.render(parentPrec)
+	}
+	return e.String()
+}
+
+func (l Lambda) String() string {
+	return "lambda(" + strings.Join(l.Params, ", ") + ": " + l.Body.String() + ")"
+}
+
+func (p Piecewise) String() string {
+	var b strings.Builder
+	b.WriteString("piecewise(")
+	for i, piece := range p.Pieces {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s if %s", piece.Value, piece.Cond)
+	}
+	if p.Otherwise != nil {
+		if len(p.Pieces) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("otherwise ")
+		b.WriteString(p.Otherwise.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Equal reports exact structural equality (no commutativity handling; use
+// Pattern for semantic equivalence).
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case Num:
+		y, ok := b.(Num)
+		return ok && x.Value == y.Value
+	case Sym:
+		y, ok := b.(Sym)
+		return ok && x.Name == y.Name
+	case Apply:
+		y, ok := b.(Apply)
+		if !ok || x.Op != y.Op || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case Lambda:
+		y, ok := b.(Lambda)
+		if !ok || len(x.Params) != len(y.Params) {
+			return false
+		}
+		for i := range x.Params {
+			if x.Params[i] != y.Params[i] {
+				return false
+			}
+		}
+		return Equal(x.Body, y.Body)
+	case Piecewise:
+		y, ok := b.(Piecewise)
+		if !ok || len(x.Pieces) != len(y.Pieces) {
+			return false
+		}
+		for i := range x.Pieces {
+			if !Equal(x.Pieces[i].Value, y.Pieces[i].Value) || !Equal(x.Pieces[i].Cond, y.Pieces[i].Cond) {
+				return false
+			}
+		}
+		return Equal(x.Otherwise, y.Otherwise)
+	}
+	return false
+}
+
+// Clone returns a deep copy of e.
+func Clone(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case Num, Sym:
+		return x
+	case Apply:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Clone(a)
+		}
+		return Apply{Op: x.Op, Args: args}
+	case Lambda:
+		params := make([]string, len(x.Params))
+		copy(params, x.Params)
+		return Lambda{Params: params, Body: Clone(x.Body)}
+	case Piecewise:
+		pieces := make([]Piece, len(x.Pieces))
+		for i, p := range x.Pieces {
+			pieces[i] = Piece{Value: Clone(p.Value), Cond: Clone(p.Cond)}
+		}
+		var other Expr
+		if x.Otherwise != nil {
+			other = Clone(x.Otherwise)
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}
+	}
+	return nil
+}
+
+// Vars returns the set of free identifiers referenced by e. Lambda
+// parameters are bound and excluded within the lambda body.
+func Vars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectVars(e, out, nil)
+	return out
+}
+
+func collectVars(e Expr, out map[string]bool, bound map[string]bool) {
+	switch x := e.(type) {
+	case Sym:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case Apply:
+		for _, a := range x.Args {
+			collectVars(a, out, bound)
+		}
+	case Lambda:
+		inner := make(map[string]bool, len(bound)+len(x.Params))
+		for k := range bound {
+			inner[k] = true
+		}
+		for _, p := range x.Params {
+			inner[p] = true
+		}
+		collectVars(x.Body, out, inner)
+	case Piecewise:
+		for _, p := range x.Pieces {
+			collectVars(p.Value, out, bound)
+			collectVars(p.Cond, out, bound)
+		}
+		if x.Otherwise != nil {
+			collectVars(x.Otherwise, out, bound)
+		}
+	}
+}
+
+// Substitute returns e with every free occurrence of the mapped symbols
+// replaced by the corresponding expression. It is used to inline function
+// definitions and to apply id renamings discovered during composition.
+func Substitute(e Expr, repl map[string]Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case Num:
+		return x
+	case Sym:
+		if r, ok := repl[x.Name]; ok {
+			return Clone(r)
+		}
+		return x
+	case Apply:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Substitute(a, repl)
+		}
+		return Apply{Op: x.Op, Args: args}
+	case Lambda:
+		// Shadowed parameters are not substituted.
+		inner := make(map[string]Expr, len(repl))
+		for k, v := range repl {
+			shadowed := false
+			for _, p := range x.Params {
+				if p == k {
+					shadowed = true
+					break
+				}
+			}
+			if !shadowed {
+				inner[k] = v
+			}
+		}
+		return Lambda{Params: append([]string(nil), x.Params...), Body: Substitute(x.Body, inner)}
+	case Piecewise:
+		pieces := make([]Piece, len(x.Pieces))
+		for i, p := range x.Pieces {
+			pieces[i] = Piece{Value: Substitute(p.Value, repl), Cond: Substitute(p.Cond, repl)}
+		}
+		var other Expr
+		if x.Otherwise != nil {
+			other = Substitute(x.Otherwise, repl)
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}
+	}
+	return e
+}
+
+// Rename returns e with identifiers renamed per the given map. Unlike
+// Substitute it also renames lambda parameters, which is what the composer
+// needs when it renames a model-level id everywhere.
+func Rename(e Expr, mapping map[string]string) Expr {
+	if len(mapping) == 0 {
+		return e
+	}
+	repl := make(map[string]Expr, len(mapping))
+	for from, to := range mapping {
+		repl[from] = Sym{Name: to}
+	}
+	switch x := e.(type) {
+	case Lambda:
+		params := make([]string, len(x.Params))
+		for i, p := range x.Params {
+			if to, ok := mapping[p]; ok {
+				params[i] = to
+			} else {
+				params[i] = p
+			}
+		}
+		return Lambda{Params: params, Body: Rename(x.Body, mapping)}
+	default:
+		return Substitute(x, repl)
+	}
+}
+
+// sortExprs orders expressions by their pattern string; used for
+// canonicalizing commutative argument lists.
+func sortExprs(patterns []string) {
+	sort.Strings(patterns)
+}

@@ -1,0 +1,212 @@
+package mathml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConstructorHelpers(t *testing.T) {
+	e := Div(Sub(Pow(S("a"), N(2)), Neg(S("b"))), Call("min", S("a"), S("b")))
+	v, err := Eval(e, env(map[string]float64{"a": 3, "b": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3² − (−2)) / min(3,2) = 11/2
+	if v != 5.5 {
+		t.Errorf("helper-built expr = %v, want 5.5", v)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Lambda{Params: []string{"x", "y"}, Body: Add(S("x"), S("y"))}, "lambda(x, y: x + y)"},
+		{Neg(S("a")), "-a"},
+		{Call("foo", N(1), S("b")), "foo(1, b)"},
+		{N(2.5), "2.5"},
+		{N(-3), "-3"},
+		{Piecewise{
+			Pieces:    []Piece{{Value: N(1), Cond: Call("lt", S("x"), N(0))}},
+			Otherwise: N(2),
+		}, "piecewise(1 if x < 0, otherwise 2)"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestCloneAllVariants(t *testing.T) {
+	pw := Piecewise{
+		Pieces:    []Piece{{Value: Add(S("a"), N(1)), Cond: Call("gt", S("a"), N(0))}},
+		Otherwise: Mul(S("b"), N(2)),
+	}
+	lam := Lambda{Params: []string{"x"}, Body: pw}
+	cp := Clone(lam).(Lambda)
+	if !Equal(lam, cp) {
+		t.Error("clone differs")
+	}
+	// Mutate the clone's innards; the original must not change.
+	cpPw := cp.Body.(Piecewise)
+	cpPw.Pieces[0].Value = N(99)
+	if Equal(lam.Body, cp.Body) {
+		t.Error("clone shares piece storage")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestSubstituteVariants(t *testing.T) {
+	pw := Piecewise{
+		Pieces:    []Piece{{Value: S("x"), Cond: Call("gt", S("x"), N(0))}},
+		Otherwise: S("x"),
+	}
+	sub := Substitute(pw, map[string]Expr{"x": N(5)}).(Piecewise)
+	v, err := Eval(sub, env(nil))
+	if err != nil || v != 5 {
+		t.Errorf("substituted piecewise = %v (%v)", v, err)
+	}
+	// Lambda shadowing: bound params must not be substituted.
+	lam := Lambda{Params: []string{"x"}, Body: Add(S("x"), S("y"))}
+	got := Substitute(lam, map[string]Expr{"x": N(1), "y": N(2)}).(Lambda)
+	if !Equal(got.Body, Add(S("x"), N(2))) {
+		t.Errorf("shadowed substitute = %s", got.Body)
+	}
+	if s := Substitute(nil, nil); s != nil {
+		t.Error("Substitute(nil) should be nil")
+	}
+}
+
+func TestVarsPiecewise(t *testing.T) {
+	pw := Piecewise{
+		Pieces:    []Piece{{Value: S("a"), Cond: Call("gt", S("b"), N(0))}},
+		Otherwise: S("c"),
+	}
+	vars := Vars(pw)
+	for _, want := range []string{"a", "b", "c"} {
+		if !vars[want] {
+			t.Errorf("Vars missing %q", want)
+		}
+	}
+}
+
+func TestEvalOperatorCorners(t *testing.T) {
+	cases := []struct {
+		src  string
+		vals map[string]float64
+		want float64
+	}{
+		{"sec(0)", nil, 1},
+		{"csc(pi/2)", nil, 1},
+		{"cot(pi/4)", nil, 1},
+		{"arcsin(1)", nil, math.Pi / 2},
+		{"arccos(1)", nil, 0},
+		{"arctan(0)", nil, 0},
+		{"sinh(0)", nil, 0},
+		{"cosh(0)", nil, 1},
+		{"tanh(0)", nil, 0},
+		{"root(9)", nil, 3}, // single-arg root is sqrt
+		{"log(10, 1000)", nil, 3},
+		{"exponentiale", nil, math.E},
+		{"true", nil, 1},
+		{"false", nil, 0},
+	}
+	for _, tc := range cases {
+		got := evalInfix(t, tc.src, tc.vals)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEvalArityErrors(t *testing.T) {
+	bad := []string{
+		"abs(1, 2)",
+		"exp()",
+		"min()",
+		"root(0, 4)",
+	}
+	for _, src := range bad {
+		e, err := ParseInfix(src)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := Eval(e, env(nil)); err == nil {
+			t.Errorf("Eval(%q) succeeded, want arity error", src)
+		}
+	}
+	// Bare lambda is not a value.
+	if _, err := Eval(Lambda{Params: []string{"x"}, Body: S("x")}, env(nil)); err == nil {
+		t.Error("bare lambda should not evaluate")
+	}
+	// Piecewise with no matching piece and no otherwise.
+	pw := Piecewise{Pieces: []Piece{{Value: N(1), Cond: N(0)}}}
+	if _, err := Eval(pw, env(nil)); err == nil {
+		t.Error("exhausted piecewise should error")
+	}
+}
+
+func TestParseNodeCsymbolAndConstants(t *testing.T) {
+	e, err := ParseXMLString(`<math><csymbol definitionURL="http://www.sbml.org/sbml/symbols/time"> t </csymbol></math>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym, ok := e.(Sym); !ok || sym.Name != "t" {
+		t.Errorf("csymbol = %v", e)
+	}
+	// Empty csymbol text defaults to time.
+	e, err = ParseXMLString(`<math><csymbol definitionURL="x"/></math>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym, ok := e.(Sym); !ok || sym.Name != "time" {
+		t.Errorf("empty csymbol = %v", e)
+	}
+	for name, want := range map[string]float64{"pi": math.Pi, "exponentiale": math.E, "true": 1, "false": 0} {
+		e, err := ParseXMLString(`<math><` + name + `/></math>`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n, ok := e.(Num)
+		if !ok || n.Value != want {
+			t.Errorf("constant %s = %v", name, e)
+		}
+	}
+	// csymbol application head.
+	e, err = ParseXMLString(`<math><apply><csymbol>delay</csymbol><ci>x</ci><cn>1</cn></apply></math>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap, ok := e.(Apply); !ok || ap.Op != "delay" || len(ap.Args) != 2 {
+		t.Errorf("csymbol apply = %v", e)
+	}
+}
+
+func TestFormatInfixNil(t *testing.T) {
+	if FormatInfix(nil) != "" {
+		t.Error("FormatInfix(nil) should be empty")
+	}
+}
+
+func TestRenderPrecedenceCorners(t *testing.T) {
+	// Same-precedence nesting must parenthesize to preserve meaning.
+	e := Div(S("a"), Div(S("b"), S("c"))) // a / (b/c)
+	s := FormatInfix(e)
+	back := MustParseInfix(s)
+	vals := env(map[string]float64{"a": 12, "b": 6, "c": 2})
+	v1, _ := Eval(e, vals)
+	v2, _ := Eval(back, vals)
+	if v1 != v2 {
+		t.Errorf("rendering %q changed value: %v vs %v", s, v1, v2)
+	}
+	// Comparison chained with logic.
+	e2 := Call("and", Call("lt", S("a"), S("b")), Call("gt", S("b"), S("c")))
+	if !strings.Contains(FormatInfix(e2), "&&") {
+		t.Errorf("logic rendering = %q", FormatInfix(e2))
+	}
+}

@@ -1,0 +1,416 @@
+package mathml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env supplies identifier values and user-defined functions during
+// evaluation. Identifiers include species, parameters and compartments; the
+// functions are SBML function definitions (lambdas).
+type Env interface {
+	// Value returns the numeric value bound to name.
+	Value(name string) (float64, bool)
+	// Function returns the lambda bound to name.
+	Function(name string) (Lambda, bool)
+}
+
+// MapEnv is a simple Env backed by maps. A nil MapEnv resolves nothing.
+type MapEnv struct {
+	Values    map[string]float64
+	Functions map[string]Lambda
+}
+
+// Value implements Env.
+func (m *MapEnv) Value(name string) (float64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	v, ok := m.Values[name]
+	return v, ok
+}
+
+// Function implements Env.
+func (m *MapEnv) Function(name string) (Lambda, bool) {
+	if m == nil {
+		return Lambda{}, false
+	}
+	f, ok := m.Functions[name]
+	return f, ok
+}
+
+// overlayEnv shadows a base Env with local bindings (lambda arguments).
+type overlayEnv struct {
+	base   Env
+	locals map[string]float64
+}
+
+func (o overlayEnv) Value(name string) (float64, bool) {
+	if v, ok := o.locals[name]; ok {
+		return v, true
+	}
+	return o.base.Value(name)
+}
+
+func (o overlayEnv) Function(name string) (Lambda, bool) { return o.base.Function(name) }
+
+const maxCallDepth = 64
+
+// Eval computes the numeric value of e under env. Boolean results are
+// encoded as 1 (true) and 0 (false), following MathML's numeric treatment.
+func Eval(e Expr, env Env) (float64, error) {
+	return eval(e, env, 0)
+}
+
+func eval(e Expr, env Env, depth int) (float64, error) {
+	if depth > maxCallDepth {
+		return 0, fmt.Errorf("mathml: call depth exceeded (recursive function definition?)")
+	}
+	switch x := e.(type) {
+	case nil:
+		return 0, fmt.Errorf("mathml: eval of nil expression")
+	case Num:
+		return x.Value, nil
+	case Sym:
+		if v, ok := env.Value(x.Name); ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("mathml: unbound identifier %q", x.Name)
+	case Apply:
+		return evalApply(x, env, depth)
+	case Lambda:
+		return 0, fmt.Errorf("mathml: cannot evaluate bare lambda")
+	case Piecewise:
+		for _, p := range x.Pieces {
+			c, err := eval(p.Cond, env, depth)
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return eval(p.Value, env, depth)
+			}
+		}
+		if x.Otherwise != nil {
+			return eval(x.Otherwise, env, depth)
+		}
+		return 0, fmt.Errorf("mathml: piecewise with no matching piece and no otherwise")
+	}
+	return 0, fmt.Errorf("mathml: unknown expression type %T", e)
+}
+
+func evalApply(a Apply, env Env, depth int) (float64, error) {
+	// User-defined function call.
+	if !knownOperators[a.Op] {
+		fn, ok := env.Function(a.Op)
+		if !ok {
+			return 0, fmt.Errorf("mathml: unknown operator or function %q", a.Op)
+		}
+		if len(fn.Params) != len(a.Args) {
+			return 0, fmt.Errorf("mathml: function %q wants %d args, got %d", a.Op, len(fn.Params), len(a.Args))
+		}
+		locals := make(map[string]float64, len(a.Args))
+		for i, arg := range a.Args {
+			v, err := eval(arg, env, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			locals[fn.Params[i]] = v
+		}
+		return eval(fn.Body, overlayEnv{base: env, locals: locals}, depth+1)
+	}
+
+	args := make([]float64, len(a.Args))
+	for i, arg := range a.Args {
+		v, err := eval(arg, env, depth)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	return applyOp(a.Op, args)
+}
+
+func applyOp(op string, args []float64) (float64, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("mathml: %s wants %d args, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	atLeast := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("mathml: %s wants at least %d args, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "plus":
+		sum := 0.0
+		for _, v := range args {
+			sum += v
+		}
+		return sum, nil
+	case "times":
+		prod := 1.0
+		for _, v := range args {
+			prod *= v
+		}
+		return prod, nil
+	case "minus":
+		if len(args) == 1 {
+			return -args[0], nil
+		}
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return args[0] - args[1], nil
+	case "divide":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		if args[1] == 0 {
+			return 0, fmt.Errorf("mathml: division by zero")
+		}
+		return args[0] / args[1], nil
+	case "power":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return math.Pow(args[0], args[1]), nil
+	case "root":
+		if len(args) == 1 {
+			return math.Sqrt(args[0]), nil
+		}
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		if args[0] == 0 {
+			return 0, fmt.Errorf("mathml: zeroth root")
+		}
+		return math.Pow(args[1], 1/args[0]), nil
+	case "abs":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Abs(args[0]), nil
+	case "exp":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Exp(args[0]), nil
+	case "ln":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Log(args[0]), nil
+	case "log":
+		if len(args) == 1 {
+			return math.Log10(args[0]), nil
+		}
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		// log base args[0] of args[1]
+		return math.Log(args[1]) / math.Log(args[0]), nil
+	case "floor":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Floor(args[0]), nil
+	case "ceiling":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Ceil(args[0]), nil
+	case "factorial":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		n := args[0]
+		if n < 0 || n != math.Trunc(n) || n > 170 {
+			return 0, fmt.Errorf("mathml: factorial of %v", n)
+		}
+		r := 1.0
+		for i := 2.0; i <= n; i++ {
+			r *= i
+		}
+		return r, nil
+	case "eq":
+		if err := atLeast(2); err != nil {
+			return 0, err
+		}
+		for i := 1; i < len(args); i++ {
+			if args[i] != args[0] {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	case "neq":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] != args[1]), nil
+	case "gt":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] > args[1]), nil
+	case "lt":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] < args[1]), nil
+	case "geq":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] >= args[1]), nil
+	case "leq":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] <= args[1]), nil
+	case "and":
+		for _, v := range args {
+			if v == 0 {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	case "or":
+		for _, v := range args {
+			if v != 0 {
+				return 1, nil
+			}
+		}
+		return 0, nil
+	case "xor":
+		cnt := 0
+		for _, v := range args {
+			if v != 0 {
+				cnt++
+			}
+		}
+		return b2f(cnt%2 == 1), nil
+	case "not":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return b2f(args[0] == 0), nil
+	case "sin":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Sin(args[0]), nil
+	case "cos":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Cos(args[0]), nil
+	case "tan":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Tan(args[0]), nil
+	case "sec":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return 1 / math.Cos(args[0]), nil
+	case "csc":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return 1 / math.Sin(args[0]), nil
+	case "cot":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return 1 / math.Tan(args[0]), nil
+	case "arcsin":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Asin(args[0]), nil
+	case "arccos":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Acos(args[0]), nil
+	case "arctan":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Atan(args[0]), nil
+	case "sinh":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Sinh(args[0]), nil
+	case "cosh":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Cosh(args[0]), nil
+	case "tanh":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return math.Tanh(args[0]), nil
+	case "min":
+		if err := atLeast(1); err != nil {
+			return 0, err
+		}
+		m := args[0]
+		for _, v := range args[1:] {
+			m = math.Min(m, v)
+		}
+		return m, nil
+	case "max":
+		if err := atLeast(1); err != nil {
+			return 0, err
+		}
+		m := args[0]
+		for _, v := range args[1:] {
+			m = math.Max(m, v)
+		}
+		return m, nil
+	case "gcd":
+		if err := atLeast(1); err != nil {
+			return 0, err
+		}
+		g := int64(math.Abs(args[0]))
+		for _, v := range args[1:] {
+			g = gcd64(g, int64(math.Abs(v)))
+		}
+		return float64(g), nil
+	case "lcm":
+		if err := atLeast(1); err != nil {
+			return 0, err
+		}
+		l := int64(math.Abs(args[0]))
+		for _, v := range args[1:] {
+			b := int64(math.Abs(v))
+			if g := gcd64(l, b); g != 0 {
+				l = l / g * b
+			} else {
+				l = 0
+			}
+		}
+		return float64(l), nil
+	}
+	return 0, fmt.Errorf("mathml: unimplemented operator %q", op)
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,325 @@
+package mathml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseInfix parses a conventional infix expression such as
+//
+//	k1*A - k2*B
+//	Vmax*S / (Km + S)
+//	min(a, b) + f(x, 2.5e-3)
+//
+// into an expression tree. This plays the role BeanShell played in the
+// paper's Java implementation: a convenient textual syntax for maths that is
+// converted to the same AST the MathML parser produces.
+//
+// Supported syntax: numbers (decimal and e-notation), identifiers, function
+// calls, parentheses, ^ (right-associative power), unary -, * /, + -,
+// comparisons (== != < <= > >=), ! (not), && and ||.
+func ParseInfix(s string) (Expr, error) {
+	p := &infixParser{input: s}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("mathml: unexpected %q at offset %d in %q", p.tok.text, p.tok.pos, s)
+	}
+	return e, nil
+}
+
+// MustParseInfix is ParseInfix that panics on error; for tests and
+// package-internal constant expressions.
+func MustParseInfix(s string) Expr {
+	e, err := ParseInfix(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp // single or double-char operator / punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type infixParser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *infixParser) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		for p.pos < len(p.input) {
+			ch := p.input[p.pos]
+			if ch >= '0' && ch <= '9' || ch == '.' {
+				p.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && p.pos+1 < len(p.input) {
+				nx := p.input[p.pos+1]
+				if nx >= '0' && nx <= '9' || nx == '+' || nx == '-' {
+					p.pos += 2
+					continue
+				}
+			}
+			break
+		}
+		p.tok = token{kind: tokNum, text: p.input[start:p.pos], pos: start}
+	case isIdentStart(c):
+		for p.pos < len(p.input) && isIdentPart(p.input[p.pos]) {
+			p.pos++
+		}
+		p.tok = token{kind: tokIdent, text: p.input[start:p.pos], pos: start}
+	default:
+		// Two-character operators first.
+		if p.pos+1 < len(p.input) {
+			two := p.input[p.pos : p.pos+2]
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				p.pos += 2
+				p.tok = token{kind: tokOp, text: two, pos: start}
+				return
+			}
+		}
+		p.pos++
+		p.tok = token{kind: tokOp, text: string(c), pos: start}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (p *infixParser) expect(text string) error {
+	if p.tok.kind != tokOp || p.tok.text != text {
+		return fmt.Errorf("mathml: expected %q at offset %d, found %q", text, p.tok.pos, p.tok.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *infixParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "||" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Apply{Op: "or", Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+func (p *infixParser) parseAnd() (Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&&" {
+		p.next()
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = Apply{Op: "and", Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+var cmpOps = map[string]string{
+	"==": "eq", "!=": "neq", "<": "lt", "<=": "leq", ">": "gt", ">=": "geq",
+}
+
+func (p *infixParser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Apply{Op: op, Args: []Expr{left, right}}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *infixParser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := "plus"
+		if p.tok.text == "-" {
+			op = "minus"
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = Apply{Op: op, Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+func (p *infixParser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := "times"
+		if p.tok.text == "/" {
+			op = "divide"
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Apply{Op: op, Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+func (p *infixParser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "-":
+			p.next()
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return Apply{Op: "minus", Args: []Expr{e}}, nil
+		case "!":
+			p.next()
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return Apply{Op: "not", Args: []Expr{e}}, nil
+		}
+	}
+	return p.parsePow()
+}
+
+func (p *infixParser) parsePow() (Expr, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp && p.tok.text == "^" {
+		p.next()
+		exp, err := p.parseUnary() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return Apply{Op: "power", Args: []Expr{base, exp}}, nil
+	}
+	return base, nil
+}
+
+func (p *infixParser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokNum:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mathml: bad number %q at offset %d", p.tok.text, p.tok.pos)
+		}
+		p.next()
+		return Num{Value: v}, nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind == tokOp && p.tok.text == "(" {
+			p.next()
+			var args []Expr
+			if !(p.tok.kind == tokOp && p.tok.text == ")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.kind == tokOp && p.tok.text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return Apply{Op: name, Args: args}, nil
+		}
+		if v, ok := constants[name]; ok && (name == "pi" || name == "exponentiale" || name == "true" || name == "false") {
+			return Num{Value: v}, nil
+		}
+		return Sym{Name: name}, nil
+	case tokOp:
+		if p.tok.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("mathml: unexpected token %q at offset %d", p.tok.text, p.tok.pos)
+}
+
+// FormatInfix renders e in infix syntax; inverse of ParseInfix up to
+// whitespace and redundant parentheses.
+func FormatInfix(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return strings.TrimSpace(e.String())
+}

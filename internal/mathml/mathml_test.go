@@ -1,0 +1,411 @@
+package mathml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func env(vals map[string]float64) *MapEnv { return &MapEnv{Values: vals} }
+
+func evalInfix(t *testing.T, src string, vals map[string]float64) float64 {
+	t.Helper()
+	e, err := ParseInfix(src)
+	if err != nil {
+		t.Fatalf("ParseInfix(%q): %v", src, err)
+	}
+	v, err := Eval(e, env(vals))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestInfixArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		vals map[string]float64
+		want float64
+	}{
+		{"1+2*3", nil, 7},
+		{"(1+2)*3", nil, 9},
+		{"2^3^2", nil, 512}, // right associative
+		{"-2^2", nil, -4},   // unary minus binds looser than power
+		{"10/4", nil, 2.5},
+		{"k1*A", map[string]float64{"k1": 2, "A": 3.5}, 7},
+		{"k1*A - k2*B", map[string]float64{"k1": 1, "A": 5, "k2": 2, "B": 2}, 1},
+		{"Vmax*S/(Km+S)", map[string]float64{"Vmax": 10, "S": 5, "Km": 5}, 5},
+		{"1e3 + 2.5e-1", nil, 1000.25},
+		{"min(3, 1, 2)", nil, 1},
+		{"max(3, 1, 2)", nil, 3},
+		{"abs(-4)", nil, 4},
+		{"floor(2.7) + ceiling(2.1)", nil, 5},
+		{"exp(0) + ln(1)", nil, 1},
+		{"log(100)", nil, 2},
+		{"1 < 2", nil, 1},
+		{"2 <= 1", nil, 0},
+		{"1 == 1 && 2 != 3", nil, 1},
+		{"0 || 1", nil, 1},
+		{"!(1 > 2)", nil, 1},
+		{"pi", nil, math.Pi},
+		{"factorial(5)", nil, 120},
+		{"gcd(12, 18)", nil, 6},
+		{"lcm(4, 6)", nil, 12},
+		{"root(2, 9)", nil, 3},
+		{"sin(0) + cos(0)", nil, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			got := evalInfix(t, tc.src, tc.vals)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("eval(%q) = %v, want %v", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestInfixErrors(t *testing.T) {
+	bad := []string{"", "1 +", "(1", "a b", "1..2 +", "f(1,", "*3", "1 ? 2"}
+	for _, src := range bad {
+		if _, err := ParseInfix(src); err == nil {
+			t.Errorf("ParseInfix(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		vals map[string]float64
+	}{
+		{"x + 1", nil},          // unbound
+		{"1/0", nil},            // division by zero
+		{"f(1)", nil},           // unknown function
+		{"factorial(3.5)", nil}, // non-integer factorial
+		{"factorial(-1)", nil},  // negative factorial
+	}
+	for _, tc := range cases {
+		e, err := ParseInfix(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		if _, err := Eval(e, env(tc.vals)); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", tc.src)
+		}
+	}
+}
+
+func TestUserFunctionEval(t *testing.T) {
+	e := MustParseInfix("mm(S, 10, 5)")
+	fenv := &MapEnv{
+		Values: map[string]float64{"S": 5},
+		Functions: map[string]Lambda{
+			"mm": {Params: []string{"s", "vmax", "km"}, Body: MustParseInfix("vmax*s/(km+s)")},
+		},
+	}
+	v, err := Eval(e, fenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("mm(5,10,5) = %v, want 5", v)
+	}
+}
+
+func TestRecursiveFunctionDetected(t *testing.T) {
+	fenv := &MapEnv{
+		Functions: map[string]Lambda{
+			"f": {Params: []string{"x"}, Body: MustParseInfix("f(x)")},
+		},
+	}
+	if _, err := Eval(MustParseInfix("f(1)"), fenv); err == nil {
+		t.Error("recursive function should error, not hang")
+	}
+}
+
+func TestMathMLRoundTrip(t *testing.T) {
+	exprs := []string{
+		"k1*A",
+		"k1*A - k2*B",
+		"Vmax*S/(Km+S)",
+		"2^n + abs(x)",
+		"x < 3 && y >= 2",
+		"min(a, b, c)",
+	}
+	for _, src := range exprs {
+		e := MustParseInfix(src)
+		xml := ToXML(e)
+		back, err := ParseXML(xml)
+		if err != nil {
+			t.Fatalf("ParseXML round trip of %q: %v\n%s", src, err, xml.String())
+		}
+		if !Equal(e, back) {
+			t.Errorf("round trip of %q: got %s", src, back)
+		}
+	}
+}
+
+func TestMathMLParseDocument(t *testing.T) {
+	const doc = `<math xmlns="http://www.w3.org/1998/Math/MathML">
+  <apply><times/>
+    <ci> k1 </ci>
+    <ci> A </ci>
+  </apply>
+</math>`
+	e, err := ParseXMLString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, MustParseInfix("k1*A")) {
+		t.Errorf("parsed %s, want k1*A", e)
+	}
+}
+
+func TestMathMLENotationAndRational(t *testing.T) {
+	e, err := ParseXMLString(`<math><cn type="e-notation">1.5<sep/>3</cn></math>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(Num); !ok || n.Value != 1500 {
+		t.Errorf("e-notation = %v", e)
+	}
+	e, err = ParseXMLString(`<math><cn type="rational">3<sep/>4</cn></math>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(Num); !ok || n.Value != 0.75 {
+		t.Errorf("rational = %v", e)
+	}
+}
+
+func TestMathMLLambda(t *testing.T) {
+	const doc = `<math>
+  <lambda>
+    <bvar><ci>x</ci></bvar>
+    <bvar><ci>y</ci></bvar>
+    <apply><plus/><ci>x</ci><ci>y</ci></apply>
+  </lambda>
+</math>`
+	e, err := ParseXMLString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := e.(Lambda)
+	if !ok {
+		t.Fatalf("expected Lambda, got %T", e)
+	}
+	if len(l.Params) != 2 || l.Params[0] != "x" || l.Params[1] != "y" {
+		t.Errorf("params = %v", l.Params)
+	}
+	// Round trip.
+	back, err := ParseXML(ToXML(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(l, back) {
+		t.Errorf("lambda round trip: %s", back)
+	}
+}
+
+func TestMathMLPiecewise(t *testing.T) {
+	const doc = `<math>
+  <piecewise>
+    <piece><cn>1</cn><apply><lt/><ci>x</ci><cn>0</cn></apply></piece>
+    <otherwise><cn>2</cn></otherwise>
+  </piecewise>
+</math>`
+	e, err := ParseXMLString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Eval(e, env(map[string]float64{"x": -1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("piecewise(x=-1) = %v, want 1", v)
+	}
+	v, _ = Eval(e, env(map[string]float64{"x": 1}))
+	if v != 2 {
+		t.Errorf("piecewise(x=1) = %v, want 2", v)
+	}
+	back, err := ParseXML(ToXML(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, back) {
+		t.Errorf("piecewise round trip: %s", back)
+	}
+}
+
+func TestMathMLParseErrors(t *testing.T) {
+	bad := []string{
+		`<math></math>`,
+		`<math><cn>abc</cn></math>`,
+		`<math><apply/></math>`,
+		`<math><unknown/></math>`,
+		`<math><lambda><bvar><ci>x</ci></bvar></lambda></math>`,
+		`<math><piecewise><piece><cn>1</cn></piece></piecewise></math>`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseXMLString(doc); err == nil {
+			t.Errorf("ParseXMLString(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustParseInfix("k1*A - k2*B + f(C)")
+	vars := Vars(e)
+	for _, want := range []string{"k1", "A", "k2", "B", "C"} {
+		if !vars[want] {
+			t.Errorf("Vars missing %q", want)
+		}
+	}
+	if len(vars) != 5 {
+		t.Errorf("Vars = %v, want 5 entries", vars)
+	}
+	// Lambda params are bound.
+	l := Lambda{Params: []string{"x"}, Body: MustParseInfix("x + y")}
+	vars = Vars(l)
+	if vars["x"] || !vars["y"] {
+		t.Errorf("lambda Vars = %v", vars)
+	}
+}
+
+func TestSubstituteAndRename(t *testing.T) {
+	e := MustParseInfix("k1*A")
+	sub := Substitute(e, map[string]Expr{"A": MustParseInfix("B+C")})
+	want := MustParseInfix("k1*(B+C)")
+	if !Equal(sub, want) {
+		t.Errorf("Substitute = %s, want %s", sub, want)
+	}
+	ren := Rename(e, map[string]string{"A": "A2", "k1": "k9"})
+	if !Equal(ren, MustParseInfix("k9*A2")) {
+		t.Errorf("Rename = %s", ren)
+	}
+	// Renaming must not capture lambda params it does not mention, and must
+	// rename params it does mention.
+	l := Lambda{Params: []string{"x"}, Body: MustParseInfix("x*y")}
+	rl := Rename(l, map[string]string{"y": "z", "x": "w"}).(Lambda)
+	if rl.Params[0] != "w" || !Equal(rl.Body, MustParseInfix("w*z")) {
+		t.Errorf("Rename lambda = %s", rl)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"1+2", "3"},
+		{"x+0", "x"},
+		{"0+x", "x"},
+		{"x*1", "x"},
+		{"x*0", "0"},
+		{"x^1", "x"},
+		{"x^0", "1"},
+		{"x/1", "x"},
+		{"0/x", "0"},
+		{"x-0", "x"},
+		{"-(-x)", "x"},
+		{"2*3*x", "6 * x"},
+		{"(x+1)+2", "x + 1 + 2"}, // flattened, not folded (x blocks)
+	}
+	for _, tc := range cases {
+		got := Simplify(MustParseInfix(tc.in))
+		if got.String() != tc.want {
+			t.Errorf("Simplify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesValue(t *testing.T) {
+	exprs := []string{
+		"k1*A - k2*B",
+		"(a+0)*(b*1) + 0",
+		"2^3 + x/1",
+		"a*(b+(c+d))",
+	}
+	vals := map[string]float64{"k1": 2, "A": 3, "k2": 0.5, "B": 4, "a": 1.5, "b": 2.5, "c": 0.25, "d": 4, "x": 7}
+	for _, src := range exprs {
+		e := MustParseInfix(src)
+		s := Simplify(e)
+		v1, err1 := Eval(e, env(vals))
+		v2, err2 := Eval(s, env(vals))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval %q: %v %v", src, err1, err2)
+		}
+		if math.Abs(v1-v2) > 1e-12 {
+			t.Errorf("Simplify changed value of %q: %v vs %v", src, v1, v2)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := MustParseInfix("a + b*c").(Apply)
+	cp := Clone(e).(Apply)
+	cp.Args[0] = Sym{Name: "zzz"}
+	if e.Args[0].(Sym).Name == "zzz" {
+		t.Error("Clone shares arg slice with original")
+	}
+	if !Equal(e, MustParseInfix("a + b*c")) {
+		t.Error("original mutated")
+	}
+}
+
+func TestFormatInfixParsesBack(t *testing.T) {
+	exprs := []string{
+		"k1*A - k2*B",
+		"(a + b)*(c - d)",
+		"a/b/c",
+		"x^(y+1)",
+		"f(a, b+1)",
+		"-(a+b)",
+		"a < b && c >= d",
+	}
+	vals := map[string]float64{"k1": 2, "A": 3, "k2": 0.5, "B": 4, "a": 5, "b": 2, "c": 7, "d": 1, "x": 2, "y": 2}
+	fenv := &MapEnv{Values: vals, Functions: map[string]Lambda{
+		"f": {Params: []string{"p", "q"}, Body: MustParseInfix("p+q")},
+	}}
+	for _, src := range exprs {
+		e := MustParseInfix(src)
+		back, err := ParseInfix(FormatInfix(e))
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", src, FormatInfix(e), err)
+		}
+		v1, err1 := Eval(e, fenv)
+		v2, err2 := Eval(back, fenv)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval %q: %v %v", src, err1, err2)
+		}
+		if math.Abs(v1-v2) > 1e-12 {
+			t.Errorf("format/reparse changed value of %q: %v vs %v", src, v1, v2)
+		}
+	}
+}
+
+func TestDepthAndSize(t *testing.T) {
+	e := MustParseInfix("a + b*c")
+	if d := Depth(e); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	if s := Size(e); s != 5 {
+		t.Errorf("Size = %d, want 5", s)
+	}
+	if s := Size(nil); s != 0 {
+		t.Errorf("Size(nil) = %d", s)
+	}
+}
+
+func TestInfixStringEscapesPrecedence(t *testing.T) {
+	// (a+b)*c must not print as a+b*c.
+	e := Mul(Add(S("a"), S("b")), S("c"))
+	s := FormatInfix(e)
+	if !strings.Contains(s, "(") {
+		t.Errorf("precedence lost in %q", s)
+	}
+	back := MustParseInfix(s)
+	v1, _ := Eval(e, env(map[string]float64{"a": 1, "b": 2, "c": 3}))
+	v2, _ := Eval(back, env(map[string]float64{"a": 1, "b": 2, "c": 3}))
+	if v1 != v2 {
+		t.Errorf("value changed: %v vs %v", v1, v2)
+	}
+}

@@ -1,0 +1,296 @@
+package mathml
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sbmlcompose/internal/xmltree"
+)
+
+// MathMLNamespace is the XML namespace for MathML 2.0 content markup.
+const MathMLNamespace = "http://www.w3.org/1998/Math/MathML"
+
+// knownOperators are the MathML operator elements accepted inside <apply>.
+var knownOperators = map[string]bool{
+	"plus": true, "minus": true, "times": true, "divide": true,
+	"power": true, "root": true, "abs": true, "exp": true, "ln": true,
+	"log": true, "floor": true, "ceiling": true, "factorial": true,
+	"eq": true, "neq": true, "gt": true, "lt": true, "geq": true, "leq": true,
+	"and": true, "or": true, "xor": true, "not": true,
+	"sin": true, "cos": true, "tan": true, "sec": true, "csc": true, "cot": true,
+	"arcsin": true, "arccos": true, "arctan": true,
+	"sinh": true, "cosh": true, "tanh": true,
+	"min": true, "max": true, "gcd": true, "lcm": true,
+}
+
+// constants maps MathML constant elements to values.
+var constants = map[string]float64{
+	"pi":           math.Pi,
+	"exponentiale": math.E,
+	"true":         1,
+	"false":        0,
+	"notanumber":   math.NaN(),
+	"infinity":     math.Inf(1),
+}
+
+// ParseXML converts a MathML subtree into an expression. The node may be the
+// <math> wrapper element or the operative element itself.
+func ParseXML(n *xmltree.Node) (Expr, error) {
+	if n == nil {
+		return nil, fmt.Errorf("mathml: nil node")
+	}
+	if n.Name == "math" {
+		elems := n.ChildElements("")
+		if len(elems) != 1 {
+			return nil, fmt.Errorf("mathml: <math> must contain exactly one expression, has %d", len(elems))
+		}
+		return parseNode(elems[0])
+	}
+	return parseNode(n)
+}
+
+// ParseXMLString parses a MathML document held in a string.
+func ParseXMLString(s string) (Expr, error) {
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return ParseXML(n)
+}
+
+func parseNode(n *xmltree.Node) (Expr, error) {
+	switch n.Name {
+	case "cn":
+		return parseCn(n)
+	case "ci":
+		name := n.InnerText()
+		if name == "" {
+			return nil, fmt.Errorf("mathml: empty <ci>")
+		}
+		return Sym{Name: name}, nil
+	case "csymbol":
+		// SBML uses csymbol for time and delay; we expose the symbol text.
+		name := n.InnerText()
+		if name == "" {
+			name = "time"
+		}
+		return Sym{Name: name}, nil
+	case "apply":
+		return parseApply(n)
+	case "lambda":
+		return parseLambda(n)
+	case "piecewise":
+		return parsePiecewise(n)
+	}
+	if v, ok := constants[n.Name]; ok {
+		return Num{Value: v}, nil
+	}
+	return nil, fmt.Errorf("mathml: unsupported element <%s>", n.Name)
+}
+
+func parseCn(n *xmltree.Node) (Expr, error) {
+	typ := n.Attr("type")
+	// e-notation and rational use <sep/> to split two text parts.
+	if typ == "e-notation" || typ == "rational" {
+		parts := splitSep(n)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("mathml: <cn type=%q> needs two parts", typ)
+		}
+		a, err1 := strconv.ParseFloat(parts[0], 64)
+		b, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mathml: bad <cn type=%q> %q/%q", typ, parts[0], parts[1])
+		}
+		if typ == "e-notation" {
+			return Num{Value: a * math.Pow(10, b)}, nil
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("mathml: rational with zero denominator")
+		}
+		return Num{Value: a / b}, nil
+	}
+	text := n.InnerText()
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("mathml: bad <cn> value %q: %w", text, err)
+	}
+	return Num{Value: v}, nil
+}
+
+func splitSep(n *xmltree.Node) []string {
+	var parts []string
+	var cur strings.Builder
+	for _, c := range n.Children {
+		switch {
+		case c.Kind == xmltree.Text:
+			cur.WriteString(c.Text)
+		case c.Kind == xmltree.Element && c.Name == "sep":
+			parts = append(parts, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		}
+	}
+	parts = append(parts, strings.TrimSpace(cur.String()))
+	return parts
+}
+
+func parseApply(n *xmltree.Node) (Expr, error) {
+	elems := n.ChildElements("")
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("mathml: empty <apply>")
+	}
+	head, rest := elems[0], elems[1:]
+	args := make([]Expr, 0, len(rest))
+	for _, c := range rest {
+		a, err := parseNode(c)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	switch {
+	case knownOperators[head.Name]:
+		if len(head.Children) != 0 {
+			return nil, fmt.Errorf("mathml: operator <%s> must be empty", head.Name)
+		}
+		return Apply{Op: head.Name, Args: args}, nil
+	case head.Name == "ci":
+		// Call to a user-defined function (SBML function definition).
+		fname := head.InnerText()
+		if fname == "" {
+			return nil, fmt.Errorf("mathml: empty function name in <apply>")
+		}
+		return Apply{Op: fname, Args: args}, nil
+	case head.Name == "csymbol":
+		name := head.InnerText()
+		return Apply{Op: name, Args: args}, nil
+	}
+	return nil, fmt.Errorf("mathml: unsupported apply head <%s>", head.Name)
+}
+
+func parseLambda(n *xmltree.Node) (Expr, error) {
+	var params []string
+	var body Expr
+	for _, c := range n.ChildElements("") {
+		if c.Name == "bvar" {
+			ci := c.Child("ci")
+			if ci == nil {
+				return nil, fmt.Errorf("mathml: <bvar> without <ci>")
+			}
+			params = append(params, ci.InnerText())
+			continue
+		}
+		if body != nil {
+			return nil, fmt.Errorf("mathml: <lambda> with multiple bodies")
+		}
+		b, err := parseNode(c)
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	if body == nil {
+		return nil, fmt.Errorf("mathml: <lambda> without body")
+	}
+	return Lambda{Params: params, Body: body}, nil
+}
+
+func parsePiecewise(n *xmltree.Node) (Expr, error) {
+	var pw Piecewise
+	for _, c := range n.ChildElements("") {
+		switch c.Name {
+		case "piece":
+			elems := c.ChildElements("")
+			if len(elems) != 2 {
+				return nil, fmt.Errorf("mathml: <piece> needs value and condition")
+			}
+			v, err := parseNode(elems[0])
+			if err != nil {
+				return nil, err
+			}
+			cond, err := parseNode(elems[1])
+			if err != nil {
+				return nil, err
+			}
+			pw.Pieces = append(pw.Pieces, Piece{Value: v, Cond: cond})
+		case "otherwise":
+			elems := c.ChildElements("")
+			if len(elems) != 1 {
+				return nil, fmt.Errorf("mathml: <otherwise> needs one child")
+			}
+			o, err := parseNode(elems[0])
+			if err != nil {
+				return nil, err
+			}
+			pw.Otherwise = o
+		default:
+			return nil, fmt.Errorf("mathml: unexpected <%s> in <piecewise>", c.Name)
+		}
+	}
+	return pw, nil
+}
+
+// ToXML converts an expression to a <math> element ready for embedding in an
+// SBML document.
+func ToXML(e Expr) *xmltree.Node {
+	math := xmltree.NewElement("math")
+	math.SetAttr("xmlns", MathMLNamespace)
+	math.AppendChild(exprToXML(e))
+	return math
+}
+
+func exprToXML(e Expr) *xmltree.Node {
+	switch x := e.(type) {
+	case Num:
+		cn := xmltree.NewElement("cn")
+		if x.Value != math.Trunc(x.Value) {
+			cn.SetAttr("type", "real")
+		}
+		cn.AppendChild(xmltree.NewText(" " + x.String() + " "))
+		return cn
+	case Sym:
+		ci := xmltree.NewElement("ci")
+		ci.AppendChild(xmltree.NewText(" " + x.Name + " "))
+		return ci
+	case Apply:
+		ap := xmltree.NewElement("apply")
+		if knownOperators[x.Op] {
+			ap.AppendChild(xmltree.NewElement(x.Op))
+		} else {
+			ci := xmltree.NewElement("ci")
+			ci.AppendChild(xmltree.NewText(" " + x.Op + " "))
+			ap.AppendChild(ci)
+		}
+		for _, a := range x.Args {
+			ap.AppendChild(exprToXML(a))
+		}
+		return ap
+	case Lambda:
+		l := xmltree.NewElement("lambda")
+		for _, p := range x.Params {
+			bvar := xmltree.NewElement("bvar")
+			ci := xmltree.NewElement("ci")
+			ci.AppendChild(xmltree.NewText(" " + p + " "))
+			bvar.AppendChild(ci)
+			l.AppendChild(bvar)
+		}
+		l.AppendChild(exprToXML(x.Body))
+		return l
+	case Piecewise:
+		pw := xmltree.NewElement("piecewise")
+		for _, p := range x.Pieces {
+			piece := xmltree.NewElement("piece")
+			piece.AppendChild(exprToXML(p.Value))
+			piece.AppendChild(exprToXML(p.Cond))
+			pw.AppendChild(piece)
+		}
+		if x.Otherwise != nil {
+			other := xmltree.NewElement("otherwise")
+			other.AppendChild(exprToXML(x.Otherwise))
+			pw.AppendChild(other)
+		}
+		return pw
+	}
+	return xmltree.NewElement("cn")
+}

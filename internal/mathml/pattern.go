@@ -1,0 +1,153 @@
+package mathml
+
+import (
+	"strings"
+)
+
+// Pattern implements the paper's Figure 7 "Get Maths Patterns" algorithm.
+//
+// It produces a canonical string for an expression such that two
+// expressions equivalent under
+//
+//   - commutativity of plus/times/eq/and/or/… (operand order),
+//   - associativity of plus/times/and/or (nesting), and
+//   - the id renamings recorded in mappings (model-1 id → model-2 id)
+//
+// yield identical strings. Non-commutative operators keep each child tagged
+// with its position prefix, exactly as the algorithm in Figure 7 prefixes
+// children of non-commutative nodes with "(C + child number)".
+//
+// The mappings argument may be nil. Keys found in mappings are replaced by
+// their mapped value before stringification ("after applying mappings" in
+// Figure 7, lines 2 and 15).
+func Pattern(e Expr, mappings map[string]string) string {
+	var b strings.Builder
+	writePattern(&b, e, mappings, nil)
+	return b.String()
+}
+
+// PatternEqual reports whether a and b have identical patterns under the
+// given mappings (applied to a only — mappings translate a's namespace into
+// b's, mirroring how the composer stores model-1→model-2 renames).
+func PatternEqual(a, b Expr, mappings map[string]string) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return Pattern(a, mappings) == Pattern(b, nil)
+}
+
+func writePattern(b *strings.Builder, e Expr, mappings map[string]string, bound map[string]int) {
+	switch x := e.(type) {
+	case Num:
+		b.WriteString("#")
+		b.WriteString(x.String())
+	case Sym:
+		name := x.Name
+		if idx, ok := bound[name]; ok {
+			// Bound lambda parameters are canonicalized positionally so
+			// lambda(x: x+1) and lambda(y: y+1) share a pattern.
+			b.WriteString("$")
+			b.WriteString(itoa(idx))
+			return
+		}
+		if mapped, ok := mappings[name]; ok {
+			name = mapped
+		}
+		b.WriteString(name)
+	case Apply:
+		op := x.Op
+		if mapped, ok := mappings[op]; ok {
+			// Function-definition ids can be renamed too.
+			op = mapped
+		}
+		if IsCommutative(x.Op) {
+			args := flattenArgs(x.Op, x.Args)
+			pats := make([]string, len(args))
+			for i, a := range args {
+				var sb strings.Builder
+				writePattern(&sb, a, mappings, bound)
+				pats[i] = sb.String()
+			}
+			sortExprs(pats)
+			b.WriteString(op)
+			b.WriteString("[")
+			for i, p := range pats {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(p)
+			}
+			b.WriteString("]")
+			return
+		}
+		b.WriteString(op)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			// Position prefix for non-commutative operators (Figure 7
+			// line 11: "C + child number").
+			b.WriteString("c")
+			b.WriteString(itoa(i))
+			b.WriteString(":")
+			writePattern(b, a, mappings, bound)
+		}
+		b.WriteString(")")
+	case Lambda:
+		inner := make(map[string]int, len(bound)+len(x.Params))
+		for k, v := range bound {
+			inner[k] = v
+		}
+		for i, p := range x.Params {
+			inner[p] = len(bound) + i
+		}
+		b.WriteString("lambda")
+		b.WriteString(itoa(len(x.Params)))
+		b.WriteString("(")
+		writePattern(b, x.Body, mappings, inner)
+		b.WriteString(")")
+	case Piecewise:
+		b.WriteString("piecewise(")
+		for i, p := range x.Pieces {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString("v:")
+			writePattern(b, p.Value, mappings, bound)
+			b.WriteString("|c:")
+			writePattern(b, p.Cond, mappings, bound)
+		}
+		if x.Otherwise != nil {
+			b.WriteString(",else:")
+			writePattern(b, x.Otherwise, mappings, bound)
+		}
+		b.WriteString(")")
+	}
+}
+
+// flattenArgs recursively inlines nested applications of the same
+// associative operator: plus(a, plus(b, c)) → [a, b, c]. The recursion in
+// Figure 7 lines 5-7 walks straight through commutative children, which has
+// the same flattening effect.
+func flattenArgs(op string, args []Expr) []Expr {
+	if !associative[op] {
+		return args
+	}
+	var out []Expr
+	for _, a := range args {
+		if ap, ok := a.(Apply); ok && ap.Op == op {
+			out = append(out, flattenArgs(op, ap.Args)...)
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

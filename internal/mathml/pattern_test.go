@@ -1,0 +1,230 @@
+package mathml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternCommutativity(t *testing.T) {
+	equal := [][2]string{
+		{"a+b", "b+a"},
+		{"a*b*c", "c*b*a"},
+		{"a*b + c*d", "d*c + b*a"},
+		{"k1*A - k2*B", "A*k1 - B*k2"},
+		{"(a+b)+c", "a+(b+c)"}, // associativity flattening
+		{"a*(b*c)", "(a*b)*c"},
+		{"min(a,b)", "min(b,a)"},
+		{"x == y", "y == x"},
+		{"p && q", "q && p"},
+	}
+	for _, pair := range equal {
+		a, b := MustParseInfix(pair[0]), MustParseInfix(pair[1])
+		if Pattern(a, nil) != Pattern(b, nil) {
+			t.Errorf("patterns differ for %q vs %q:\n%s\n%s", pair[0], pair[1], Pattern(a, nil), Pattern(b, nil))
+		}
+	}
+}
+
+func TestPatternNonCommutative(t *testing.T) {
+	different := [][2]string{
+		{"a-b", "b-a"},
+		{"a/b", "b/a"},
+		{"a^b", "b^a"},
+		{"a < b", "b < a"},
+		{"a+b", "a*b"},
+		{"a+b", "a+c"},
+		{"f(a,b)", "f(b,a)"}, // user functions are not assumed commutative
+	}
+	for _, pair := range different {
+		a, b := MustParseInfix(pair[0]), MustParseInfix(pair[1])
+		if Pattern(a, nil) == Pattern(b, nil) {
+			t.Errorf("patterns should differ for %q vs %q: %s", pair[0], pair[1], Pattern(a, nil))
+		}
+	}
+}
+
+func TestPatternWithMappings(t *testing.T) {
+	// Model 1 calls the species "glucose"; model 2 calls it "G". With the
+	// mapping recorded the kinetic laws must match.
+	a := MustParseInfix("k*glucose")
+	b := MustParseInfix("G*k")
+	if PatternEqual(a, b, nil) {
+		t.Fatal("should not match without mapping")
+	}
+	if !PatternEqual(a, b, map[string]string{"glucose": "G"}) {
+		t.Fatal("should match with mapping applied")
+	}
+}
+
+func TestPatternLambdaAlphaEquivalence(t *testing.T) {
+	f := Lambda{Params: []string{"x"}, Body: MustParseInfix("x + k")}
+	g := Lambda{Params: []string{"y"}, Body: MustParseInfix("y + k")}
+	h := Lambda{Params: []string{"y"}, Body: MustParseInfix("y + j")}
+	if Pattern(f, nil) != Pattern(g, nil) {
+		t.Error("alpha-equivalent lambdas should share a pattern")
+	}
+	if Pattern(f, nil) == Pattern(h, nil) {
+		t.Error("lambdas with different free vars must differ")
+	}
+}
+
+func TestPatternPiecewise(t *testing.T) {
+	a := MustParseInfix("x")
+	pw1 := Piecewise{Pieces: []Piece{{Value: N(1), Cond: MustParseInfix("x<0")}}, Otherwise: a}
+	pw2 := Piecewise{Pieces: []Piece{{Value: N(1), Cond: MustParseInfix("x<0")}}, Otherwise: a}
+	pw3 := Piecewise{Pieces: []Piece{{Value: N(2), Cond: MustParseInfix("x<0")}}, Otherwise: a}
+	if Pattern(pw1, nil) != Pattern(pw2, nil) {
+		t.Error("identical piecewise should match")
+	}
+	if Pattern(pw1, nil) == Pattern(pw3, nil) {
+		t.Error("different piecewise values must differ")
+	}
+}
+
+// randomExpr builds a random expression over the given symbols.
+func randomExpr(r *rand.Rand, syms []string, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return Sym{Name: syms[r.Intn(len(syms))]}
+		}
+		return Num{Value: float64(r.Intn(10))}
+	}
+	ops := []string{"plus", "times", "minus", "divide", "power"}
+	op := ops[r.Intn(len(ops))]
+	n := 2
+	if op == "plus" || op == "times" {
+		n = 2 + r.Intn(2)
+	}
+	args := make([]Expr, n)
+	for i := range args {
+		args[i] = randomExpr(r, syms, depth-1)
+	}
+	return Apply{Op: op, Args: args}
+}
+
+// shuffleCommutative returns a copy of e with the argument order of every
+// commutative application randomly permuted.
+func shuffleCommutative(r *rand.Rand, e Expr) Expr {
+	ap, ok := e.(Apply)
+	if !ok {
+		return e
+	}
+	args := make([]Expr, len(ap.Args))
+	for i, a := range ap.Args {
+		args[i] = shuffleCommutative(r, a)
+	}
+	if IsCommutative(ap.Op) {
+		r.Shuffle(len(args), func(i, j int) { args[i], args[j] = args[j], args[i] })
+	}
+	return Apply{Op: ap.Op, Args: args}
+}
+
+func TestQuickPatternInvariantUnderShuffle(t *testing.T) {
+	syms := []string{"a", "b", "c", "k1", "k2"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, syms, 4)
+		shuffled := shuffleCommutative(r, e)
+		return Pattern(e, nil) == Pattern(shuffled, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPatternDistinguishesValues(t *testing.T) {
+	// Two random expressions with equal patterns must evaluate equally on a
+	// shared environment (soundness of pattern matching). We test the
+	// contrapositive-friendly direction: equal pattern → equal value.
+	syms := []string{"a", "b", "c"}
+	vals := map[string]float64{"a": 1.7, "b": 2.3, "c": 0.9}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e1 := randomExpr(r, syms, 3)
+		e2 := randomExpr(r, syms, 3)
+		if Pattern(e1, nil) != Pattern(e2, nil) {
+			return true // nothing to check
+		}
+		v1, err1 := Eval(e1, env(vals))
+		v2, err2 := Eval(e2, env(vals))
+		if err1 != nil || err2 != nil {
+			return (err1 == nil) == (err2 == nil)
+		}
+		diff := v1 - v2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyStablePattern(t *testing.T) {
+	// Simplification must not change the evaluated value (pattern can
+	// legitimately change because constants fold).
+	syms := []string{"a", "b"}
+	vals := map[string]float64{"a": 1.25, "b": 3.5}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, syms, 4)
+		s := Simplify(e)
+		v1, err1 := Eval(e, env(vals))
+		v2, err2 := Eval(s, env(vals))
+		if err1 != nil || err2 != nil {
+			// Simplify may fold away a division by zero (0/x) but must not
+			// introduce new errors when the original evaluated cleanly.
+			return err1 != nil
+		}
+		if math.IsNaN(v1) || math.IsInf(v1, 0) {
+			// The original is numerically undefined or overflowed (e.g.
+			// 0/(-a)^(non-integer) gives 0/NaN). Algebraic identities like
+			// 0*x → 0 may legitimately assign such expressions a defined
+			// value, so these inputs prove nothing either way.
+			return true
+		}
+		diff := v1 - v2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+maxAbs(v1, v2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxAbs(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkPattern(b *testing.B) {
+	e := MustParseInfix("k1*A*B - k2*C*D + Vmax*S/(Km + S) + min(a, b, c)*max(d, e, f)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Pattern(e, nil)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParseInfix("k1*A*B - k2*C*D")
+	vals := env(map[string]float64{"k1": 1, "A": 2, "B": 3, "k2": 4, "C": 5, "D": 6})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(e, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package mathml
+
+import "math"
+
+// Simplify performs conservative algebraic simplification:
+//
+//   - constant folding of operator applications whose arguments are all
+//     numeric literals (0.5*2 → 1),
+//   - flattening of nested associative operators (a+(b+c) → a+b+c),
+//   - arithmetic identities: x+0, x*1, x*0, x^1, x^0, x/1, 0/x, --x.
+//
+// It never evaluates identifiers, so the result is defined over exactly the
+// same environments as the input. Used by the composer to normalize initial
+// assignment maths before value comparison.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case Num, Sym:
+		return x
+	case Lambda:
+		return Lambda{Params: append([]string(nil), x.Params...), Body: Simplify(x.Body)}
+	case Piecewise:
+		pieces := make([]Piece, len(x.Pieces))
+		for i, p := range x.Pieces {
+			pieces[i] = Piece{Value: Simplify(p.Value), Cond: Simplify(p.Cond)}
+		}
+		var other Expr
+		if x.Otherwise != nil {
+			other = Simplify(x.Otherwise)
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}
+	case Apply:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+		}
+		args = flattenArgs(x.Op, args)
+		ap := Apply{Op: x.Op, Args: args}
+		if folded, ok := foldConstant(ap); ok {
+			return folded
+		}
+		return applyIdentities(ap)
+	}
+	return e
+}
+
+// foldConstant evaluates an application whose arguments are all literals.
+func foldConstant(a Apply) (Expr, bool) {
+	if !knownOperators[a.Op] {
+		return nil, false
+	}
+	vals := make([]float64, len(a.Args))
+	for i, arg := range a.Args {
+		n, ok := arg.(Num)
+		if !ok {
+			return nil, false
+		}
+		vals[i] = n.Value
+	}
+	v, err := applyOp(a.Op, vals)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, false
+	}
+	return Num{Value: v}, true
+}
+
+func applyIdentities(a Apply) Expr {
+	switch a.Op {
+	case "plus":
+		var kept []Expr
+		for _, arg := range a.Args {
+			if n, ok := arg.(Num); ok && n.Value == 0 {
+				continue
+			}
+			kept = append(kept, arg)
+		}
+		switch len(kept) {
+		case 0:
+			return Num{Value: 0}
+		case 1:
+			return kept[0]
+		}
+		return Apply{Op: "plus", Args: kept}
+	case "times":
+		var kept []Expr
+		for _, arg := range a.Args {
+			if n, ok := arg.(Num); ok {
+				if n.Value == 0 {
+					return Num{Value: 0}
+				}
+				if n.Value == 1 {
+					continue
+				}
+			}
+			kept = append(kept, arg)
+		}
+		switch len(kept) {
+		case 0:
+			return Num{Value: 1}
+		case 1:
+			return kept[0]
+		}
+		return Apply{Op: "times", Args: kept}
+	case "minus":
+		if len(a.Args) == 1 {
+			// --x → x
+			if inner, ok := a.Args[0].(Apply); ok && inner.Op == "minus" && len(inner.Args) == 1 {
+				return inner.Args[0]
+			}
+			return a
+		}
+		if len(a.Args) == 2 {
+			if n, ok := a.Args[1].(Num); ok && n.Value == 0 {
+				return a.Args[0]
+			}
+		}
+		return a
+	case "divide":
+		if len(a.Args) == 2 {
+			if n, ok := a.Args[1].(Num); ok && n.Value == 1 {
+				return a.Args[0]
+			}
+			if n, ok := a.Args[0].(Num); ok && n.Value == 0 {
+				return Num{Value: 0}
+			}
+		}
+		return a
+	case "power":
+		if len(a.Args) == 2 {
+			if n, ok := a.Args[1].(Num); ok {
+				if n.Value == 1 {
+					return a.Args[0]
+				}
+				if n.Value == 0 {
+					return Num{Value: 1}
+				}
+			}
+		}
+		return a
+	}
+	return a
+}
+
+// Depth returns the height of the expression tree; a size heuristic used in
+// benchmarks and workload generation.
+func Depth(e Expr) int {
+	switch x := e.(type) {
+	case Apply:
+		d := 0
+		for _, a := range x.Args {
+			if ad := Depth(a); ad > d {
+				d = ad
+			}
+		}
+		return d + 1
+	case Lambda:
+		return Depth(x.Body) + 1
+	case Piecewise:
+		d := 0
+		for _, p := range x.Pieces {
+			if pd := Depth(p.Value); pd > d {
+				d = pd
+			}
+			if cd := Depth(p.Cond); cd > d {
+				d = cd
+			}
+		}
+		if x.Otherwise != nil {
+			if od := Depth(x.Otherwise); od > d {
+				d = od
+			}
+		}
+		return d + 1
+	default:
+		return 1
+	}
+}
+
+// Size returns the number of nodes in the expression tree.
+func Size(e Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case Apply:
+		n := 1
+		for _, a := range x.Args {
+			n += Size(a)
+		}
+		return n
+	case Lambda:
+		return 1 + len(x.Params) + Size(x.Body)
+	case Piecewise:
+		n := 1
+		for _, p := range x.Pieces {
+			n += Size(p.Value) + Size(p.Cond)
+		}
+		n += Size(x.Otherwise)
+		return n
+	default:
+		return 1
+	}
+}

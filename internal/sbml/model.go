@@ -1,0 +1,552 @@
+// Package sbml implements an SBML Level 2 object model with a parser,
+// writer and validator. It covers the eleven component types enumerated by
+// the paper's Figure 4 composition order — function definitions, unit
+// definitions, compartment types, species types, compartments, species,
+// parameters, rules, constraints, reactions and events — plus initial
+// assignments, which the paper handles separately when collecting initial
+// values (§3).
+//
+// The model is a plain data structure: parsing never loses components the
+// composer needs, and writing re-emits a document that parses back to an
+// equal model. Maths is represented with internal/mathml expressions and
+// units with internal/units values, so the composition, simulation and
+// model-checking layers all share one representation.
+package sbml
+
+import (
+	"fmt"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/units"
+)
+
+// Document is a parsed SBML file: a level/version header and one model.
+type Document struct {
+	Level   int
+	Version int
+	Model   *Model
+}
+
+// Model is an SBML model: named lists of components in the order Figure 4
+// composes them.
+type Model struct {
+	ID   string
+	Name string
+	// Notes carries the model's human-readable <notes> text, preserved
+	// verbatim through parse/compose/write.
+	Notes string
+
+	FunctionDefinitions []*FunctionDefinition
+	UnitDefinitions     []*UnitDefinition
+	CompartmentTypes    []*CompartmentType
+	SpeciesTypes        []*SpeciesType
+	Compartments        []*Compartment
+	Species             []*Species
+	Parameters          []*Parameter
+	InitialAssignments  []*InitialAssignment
+	Rules               []*Rule
+	Constraints         []*Constraint
+	Reactions           []*Reaction
+	Events              []*Event
+}
+
+// NewModel returns an empty model with the given id.
+func NewModel(id string) *Model {
+	return &Model{ID: id}
+}
+
+// FunctionDefinition binds an id to a lambda used by kinetic laws and rules.
+type FunctionDefinition struct {
+	ID   string
+	Name string
+	Math mathml.Lambda
+}
+
+// UnitDefinition names a composite unit.
+type UnitDefinition struct {
+	ID    string
+	Name  string
+	Units []units.Unit
+}
+
+// Definition converts to the internal/units representation.
+func (u *UnitDefinition) Definition() units.Definition {
+	return units.Definition{ID: u.ID, Name: u.Name, Units: u.Units}
+}
+
+// CompartmentType is a label shared by similar compartments (SBML L2v2+).
+type CompartmentType struct {
+	ID   string
+	Name string
+}
+
+// SpeciesType is a label shared by similar species (SBML L2v2+).
+type SpeciesType struct {
+	ID   string
+	Name string
+}
+
+// Compartment is a bounded space in which species are located.
+type Compartment struct {
+	ID                string
+	Name              string
+	CompartmentType   string
+	SpatialDimensions int // 0-3; SBML default 3
+	Size              float64
+	HasSize           bool
+	Units             string
+	Outside           string
+	Constant          bool
+}
+
+// Species is a chemical entity pool.
+type Species struct {
+	ID                      string
+	Name                    string
+	Notes                   string
+	SpeciesType             string
+	Compartment             string
+	InitialAmount           float64
+	HasInitialAmount        bool
+	InitialConcentration    float64
+	HasInitialConcentration bool
+	SubstanceUnits          string
+	HasOnlySubstanceUnits   bool
+	BoundaryCondition       bool
+	Charge                  int
+	Constant                bool
+}
+
+// Parameter is a named constant or variable quantity. Parameters appear both
+// at model scope and locally inside kinetic laws.
+type Parameter struct {
+	ID       string
+	Name     string
+	Value    float64
+	HasValue bool
+	Units    string
+	Constant bool
+}
+
+// InitialAssignment sets a symbol's initial value with maths instead of an
+// attribute.
+type InitialAssignment struct {
+	Symbol string
+	Math   mathml.Expr
+}
+
+// RuleKind discriminates the three SBML rule types.
+type RuleKind int
+
+const (
+	// AlgebraicRule constrains 0 = Math.
+	AlgebraicRule RuleKind = iota
+	// AssignmentRule sets Variable = Math at every instant.
+	AssignmentRule
+	// RateRule sets dVariable/dt = Math.
+	RateRule
+)
+
+// String names the rule kind as its SBML element.
+func (k RuleKind) String() string {
+	switch k {
+	case AlgebraicRule:
+		return "algebraicRule"
+	case AssignmentRule:
+		return "assignmentRule"
+	case RateRule:
+		return "rateRule"
+	default:
+		return fmt.Sprintf("rule(%d)", int(k))
+	}
+}
+
+// Rule is one SBML rule.
+type Rule struct {
+	Kind     RuleKind
+	Variable string // empty for algebraic rules
+	Math     mathml.Expr
+}
+
+// Constraint is a model validity condition with an optional message.
+type Constraint struct {
+	Math    mathml.Expr
+	Message string
+}
+
+// SpeciesReference links a reaction to a reactant or product with a
+// stoichiometric coefficient.
+type SpeciesReference struct {
+	Species       string
+	Stoichiometry float64 // SBML default 1
+}
+
+// ModifierSpeciesReference links a reaction to a catalyst/inhibitor that is
+// not consumed.
+type ModifierSpeciesReference struct {
+	Species string
+}
+
+// KineticLaw gives a reaction's rate as maths over species, parameters and
+// compartments, with optional law-local parameters.
+type KineticLaw struct {
+	Math       mathml.Expr
+	Parameters []*Parameter
+}
+
+// Reaction transforms reactants into products at a rate given by its kinetic
+// law.
+type Reaction struct {
+	ID         string
+	Name       string
+	Notes      string
+	Reversible bool
+	Fast       bool
+	Reactants  []*SpeciesReference
+	Products   []*SpeciesReference
+	Modifiers  []*ModifierSpeciesReference
+	KineticLaw *KineticLaw
+}
+
+// EventAssignment sets Variable to Math when the enclosing event fires.
+type EventAssignment struct {
+	Variable string
+	Math     mathml.Expr
+}
+
+// Event is a discontinuous state change triggered by a condition.
+type Event struct {
+	ID          string
+	Name        string
+	Trigger     mathml.Expr
+	Delay       mathml.Expr // nil when absent
+	Assignments []*EventAssignment
+}
+
+// --- lookup helpers ---
+
+// SpeciesByID returns the species with the given id, or nil.
+func (m *Model) SpeciesByID(id string) *Species {
+	for _, s := range m.Species {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// CompartmentByID returns the compartment with the given id, or nil.
+func (m *Model) CompartmentByID(id string) *Compartment {
+	for _, c := range m.Compartments {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// ParameterByID returns the global parameter with the given id, or nil.
+func (m *Model) ParameterByID(id string) *Parameter {
+	for _, p := range m.Parameters {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// ReactionByID returns the reaction with the given id, or nil.
+func (m *Model) ReactionByID(id string) *Reaction {
+	for _, r := range m.Reactions {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// FunctionByID returns the function definition with the given id, or nil.
+func (m *Model) FunctionByID(id string) *FunctionDefinition {
+	for _, f := range m.FunctionDefinitions {
+		if f.ID == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// UnitDefinitionByID returns the unit definition with the given id, or nil.
+func (m *Model) UnitDefinitionByID(id string) *UnitDefinition {
+	for _, u := range m.UnitDefinitions {
+		if u.ID == id {
+			return u
+		}
+	}
+	return nil
+}
+
+// --- size metrics (the paper: "size = nodes + edges") ---
+
+// Nodes returns the number of graph nodes: the species count.
+func (m *Model) Nodes() int { return len(m.Species) }
+
+// Edges returns the number of graph edges: every reactant, product and
+// modifier arc of every reaction.
+func (m *Model) Edges() int {
+	n := 0
+	for _, r := range m.Reactions {
+		n += len(r.Reactants) + len(r.Products) + len(r.Modifiers)
+	}
+	return n
+}
+
+// Size returns Nodes()+Edges(), the model size measure used throughout the
+// paper's evaluation.
+func (m *Model) Size() int { return m.Nodes() + m.Edges() }
+
+// ComponentCount returns the total number of SBML components across all
+// lists; a finer-grained size measure used by benchmarks.
+func (m *Model) ComponentCount() int {
+	return len(m.FunctionDefinitions) + len(m.UnitDefinitions) +
+		len(m.CompartmentTypes) + len(m.SpeciesTypes) + len(m.Compartments) +
+		len(m.Species) + len(m.Parameters) + len(m.InitialAssignments) +
+		len(m.Rules) + len(m.Constraints) + len(m.Reactions) + len(m.Events)
+}
+
+// --- deep copy ---
+
+// Clone returns a deep copy of the model; the composer merges into a clone
+// so callers' inputs stay intact.
+func (m *Model) Clone() *Model {
+	if m == nil {
+		return nil
+	}
+	out := &Model{ID: m.ID, Name: m.Name, Notes: m.Notes}
+	for _, f := range m.FunctionDefinitions {
+		cp := *f
+		cp.Math = mathml.Clone(f.Math).(mathml.Lambda)
+		out.FunctionDefinitions = append(out.FunctionDefinitions, &cp)
+	}
+	for _, u := range m.UnitDefinitions {
+		cp := *u
+		cp.Units = append([]units.Unit(nil), u.Units...)
+		out.UnitDefinitions = append(out.UnitDefinitions, &cp)
+	}
+	for _, c := range m.CompartmentTypes {
+		cp := *c
+		out.CompartmentTypes = append(out.CompartmentTypes, &cp)
+	}
+	for _, s := range m.SpeciesTypes {
+		cp := *s
+		out.SpeciesTypes = append(out.SpeciesTypes, &cp)
+	}
+	for _, c := range m.Compartments {
+		cp := *c
+		out.Compartments = append(out.Compartments, &cp)
+	}
+	for _, s := range m.Species {
+		cp := *s
+		out.Species = append(out.Species, &cp)
+	}
+	for _, p := range m.Parameters {
+		cp := *p
+		out.Parameters = append(out.Parameters, &cp)
+	}
+	for _, ia := range m.InitialAssignments {
+		cp := *ia
+		cp.Math = mathml.Clone(ia.Math)
+		out.InitialAssignments = append(out.InitialAssignments, &cp)
+	}
+	for _, r := range m.Rules {
+		cp := *r
+		cp.Math = mathml.Clone(r.Math)
+		out.Rules = append(out.Rules, &cp)
+	}
+	for _, c := range m.Constraints {
+		cp := *c
+		cp.Math = mathml.Clone(c.Math)
+		out.Constraints = append(out.Constraints, &cp)
+	}
+	for _, r := range m.Reactions {
+		out.Reactions = append(out.Reactions, cloneReaction(r))
+	}
+	for _, e := range m.Events {
+		cp := &Event{ID: e.ID, Name: e.Name}
+		if e.Trigger != nil {
+			cp.Trigger = mathml.Clone(e.Trigger)
+		}
+		if e.Delay != nil {
+			cp.Delay = mathml.Clone(e.Delay)
+		}
+		for _, a := range e.Assignments {
+			acp := *a
+			acp.Math = mathml.Clone(a.Math)
+			cp.Assignments = append(cp.Assignments, &acp)
+		}
+		out.Events = append(out.Events, cp)
+	}
+	return out
+}
+
+func cloneReaction(r *Reaction) *Reaction {
+	cp := &Reaction{ID: r.ID, Name: r.Name, Notes: r.Notes, Reversible: r.Reversible, Fast: r.Fast}
+	for _, sr := range r.Reactants {
+		s := *sr
+		cp.Reactants = append(cp.Reactants, &s)
+	}
+	for _, sr := range r.Products {
+		s := *sr
+		cp.Products = append(cp.Products, &s)
+	}
+	for _, mr := range r.Modifiers {
+		m := *mr
+		cp.Modifiers = append(cp.Modifiers, &m)
+	}
+	if r.KineticLaw != nil {
+		kl := &KineticLaw{}
+		if r.KineticLaw.Math != nil {
+			kl.Math = mathml.Clone(r.KineticLaw.Math)
+		}
+		for _, p := range r.KineticLaw.Parameters {
+			pc := *p
+			kl.Parameters = append(kl.Parameters, &pc)
+		}
+		cp.KineticLaw = kl
+	}
+	return cp
+}
+
+// RenameSymbols rewrites every occurrence of the mapped ids throughout the
+// model: component ids, references and maths. Used by the composer when a
+// second-model component must be renamed to avoid a conflict (Figure 5
+// line 12).
+func (m *Model) RenameSymbols(mapping map[string]string) {
+	if len(mapping) == 0 {
+		return
+	}
+	ren := func(s string) string {
+		if to, ok := mapping[s]; ok {
+			return to
+		}
+		return s
+	}
+	for _, f := range m.FunctionDefinitions {
+		f.ID = ren(f.ID)
+		f.Math = mathml.Rename(f.Math, mapping).(mathml.Lambda)
+	}
+	for _, u := range m.UnitDefinitions {
+		u.ID = ren(u.ID)
+	}
+	for _, c := range m.CompartmentTypes {
+		c.ID = ren(c.ID)
+	}
+	for _, s := range m.SpeciesTypes {
+		s.ID = ren(s.ID)
+	}
+	for _, c := range m.Compartments {
+		c.ID = ren(c.ID)
+		c.CompartmentType = ren(c.CompartmentType)
+		c.Outside = ren(c.Outside)
+		c.Units = ren(c.Units)
+	}
+	for _, s := range m.Species {
+		s.ID = ren(s.ID)
+		s.SpeciesType = ren(s.SpeciesType)
+		s.Compartment = ren(s.Compartment)
+		s.SubstanceUnits = ren(s.SubstanceUnits)
+	}
+	for _, p := range m.Parameters {
+		p.ID = ren(p.ID)
+		p.Units = ren(p.Units)
+	}
+	for _, ia := range m.InitialAssignments {
+		ia.Symbol = ren(ia.Symbol)
+		ia.Math = mathml.Rename(ia.Math, mapping)
+	}
+	for _, r := range m.Rules {
+		r.Variable = ren(r.Variable)
+		r.Math = mathml.Rename(r.Math, mapping)
+	}
+	for _, c := range m.Constraints {
+		c.Math = mathml.Rename(c.Math, mapping)
+	}
+	for _, r := range m.Reactions {
+		r.ID = ren(r.ID)
+		for _, sr := range r.Reactants {
+			sr.Species = ren(sr.Species)
+		}
+		for _, sr := range r.Products {
+			sr.Species = ren(sr.Species)
+		}
+		for _, mr := range r.Modifiers {
+			mr.Species = ren(mr.Species)
+		}
+		if r.KineticLaw != nil {
+			if r.KineticLaw.Math != nil {
+				r.KineticLaw.Math = mathml.Rename(r.KineticLaw.Math, mapping)
+			}
+			for _, p := range r.KineticLaw.Parameters {
+				p.ID = ren(p.ID)
+				p.Units = ren(p.Units)
+			}
+		}
+	}
+	for _, e := range m.Events {
+		e.ID = ren(e.ID)
+		if e.Trigger != nil {
+			e.Trigger = mathml.Rename(e.Trigger, mapping)
+		}
+		if e.Delay != nil {
+			e.Delay = mathml.Rename(e.Delay, mapping)
+		}
+		for _, a := range e.Assignments {
+			a.Variable = ren(a.Variable)
+			a.Math = mathml.Rename(a.Math, mapping)
+		}
+	}
+}
+
+// AllIDs returns the set of every id defined in the model (components and
+// kinetic-law-local parameters). The composer uses it to pick fresh names.
+func (m *Model) AllIDs() map[string]bool {
+	ids := make(map[string]bool)
+	add := func(id string) {
+		if id != "" {
+			ids[id] = true
+		}
+	}
+	add(m.ID)
+	for _, f := range m.FunctionDefinitions {
+		add(f.ID)
+	}
+	for _, u := range m.UnitDefinitions {
+		add(u.ID)
+	}
+	for _, c := range m.CompartmentTypes {
+		add(c.ID)
+	}
+	for _, s := range m.SpeciesTypes {
+		add(s.ID)
+	}
+	for _, c := range m.Compartments {
+		add(c.ID)
+	}
+	for _, s := range m.Species {
+		add(s.ID)
+	}
+	for _, p := range m.Parameters {
+		add(p.ID)
+	}
+	for _, r := range m.Reactions {
+		add(r.ID)
+		if r.KineticLaw != nil {
+			for _, p := range r.KineticLaw.Parameters {
+				add(p.ID)
+			}
+		}
+	}
+	for _, e := range m.Events {
+		add(e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,113 @@
+package sbml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNotesRoundTrip(t *testing.T) {
+	const doc = `<sbml level="2" version="4">
+  <model id="m" name="noted">
+    <notes>This model was curated by hand on 2009-06-01.</notes>
+    <listOfCompartments><compartment id="c" size="1"/></listOfCompartments>
+    <listOfSpecies>
+      <species id="A" compartment="c" initialConcentration="1">
+        <notes>cytosolic glucose pool</notes>
+      </species>
+    </listOfSpecies>
+    <listOfReactions>
+      <reaction id="r1">
+        <notes>uptake, assumed first order</notes>
+        <listOfProducts><speciesReference species="A"/></listOfProducts>
+      </reaction>
+    </listOfReactions>
+  </model>
+</sbml>`
+	d, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model
+	if !strings.Contains(m.Notes, "curated by hand") {
+		t.Errorf("model notes = %q", m.Notes)
+	}
+	if !strings.Contains(m.Species[0].Notes, "cytosolic") {
+		t.Errorf("species notes = %q", m.Species[0].Notes)
+	}
+	if !strings.Contains(m.Reactions[0].Notes, "first order") {
+		t.Errorf("reaction notes = %q", m.Reactions[0].Notes)
+	}
+	// Survive write → parse.
+	back, err := ParseString(WrapModel(m).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model.Notes != m.Notes || back.Model.Species[0].Notes != m.Species[0].Notes ||
+		back.Model.Reactions[0].Notes != m.Reactions[0].Notes {
+		t.Error("notes lost in round trip")
+	}
+	// Survive Clone.
+	cp := m.Clone()
+	if cp.Notes != m.Notes || cp.Species[0].Notes != m.Species[0].Notes || cp.Reactions[0].Notes != m.Reactions[0].Notes {
+		t.Error("notes lost in clone")
+	}
+}
+
+// TestParserRobustnessUnderMutation feeds the parser randomly corrupted
+// documents: it must return an error or a model, never panic.
+func TestParserRobustnessUnderMutation(t *testing.T) {
+	base := []byte(fullDoc)
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		doc := append([]byte(nil), base...)
+		for k := 0; k < 1+r.Intn(8); k++ {
+			switch r.Intn(3) {
+			case 0: // flip a byte
+				doc[r.Intn(len(doc))] = byte(r.Intn(128))
+			case 1: // truncate
+				doc = doc[:r.Intn(len(doc))+1]
+			case 2: // duplicate a slice
+				if len(doc) > 10 {
+					i := r.Intn(len(doc) - 10)
+					j := i + r.Intn(10)
+					doc = append(doc[:j], append(append([]byte(nil), doc[i:j]...), doc[j:]...)...)
+				}
+			}
+		}
+		_, _ = ParseString(string(doc)) // outcome irrelevant; no panic allowed
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWriterEmitsParseableDocsForOddValues checks float formatting corners.
+func TestWriterEmitsParseableDocsForOddValues(t *testing.T) {
+	m := NewModel("odd")
+	m.Compartments = append(m.Compartments, &Compartment{ID: "c", SpatialDimensions: 3, Size: 1e-21, HasSize: true, Constant: true})
+	m.Species = append(m.Species,
+		&Species{ID: "tiny", Compartment: "c", InitialConcentration: 5e-324, HasInitialConcentration: true},
+		&Species{ID: "huge", Compartment: "c", InitialAmount: 1.7976931348623157e308, HasInitialAmount: true},
+		&Species{ID: "frac", Compartment: "c", InitialConcentration: 0.30000000000000004, HasInitialConcentration: true},
+	)
+	out := WrapModel(m).String()
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for i, s := range m.Species {
+		got := back.Model.Species[i]
+		if got.InitialConcentration != s.InitialConcentration || got.InitialAmount != s.InitialAmount {
+			t.Errorf("species %s value changed: %+v vs %+v", s.ID, got, s)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package sbml
+
+import (
+	"strings"
+	"testing"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/units"
+)
+
+// fullDoc exercises every component type the parser supports.
+const fullDoc = `<?xml version="1.0" encoding="UTF-8"?>
+<sbml xmlns="http://www.sbml.org/sbml/level2/version4" level="2" version="4">
+  <model id="m1" name="full model">
+    <listOfFunctionDefinitions>
+      <functionDefinition id="mm">
+        <math xmlns="http://www.w3.org/1998/Math/MathML">
+          <lambda>
+            <bvar><ci>s</ci></bvar>
+            <bvar><ci>vmax</ci></bvar>
+            <bvar><ci>km</ci></bvar>
+            <apply><divide/>
+              <apply><times/><ci>vmax</ci><ci>s</ci></apply>
+              <apply><plus/><ci>km</ci><ci>s</ci></apply>
+            </apply>
+          </lambda>
+        </math>
+      </functionDefinition>
+    </listOfFunctionDefinitions>
+    <listOfUnitDefinitions>
+      <unitDefinition id="per_second">
+        <listOfUnits>
+          <unit kind="second" exponent="-1"/>
+        </listOfUnits>
+      </unitDefinition>
+      <unitDefinition id="mM">
+        <listOfUnits>
+          <unit kind="mole" scale="-3"/>
+          <unit kind="litre" exponent="-1"/>
+        </listOfUnits>
+      </unitDefinition>
+    </listOfUnitDefinitions>
+    <listOfCompartmentTypes>
+      <compartmentType id="membrane_bound"/>
+    </listOfCompartmentTypes>
+    <listOfSpeciesTypes>
+      <speciesType id="protein"/>
+    </listOfSpeciesTypes>
+    <listOfCompartments>
+      <compartment id="cyto" size="1e-15" spatialDimensions="3"/>
+      <compartment id="nucleus" size="2e-16" outside="cyto" compartmentType="membrane_bound"/>
+    </listOfCompartments>
+    <listOfSpecies>
+      <species id="A" name="glucose" compartment="cyto" initialConcentration="1.5"/>
+      <species id="B" compartment="cyto" initialAmount="100" speciesType="protein" boundaryCondition="true"/>
+      <species id="C" compartment="nucleus" initialConcentration="0" charge="-2"/>
+    </listOfSpecies>
+    <listOfParameters>
+      <parameter id="k1" value="0.5" units="per_second"/>
+      <parameter id="k2" value="0.1" constant="false"/>
+    </listOfParameters>
+    <listOfInitialAssignments>
+      <initialAssignment symbol="k2">
+        <math xmlns="http://www.w3.org/1998/Math/MathML">
+          <apply><times/><ci>k1</ci><cn>0.2</cn></apply>
+        </math>
+      </initialAssignment>
+    </listOfInitialAssignments>
+    <listOfRules>
+      <assignmentRule variable="k2">
+        <math xmlns="http://www.w3.org/1998/Math/MathML">
+          <apply><times/><ci>k1</ci><cn>2</cn></apply>
+        </math>
+      </assignmentRule>
+      <rateRule variable="C">
+        <math xmlns="http://www.w3.org/1998/Math/MathML">
+          <apply><minus/><cn>0</cn><ci>C</ci></apply>
+        </math>
+      </rateRule>
+    </listOfRules>
+    <listOfConstraints>
+      <constraint>
+        <math xmlns="http://www.w3.org/1998/Math/MathML">
+          <apply><geq/><ci>A</ci><cn>0</cn></apply>
+        </math>
+        <message>A must stay non-negative</message>
+      </constraint>
+    </listOfConstraints>
+    <listOfReactions>
+      <reaction id="r1" reversible="false">
+        <listOfReactants>
+          <speciesReference species="A" stoichiometry="2"/>
+        </listOfReactants>
+        <listOfProducts>
+          <speciesReference species="B"/>
+        </listOfProducts>
+        <listOfModifiers>
+          <modifierSpeciesReference species="C"/>
+        </listOfModifiers>
+        <kineticLaw>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <apply><times/><ci>kf</ci><ci>A</ci><ci>A</ci></apply>
+          </math>
+          <listOfParameters>
+            <parameter id="kf" value="3.7"/>
+          </listOfParameters>
+        </kineticLaw>
+      </reaction>
+    </listOfReactions>
+    <listOfEvents>
+      <event id="e1">
+        <trigger>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <apply><gt/><ci>A</ci><cn>10</cn></apply>
+          </math>
+        </trigger>
+        <delay>
+          <math xmlns="http://www.w3.org/1998/Math/MathML">
+            <cn>5</cn>
+          </math>
+        </delay>
+        <listOfEventAssignments>
+          <eventAssignment variable="k2">
+            <math xmlns="http://www.w3.org/1998/Math/MathML">
+              <cn>0</cn>
+            </math>
+          </eventAssignment>
+        </listOfEventAssignments>
+      </event>
+    </listOfEvents>
+  </model>
+</sbml>`
+
+func parseFull(t *testing.T) *Model {
+	t.Helper()
+	doc, err := ParseString(fullDoc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return doc.Model
+}
+
+func TestParseFullModel(t *testing.T) {
+	m := parseFull(t)
+	if m.ID != "m1" || m.Name != "full model" {
+		t.Errorf("model header = %q %q", m.ID, m.Name)
+	}
+	if len(m.FunctionDefinitions) != 1 || m.FunctionDefinitions[0].ID != "mm" {
+		t.Fatalf("function definitions = %v", m.FunctionDefinitions)
+	}
+	if got := len(m.FunctionDefinitions[0].Math.Params); got != 3 {
+		t.Errorf("mm params = %d, want 3", got)
+	}
+	if len(m.UnitDefinitions) != 2 {
+		t.Fatalf("unit definitions = %d", len(m.UnitDefinitions))
+	}
+	mM := m.UnitDefinitionByID("mM")
+	if mM == nil || len(mM.Units) != 2 || mM.Units[0].Scale != -3 {
+		t.Errorf("mM definition wrong: %+v", mM)
+	}
+	if len(m.CompartmentTypes) != 1 || len(m.SpeciesTypes) != 1 {
+		t.Error("types lost")
+	}
+	if len(m.Compartments) != 2 {
+		t.Fatalf("compartments = %d", len(m.Compartments))
+	}
+	nuc := m.CompartmentByID("nucleus")
+	if nuc == nil || nuc.Outside != "cyto" || !nuc.HasSize || nuc.Size != 2e-16 {
+		t.Errorf("nucleus = %+v", nuc)
+	}
+	if len(m.Species) != 3 {
+		t.Fatalf("species = %d", len(m.Species))
+	}
+	a := m.SpeciesByID("A")
+	if a == nil || a.Name != "glucose" || !a.HasInitialConcentration || a.InitialConcentration != 1.5 {
+		t.Errorf("A = %+v", a)
+	}
+	b := m.SpeciesByID("B")
+	if b == nil || !b.HasInitialAmount || b.InitialAmount != 100 || !b.BoundaryCondition {
+		t.Errorf("B = %+v", b)
+	}
+	if c := m.SpeciesByID("C"); c == nil || c.Charge != -2 {
+		t.Errorf("C = %+v", c)
+	}
+	if len(m.Parameters) != 2 {
+		t.Fatalf("parameters = %d", len(m.Parameters))
+	}
+	if k2 := m.ParameterByID("k2"); k2 == nil || k2.Constant {
+		t.Errorf("k2 = %+v", k2)
+	}
+	if len(m.InitialAssignments) != 1 || m.InitialAssignments[0].Symbol != "k2" {
+		t.Error("initial assignment lost")
+	}
+	if len(m.Rules) != 2 || m.Rules[0].Kind != AssignmentRule || m.Rules[1].Kind != RateRule {
+		t.Errorf("rules = %+v", m.Rules)
+	}
+	if len(m.Constraints) != 1 || m.Constraints[0].Message == "" {
+		t.Error("constraint lost")
+	}
+	if len(m.Reactions) != 1 {
+		t.Fatalf("reactions = %d", len(m.Reactions))
+	}
+	r := m.Reactions[0]
+	if r.Reversible {
+		t.Error("reversible should be false")
+	}
+	if len(r.Reactants) != 1 || r.Reactants[0].Stoichiometry != 2 {
+		t.Errorf("reactants = %+v", r.Reactants)
+	}
+	if len(r.Products) != 1 || r.Products[0].Stoichiometry != 1 {
+		t.Errorf("products = %+v", r.Products)
+	}
+	if len(r.Modifiers) != 1 || r.Modifiers[0].Species != "C" {
+		t.Errorf("modifiers = %+v", r.Modifiers)
+	}
+	if r.KineticLaw == nil || len(r.KineticLaw.Parameters) != 1 || r.KineticLaw.Parameters[0].ID != "kf" {
+		t.Errorf("kinetic law = %+v", r.KineticLaw)
+	}
+	if len(m.Events) != 1 {
+		t.Fatalf("events = %d", len(m.Events))
+	}
+	ev := m.Events[0]
+	if ev.Trigger == nil || ev.Delay == nil || len(ev.Assignments) != 1 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestSizeMetrics(t *testing.T) {
+	m := parseFull(t)
+	if m.Nodes() != 3 {
+		t.Errorf("Nodes = %d, want 3", m.Nodes())
+	}
+	if m.Edges() != 3 { // 1 reactant + 1 product + 1 modifier
+		t.Errorf("Edges = %d, want 3", m.Edges())
+	}
+	if m.Size() != 6 {
+		t.Errorf("Size = %d, want 6", m.Size())
+	}
+	// 1 funcdef + 2 unitdefs + 1 compartmentType + 1 speciesType +
+	// 2 compartments + 3 species + 2 parameters + 1 initialAssignment +
+	// 2 rules + 1 constraint + 1 reaction + 1 event = 18
+	if m.ComponentCount() != 18 {
+		t.Errorf("ComponentCount = %d, want 18", m.ComponentCount())
+	}
+}
+
+func modelsEqual(t *testing.T, a, b *Model) bool {
+	t.Helper()
+	// Compare via canonical serialization of the written XML.
+	return WrapModel(a).ToXML().Canonical() == WrapModel(b).ToXML().Canonical()
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	m := parseFull(t)
+	out := WrapModel(m).String()
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !modelsEqual(t, m, doc2.Model) {
+		t.Errorf("round trip changed model:\n%s\nvs\n%s", out, WrapModel(doc2.Model).String())
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	m := parseFull(t)
+	cp := m.Clone()
+	if !modelsEqual(t, m, cp) {
+		t.Fatal("clone differs from original")
+	}
+	cp.Species[0].ID = "MUTATED"
+	cp.Reactions[0].KineticLaw.Parameters[0].Value = 99
+	cp.Reactions[0].Reactants[0].Stoichiometry = 42
+	if m.Species[0].ID == "MUTATED" || m.Reactions[0].KineticLaw.Parameters[0].Value == 99 ||
+		m.Reactions[0].Reactants[0].Stoichiometry == 42 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestRenameSymbols(t *testing.T) {
+	m := parseFull(t)
+	m.RenameSymbols(map[string]string{"A": "glucose_c", "k1": "kOne"})
+	if m.SpeciesByID("A") != nil {
+		t.Error("old species id still present")
+	}
+	if m.SpeciesByID("glucose_c") == nil {
+		t.Error("renamed species missing")
+	}
+	r := m.Reactions[0]
+	if r.Reactants[0].Species != "glucose_c" {
+		t.Errorf("reactant ref = %q", r.Reactants[0].Species)
+	}
+	kl := mathml.FormatInfix(r.KineticLaw.Math)
+	if !strings.Contains(kl, "glucose_c") {
+		t.Errorf("kinetic law not renamed: %s", kl)
+	}
+	ia := m.InitialAssignments[0]
+	if !strings.Contains(mathml.FormatInfix(ia.Math), "kOne") {
+		t.Errorf("initial assignment not renamed: %s", mathml.FormatInfix(ia.Math))
+	}
+	// Constraint math mentions A.
+	if !strings.Contains(mathml.FormatInfix(m.Constraints[0].Math), "glucose_c") {
+		t.Error("constraint math not renamed")
+	}
+}
+
+func TestValidateCleanModel(t *testing.T) {
+	m := parseFull(t)
+	// fullDoc has one deliberate validation wrinkle: k2 has both an initial
+	// assignment and an assignment rule, which is legal. It must produce no
+	// errors.
+	if err := Check(m); err != nil {
+		t.Errorf("Check failed: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(*Model)
+		needle string
+	}{
+		{"duplicate species id", func(m *Model) {
+			m.Species = append(m.Species, &Species{ID: "A", Compartment: "cyto"})
+		}, "duplicate id"},
+		{"dangling compartment", func(m *Model) {
+			m.Species[0].Compartment = "nowhere"
+		}, "undefined compartment"},
+		{"missing compartment", func(m *Model) {
+			m.Species[0].Compartment = ""
+		}, "no compartment"},
+		{"dangling reactant", func(m *Model) {
+			m.Reactions[0].Reactants[0].Species = "ghost"
+		}, "undefined species"},
+		{"bad stoichiometry", func(m *Model) {
+			m.Reactions[0].Reactants[0].Stoichiometry = 0
+		}, "non-positive stoichiometry"},
+		{"both amount and concentration", func(m *Model) {
+			m.Species[0].HasInitialAmount = true
+		}, "both initialAmount"},
+		{"unknown unit kind", func(m *Model) {
+			m.UnitDefinitions[0].Units[0].Kind = "wombats"
+		}, "unknown base unit"},
+		{"dangling unit ref", func(m *Model) {
+			m.Parameters[0].Units = "undefined_unit"
+		}, "undefined unit"},
+		{"unbound math identifier", func(m *Model) {
+			m.Rules[0].Math = mathml.MustParseInfix("nope * 2")
+		}, "undefined identifier"},
+		{"two rules one variable", func(m *Model) {
+			m.Rules = append(m.Rules, &Rule{Kind: AssignmentRule, Variable: "k2", Math: mathml.N(1)})
+		}, "multiple rules"},
+		{"two initial assignments", func(m *Model) {
+			m.InitialAssignments = append(m.InitialAssignments, &InitialAssignment{Symbol: "k2", Math: mathml.N(1)})
+		}, "multiple initial assignments"},
+		{"wrong function arity", func(m *Model) {
+			m.Rules[0].Math = mathml.MustParseInfix("mm(A)")
+		}, "function takes"},
+		{"dangling event variable", func(m *Model) {
+			m.Events[0].Assignments[0].Variable = "ghost"
+		}, "undefined variable"},
+		{"negative size", func(m *Model) {
+			m.Compartments[0].Size = -1
+		}, "negative size"},
+		{"dangling outside", func(m *Model) {
+			m.Compartments[1].Outside = "ghost"
+		}, "undefined outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := parseFull(t)
+			tc.mut(m)
+			err := Check(m)
+			if err == nil {
+				t.Fatalf("Check passed, want error containing %q", tc.needle)
+			}
+			if !strings.Contains(err.Error(), tc.needle) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.needle)
+			}
+		})
+	}
+}
+
+func TestValidateWarnings(t *testing.T) {
+	m := parseFull(t)
+	m.Reactions[0].KineticLaw = nil
+	issues := Validate(m)
+	found := false
+	for _, is := range issues {
+		if is.Severity == "warning" && strings.Contains(is.Message, "kinetic law") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing kinetic-law warning")
+	}
+	// Warnings alone must not fail Check.
+	if err := Check(m); err != nil {
+		t.Errorf("warnings should not fail Check: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"no sbml root", `<model id="m"/>`},
+		{"no model", `<sbml level="2" version="4"/>`},
+		{"bad level", `<sbml level="x"><model id="m"/></sbml>`},
+		{"species without id", `<sbml><model id="m"><listOfSpecies><species compartment="c"/></listOfSpecies></model></sbml>`},
+		{"bad concentration", `<sbml><model id="m"><listOfSpecies><species id="s" compartment="c" initialConcentration="abc"/></listOfSpecies></model></sbml>`},
+		{"function without lambda", `<sbml><model id="m"><listOfFunctionDefinitions><functionDefinition id="f"><math xmlns="http://www.w3.org/1998/Math/MathML"><cn>1</cn></math></functionDefinition></listOfFunctionDefinitions></model></sbml>`},
+		{"rule without math", `<sbml><model id="m"><listOfRules><rateRule variable="x"/></listOfRules></model></sbml>`},
+		{"event without trigger", `<sbml><model id="m"><listOfEvents><event id="e"/></listOfEvents></model></sbml>`},
+		{"bad stoichiometry", `<sbml><model id="m"><listOfReactions><reaction id="r"><listOfReactants><speciesReference species="s" stoichiometry="zz"/></listOfReactants></reaction></listOfReactions></model></sbml>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.doc); err == nil {
+				t.Error("parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestEmptyModelRoundTrip(t *testing.T) {
+	doc, err := ParseString(`<sbml level="2" version="4"><model id="empty"/></sbml>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Model.Size() != 0 || doc.Model.ComponentCount() != 0 {
+		t.Errorf("empty model has size %d", doc.Model.Size())
+	}
+	out := WrapModel(doc.Model).String()
+	if _, err := ParseString(out); err != nil {
+		t.Fatalf("reparse empty: %v", err)
+	}
+}
+
+func TestUnitDefinitionBridge(t *testing.T) {
+	m := parseFull(t)
+	ud := m.UnitDefinitionByID("per_second")
+	eq, err := units.Equivalent(ud.Definition(), units.PerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("per_second should equal units.PerSecond")
+	}
+}
+
+func TestAllIDs(t *testing.T) {
+	m := parseFull(t)
+	ids := m.AllIDs()
+	for _, want := range []string{"m1", "mm", "per_second", "cyto", "A", "k1", "r1", "kf", "e1"} {
+		if !ids[want] {
+			t.Errorf("AllIDs missing %q", want)
+		}
+	}
+}

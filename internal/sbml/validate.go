@@ -1,0 +1,351 @@
+package sbml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/units"
+)
+
+// ValidationIssue is one problem found by Validate.
+type ValidationIssue struct {
+	// Severity is "error" for violations of SBML structural rules, or
+	// "warning" for suspicious-but-legal constructs.
+	Severity string
+	// Component locates the issue, e.g. `species "A"`.
+	Component string
+	// Message explains the problem.
+	Message string
+}
+
+func (v ValidationIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Severity, v.Component, v.Message)
+}
+
+// ValidationError aggregates the error-severity issues when Validate is
+// asked for a pass/fail answer.
+type ValidationError struct {
+	Issues []ValidationIssue
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Issues))
+	for i, is := range e.Issues {
+		msgs[i] = is.String()
+	}
+	return "sbml: validation failed:\n  " + strings.Join(msgs, "\n  ")
+}
+
+// Validate checks the model's structural and referential integrity: unique
+// ids, resolvable references (species→compartment, reactions→species,
+// rules→symbols, maths→identifiers), known unit kinds, and the semantic
+// rules the composer relies on (e.g. one rule per variable). It returns
+// every issue found; see Check for a pass/fail wrapper.
+func Validate(m *Model) []ValidationIssue {
+	var issues []ValidationIssue
+	errf := func(component, format string, args ...any) {
+		issues = append(issues, ValidationIssue{Severity: "error", Component: component, Message: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(component, format string, args ...any) {
+		issues = append(issues, ValidationIssue{Severity: "warning", Component: component, Message: fmt.Sprintf(format, args...)})
+	}
+
+	// Unique ids across the global namespace (SBML: one namespace for
+	// function definitions, unit definitions are separate, compartments,
+	// species, parameters, reactions and events share one id space).
+	seen := map[string]string{}
+	unique := func(kind, id string) {
+		if id == "" {
+			return
+		}
+		if prev, dup := seen[id]; dup {
+			errf(fmt.Sprintf("%s %q", kind, id), "duplicate id (already used by %s)", prev)
+			return
+		}
+		seen[id] = kind
+	}
+	for _, f := range m.FunctionDefinitions {
+		unique("functionDefinition", f.ID)
+	}
+	for _, c := range m.CompartmentTypes {
+		unique("compartmentType", c.ID)
+	}
+	for _, s := range m.SpeciesTypes {
+		unique("speciesType", s.ID)
+	}
+	for _, c := range m.Compartments {
+		unique("compartment", c.ID)
+	}
+	for _, s := range m.Species {
+		unique("species", s.ID)
+	}
+	for _, p := range m.Parameters {
+		unique("parameter", p.ID)
+	}
+	for _, r := range m.Reactions {
+		unique("reaction", r.ID)
+	}
+	for _, e := range m.Events {
+		unique("event", e.ID)
+	}
+	// Unit definitions live in their own id space but must be unique among
+	// themselves.
+	udSeen := map[string]bool{}
+	for _, u := range m.UnitDefinitions {
+		if udSeen[u.ID] {
+			errf(fmt.Sprintf("unitDefinition %q", u.ID), "duplicate unit definition id")
+		}
+		udSeen[u.ID] = true
+	}
+
+	// Known identifiers for maths validation: everything with an id plus
+	// "time".
+	known := m.AllIDs()
+	known["time"] = true
+	knownFuncs := map[string]int{}
+	for _, f := range m.FunctionDefinitions {
+		knownFuncs[f.ID] = len(f.Math.Params)
+	}
+
+	unitRef := func(component, ref string) {
+		if ref == "" {
+			return
+		}
+		if udSeen[ref] || units.IsKnownKind(ref) {
+			return
+		}
+		errf(component, "references undefined unit %q", ref)
+	}
+
+	// Unit definitions: kinds must be known.
+	for _, u := range m.UnitDefinitions {
+		for _, unit := range u.Units {
+			if !units.IsKnownKind(unit.Kind) {
+				errf(fmt.Sprintf("unitDefinition %q", u.ID), "unknown base unit kind %q", unit.Kind)
+			}
+		}
+	}
+
+	// Compartments.
+	ctypes := map[string]bool{}
+	for _, c := range m.CompartmentTypes {
+		ctypes[c.ID] = true
+	}
+	comps := map[string]bool{}
+	for _, c := range m.Compartments {
+		comps[c.ID] = true
+	}
+	for _, c := range m.Compartments {
+		label := fmt.Sprintf("compartment %q", c.ID)
+		if c.CompartmentType != "" && !ctypes[c.CompartmentType] {
+			errf(label, "references undefined compartmentType %q", c.CompartmentType)
+		}
+		if c.Outside != "" && !comps[c.Outside] {
+			errf(label, "references undefined outside compartment %q", c.Outside)
+		}
+		if c.SpatialDimensions < 0 || c.SpatialDimensions > 3 {
+			errf(label, "spatialDimensions %d out of range", c.SpatialDimensions)
+		}
+		if c.HasSize && c.Size < 0 {
+			errf(label, "negative size %g", c.Size)
+		}
+		unitRef(label, c.Units)
+	}
+
+	// Species.
+	stypes := map[string]bool{}
+	for _, s := range m.SpeciesTypes {
+		stypes[s.ID] = true
+	}
+	for _, s := range m.Species {
+		label := fmt.Sprintf("species %q", s.ID)
+		if s.Compartment == "" {
+			errf(label, "has no compartment")
+		} else if !comps[s.Compartment] {
+			errf(label, "references undefined compartment %q", s.Compartment)
+		}
+		if s.SpeciesType != "" && !stypes[s.SpeciesType] {
+			errf(label, "references undefined speciesType %q", s.SpeciesType)
+		}
+		if s.HasInitialAmount && s.HasInitialConcentration {
+			errf(label, "has both initialAmount and initialConcentration")
+		}
+		if s.HasInitialAmount && s.InitialAmount < 0 {
+			errf(label, "negative initialAmount %g", s.InitialAmount)
+		}
+		if s.HasInitialConcentration && s.InitialConcentration < 0 {
+			errf(label, "negative initialConcentration %g", s.InitialConcentration)
+		}
+		unitRef(label, s.SubstanceUnits)
+	}
+
+	for _, p := range m.Parameters {
+		unitRef(fmt.Sprintf("parameter %q", p.ID), p.Units)
+	}
+
+	checkMath := func(component string, e mathml.Expr, extra map[string]bool) {
+		if e == nil {
+			return
+		}
+		for v := range mathml.Vars(e) {
+			if known[v] || extra[v] {
+				continue
+			}
+			if _, isFunc := knownFuncs[v]; isFunc {
+				continue
+			}
+			errf(component, "math references undefined identifier %q", v)
+		}
+		var walkCalls func(mathml.Expr)
+		walkCalls = func(ex mathml.Expr) {
+			switch x := ex.(type) {
+			case mathml.Apply:
+				if arity, ok := knownFuncs[x.Op]; ok && arity != len(x.Args) {
+					errf(component, "call to %q has %d args, function takes %d", x.Op, len(x.Args), arity)
+				}
+				for _, a := range x.Args {
+					walkCalls(a)
+				}
+			case mathml.Lambda:
+				walkCalls(x.Body)
+			case mathml.Piecewise:
+				for _, p := range x.Pieces {
+					walkCalls(p.Value)
+					walkCalls(p.Cond)
+				}
+				if x.Otherwise != nil {
+					walkCalls(x.Otherwise)
+				}
+			}
+		}
+		walkCalls(e)
+	}
+
+	// Initial assignments: symbol must exist; at most one per symbol.
+	iaSeen := map[string]bool{}
+	for _, ia := range m.InitialAssignments {
+		label := fmt.Sprintf("initialAssignment %q", ia.Symbol)
+		if !known[ia.Symbol] {
+			errf(label, "assigns undefined symbol")
+		}
+		if iaSeen[ia.Symbol] {
+			errf(label, "symbol has multiple initial assignments")
+		}
+		iaSeen[ia.Symbol] = true
+		checkMath(label, ia.Math, nil)
+	}
+
+	// Rules: variable must exist; one rule per variable.
+	ruleSeen := map[string]bool{}
+	for _, r := range m.Rules {
+		label := fmt.Sprintf("%s for %q", r.Kind, r.Variable)
+		if r.Kind != AlgebraicRule {
+			if !known[r.Variable] {
+				errf(label, "rule variable is undefined")
+			}
+			if ruleSeen[r.Variable] {
+				errf(label, "variable has multiple rules")
+			}
+			ruleSeen[r.Variable] = true
+		}
+		checkMath(label, r.Math, nil)
+	}
+
+	for i, c := range m.Constraints {
+		checkMath(fmt.Sprintf("constraint #%d", i+1), c.Math, nil)
+	}
+
+	// Reactions.
+	speciesSet := map[string]bool{}
+	for _, s := range m.Species {
+		speciesSet[s.ID] = true
+	}
+	for _, r := range m.Reactions {
+		label := fmt.Sprintf("reaction %q", r.ID)
+		if len(r.Reactants) == 0 && len(r.Products) == 0 {
+			warnf(label, "has neither reactants nor products")
+		}
+		local := map[string]bool{}
+		if r.KineticLaw != nil {
+			for _, p := range r.KineticLaw.Parameters {
+				local[p.ID] = true
+				unitRef(label, p.Units)
+			}
+		}
+		for _, sr := range r.Reactants {
+			if !speciesSet[sr.Species] {
+				errf(label, "reactant references undefined species %q", sr.Species)
+			}
+			if sr.Stoichiometry <= 0 {
+				errf(label, "reactant %q has non-positive stoichiometry %g", sr.Species, sr.Stoichiometry)
+			}
+		}
+		for _, sr := range r.Products {
+			if !speciesSet[sr.Species] {
+				errf(label, "product references undefined species %q", sr.Species)
+			}
+			if sr.Stoichiometry <= 0 {
+				errf(label, "product %q has non-positive stoichiometry %g", sr.Species, sr.Stoichiometry)
+			}
+		}
+		for _, mr := range r.Modifiers {
+			if !speciesSet[mr.Species] {
+				errf(label, "modifier references undefined species %q", mr.Species)
+			}
+		}
+		if r.KineticLaw == nil {
+			warnf(label, "has no kinetic law")
+		} else if r.KineticLaw.Math == nil {
+			warnf(label, "kinetic law has no math")
+		} else {
+			checkMath(label, r.KineticLaw.Math, local)
+		}
+	}
+
+	// Events.
+	for _, e := range m.Events {
+		label := fmt.Sprintf("event %q", e.ID)
+		if e.Trigger == nil {
+			errf(label, "has no trigger")
+		} else {
+			checkMath(label, e.Trigger, nil)
+		}
+		if e.Delay != nil {
+			checkMath(label, e.Delay, nil)
+		}
+		if len(e.Assignments) == 0 {
+			warnf(label, "has no event assignments")
+		}
+		for _, a := range e.Assignments {
+			if !known[a.Variable] {
+				errf(label, "assignment targets undefined variable %q", a.Variable)
+			}
+			checkMath(label, a.Math, nil)
+		}
+	}
+
+	sort.SliceStable(issues, func(i, j int) bool {
+		if issues[i].Severity != issues[j].Severity {
+			return issues[i].Severity == "error"
+		}
+		return issues[i].Component < issues[j].Component
+	})
+	return issues
+}
+
+// Check runs Validate and returns a *ValidationError if any error-severity
+// issue was found; warnings alone pass.
+func Check(m *Model) error {
+	var errs []ValidationIssue
+	for _, is := range Validate(m) {
+		if is.Severity == "error" {
+			errs = append(errs, is)
+		}
+	}
+	if len(errs) > 0 {
+		return &ValidationError{Issues: errs}
+	}
+	return nil
+}

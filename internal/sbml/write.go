@@ -1,0 +1,315 @@
+package sbml
+
+import (
+	"io"
+	"strconv"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/xmltree"
+)
+
+// ToXML converts a document to an XML tree.
+func (d *Document) ToXML() *xmltree.Node {
+	root := xmltree.NewElement("sbml")
+	root.SetAttr("xmlns", Namespace)
+	level, version := d.Level, d.Version
+	if level == 0 {
+		level = 2
+	}
+	if version == 0 {
+		version = 4
+	}
+	root.SetAttr("level", strconv.Itoa(level))
+	root.SetAttr("version", strconv.Itoa(version))
+	if d.Model != nil {
+		root.AppendChild(modelToXML(d.Model))
+	}
+	return root
+}
+
+// WriteTo serializes the document as indented SBML XML; it implements
+// io.WriterTo.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	return d.ToXML().WriteTo(w)
+}
+
+// String returns the document as SBML XML text.
+func (d *Document) String() string {
+	return d.ToXML().String()
+}
+
+// WrapModel returns a Level 2 Version 4 document holding m.
+func WrapModel(m *Model) *Document {
+	return &Document{Level: 2, Version: 4, Model: m}
+}
+
+// appendNotes attaches a <notes> child holding text, when non-empty.
+func appendNotes(n *xmltree.Node, text string) {
+	if text == "" {
+		return
+	}
+	notes := xmltree.NewElement("notes")
+	notes.AppendChild(xmltree.NewText(text))
+	n.AppendChild(notes)
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func setOpt(n *xmltree.Node, name, value string) {
+	if value != "" {
+		n.SetAttr(name, value)
+	}
+}
+
+func modelToXML(m *Model) *xmltree.Node {
+	n := xmltree.NewElement("model")
+	setOpt(n, "id", m.ID)
+	setOpt(n, "name", m.Name)
+	appendNotes(n, m.Notes)
+
+	if len(m.FunctionDefinitions) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfFunctionDefinitions"))
+		for _, f := range m.FunctionDefinitions {
+			fd := xmltree.NewElement("functionDefinition")
+			fd.SetAttr("id", f.ID)
+			setOpt(fd, "name", f.Name)
+			fd.AppendChild(mathml.ToXML(f.Math))
+			list.AppendChild(fd)
+		}
+	}
+	if len(m.UnitDefinitions) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfUnitDefinitions"))
+		for _, u := range m.UnitDefinitions {
+			ud := xmltree.NewElement("unitDefinition")
+			ud.SetAttr("id", u.ID)
+			setOpt(ud, "name", u.Name)
+			if len(u.Units) > 0 {
+				ul := ud.AppendChild(xmltree.NewElement("listOfUnits"))
+				for _, unit := range u.Units {
+					un := xmltree.NewElement("unit")
+					un.SetAttr("kind", unit.Kind)
+					if unit.Exponent != 1 {
+						un.SetAttr("exponent", strconv.Itoa(unit.Exponent))
+					}
+					if unit.Scale != 0 {
+						un.SetAttr("scale", strconv.Itoa(unit.Scale))
+					}
+					if unit.Multiplier != 1 && unit.Multiplier != 0 {
+						un.SetAttr("multiplier", fmtFloat(unit.Multiplier))
+					}
+					ul.AppendChild(un)
+				}
+			}
+			list.AppendChild(ud)
+		}
+	}
+	if len(m.CompartmentTypes) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfCompartmentTypes"))
+		for _, c := range m.CompartmentTypes {
+			ct := xmltree.NewElement("compartmentType")
+			ct.SetAttr("id", c.ID)
+			setOpt(ct, "name", c.Name)
+			list.AppendChild(ct)
+		}
+	}
+	if len(m.SpeciesTypes) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfSpeciesTypes"))
+		for _, s := range m.SpeciesTypes {
+			st := xmltree.NewElement("speciesType")
+			st.SetAttr("id", s.ID)
+			setOpt(st, "name", s.Name)
+			list.AppendChild(st)
+		}
+	}
+	if len(m.Compartments) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfCompartments"))
+		for _, c := range m.Compartments {
+			cn := xmltree.NewElement("compartment")
+			cn.SetAttr("id", c.ID)
+			setOpt(cn, "name", c.Name)
+			setOpt(cn, "compartmentType", c.CompartmentType)
+			if c.SpatialDimensions != 3 {
+				cn.SetAttr("spatialDimensions", strconv.Itoa(c.SpatialDimensions))
+			}
+			if c.HasSize {
+				cn.SetAttr("size", fmtFloat(c.Size))
+			}
+			setOpt(cn, "units", c.Units)
+			setOpt(cn, "outside", c.Outside)
+			if !c.Constant {
+				cn.SetAttr("constant", "false")
+			}
+			list.AppendChild(cn)
+		}
+	}
+	if len(m.Species) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfSpecies"))
+		for _, s := range m.Species {
+			sn := xmltree.NewElement("species")
+			sn.SetAttr("id", s.ID)
+			setOpt(sn, "name", s.Name)
+			appendNotes(sn, s.Notes)
+			setOpt(sn, "speciesType", s.SpeciesType)
+			setOpt(sn, "compartment", s.Compartment)
+			if s.HasInitialAmount {
+				sn.SetAttr("initialAmount", fmtFloat(s.InitialAmount))
+			}
+			if s.HasInitialConcentration {
+				sn.SetAttr("initialConcentration", fmtFloat(s.InitialConcentration))
+			}
+			setOpt(sn, "substanceUnits", s.SubstanceUnits)
+			if s.HasOnlySubstanceUnits {
+				sn.SetAttr("hasOnlySubstanceUnits", "true")
+			}
+			if s.BoundaryCondition {
+				sn.SetAttr("boundaryCondition", "true")
+			}
+			if s.Charge != 0 {
+				sn.SetAttr("charge", strconv.Itoa(s.Charge))
+			}
+			if s.Constant {
+				sn.SetAttr("constant", "true")
+			}
+			list.AppendChild(sn)
+		}
+	}
+	if len(m.Parameters) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfParameters"))
+		for _, p := range m.Parameters {
+			list.AppendChild(parameterToXML(p))
+		}
+	}
+	if len(m.InitialAssignments) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfInitialAssignments"))
+		for _, ia := range m.InitialAssignments {
+			ian := xmltree.NewElement("initialAssignment")
+			ian.SetAttr("symbol", ia.Symbol)
+			ian.AppendChild(mathml.ToXML(ia.Math))
+			list.AppendChild(ian)
+		}
+	}
+	if len(m.Rules) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfRules"))
+		for _, r := range m.Rules {
+			rn := xmltree.NewElement(r.Kind.String())
+			if r.Variable != "" {
+				rn.SetAttr("variable", r.Variable)
+			}
+			rn.AppendChild(mathml.ToXML(r.Math))
+			list.AppendChild(rn)
+		}
+	}
+	if len(m.Constraints) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfConstraints"))
+		for _, c := range m.Constraints {
+			cn := xmltree.NewElement("constraint")
+			cn.AppendChild(mathml.ToXML(c.Math))
+			if c.Message != "" {
+				msg := xmltree.NewElement("message")
+				msg.AppendChild(xmltree.NewText(c.Message))
+				cn.AppendChild(msg)
+			}
+			list.AppendChild(cn)
+		}
+	}
+	if len(m.Reactions) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfReactions"))
+		for _, r := range m.Reactions {
+			list.AppendChild(reactionToXML(r))
+		}
+	}
+	if len(m.Events) > 0 {
+		list := n.AppendChild(xmltree.NewElement("listOfEvents"))
+		for _, e := range m.Events {
+			en := xmltree.NewElement("event")
+			setOpt(en, "id", e.ID)
+			setOpt(en, "name", e.Name)
+			trig := xmltree.NewElement("trigger")
+			trig.AppendChild(mathml.ToXML(e.Trigger))
+			en.AppendChild(trig)
+			if e.Delay != nil {
+				del := xmltree.NewElement("delay")
+				del.AppendChild(mathml.ToXML(e.Delay))
+				en.AppendChild(del)
+			}
+			if len(e.Assignments) > 0 {
+				eas := en.AppendChild(xmltree.NewElement("listOfEventAssignments"))
+				for _, a := range e.Assignments {
+					ean := xmltree.NewElement("eventAssignment")
+					ean.SetAttr("variable", a.Variable)
+					ean.AppendChild(mathml.ToXML(a.Math))
+					eas.AppendChild(ean)
+				}
+			}
+			list.AppendChild(en)
+		}
+	}
+	return n
+}
+
+func parameterToXML(p *Parameter) *xmltree.Node {
+	pn := xmltree.NewElement("parameter")
+	pn.SetAttr("id", p.ID)
+	setOpt(pn, "name", p.Name)
+	if p.HasValue {
+		pn.SetAttr("value", fmtFloat(p.Value))
+	}
+	setOpt(pn, "units", p.Units)
+	if !p.Constant {
+		pn.SetAttr("constant", "false")
+	}
+	return pn
+}
+
+func reactionToXML(r *Reaction) *xmltree.Node {
+	rn := xmltree.NewElement("reaction")
+	rn.SetAttr("id", r.ID)
+	setOpt(rn, "name", r.Name)
+	appendNotes(rn, r.Notes)
+	if !r.Reversible {
+		rn.SetAttr("reversible", "false")
+	}
+	if r.Fast {
+		rn.SetAttr("fast", "true")
+	}
+	writeRefs := func(listName string, refs []*SpeciesReference) {
+		if len(refs) == 0 {
+			return
+		}
+		list := rn.AppendChild(xmltree.NewElement(listName))
+		for _, sr := range refs {
+			srn := xmltree.NewElement("speciesReference")
+			srn.SetAttr("species", sr.Species)
+			if sr.Stoichiometry != 1 {
+				srn.SetAttr("stoichiometry", fmtFloat(sr.Stoichiometry))
+			}
+			list.AppendChild(srn)
+		}
+	}
+	writeRefs("listOfReactants", r.Reactants)
+	writeRefs("listOfProducts", r.Products)
+	if len(r.Modifiers) > 0 {
+		list := rn.AppendChild(xmltree.NewElement("listOfModifiers"))
+		for _, mr := range r.Modifiers {
+			mrn := xmltree.NewElement("modifierSpeciesReference")
+			mrn.SetAttr("species", mr.Species)
+			list.AppendChild(mrn)
+		}
+	}
+	if r.KineticLaw != nil {
+		kln := xmltree.NewElement("kineticLaw")
+		if r.KineticLaw.Math != nil {
+			kln.AppendChild(mathml.ToXML(r.KineticLaw.Math))
+		}
+		if len(r.KineticLaw.Parameters) > 0 {
+			pl := kln.AppendChild(xmltree.NewElement("listOfParameters"))
+			for _, p := range r.KineticLaw.Parameters {
+				pl.AppendChild(parameterToXML(p))
+			}
+		}
+		rn.AppendChild(kln)
+	}
+	return rn
+}

@@ -1,0 +1,122 @@
+package semanticsbml
+
+import (
+	"testing"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/units"
+)
+
+func TestMergeDeduplicatesTypesAndUnits(t *testing.T) {
+	mk := func(id string) *sbml.Model {
+		m := mkModel(id, []string{"glucose"})
+		m.CompartmentTypes = append(m.CompartmentTypes, &sbml.CompartmentType{ID: "membrane"})
+		m.SpeciesTypes = append(m.SpeciesTypes, &sbml.SpeciesType{ID: "metabolite"})
+		m.UnitDefinitions = append(m.UnitDefinitions, &sbml.UnitDefinition{
+			ID: "per_second", Units: []units.Unit{{Kind: "second", Exponent: -1, Multiplier: 1}},
+		})
+		m.FunctionDefinitions = append(m.FunctionDefinitions, &sbml.FunctionDefinition{
+			ID: "dbl", Math: mathml.Lambda{Params: []string{"x"}, Body: mathml.MustParseInfix("x*2")},
+		})
+		return m
+	}
+	res, err := Merge(mk("a"), mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	if len(m.CompartmentTypes) != 1 || len(m.SpeciesTypes) != 1 {
+		t.Errorf("types not deduped: %d/%d", len(m.CompartmentTypes), len(m.SpeciesTypes))
+	}
+	if len(m.UnitDefinitions) != 1 {
+		t.Errorf("unit definitions = %d", len(m.UnitDefinitions))
+	}
+	if len(m.FunctionDefinitions) != 1 {
+		t.Errorf("function definitions = %d", len(m.FunctionDefinitions))
+	}
+}
+
+func TestMergeDeduplicatesRulesAndEvents(t *testing.T) {
+	mk := func(id string) *sbml.Model {
+		m := mkModel(id, []string{"glucose"})
+		m.Parameters = append(m.Parameters, &sbml.Parameter{ID: "p", Constant: false})
+		m.Rules = append(m.Rules, &sbml.Rule{
+			Kind: sbml.AssignmentRule, Variable: "p", Math: mathml.MustParseInfix("s0*2"),
+		})
+		m.Events = append(m.Events, &sbml.Event{
+			ID:      "ev",
+			Trigger: mathml.MustParseInfix("s0 > 10"),
+			Assignments: []*sbml.EventAssignment{
+				{Variable: "p", Math: mathml.N(0)},
+			},
+		})
+		return m
+	}
+	res, err := Merge(mk("a"), mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Rules) != 1 {
+		t.Errorf("rules = %d", len(res.Model.Rules))
+	}
+	if len(res.Model.Events) != 1 {
+		t.Errorf("events = %d", len(res.Model.Events))
+	}
+	// A rule with different exact maths for the same variable conflicts.
+	b := mk("b2")
+	b.Rules[0].Math = mathml.MustParseInfix("s0*3")
+	res, err = Merge(mk("a"), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Error("conflicting rules should be reported")
+	}
+}
+
+func TestMergeReactionStructuralMismatch(t *testing.T) {
+	mk := func(id string, reversible bool, stoich float64, modifiers bool) *sbml.Model {
+		m := mkModel(id, []string{"glucose", "pyruvate", "kinase_alpha"})
+		m.Parameters = append(m.Parameters, &sbml.Parameter{ID: "k", Value: 1, HasValue: true, Constant: true})
+		r := &sbml.Reaction{
+			ID:         "r1",
+			Reversible: reversible,
+			Reactants:  []*sbml.SpeciesReference{{Species: "s0", Stoichiometry: stoich}},
+			Products:   []*sbml.SpeciesReference{{Species: "s1", Stoichiometry: 1}},
+			KineticLaw: &sbml.KineticLaw{Math: mathml.MustParseInfix("k*s0")},
+		}
+		if modifiers {
+			r.Modifiers = append(r.Modifiers, &sbml.ModifierSpeciesReference{Species: "s2"})
+		}
+		m.Reactions = append(m.Reactions, r)
+		return m
+	}
+	base := mk("a", false, 1, false)
+	for _, variant := range []*sbml.Model{
+		mk("b", true, 1, false),  // reversibility differs
+		mk("c", false, 2, false), // stoichiometry differs
+		mk("d", false, 1, true),  // modifier differs
+	} {
+		res, err := Merge(base, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Model.Reactions) != 2 {
+			t.Errorf("variant %s: reactions = %d, want 2 (no dedupe)", variant.ID, len(res.Model.Reactions))
+		}
+	}
+}
+
+func TestAnnotateFallsBackToID(t *testing.T) {
+	m := mkModel("a", []string{""})
+	m.Species[0].Name = "" // unnamed: annotation must try the id
+	m.Species[0].ID = "glucose"
+	res, err := Merge(m, mkModel("b", []string{"pyruvate"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annotated == 0 {
+		t.Error("id-based annotation failed")
+	}
+}

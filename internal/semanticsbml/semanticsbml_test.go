@@ -1,0 +1,201 @@
+package semanticsbml
+
+import (
+	"strings"
+	"testing"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+)
+
+func TestLoadDBSizeAndDeterminism(t *testing.T) {
+	db := LoadDB()
+	if db.Len() != TotalDBEntries {
+		t.Fatalf("db entries = %d, want %d", db.Len(), TotalDBEntries)
+	}
+	db2 := LoadDB()
+	if db2.Len() != db.Len() {
+		t.Error("db load not deterministic in size")
+	}
+	urn1, ok1 := db.Lookup("glucose")
+	urn2, ok2 := db2.Lookup("glucose")
+	if !ok1 || !ok2 || urn1 != urn2 {
+		t.Errorf("lookup not deterministic: %q/%v vs %q/%v", urn1, ok1, urn2, ok2)
+	}
+}
+
+func TestDBSourceTotals(t *testing.T) {
+	sum := 0
+	for _, src := range DBEntrySources {
+		sum += src.Entries
+	}
+	if sum != TotalDBEntries {
+		t.Errorf("source totals = %d, want %d", sum, TotalDBEntries)
+	}
+}
+
+func TestLookupNormalization(t *testing.T) {
+	db := LoadDB()
+	urn1, ok := db.Lookup("Glucose")
+	if !ok {
+		t.Fatal("Glucose not found")
+	}
+	urn2, ok := db.Lookup("  glucose ")
+	if !ok || urn1 != urn2 {
+		t.Error("normalization failed")
+	}
+	if _, ok := db.Lookup("zzzz_not_a_compound_zzzz"); ok {
+		t.Error("nonsense name resolved")
+	}
+	if _, ok := db.Lookup(""); ok {
+		t.Error("empty name resolved")
+	}
+}
+
+func mkModel(id string, speciesNames []string) *sbml.Model {
+	m := sbml.NewModel(id)
+	m.Compartments = append(m.Compartments, &sbml.Compartment{
+		ID: "cell", SpatialDimensions: 3, Size: 1, HasSize: true, Constant: true,
+	})
+	for i, name := range speciesNames {
+		m.Species = append(m.Species, &sbml.Species{
+			ID: "s" + string(rune('0'+i)), Name: name, Compartment: "cell",
+			InitialConcentration: 1, HasInitialConcentration: true,
+		})
+	}
+	return m
+}
+
+func TestMergeAnnotatedDuplicates(t *testing.T) {
+	// Both models contain "glucose" under different ids; the annotation DB
+	// unifies them.
+	a := mkModel("a", []string{"glucose", "pyruvate"})
+	b := mkModel("b", []string{"glucose"})
+	res, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Species) != 2 {
+		t.Errorf("species = %d, want 2 (glucose deduped)", len(res.Model.Species))
+	}
+	if res.Annotated == 0 {
+		t.Error("nothing annotated")
+	}
+	if res.Passes < 5 {
+		t.Errorf("passes = %d; the baseline is defined by its multiple passes", res.Passes)
+	}
+	if err := sbml.Check(res.Model); err != nil {
+		t.Errorf("merged model invalid: %v", err)
+	}
+}
+
+func TestMergeConflictsReported(t *testing.T) {
+	a := mkModel("a", []string{"glucose"})
+	b := mkModel("b", []string{"glucose"})
+	b.Species[0].InitialConcentration = 9
+	res, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Error("conflicting species values should be reported")
+	}
+	// First model wins.
+	if res.Model.Species[0].InitialConcentration != 1 {
+		t.Errorf("value = %g", res.Model.Species[0].InitialConcentration)
+	}
+}
+
+func TestMergeCannotSeeMathEquivalence(t *testing.T) {
+	// The defining limitation (§2): commuted initial assignments are NOT
+	// recognized as equal and surface as a user decision.
+	mk := func(id, expr string) *sbml.Model {
+		m := mkModel(id, []string{"glucose"})
+		m.Parameters = append(m.Parameters, &sbml.Parameter{ID: "p", Constant: true})
+		m.InitialAssignments = append(m.InitialAssignments, &sbml.InitialAssignment{
+			Symbol: "p", Math: mathml.MustParseInfix(expr),
+		})
+		return m
+	}
+	a := mk("a", "1 + 2")
+	b := mk("b", "2 + 1")
+	res, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, conflict := range res.Conflicts {
+		if strings.Contains(conflict, "initialAssignment") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("baseline should flag commuted assignments as needing a decision: %v", res.Conflicts)
+	}
+}
+
+func TestMergeParameterCollision(t *testing.T) {
+	a := mkModel("a", []string{"glucose"})
+	a.Parameters = append(a.Parameters, &sbml.Parameter{ID: "k", Value: 1, HasValue: true, Constant: true})
+	b := mkModel("b", []string{"pyruvate"})
+	b.Parameters = append(b.Parameters, &sbml.Parameter{ID: "k", Value: 2, HasValue: true, Constant: true})
+	res, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Parameters) != 2 {
+		t.Errorf("parameters = %d, want both kept", len(res.Model.Parameters))
+	}
+}
+
+func TestMergeRejectsInvalidInput(t *testing.T) {
+	a := mkModel("a", []string{"glucose"})
+	bad := mkModel("b", []string{"pyruvate"})
+	bad.Species[0].Compartment = "nowhere"
+	if _, err := Merge(a, bad); err == nil {
+		t.Error("invalid input should be rejected by the validity pass")
+	}
+	if _, err := Merge(nil, a); err == nil {
+		t.Error("nil model should error")
+	}
+}
+
+func TestMergeReactionsExactEqualityOnly(t *testing.T) {
+	mk := func(id, law string) *sbml.Model {
+		m := mkModel(id, []string{"glucose", "pyruvate"})
+		m.Parameters = append(m.Parameters, &sbml.Parameter{ID: "k", Value: 0.1, HasValue: true, Constant: true})
+		m.Reactions = append(m.Reactions, &sbml.Reaction{
+			ID:         "r1",
+			Reactants:  []*sbml.SpeciesReference{{Species: "s0", Stoichiometry: 1}},
+			Products:   []*sbml.SpeciesReference{{Species: "s1", Stoichiometry: 1}},
+			KineticLaw: &sbml.KineticLaw{Math: mathml.MustParseInfix(law)},
+		})
+		return m
+	}
+	// Identical laws dedupe.
+	res, err := Merge(mk("a", "k*s0"), mk("b", "k*s0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Reactions) != 1 {
+		t.Errorf("identical reactions should dedupe: %d", len(res.Model.Reactions))
+	}
+	// Commuted laws do NOT (exact math only) — both survive.
+	res, err = Merge(mk("a", "k*s0"), mk("b", "s0*k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model.Reactions) != 2 {
+		t.Errorf("baseline must keep commuted-law duplicates: %d", len(res.Model.Reactions))
+	}
+}
+
+func BenchmarkDBLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := LoadDB()
+		if db.Len() != TotalDBEntries {
+			b.Fatal("bad db")
+		}
+	}
+}

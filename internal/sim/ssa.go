@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/trace"
+)
+
+// SimulateSSA runs Gillespie's direct method over molecule counts and
+// returns counts sampled on the Options.Step grid. Species that specify an
+// initialAmount start at that count; species with an initialConcentration
+// start at round(concentration × ScaleFactor). The run is deterministic for
+// a given Options.Seed.
+func SimulateSSA(m *sbml.Model, opts Options) (*trace.Trace, error) {
+	opts = opts.withDefaults()
+	if opts.T1 <= opts.T0 {
+		return nil, fmt.Errorf("sim: T1 (%g) must exceed T0 (%g)", opts.T1, opts.T0)
+	}
+	c, err := compile(m)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	counts := make([]float64, len(c.species))
+	for i, s := range c.species {
+		switch {
+		case s.HasInitialAmount:
+			counts[i] = math.Round(s.InitialAmount)
+		case s.HasInitialConcentration:
+			counts[i] = math.Round(s.InitialConcentration * opts.ScaleFactor)
+		}
+	}
+
+	names := make([]string, len(c.species))
+	for i, s := range c.species {
+		names[i] = s.ID
+	}
+	tr := trace.New(names)
+
+	type change struct {
+		idx   int
+		delta float64
+	}
+	reactions := make([][]change, 0, len(c.model.Reactions))
+	laws := make([]mathml.Expr, 0, len(c.model.Reactions))
+	locals := make([]map[string]float64, 0, len(c.model.Reactions))
+	for _, r := range c.model.Reactions {
+		if r.KineticLaw == nil || r.KineticLaw.Math == nil {
+			continue
+		}
+		var ch []change
+		for _, sr := range r.Reactants {
+			if idx, ok := c.index[sr.Species]; ok && dynamic(c.species[idx]) {
+				st := sr.Stoichiometry
+				if st == 0 {
+					st = 1
+				}
+				ch = append(ch, change{idx, -st})
+			}
+		}
+		for _, sr := range r.Products {
+			if idx, ok := c.index[sr.Species]; ok && dynamic(c.species[idx]) {
+				st := sr.Stoichiometry
+				if st == 0 {
+					st = 1
+				}
+				ch = append(ch, change{idx, st})
+			}
+		}
+		reactions = append(reactions, ch)
+		laws = append(laws, r.KineticLaw.Math)
+		lp := make(map[string]float64)
+		for _, p := range r.KineticLaw.Parameters {
+			if p.HasValue {
+				lp[p.ID] = p.Value
+			}
+		}
+		locals = append(locals, lp)
+	}
+
+	propensity := func(i int, env *mathml.MapEnv) (float64, error) {
+		if len(locals[i]) > 0 {
+			vals := make(map[string]float64, len(env.Values)+len(locals[i]))
+			for k, v := range env.Values {
+				vals[k] = v
+			}
+			for k, v := range locals[i] {
+				vals[k] = v
+			}
+			env = &mathml.MapEnv{Values: vals, Functions: c.funcs}
+		}
+		a, err := mathml.Eval(laws[i], env)
+		if err != nil {
+			return 0, err
+		}
+		if a < 0 || math.IsNaN(a) {
+			a = 0
+		}
+		return a, nil
+	}
+
+	t := opts.T0
+	nextSample := opts.T0
+	appendSample := func() error {
+		if err := tr.Append(nextSample, counts); err != nil {
+			return err
+		}
+		nextSample += opts.Step
+		return nil
+	}
+	if err := appendSample(); err != nil {
+		return nil, err
+	}
+
+	props := make([]float64, len(laws))
+	for t < opts.T1 {
+		env := c.env(t, counts)
+		var total float64
+		for i := range laws {
+			a, err := propensity(i, env)
+			if err != nil {
+				return nil, fmt.Errorf("sim: propensity: %w", err)
+			}
+			props[i] = a
+			total += a
+		}
+		if total <= 0 {
+			// System exhausted: flat-line remaining samples.
+			for nextSample <= opts.T1+1e-12 {
+				if err := appendSample(); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		// Time to next event ~ Exp(total).
+		t += rng.ExpFloat64() / total
+		for nextSample <= t && nextSample <= opts.T1+1e-12 {
+			if err := appendSample(); err != nil {
+				return nil, err
+			}
+		}
+		if t >= opts.T1 {
+			break
+		}
+		// Pick the reaction proportionally to its propensity.
+		u := rng.Float64() * total
+		chosen := 0
+		for i, a := range props {
+			if u < a {
+				chosen = i
+				break
+			}
+			u -= a
+		}
+		for _, ch := range reactions[chosen] {
+			counts[ch.idx] += ch.delta
+			if counts[ch.idx] < 0 {
+				counts[ch.idx] = 0
+			}
+		}
+	}
+	// Fill any remaining samples (e.g. the final grid point).
+	for nextSample <= opts.T1+1e-12 {
+		if err := appendSample(); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,336 @@
+// Package suffixtree implements a generalized suffix tree built with
+// Ukkonen's online algorithm. The paper's future-work list (§5, item 7)
+// proposes suffix trees as the index that reduces composition complexity to
+// O(m+n): component labels are indexed while parsed and looked up in time
+// proportional to the key length. This package provides that index
+// primitive: insert a set of labeled strings, then run exact-match and
+// substring queries against all of them at once.
+//
+// Each added string is terminated with a unique private-use rune, so
+// suffixes never match across string boundaries and substring queries
+// report which strings contain the pattern.
+package suffixtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// terminatorBase is the first private-use rune used as a string terminator.
+// Inserted strings must not contain runes at or above this point.
+const terminatorBase = ''
+
+// Tree is a generalized suffix tree over a set of strings.
+type Tree struct {
+	text     []rune
+	root     *node
+	stringAt []int // stringAt[i] = id of the string owning text position i
+	starts   []int // starts[id] = first text position of string id
+	lengths  []int // lengths[id] = rune length of string id (sans terminator)
+	built    bool
+}
+
+type node struct {
+	start    int // edge label is text[start:end)
+	end      int
+	children map[rune]*node
+	link     *node
+	suffix   int // for leaves: starting text position of the suffix; -1 for internal
+}
+
+func newNode(start, end int) *node {
+	return &node{start: start, end: end, children: make(map[rune]*node), suffix: -1}
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{}
+}
+
+// Add appends a string to the collection and returns its id. Adding after
+// the tree has been queried is allowed; the structure rebuilds lazily on the
+// next query.
+func (t *Tree) Add(s string) (int, error) {
+	for _, r := range s {
+		if r >= terminatorBase {
+			return 0, fmt.Errorf("suffixtree: string contains reserved rune %q", r)
+		}
+	}
+	id := len(t.starts)
+	if id >= 0x1000 {
+		return 0, fmt.Errorf("suffixtree: too many strings (max %d)", 0x1000)
+	}
+	t.starts = append(t.starts, len(t.text))
+	runes := []rune(s)
+	t.lengths = append(t.lengths, len(runes))
+	t.text = append(t.text, runes...)
+	t.text = append(t.text, terminatorBase+rune(id))
+	for i := 0; i <= len(runes); i++ {
+		t.stringAt = append(t.stringAt, id)
+	}
+	t.built = false
+	return id, nil
+}
+
+// Count returns the number of strings added.
+func (t *Tree) Count() int { return len(t.starts) }
+
+// build runs Ukkonen's algorithm over the whole concatenated text.
+func (t *Tree) build() {
+	t.root = newNode(-1, -1)
+	text := t.text
+	n := len(text)
+
+	activeNode := t.root
+	activeEdge := 0 // index into text of the active edge's first rune
+	activeLen := 0
+	remaining := 0
+	// Leaves share a conceptual "current end" that is simply n at the end of
+	// the single-pass build; we create leaves with end=n up front and fix
+	// nothing afterwards because the text is final.
+	var lastInternal *node
+
+	addLink := func(to *node) {
+		if lastInternal != nil {
+			lastInternal.link = to
+		}
+		lastInternal = to
+	}
+
+	for i := 0; i < n; i++ {
+		lastInternal = nil
+		remaining++
+		for remaining > 0 {
+			if activeLen == 0 {
+				activeEdge = i
+			}
+			child, ok := activeNode.children[text[activeEdge]]
+			if !ok {
+				leaf := newNode(i, n)
+				leaf.suffix = i - remaining + 1
+				activeNode.children[text[activeEdge]] = leaf
+				addLink(activeNode)
+			} else {
+				edgeLen := child.end - child.start
+				if activeLen >= edgeLen {
+					activeEdge += edgeLen
+					activeLen -= edgeLen
+					activeNode = child
+					continue
+				}
+				if text[child.start+activeLen] == text[i] {
+					activeLen++
+					addLink(activeNode)
+					break
+				}
+				// Split the edge.
+				split := newNode(child.start, child.start+activeLen)
+				activeNode.children[text[activeEdge]] = split
+				leaf := newNode(i, n)
+				leaf.suffix = i - remaining + 1
+				split.children[text[i]] = leaf
+				child.start += activeLen
+				split.children[text[child.start]] = child
+				addLink(split)
+			}
+			remaining--
+			if activeNode == t.root && activeLen > 0 {
+				activeLen--
+				activeEdge = i - remaining + 1
+			} else if activeNode != t.root {
+				if activeNode.link != nil {
+					activeNode = activeNode.link
+				} else {
+					activeNode = t.root
+				}
+			}
+		}
+	}
+	t.built = true
+}
+
+func (t *Tree) ensureBuilt() {
+	if !t.built {
+		t.build()
+	}
+}
+
+// walkResult locates the end of a pattern match in the tree.
+type walkResult struct {
+	node    *node // node whose incoming edge (or itself) contains the match end
+	matched int   // runes of the pattern matched along node's incoming edge
+}
+
+// walk matches pattern from the root; ok is false if the pattern does not
+// occur in any string.
+func (t *Tree) walk(pattern []rune) (walkResult, bool) {
+	cur := t.root
+	i := 0
+	for i < len(pattern) {
+		child, ok := cur.children[pattern[i]]
+		if !ok {
+			return walkResult{}, false
+		}
+		edge := t.text[child.start:child.end]
+		j := 0
+		for j < len(edge) && i < len(pattern) {
+			if edge[j] != pattern[i] {
+				return walkResult{}, false
+			}
+			i++
+			j++
+		}
+		if i == len(pattern) {
+			return walkResult{node: child, matched: j}, true
+		}
+		cur = child
+	}
+	return walkResult{node: cur, matched: 0}, true
+}
+
+// Contains reports whether pattern occurs as a substring of any added
+// string. The empty pattern is contained trivially when any string exists.
+func (t *Tree) Contains(pattern string) bool {
+	if t.Count() == 0 {
+		return false
+	}
+	if pattern == "" {
+		return true
+	}
+	t.ensureBuilt()
+	_, ok := t.walk([]rune(pattern))
+	return ok
+}
+
+// FindAll returns the sorted ids of every string containing pattern as a
+// substring.
+func (t *Tree) FindAll(pattern string) []int {
+	if t.Count() == 0 {
+		return nil
+	}
+	t.ensureBuilt()
+	if pattern == "" {
+		out := make([]int, t.Count())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	res, ok := t.walk([]rune(pattern))
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool)
+	t.collectLeaves(res.node, func(suffixStart int) {
+		seen[t.stringAt[suffixStart]] = true
+	})
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (t *Tree) collectLeaves(n *node, visit func(suffixStart int)) {
+	if n.suffix >= 0 {
+		visit(n.suffix)
+		return
+	}
+	for _, c := range n.children {
+		t.collectLeaves(c, visit)
+	}
+}
+
+// ExactMatches returns the sorted ids of every string exactly equal to key.
+func (t *Tree) ExactMatches(key string) []int {
+	if t.Count() == 0 {
+		return nil
+	}
+	t.ensureBuilt()
+	pattern := []rune(key)
+	var ids []int
+	if len(pattern) == 0 {
+		for id, l := range t.lengths {
+			if l == 0 {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	res, ok := t.walk(pattern)
+	if !ok {
+		return nil
+	}
+	// The match for an exact key must be followed immediately by the owner
+	// string's terminator, and the suffix must start at the string start.
+	checkLeaf := func(leaf *node, suffixStart int) {
+		id := t.stringAt[suffixStart]
+		if suffixStart == t.starts[id] && t.lengths[id] == len(pattern) {
+			ids = append(ids, id)
+		}
+	}
+	edge := t.text[res.node.start:res.node.end]
+	if res.matched < len(edge) {
+		// Ends mid-edge: next rune must be a terminator and this edge must
+		// lead to a leaf.
+		if edge[res.matched] >= terminatorBase && res.node.suffix >= 0 {
+			checkLeaf(res.node, res.node.suffix)
+		}
+	} else {
+		// Ends at a node: any terminator child leaf qualifies.
+		for r, c := range res.node.children {
+			if r >= terminatorBase && c.suffix >= 0 {
+				checkLeaf(c, c.suffix)
+			}
+		}
+		if res.node.suffix >= 0 && res.matched == len(edge) {
+			// Leaf whose edge ends exactly at the pattern end (terminator
+			// consumed by edge) cannot happen for non-empty patterns because
+			// terminators end every string, but guard anyway.
+			checkLeaf(res.node, res.node.suffix)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// String renders the tree's topology for debugging; large trees render as a
+// summary line.
+func (t *Tree) String() string {
+	if t.Count() == 0 {
+		return "suffixtree(empty)"
+	}
+	t.ensureBuilt()
+	if len(t.text) > 200 {
+		return fmt.Sprintf("suffixtree(%d strings, %d runes)", t.Count(), len(t.text))
+	}
+	var b strings.Builder
+	var dump func(n *node, depth int)
+	dump = func(n *node, depth int) {
+		keys := make([]rune, 0, len(n.children))
+		for r := range n.children {
+			keys = append(keys, r)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, r := range keys {
+			c := n.children[r]
+			label := string(t.text[c.start:c.end])
+			label = strings.Map(func(x rune) rune {
+				if x >= terminatorBase {
+					return '$'
+				}
+				return x
+			}, label)
+			fmt.Fprintf(&b, "%s%q", strings.Repeat("  ", depth), label)
+			if c.suffix >= 0 {
+				fmt.Fprintf(&b, " [suffix %d]", c.suffix)
+			}
+			b.WriteString("\n")
+			dump(c, depth+1)
+		}
+	}
+	dump(t.root, 0)
+	return b.String()
+}

@@ -1,0 +1,284 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func addAll(t *testing.T, tree *Tree, ss ...string) {
+	t.Helper()
+	for _, s := range ss {
+		if _, err := tree.Add(s); err != nil {
+			t.Fatalf("Add(%q): %v", s, err)
+		}
+	}
+}
+
+func TestContainsSingleString(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "banana")
+	for _, sub := range []string{"banana", "anana", "nana", "ana", "na", "a", "ban", "b", ""} {
+		if !tree.Contains(sub) {
+			t.Errorf("Contains(%q) = false", sub)
+		}
+	}
+	for _, sub := range []string{"bananas", "nab", "x", "aab"} {
+		if tree.Contains(sub) {
+			t.Errorf("Contains(%q) = true", sub)
+		}
+	}
+}
+
+func TestFindAllAcrossStrings(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "glucose", "glucose_6_phosphate", "fructose", "lactose")
+	got := tree.FindAll("ose")
+	want := []int{0, 1, 2, 3}
+	if !equalInts(got, want) {
+		t.Errorf("FindAll(ose) = %v, want %v", got, want)
+	}
+	got = tree.FindAll("glucose")
+	if !equalInts(got, []int{0, 1}) {
+		t.Errorf("FindAll(glucose) = %v", got)
+	}
+	got = tree.FindAll("phosphate")
+	if !equalInts(got, []int{1}) {
+		t.Errorf("FindAll(phosphate) = %v", got)
+	}
+	if got := tree.FindAll("zzz"); got != nil {
+		t.Errorf("FindAll(zzz) = %v, want nil", got)
+	}
+}
+
+func TestExactMatches(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "A", "AB", "B", "A")
+	if got := tree.ExactMatches("A"); !equalInts(got, []int{0, 3}) {
+		t.Errorf("ExactMatches(A) = %v, want [0 3]", got)
+	}
+	if got := tree.ExactMatches("AB"); !equalInts(got, []int{1}) {
+		t.Errorf("ExactMatches(AB) = %v, want [1]", got)
+	}
+	if got := tree.ExactMatches("B"); !equalInts(got, []int{2}) {
+		t.Errorf("ExactMatches(B) = %v, want [2]", got)
+	}
+	if got := tree.ExactMatches("ABC"); got != nil {
+		t.Errorf("ExactMatches(ABC) = %v, want nil", got)
+	}
+	// Prefix of an existing string is not an exact match.
+	tree2 := New()
+	addAll(t, tree2, "ABC")
+	if got := tree2.ExactMatches("AB"); got != nil {
+		t.Errorf("ExactMatches(AB) on [ABC] = %v, want nil", got)
+	}
+}
+
+func TestEmptyStringEntry(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "", "x")
+	if got := tree.ExactMatches(""); !equalInts(got, []int{0}) {
+		t.Errorf("ExactMatches(empty) = %v, want [0]", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New()
+	if tree.Contains("a") || tree.Contains("") {
+		t.Error("empty tree contains nothing")
+	}
+	if tree.FindAll("a") != nil || tree.ExactMatches("a") != nil {
+		t.Error("empty tree finds nothing")
+	}
+}
+
+func TestIncrementalAddRebuilds(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "abc")
+	if !tree.Contains("bc") {
+		t.Fatal("bc missing")
+	}
+	addAll(t, tree, "xyz") // forces rebuild on next query
+	if !tree.Contains("yz") {
+		t.Error("yz missing after incremental add")
+	}
+	if !tree.Contains("bc") {
+		t.Error("bc lost after rebuild")
+	}
+}
+
+func TestReservedRuneRejected(t *testing.T) {
+	tree := New()
+	if _, err := tree.Add("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Add("bad" + string(rune(0xE123))); err == nil {
+		t.Error("reserved rune should be rejected")
+	}
+}
+
+func TestRepeatedCharacters(t *testing.T) {
+	tree := New()
+	addAll(t, tree, "aaaaa", "aaab")
+	if got := tree.FindAll("aaa"); !equalInts(got, []int{0, 1}) {
+		t.Errorf("FindAll(aaa) = %v", got)
+	}
+	if got := tree.FindAll("aaaa"); !equalInts(got, []int{0}) {
+		t.Errorf("FindAll(aaaa) = %v", got)
+	}
+	if got := tree.ExactMatches("aaaaa"); !equalInts(got, []int{0}) {
+		t.Errorf("ExactMatches(aaaaa) = %v", got)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	tree := New()
+	if s := tree.String(); s != "suffixtree(empty)" {
+		t.Errorf("empty dump = %q", s)
+	}
+	addAll(t, tree, "ab")
+	if s := tree.String(); !strings.Contains(s, "ab") {
+		t.Errorf("dump = %q", s)
+	}
+}
+
+// naiveFindAll is the reference implementation FindAll is checked against.
+func naiveFindAll(strs []string, pattern string) []int {
+	var out []int
+	for i, s := range strs {
+		if strings.Contains(s, pattern) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestQuickAgainstNaive(t *testing.T) {
+	alphabet := "abc"
+	randString := func(r *rand.Rand, max int) string {
+		n := r.Intn(max + 1)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var strs []string
+		tree := New()
+		for i := 0; i < 3+r.Intn(5); i++ {
+			s := randString(r, 12)
+			strs = append(strs, s)
+			if _, err := tree.Add(s); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 10; i++ {
+			pattern := randString(r, 5)
+			got := tree.FindAll(pattern)
+			want := naiveFindAll(strs, pattern)
+			if pattern == "" {
+				continue // FindAll("") returns all ids by definition
+			}
+			if !equalInts(got, want) {
+				t.Logf("strs=%q pattern=%q got=%v want=%v", strs, pattern, got, want)
+				return false
+			}
+			// Exact matches agree with equality scan.
+			var exactWant []int
+			for id, s := range strs {
+				if s == pattern {
+					exactWant = append(exactWant, id)
+				}
+			}
+			if !equalInts(tree.ExactMatches(pattern), exactWant) {
+				t.Logf("exact: strs=%q pattern=%q got=%v want=%v", strs, pattern, tree.ExactMatches(pattern), exactWant)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllSuffixesPresent(t *testing.T) {
+	f := func(raw string) bool {
+		s := sanitize(raw, 40)
+		tree := New()
+		if _, err := tree.Add(s); err != nil {
+			return false
+		}
+		for i := range s {
+			if !tree.Contains(s[i:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(raw string, max int) string {
+	var b strings.Builder
+	for _, r := range raw {
+		if b.Len() >= max {
+			break
+		}
+		b.WriteByte(byte('a' + (int(r)&0xff)%4))
+	}
+	return b.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]int(nil), a...)
+	bc := append([]int(nil), b...)
+	sort.Ints(ac)
+	sort.Ints(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var keys []string
+	for i := 0; i < 500; i++ {
+		keys = append(keys, randomKey(r))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := New()
+		for _, k := range keys {
+			if _, err := tree.Add(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !tree.Contains(keys[0]) {
+			b.Fatal("build broken")
+		}
+	}
+}
+
+func randomKey(r *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz_0123456789"
+	n := 4 + r.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return b.String()
+}

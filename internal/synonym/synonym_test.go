@@ -1,0 +1,192 @@
+package synonym
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ATP", "atp"},
+		{"  D-Glucose  ", "d_glucose"},
+		{"d glucose", "d_glucose"},
+		{"d__glucose", "d_glucose"},
+		{"A - B", "a_b"},
+		{"", ""},
+		{"trailing-", "trailing"},
+		{"-leading", "leading"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMatchBasics(t *testing.T) {
+	tab := NewTable()
+	tab.Add("ATP", "adenosine triphosphate")
+	if !tab.Match("ATP", "atp") {
+		t.Error("case-insensitive self match failed")
+	}
+	if !tab.Match("ATP", "Adenosine Triphosphate") {
+		t.Error("declared synonym not matched")
+	}
+	if tab.Match("ATP", "ADP") {
+		t.Error("unrelated names matched")
+	}
+	if tab.Match("", "") {
+		t.Error("empty names must not match")
+	}
+}
+
+func TestTransitiveClasses(t *testing.T) {
+	tab := NewTable()
+	tab.Add("a", "b")
+	tab.Add("b", "c")
+	tab.Add("x", "y")
+	if !tab.Match("a", "c") {
+		t.Error("transitivity failed")
+	}
+	if tab.Match("a", "x") {
+		t.Error("separate classes merged")
+	}
+	tab.Add("c", "x") // merge the two classes
+	if !tab.Match("a", "y") {
+		t.Error("merged classes should match")
+	}
+}
+
+func TestAddClass(t *testing.T) {
+	tab := NewTable()
+	tab.AddClass("glucose", "D-glucose", "dextrose")
+	if !tab.Match("dextrose", "d glucose") {
+		t.Error("class members should all match")
+	}
+}
+
+func TestNilTableMatchesExactOnly(t *testing.T) {
+	var tab *Table
+	if !tab.Match("A", "a") {
+		t.Error("nil table should match normalized-equal names")
+	}
+	if tab.Match("A", "B") {
+		t.Error("nil table should not match different names")
+	}
+	if tab.Len() != 0 {
+		t.Error("nil table Len should be 0")
+	}
+	if got := tab.Canonical("Foo"); got != "foo" {
+		t.Errorf("nil table Canonical = %q", got)
+	}
+}
+
+func TestCanonicalStable(t *testing.T) {
+	tab := NewTable()
+	tab.AddClass("zeta", "alpha", "mid")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if got := tab.Canonical(name); got != "alpha" {
+			t.Errorf("Canonical(%q) = %q, want alpha", name, got)
+		}
+	}
+	if got := tab.Canonical("unknown"); got != "unknown" {
+		t.Errorf("Canonical(unknown) = %q", got)
+	}
+}
+
+func TestClassesListing(t *testing.T) {
+	tab := NewTable()
+	tab.AddClass("b", "a")
+	tab.AddClass("z", "y", "x")
+	classes := tab.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if classes[0][0] != "a" || classes[1][0] != "x" {
+		t.Errorf("classes not sorted: %v", classes)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tab := NewTable()
+	tab.AddClass("ATP", "adenosine triphosphate")
+	tab.AddClass("glucose", "dextrose", "D-glucose")
+	var b strings.Builder
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewTable()
+	if err := loaded.Load(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Match("ATP", "adenosine-triphosphate") {
+		t.Error("loaded table lost ATP class")
+	}
+	if !loaded.Match("dextrose", "glucose") {
+		t.Error("loaded table lost glucose class")
+	}
+}
+
+func TestLoadFormat(t *testing.T) {
+	tab := NewTable()
+	input := "# comment\n\na\tb\n"
+	if err := tab.Load(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Match("a", "b") {
+		t.Error("loaded pair not matched")
+	}
+	if err := tab.Load(strings.NewReader("single\n")); err == nil {
+		t.Error("single-member class should be a format error")
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	tab := Builtin()
+	pairs := [][2]string{
+		{"ATP", "adenosine triphosphate"},
+		{"glucose", "dextrose"},
+		{"MAPK", "ERK"},
+		{"Ca2+", "calcium"},
+	}
+	for _, p := range pairs {
+		if !tab.Match(p[0], p[1]) {
+			t.Errorf("builtin table should match %q ~ %q", p[0], p[1])
+		}
+	}
+	if tab.Match("ATP", "glucose") {
+		t.Error("builtin table over-merged")
+	}
+}
+
+func TestQuickMatchIsEquivalenceRelation(t *testing.T) {
+	// Build a random table and check symmetry plus reflexivity on members.
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := func(pairs []uint8) bool {
+		tab := NewTable()
+		for i := 0; i+1 < len(pairs); i += 2 {
+			tab.Add(names[int(pairs[i])%len(names)], names[int(pairs[i+1])%len(names)])
+		}
+		for _, x := range names {
+			if !tab.Match(x, x) {
+				return false
+			}
+			for _, y := range names {
+				if tab.Match(x, y) != tab.Match(y, x) {
+					return false
+				}
+				// transitivity
+				for _, z := range names {
+					if tab.Match(x, y) && tab.Match(y, z) && !tab.Match(x, z) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

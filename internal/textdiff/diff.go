@@ -1,0 +1,270 @@
+// Package textdiff implements the textual-composition substrate the paper
+// positions its work against (§2): line-based diff using Myers' O(ND)
+// algorithm, patch application (diff+patch = automated textual composition),
+// three-way merge in the style of sdiff/merge, and Smith–Waterman local
+// alignment, which the paper cites from computational biology and
+// plagiarism detection. The evaluation (§4.1.1) uses these tools for the
+// textual comparison of merged versus expected SBML documents.
+package textdiff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind is the type of a diff edit.
+type OpKind int
+
+const (
+	// Equal lines occur in both sequences.
+	Equal OpKind = iota
+	// Delete lines occur only in the first sequence.
+	Delete
+	// Insert lines occur only in the second sequence.
+	Insert
+)
+
+// String returns the unified-diff prefix for the op.
+func (k OpKind) String() string {
+	switch k {
+	case Delete:
+		return "-"
+	case Insert:
+		return "+"
+	default:
+		return " "
+	}
+}
+
+// Op is one run of consecutive lines sharing an edit kind.
+type Op struct {
+	Kind  OpKind
+	Lines []string
+}
+
+// Diff computes a minimal line-based edit script from a to b using Myers'
+// greedy O(ND) algorithm (the algorithm behind diff, cited by the paper as
+// [19]).
+func Diff(a, b []string) []Op {
+	// Trim common prefix/suffix first: cheap and keeps the D-path search
+	// small for the mostly-equal inputs composition produces.
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && a[prefix] == b[prefix] {
+		prefix++
+	}
+	suffix := 0
+	for suffix < len(a)-prefix && suffix < len(b)-prefix &&
+		a[len(a)-1-suffix] == b[len(b)-1-suffix] {
+		suffix++
+	}
+	middleA := a[prefix : len(a)-suffix]
+	middleB := b[prefix : len(b)-suffix]
+
+	var ops []Op
+	if prefix > 0 {
+		ops = append(ops, Op{Kind: Equal, Lines: append([]string(nil), a[:prefix]...)})
+	}
+	ops = append(ops, myers(middleA, middleB)...)
+	if suffix > 0 {
+		ops = append(ops, Op{Kind: Equal, Lines: append([]string(nil), a[len(a)-suffix:]...)})
+	}
+	return coalesce(ops)
+}
+
+// myers runs the O(ND) edit-path search and backtracks an edit script.
+func myers(a, b []string) []Op {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return nil
+	}
+	if n == 0 {
+		return []Op{{Kind: Insert, Lines: append([]string(nil), b...)}}
+	}
+	if m == 0 {
+		return []Op{{Kind: Delete, Lines: append([]string(nil), a...)}}
+	}
+	max := n + m
+	// v[k+max] = furthest x on diagonal k. trace saves v per step for
+	// backtracking.
+	v := make([]int, 2*max+1)
+	var trace [][]int
+	var dFound = -1
+outer:
+	for d := 0; d <= max; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max] // down: insert
+			} else {
+				x = v[k-1+max] + 1 // right: delete
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				dFound = d
+				break outer
+			}
+		}
+	}
+	// Backtrack from (n, m).
+	type step struct {
+		kind OpKind
+		line string
+	}
+	var rev []step
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vPrev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[k-1+max] < vPrev[k+1+max]) {
+			prevK = k + 1 // came from an insert
+		} else {
+			prevK = k - 1 // came from a delete
+		}
+		prevX := vPrev[prevK+max]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			rev = append(rev, step{Equal, a[x]})
+		}
+		if prevK == k+1 {
+			y--
+			rev = append(rev, step{Insert, b[y]})
+		} else {
+			x--
+			rev = append(rev, step{Delete, a[x]})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		rev = append(rev, step{Equal, a[x]})
+	}
+	for x > 0 {
+		x--
+		rev = append(rev, step{Delete, a[x]})
+	}
+	for y > 0 {
+		y--
+		rev = append(rev, step{Insert, b[y]})
+	}
+	var ops []Op
+	for i := len(rev) - 1; i >= 0; i-- {
+		s := rev[i]
+		if len(ops) > 0 && ops[len(ops)-1].Kind == s.kind {
+			ops[len(ops)-1].Lines = append(ops[len(ops)-1].Lines, s.line)
+			continue
+		}
+		ops = append(ops, Op{Kind: s.kind, Lines: []string{s.line}})
+	}
+	return ops
+}
+
+func coalesce(ops []Op) []Op {
+	var out []Op
+	for _, op := range ops {
+		if len(op.Lines) == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Kind == op.Kind {
+			out[len(out)-1].Lines = append(out[len(out)-1].Lines, op.Lines...)
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// EditDistance returns the number of inserted plus deleted lines in the
+// minimal script.
+func EditDistance(a, b []string) int {
+	d := 0
+	for _, op := range Diff(a, b) {
+		if op.Kind != Equal {
+			d += len(op.Lines)
+		}
+	}
+	return d
+}
+
+// LCSLength returns the length of the longest common subsequence of a and
+// b, derived from the minimal edit script.
+func LCSLength(a, b []string) int {
+	n := 0
+	for _, op := range Diff(a, b) {
+		if op.Kind == Equal {
+			n += len(op.Lines)
+		}
+	}
+	return n
+}
+
+// Patch applies the edit script (produced by Diff(a, b)) to a, returning b.
+// This is the diff/patch composition pipeline the paper describes: "patch
+// assigns the first file to be the composed file and makes the changes
+// within it to make it match the other file".
+func Patch(a []string, ops []Op) ([]string, error) {
+	var out []string
+	i := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case Equal:
+			for _, line := range op.Lines {
+				if i >= len(a) || a[i] != line {
+					return nil, fmt.Errorf("textdiff: patch context mismatch at line %d", i+1)
+				}
+				out = append(out, line)
+				i++
+			}
+		case Delete:
+			for _, line := range op.Lines {
+				if i >= len(a) || a[i] != line {
+					return nil, fmt.Errorf("textdiff: patch delete mismatch at line %d", i+1)
+				}
+				i++
+			}
+		case Insert:
+			out = append(out, op.Lines...)
+		}
+	}
+	if i != len(a) {
+		return nil, fmt.Errorf("textdiff: patch consumed %d of %d lines", i, len(a))
+	}
+	return out, nil
+}
+
+// Format renders the script as unified-diff-style text (without hunk
+// headers).
+func Format(ops []Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		for _, line := range op.Lines {
+			b.WriteString(op.Kind.String())
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// SplitLines breaks text into lines without trailing newlines; the inverse
+// of strings.Join(lines, "\n"). An empty string yields no lines.
+func SplitLines(text string) []string {
+	if text == "" {
+		return nil
+	}
+	lines := strings.Split(text, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}

@@ -1,0 +1,297 @@
+package textdiff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lines(s string) []string { return SplitLines(s) }
+
+func TestDiffIdentical(t *testing.T) {
+	a := lines("a\nb\nc\n")
+	ops := Diff(a, a)
+	if len(ops) != 1 || ops[0].Kind != Equal || len(ops[0].Lines) != 3 {
+		t.Errorf("Diff(x,x) = %v", ops)
+	}
+	if EditDistance(a, a) != 0 {
+		t.Error("edit distance to self not 0")
+	}
+}
+
+func TestDiffDisjoint(t *testing.T) {
+	a := lines("a\nb\n")
+	b := lines("x\ny\nz\n")
+	if d := EditDistance(a, b); d != 5 {
+		t.Errorf("disjoint distance = %d, want 5", d)
+	}
+	if l := LCSLength(a, b); l != 0 {
+		t.Errorf("disjoint LCS = %d, want 0", l)
+	}
+}
+
+func TestDiffKnownScript(t *testing.T) {
+	a := lines("keep\nold1\nkeep2\nold2\n")
+	b := lines("keep\nnew1\nkeep2\n")
+	ops := Diff(a, b)
+	got := Format(ops)
+	// The exact script may vary in ordering of -/+ but must contain these
+	// markers and apply cleanly.
+	for _, needle := range []string{"-old1", "+new1", "-old2", " keep\n", " keep2"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("script missing %q:\n%s", needle, got)
+		}
+	}
+	patched, err := Patch(a, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(patched, "\n") != strings.Join(b, "\n") {
+		t.Errorf("patch result = %v, want %v", patched, b)
+	}
+}
+
+func TestDiffEmptySides(t *testing.T) {
+	b := lines("x\ny\n")
+	ops := Diff(nil, b)
+	if len(ops) != 1 || ops[0].Kind != Insert {
+		t.Errorf("insert-only diff = %v", ops)
+	}
+	ops = Diff(b, nil)
+	if len(ops) != 1 || ops[0].Kind != Delete {
+		t.Errorf("delete-only diff = %v", ops)
+	}
+	if got := Diff(nil, nil); got != nil {
+		t.Errorf("empty diff = %v", got)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	a := lines("a\nb\n")
+	b := lines("a\nc\n")
+	ops := Diff(a, b)
+	// Applying to the wrong base must fail, not corrupt.
+	if _, err := Patch(lines("x\ny\n"), ops); err == nil {
+		t.Error("patch against wrong base should fail")
+	}
+	if _, err := Patch(lines("a\nb\nextra\n"), ops); err == nil {
+		t.Error("patch with leftover lines should fail")
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	if got := SplitLines(""); got != nil {
+		t.Errorf("SplitLines(empty) = %v", got)
+	}
+	if got := SplitLines("a\nb"); len(got) != 2 {
+		t.Errorf("no trailing newline: %v", got)
+	}
+	if got := SplitLines("a\nb\n"); len(got) != 2 {
+		t.Errorf("trailing newline: %v", got)
+	}
+}
+
+func randomLines(r *rand.Rand, n int) []string {
+	words := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.Intn(len(words))]
+	}
+	return out
+}
+
+func mutate(r *rand.Rand, a []string) []string {
+	out := append([]string(nil), a...)
+	for k := 0; k < 1+r.Intn(4); k++ {
+		if len(out) == 0 {
+			out = append(out, "new")
+			continue
+		}
+		i := r.Intn(len(out))
+		switch r.Intn(3) {
+		case 0:
+			out = append(out[:i], out[i+1:]...)
+		case 1:
+			out[i] = "mut" + out[i]
+		default:
+			out = append(out[:i], append([]string{"ins"}, out[i:]...)...)
+		}
+	}
+	return out
+}
+
+func TestQuickDiffPatchRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLines(r, r.Intn(30))
+		b := mutate(r, a)
+		patched, err := Patch(a, Diff(a, b))
+		if err != nil {
+			return false
+		}
+		return strings.Join(patched, "\x00") == strings.Join(b, "\x00")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLines(r, r.Intn(15))
+		b := randomLines(r, r.Intn(15))
+		c := randomLines(r, r.Intn(15))
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			return false // symmetry
+		}
+		if EditDistance(a, a) != 0 {
+			return false // identity
+		}
+		// Triangle inequality.
+		return EditDistance(a, c) <= dab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLCSBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLines(r, r.Intn(20))
+		b := randomLines(r, r.Intn(20))
+		l := LCSLength(a, b)
+		if l < 0 || l > len(a) || l > len(b) {
+			return false
+		}
+		// |a| + |b| = 2*LCS + editDistance for a minimal script.
+		return len(a)+len(b) == 2*l+EditDistance(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge3NonOverlapping(t *testing.T) {
+	base := lines("1\n2\n3\n4\n5\n")
+	a := lines("1-changed\n2\n3\n4\n5\n") // change at top
+	b := lines("1\n2\n3\n4\n5-changed\n") // change at bottom
+	res := Merge3(base, a, b)
+	if res.HasConflicts() {
+		t.Fatalf("unexpected conflicts: %v", res.Conflicts)
+	}
+	want := "1-changed\n2\n3\n4\n5-changed"
+	if strings.Join(res.Lines, "\n") != want {
+		t.Errorf("merge = %q, want %q", strings.Join(res.Lines, "\n"), want)
+	}
+}
+
+func TestMerge3BothInsertDifferentPlaces(t *testing.T) {
+	base := lines("a\nb\nc\n")
+	a := lines("a\nx\nb\nc\n")
+	b := lines("a\nb\nc\ny\n")
+	res := Merge3(base, a, b)
+	if res.HasConflicts() {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+	want := "a\nx\nb\nc\ny"
+	if strings.Join(res.Lines, "\n") != want {
+		t.Errorf("merge = %q, want %q", strings.Join(res.Lines, "\n"), want)
+	}
+}
+
+func TestMerge3IdenticalChanges(t *testing.T) {
+	base := lines("a\nb\nc\n")
+	both := lines("a\nB!\nc\n")
+	res := Merge3(base, both, both)
+	if res.HasConflicts() {
+		t.Fatalf("identical changes conflicted: %v", res.Conflicts)
+	}
+	if strings.Join(res.Lines, "\n") != "a\nB!\nc" {
+		t.Errorf("merge = %v", res.Lines)
+	}
+}
+
+func TestMerge3Conflict(t *testing.T) {
+	base := lines("a\nb\nc\n")
+	oursV := lines("a\nOURS\nc\n")
+	theirsV := lines("a\nTHEIRS\nc\n")
+	res := Merge3(base, oursV, theirsV)
+	if !res.HasConflicts() {
+		t.Fatal("expected a conflict")
+	}
+	// First-component-wins: merged text carries ours.
+	if strings.Join(res.Lines, "\n") != "a\nOURS\nc" {
+		t.Errorf("merge = %v", res.Lines)
+	}
+	marks := FormatConflicts(res.Conflicts)
+	if !strings.Contains(marks, "OURS") || !strings.Contains(marks, "THEIRS") {
+		t.Errorf("conflict markers = %q", marks)
+	}
+}
+
+func TestMerge3OneSideUnchanged(t *testing.T) {
+	base := lines("a\nb\nc\n")
+	changed := lines("a\nB2\nc\nd\n")
+	res := Merge3(base, base, changed)
+	if res.HasConflicts() {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+	if strings.Join(res.Lines, "\n") != "a\nB2\nc\nd" {
+		t.Errorf("merge = %v", res.Lines)
+	}
+	// Symmetric case.
+	res = Merge3(base, changed, base)
+	if strings.Join(res.Lines, "\n") != "a\nB2\nc\nd" {
+		t.Errorf("merge (flipped) = %v", res.Lines)
+	}
+}
+
+func TestSmithWatermanExactSubstring(t *testing.T) {
+	al := SmithWaterman("xxkineticLawyy", "aakineticLawbb", DefaultScores)
+	if al.AAligned != "kineticLaw" || al.BAligned != "kineticLaw" {
+		t.Errorf("aligned = %q / %q", al.AAligned, al.BAligned)
+	}
+	if al.AStart != 2 || al.BStart != 2 {
+		t.Errorf("starts = %d %d", al.AStart, al.BStart)
+	}
+	if al.Score != 2*len("kineticLaw") {
+		t.Errorf("score = %d", al.Score)
+	}
+}
+
+func TestSmithWatermanWithGap(t *testing.T) {
+	al := SmithWaterman("ACACACTA", "AGCACACA", DefaultScores)
+	if al.Score <= 0 {
+		t.Fatal("no alignment found")
+	}
+	if len(al.AAligned) != len(al.BAligned) {
+		t.Errorf("aligned lengths differ: %q %q", al.AAligned, al.BAligned)
+	}
+}
+
+func TestSmithWatermanNoMatch(t *testing.T) {
+	al := SmithWaterman("aaaa", "bbbb", DefaultScores)
+	if al.Score != 0 {
+		t.Errorf("score = %d, want 0", al.Score)
+	}
+	al = SmithWaterman("", "abc", DefaultScores)
+	if al.Score != 0 {
+		t.Errorf("empty input score = %d", al.Score)
+	}
+}
+
+func BenchmarkDiffSimilarDocuments(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	base := randomLines(r, 400)
+	modified := mutate(r, base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Diff(base, modified)
+	}
+}

@@ -1,0 +1,157 @@
+package textdiff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Conflict marks a three-way merge region where both sides changed the same
+// base lines differently.
+type Conflict struct {
+	BaseStart int // line offset in the base where the conflict begins
+	Ours      []string
+	Theirs    []string
+}
+
+// MergeResult is the outcome of Merge3.
+type MergeResult struct {
+	Lines     []string
+	Conflicts []Conflict
+}
+
+// HasConflicts reports whether any region needed manual resolution.
+func (m MergeResult) HasConflicts() bool { return len(m.Conflicts) > 0 }
+
+// Merge3 merges two descendants of a common base, the automated counterpart
+// of interactive sdiff (§2). Non-overlapping changes combine; overlapping
+// incompatible changes are reported as conflicts with "ours" (a) chosen in
+// the merged text, mirroring the composer's first-component-wins policy.
+func Merge3(base, a, b []string) MergeResult {
+	chunksA := anchorChunks(base, a)
+	chunksB := anchorChunks(base, b)
+	var out MergeResult
+	i := 0 // position in base
+	for i <= len(base) {
+		ca, okA := chunksA[i]
+		cb, okB := chunksB[i]
+		switch {
+		case okA && okB:
+			if sameChunk(ca, cb) {
+				out.Lines = append(out.Lines, ca.replacement...)
+			} else if len(ca.replacement) == 0 && ca.baseLen == 0 {
+				// A made no change here, take B's.
+				out.Lines = append(out.Lines, cb.replacement...)
+			} else if len(cb.replacement) == 0 && cb.baseLen == 0 {
+				out.Lines = append(out.Lines, ca.replacement...)
+			} else {
+				out.Conflicts = append(out.Conflicts, Conflict{BaseStart: i, Ours: ca.replacement, Theirs: cb.replacement})
+				out.Lines = append(out.Lines, ca.replacement...) // ours wins
+			}
+			skip := max(ca.baseLen, cb.baseLen)
+			if skip == 0 {
+				if i < len(base) {
+					out.Lines = append(out.Lines, base[i])
+				}
+				i++
+			} else {
+				i += skip
+			}
+		case okA:
+			out.Lines = append(out.Lines, ca.replacement...)
+			if ca.baseLen == 0 {
+				if i < len(base) {
+					out.Lines = append(out.Lines, base[i])
+				}
+				i++
+			} else {
+				i += ca.baseLen
+			}
+		case okB:
+			out.Lines = append(out.Lines, cb.replacement...)
+			if cb.baseLen == 0 {
+				if i < len(base) {
+					out.Lines = append(out.Lines, base[i])
+				}
+				i++
+			} else {
+				i += cb.baseLen
+			}
+		default:
+			if i < len(base) {
+				out.Lines = append(out.Lines, base[i])
+			}
+			i++
+		}
+	}
+	return out
+}
+
+type chunk struct {
+	baseLen     int // lines of base consumed
+	replacement []string
+}
+
+func sameChunk(a, b chunk) bool {
+	if a.baseLen != b.baseLen || len(a.replacement) != len(b.replacement) {
+		return false
+	}
+	for i := range a.replacement {
+		if a.replacement[i] != b.replacement[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// anchorChunks converts an edit script from base to derived into a map from
+// base offset to the replacement chunk starting there.
+func anchorChunks(base, derived []string) map[int]chunk {
+	chunks := make(map[int]chunk)
+	pos := 0
+	ops := Diff(base, derived)
+	for idx := 0; idx < len(ops); idx++ {
+		op := ops[idx]
+		switch op.Kind {
+		case Equal:
+			pos += len(op.Lines)
+		case Delete:
+			c := chunk{baseLen: len(op.Lines)}
+			// A delete followed by an insert is a replacement.
+			if idx+1 < len(ops) && ops[idx+1].Kind == Insert {
+				c.replacement = ops[idx+1].Lines
+				idx++
+			}
+			chunks[pos] = c
+			pos += c.baseLen
+		case Insert:
+			chunks[pos] = chunk{baseLen: 0, replacement: op.Lines}
+		}
+	}
+	return chunks
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatConflicts renders conflicts with merge-marker syntax for logs.
+func FormatConflicts(conflicts []Conflict) string {
+	var b strings.Builder
+	for _, c := range conflicts {
+		fmt.Fprintf(&b, "<<<<<<< ours (base line %d)\n", c.BaseStart+1)
+		for _, l := range c.Ours {
+			b.WriteString(l)
+			b.WriteString("\n")
+		}
+		b.WriteString("=======\n")
+		for _, l := range c.Theirs {
+			b.WriteString(l)
+			b.WriteString("\n")
+		}
+		b.WriteString(">>>>>>> theirs\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package textdiff
+
+// Smith–Waterman local alignment over rune sequences, cited by the paper
+// (§2, [21], [13]) as the online LCS alternative used in computational
+// biology and plagiarism detection. The composer itself does not need local
+// alignment, but the evaluation tooling uses it to locate the best-matching
+// region between two SBML fragments when a whole-document diff is too
+// coarse.
+
+// Alignment is the result of a local alignment: the best-scoring pair of
+// substrings and their positions.
+type Alignment struct {
+	Score    int
+	AStart   int // rune offset in a
+	AEnd     int // exclusive
+	BStart   int // rune offset in b
+	BEnd     int // exclusive
+	AAligned string
+	BAligned string
+}
+
+// Scores parameterizes Smith–Waterman. Match must be positive and the
+// penalties negative for the algorithm to behave sensibly.
+type Scores struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScores are the classic +2/−1/−1 settings.
+var DefaultScores = Scores{Match: 2, Mismatch: -1, Gap: -1}
+
+// SmithWaterman computes the best local alignment between a and b.
+func SmithWaterman(a, b string, s Scores) Alignment {
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	if n == 0 || m == 0 {
+		return Alignment{}
+	}
+	// h[i][j] = best score of an alignment ending at a[i-1], b[j-1].
+	h := make([][]int, n+1)
+	for i := range h {
+		h[i] = make([]int, m+1)
+	}
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := s.Mismatch
+			if ra[i-1] == rb[j-1] {
+				sub = s.Match
+			}
+			v := h[i-1][j-1] + sub
+			if d := h[i-1][j] + s.Gap; d > v {
+				v = d
+			}
+			if d := h[i][j-1] + s.Gap; d > v {
+				v = d
+			}
+			if v < 0 {
+				v = 0
+			}
+			h[i][j] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return Alignment{}
+	}
+	// Traceback.
+	var alignedA, alignedB []rune
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[i][j] > 0 {
+		sub := s.Mismatch
+		if ra[i-1] == rb[j-1] {
+			sub = s.Match
+		}
+		switch {
+		case h[i][j] == h[i-1][j-1]+sub:
+			alignedA = append(alignedA, ra[i-1])
+			alignedB = append(alignedB, rb[j-1])
+			i--
+			j--
+		case h[i][j] == h[i-1][j]+s.Gap:
+			alignedA = append(alignedA, ra[i-1])
+			alignedB = append(alignedB, '-')
+			i--
+		default:
+			alignedA = append(alignedA, '-')
+			alignedB = append(alignedB, rb[j-1])
+			j--
+		}
+	}
+	reverse(alignedA)
+	reverse(alignedB)
+	return Alignment{
+		Score:    best,
+		AStart:   i,
+		AEnd:     bi,
+		BStart:   j,
+		BEnd:     bj,
+		AAligned: string(alignedA),
+		BAligned: string(alignedB),
+	}
+}
+
+func reverse(r []rune) {
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+}

@@ -1,0 +1,210 @@
+// Package trace represents simulation time series and implements the
+// paper's §4.1.3 evaluation method: pairwise comparison of traces using the
+// residual sum of squares, where "the sum of squares is close to 0 for all
+// identical species" certifies that a composed model behaves like the
+// expected model. It also provides the CSV form the evaluation tools
+// exchange.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Trace is a time series of named quantities sampled at increasing times.
+type Trace struct {
+	// Names labels the value columns (species ids).
+	Names []string
+	// Times holds the sample instants, strictly increasing.
+	Times []float64
+	// Values holds one row per time, one column per name.
+	Values [][]float64
+}
+
+// New returns an empty trace over the given column names.
+func New(names []string) *Trace {
+	return &Trace{Names: append([]string(nil), names...)}
+}
+
+// Append adds a sample row. The row is copied.
+func (t *Trace) Append(time float64, row []float64) error {
+	if len(row) != len(t.Names) {
+		return fmt.Errorf("trace: row has %d values, trace has %d columns", len(row), len(t.Names))
+	}
+	if n := len(t.Times); n > 0 && time <= t.Times[n-1] {
+		return fmt.Errorf("trace: time %g not after %g", time, t.Times[n-1])
+	}
+	t.Times = append(t.Times, time)
+	t.Values = append(t.Values, append([]float64(nil), row...))
+	return nil
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Column returns the index of the named column, or -1.
+func (t *Trace) Column(name string) int {
+	for i, n := range t.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Series extracts one column as a slice aligned with Times.
+func (t *Trace) Series(name string) ([]float64, error) {
+	col := t.Column(name)
+	if col < 0 {
+		return nil, fmt.Errorf("trace: no column %q", name)
+	}
+	out := make([]float64, t.Len())
+	for i, row := range t.Values {
+		out[i] = row[col]
+	}
+	return out, nil
+}
+
+// At linearly interpolates the named column at the given time; times before
+// the first or after the last sample clamp to the boundary values.
+func (t *Trace) At(name string, time float64) (float64, error) {
+	col := t.Column(name)
+	if col < 0 {
+		return 0, fmt.Errorf("trace: no column %q", name)
+	}
+	if t.Len() == 0 {
+		return 0, fmt.Errorf("trace: empty")
+	}
+	if time <= t.Times[0] {
+		return t.Values[0][col], nil
+	}
+	last := t.Len() - 1
+	if time >= t.Times[last] {
+		return t.Values[last][col], nil
+	}
+	i := sort.SearchFloat64s(t.Times, time)
+	// Times[i-1] < time <= Times[i]
+	t0, t1 := t.Times[i-1], t.Times[i]
+	v0, v1 := t.Values[i-1][col], t.Values[i][col]
+	frac := (time - t0) / (t1 - t0)
+	return v0 + frac*(v1-v0), nil
+}
+
+// RSS computes the residual sum of squares between the two traces for each
+// named species, resampling b onto a's time grid by linear interpolation.
+// Empty species selects every column of a that also exists in b.
+func RSS(a, b *Trace, species []string) (map[string]float64, error) {
+	if len(species) == 0 {
+		for _, n := range a.Names {
+			if b.Column(n) >= 0 {
+				species = append(species, n)
+			}
+		}
+	}
+	if len(species) == 0 {
+		return nil, fmt.Errorf("trace: no common species to compare")
+	}
+	out := make(map[string]float64, len(species))
+	for _, name := range species {
+		sa, err := a.Series(name)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for i, tm := range a.Times {
+			vb, err := b.At(name, tm)
+			if err != nil {
+				return nil, err
+			}
+			d := sa[i] - vb
+			sum += d * d
+		}
+		out[name] = sum
+	}
+	return out, nil
+}
+
+// TotalRSS sums RSS over the selected species.
+func TotalRSS(a, b *Trace, species []string) (float64, error) {
+	per, err := RSS(a, b, species)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	return sum, nil
+}
+
+// Equivalent reports whether every per-species RSS is below tol; the
+// §4.1.3 acceptance test.
+func Equivalent(a, b *Trace, tol float64) (bool, error) {
+	per, err := RSS(a, b, nil)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range per {
+		if v > tol || math.IsNaN(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WriteCSV emits the trace with a "time" column first.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, t.Names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, tm := range t.Times {
+		row[0] = strconv.FormatFloat(tm, 'g', -1, 64)
+		for j, v := range t.Values[i] {
+			row[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the format WriteCSV produces.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(records) == 0 || len(records[0]) < 2 || records[0][0] != "time" {
+		return nil, fmt.Errorf("trace: bad header")
+	}
+	t := New(records[0][1:])
+	for lineNo, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", lineNo+2, len(rec), len(records[0]))
+		}
+		tm, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", lineNo+2, err)
+		}
+		row := make([]float64, len(rec)-1)
+		for j, f := range rec[1:] {
+			if row[j], err = strconv.ParseFloat(f, 64); err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", lineNo+2, j+1, err)
+			}
+		}
+		if err := t.Append(tm, row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

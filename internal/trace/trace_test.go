@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, times []float64, a, b []float64) *Trace {
+	t.Helper()
+	tr := New([]string{"A", "B"})
+	for i, tm := range times {
+		if err := tr.Append(tm, []float64{a[i], b[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := New([]string{"A"})
+	if err := tr.Append(0, []float64{1, 2}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := tr.Append(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(1, []float64{2}); err == nil {
+		t.Error("non-increasing time should fail")
+	}
+	if err := tr.Append(0.5, []float64{2}); err == nil {
+		t.Error("decreasing time should fail")
+	}
+}
+
+func TestSeriesAndColumn(t *testing.T) {
+	tr := mk(t, []float64{0, 1, 2}, []float64{1, 2, 3}, []float64{9, 8, 7})
+	s, err := tr.Series("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 9 || s[2] != 7 {
+		t.Errorf("series = %v", s)
+	}
+	if _, err := tr.Series("missing"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if tr.Column("A") != 0 || tr.Column("zz") != -1 {
+		t.Error("column lookup wrong")
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	tr := mk(t, []float64{0, 2}, []float64{0, 10}, []float64{5, 5})
+	v, err := tr.At("A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("At(A,1) = %g, want 5 (midpoint)", v)
+	}
+	// Clamping.
+	if v, _ := tr.At("A", -3); v != 0 {
+		t.Errorf("clamp low = %g", v)
+	}
+	if v, _ := tr.At("A", 99); v != 10 {
+		t.Errorf("clamp high = %g", v)
+	}
+	// Exact sample point.
+	if v, _ := tr.At("A", 2); v != 10 {
+		t.Errorf("At exact = %g", v)
+	}
+}
+
+func TestRSSIdenticalIsZero(t *testing.T) {
+	tr := mk(t, []float64{0, 1, 2}, []float64{1, 2, 3}, []float64{4, 5, 6})
+	per, err := RSS(tr, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range per {
+		if v != 0 {
+			t.Errorf("RSS[%s] = %g, want 0", name, v)
+		}
+	}
+	eq, err := Equivalent(tr, tr, 1e-9)
+	if err != nil || !eq {
+		t.Errorf("identical traces not equivalent: %v %v", eq, err)
+	}
+}
+
+func TestRSSKnownValue(t *testing.T) {
+	a := mk(t, []float64{0, 1}, []float64{0, 0}, []float64{0, 0})
+	b := mk(t, []float64{0, 1}, []float64{1, 1}, []float64{0, 2})
+	per, err := RSS(a, b, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per["A"] != 2 { // (0-1)² + (0-1)²
+		t.Errorf("RSS[A] = %g, want 2", per["A"])
+	}
+	if per["B"] != 4 { // 0² + 2²
+		t.Errorf("RSS[B] = %g, want 4", per["B"])
+	}
+	total, err := TotalRSS(a, b, nil)
+	if err != nil || total != 6 {
+		t.Errorf("total = %g err=%v", total, err)
+	}
+	eq, _ := Equivalent(a, b, 1e-9)
+	if eq {
+		t.Error("different traces reported equivalent")
+	}
+}
+
+func TestRSSDifferentGrids(t *testing.T) {
+	// b sampled twice as densely; same underlying line → RSS 0.
+	a := mk(t, []float64{0, 2, 4}, []float64{0, 2, 4}, []float64{0, 0, 0})
+	b := New([]string{"A", "B"})
+	for _, tm := range []float64{0, 1, 2, 3, 4} {
+		_ = b.Append(tm, []float64{tm, 0})
+	}
+	per, err := RSS(a, b, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per["A"] > 1e-18 {
+		t.Errorf("RSS over same line = %g", per["A"])
+	}
+}
+
+func TestRSSNoCommonSpecies(t *testing.T) {
+	a := New([]string{"A"})
+	b := New([]string{"B"})
+	_ = a.Append(0, []float64{1})
+	_ = b.Append(0, []float64{1})
+	if _, err := RSS(a, b, nil); err == nil {
+		t.Error("no common species should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mk(t, []float64{0, 0.5, 1.75}, []float64{1, 2.25, 3e-7}, []float64{4, 5, 6})
+	var buf strings.Builder
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if back.Len() != tr.Len() || len(back.Names) != 2 {
+		t.Fatalf("shape = %d×%d", back.Len(), len(back.Names))
+	}
+	for i := range tr.Times {
+		if tr.Times[i] != back.Times[i] {
+			t.Errorf("time[%d] = %g vs %g", i, tr.Times[i], back.Times[i])
+		}
+		for j := range tr.Names {
+			if tr.Values[i][j] != back.Values[i][j] {
+				t.Errorf("value[%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x,A\n1,2\n",         // wrong header
+		"time,A\nnope,2\n",   // bad time
+		"time,A\n1,zz\n",     // bad value
+		"time,A\n2,1\n1,1\n", // decreasing time
+	}
+	for _, doc := range bad {
+		if _, err := ReadCSV(strings.NewReader(doc)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded", doc)
+		}
+	}
+}
+
+func TestQuickRSSSymmetricOnSameGrid(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		if len(vals) > 20 {
+			vals = vals[:20]
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip degenerate inputs
+			}
+		}
+		a := New([]string{"X"})
+		b := New([]string{"X"})
+		for i, v := range vals {
+			_ = a.Append(float64(i), []float64{v})
+			_ = b.Append(float64(i), []float64{-v})
+		}
+		r1, err1 := TotalRSS(a, b, nil)
+		r2, err2 := TotalRSS(b, a, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1-r2) <= 1e-9*math.Max(1, math.Abs(r1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package treediff implements the tree-to-tree correction methods the paper
+// builds on (§2, [22][24][25]) and the SBML-aware document comparison its
+// evaluation needs (§4.1.1): the paper found generic XML differencers
+// unusable because they treat element order as globally significant or
+// globally insignificant, while "for SBML the order of components is
+// relevant in some cases but irrelevant in others".
+//
+// Three tools are provided:
+//
+//   - EditDistance: the Zhang–Shasha ordered tree edit distance (the classic
+//     solution to Tai's tree-to-tree correction problem),
+//   - EqualUnordered: X-Diff-style comparison via bottom-up subtree
+//     signatures with sorted child multisets, and
+//   - CompareSBML: a structural comparison that treats SBML listOf*
+//     containers as unordered and everything else (notably MathML operand
+//     lists) as ordered, reporting the location of each difference.
+package treediff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sbmlcompose/internal/xmltree"
+)
+
+// label gives the comparison label of a node: element name plus sorted
+// attributes, or the trimmed text.
+func label(n *xmltree.Node) string {
+	if n.Kind != xmltree.Element {
+		return "#text:" + strings.TrimSpace(n.Text)
+	}
+	attrs := make([]string, 0, len(n.Attrs))
+	for _, a := range n.Attrs {
+		attrs = append(attrs, a.Name+"="+a.Value)
+	}
+	sort.Strings(attrs)
+	return n.Name + "[" + strings.Join(attrs, ",") + "]"
+}
+
+// comparable children: comments are skipped everywhere.
+func childNodes(n *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Comment {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// --- Zhang–Shasha ordered tree edit distance ---
+
+type zsTree struct {
+	labels []string // postorder
+	lld    []int    // leftmost leaf descendant, postorder indices
+	keyr   []int    // keyroots
+}
+
+func buildZS(root *xmltree.Node) *zsTree {
+	t := &zsTree{}
+	var post func(n *xmltree.Node) int // returns postorder index of n
+	post = func(n *xmltree.Node) int {
+		children := childNodes(n)
+		first := -1
+		for _, c := range children {
+			ci := post(c)
+			if first == -1 {
+				first = t.lld[ci]
+			}
+		}
+		idx := len(t.labels)
+		t.labels = append(t.labels, label(n))
+		if first == -1 {
+			t.lld = append(t.lld, idx)
+		} else {
+			t.lld = append(t.lld, first)
+		}
+		return idx
+	}
+	post(root)
+	// Keyroots: nodes with no left sibling on the path to the root, i.e.
+	// the highest node for each distinct leftmost-leaf value.
+	seen := make(map[int]int)
+	for i := range t.labels {
+		seen[t.lld[i]] = i
+	}
+	for _, i := range seen {
+		t.keyr = append(t.keyr, i)
+	}
+	sort.Ints(t.keyr)
+	return t
+}
+
+// EditDistance returns the Zhang–Shasha edit distance between two XML trees
+// with unit costs for insert, delete and relabel.
+func EditDistance(a, b *xmltree.Node) int {
+	ta, tb := buildZS(a), buildZS(b)
+	n, m := len(ta.labels), len(tb.labels)
+	td := make([][]int, n)
+	for i := range td {
+		td[i] = make([]int, m)
+	}
+	fd := make([][]int, n+1)
+	for i := range fd {
+		fd[i] = make([]int, m+1)
+	}
+	for _, i := range ta.keyr {
+		for _, j := range tb.keyr {
+			li, lj := ta.lld[i], tb.lld[j]
+			fd[li][lj] = 0
+			for di := li; di <= i; di++ {
+				fd[di+1][lj] = fd[di][lj] + 1
+			}
+			for dj := lj; dj <= j; dj++ {
+				fd[li][dj+1] = fd[li][dj] + 1
+			}
+			for di := li; di <= i; di++ {
+				for dj := lj; dj <= j; dj++ {
+					if ta.lld[di] == li && tb.lld[dj] == lj {
+						rename := 0
+						if ta.labels[di] != tb.labels[dj] {
+							rename = 1
+						}
+						fd[di+1][dj+1] = min3(
+							fd[di][dj+1]+1,
+							fd[di+1][dj]+1,
+							fd[di][dj]+rename,
+						)
+						td[di][dj] = fd[di+1][dj+1]
+					} else {
+						fd[di+1][dj+1] = min3(
+							fd[di][dj+1]+1,
+							fd[di+1][dj]+1,
+							fd[ta.lld[di]][tb.lld[dj]]+td[di][dj],
+						)
+					}
+				}
+			}
+		}
+	}
+	return td[n-1][m-1]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// --- unordered signature comparison (X-Diff style) ---
+
+// Signature returns a canonical string for the subtree rooted at n in which
+// every element's children are sorted by their own signatures, so two trees
+// equal up to sibling reordering share a signature.
+func Signature(n *xmltree.Node) string {
+	var b strings.Builder
+	writeSignature(&b, n)
+	return b.String()
+}
+
+func writeSignature(b *strings.Builder, n *xmltree.Node) {
+	b.WriteString("(")
+	b.WriteString(label(n))
+	children := childNodes(n)
+	sigs := make([]string, len(children))
+	for i, c := range children {
+		sigs[i] = Signature(c)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		b.WriteString(s)
+	}
+	b.WriteString(")")
+}
+
+// EqualUnordered reports whether a and b are equal when sibling order is
+// ignored at every level.
+func EqualUnordered(a, b *xmltree.Node) bool {
+	return Signature(a) == Signature(b)
+}
+
+// --- SBML-aware comparison ---
+
+// Difference is one discrepancy found by CompareSBML.
+type Difference struct {
+	// Path locates the enclosing element, e.g.
+	// "sbml/model/listOfSpecies".
+	Path string
+	// Kind is "missing" (in A only), "extra" (in B only) or "changed".
+	Kind string
+	// Detail describes the differing node.
+	Detail string
+}
+
+func (d Difference) String() string {
+	return fmt.Sprintf("%s at %s: %s", d.Kind, d.Path, d.Detail)
+}
+
+// orderInsensitive reports whether the children of an SBML element may be
+// compared as a multiset. All listOf* containers are unordered in SBML
+// semantics except listOfRules: rules can feed one another, so the paper's
+// "order relevant in some cases" caveat applies there.
+func orderInsensitive(name string) bool {
+	if name == "listOfRules" {
+		return false
+	}
+	return strings.HasPrefix(name, "listOf")
+}
+
+// CompareSBML structurally compares two SBML documents with SBML order
+// semantics and returns every difference. A nil result means the documents
+// are semantically identical up to permitted reordering.
+func CompareSBML(a, b *xmltree.Node) []Difference {
+	var diffs []Difference
+	compareNodes(a, b, a.Name, &diffs)
+	return diffs
+}
+
+func compareNodes(a, b *xmltree.Node, path string, diffs *[]Difference) {
+	if label(a) != label(b) {
+		*diffs = append(*diffs, Difference{Path: path, Kind: "changed",
+			Detail: fmt.Sprintf("%s vs %s", label(a), label(b))})
+		return
+	}
+	ca, cb := childNodes(a), childNodes(b)
+	if a.Kind == xmltree.Element && orderInsensitive(a.Name) {
+		compareUnorderedChildren(ca, cb, path, diffs)
+		return
+	}
+	// Ordered: walk pairwise; length mismatches become missing/extra.
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	for i := 0; i < n; i++ {
+		compareNodes(ca[i], cb[i], path+"/"+childName(ca[i]), diffs)
+	}
+	for _, c := range ca[n:] {
+		*diffs = append(*diffs, Difference{Path: path, Kind: "missing", Detail: describe(c)})
+	}
+	for _, c := range cb[n:] {
+		*diffs = append(*diffs, Difference{Path: path, Kind: "extra", Detail: describe(c)})
+	}
+}
+
+func compareUnorderedChildren(ca, cb []*xmltree.Node, path string, diffs *[]Difference) {
+	// Match children by identity key first (id/symbol/variable/species
+	// attribute), recursing into matched pairs; fall back to full-signature
+	// matching for anonymous nodes.
+	keyOf := func(n *xmltree.Node) string {
+		if n.Kind != xmltree.Element {
+			return ""
+		}
+		for _, attr := range []string{"id", "symbol", "variable", "species"} {
+			if v := n.Attr(attr); v != "" {
+				return n.Name + ":" + attr + "=" + v
+			}
+		}
+		return ""
+	}
+	usedB := make([]bool, len(cb))
+	byKey := make(map[string][]int)
+	for j, c := range cb {
+		if k := keyOf(c); k != "" {
+			byKey[k] = append(byKey[k], j)
+		}
+	}
+	var anonymousA []*xmltree.Node
+	for _, c := range ca {
+		k := keyOf(c)
+		if k == "" {
+			anonymousA = append(anonymousA, c)
+			continue
+		}
+		matched := false
+		for _, j := range byKey[k] {
+			if !usedB[j] {
+				usedB[j] = true
+				compareNodes(c, cb[j], path+"/"+childName(c), diffs)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			*diffs = append(*diffs, Difference{Path: path, Kind: "missing", Detail: describe(c)})
+		}
+	}
+	// Anonymous nodes match by signature multiset.
+	sigUsed := make([]bool, len(cb))
+	for j := range cb {
+		sigUsed[j] = usedB[j]
+	}
+	for _, c := range anonymousA {
+		sig := Signature(c)
+		matched := false
+		for j, cbn := range cb {
+			if sigUsed[j] || keyOf(cbn) != "" {
+				continue
+			}
+			if Signature(cbn) == sig {
+				sigUsed[j] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			*diffs = append(*diffs, Difference{Path: path, Kind: "missing", Detail: describe(c)})
+		}
+	}
+	for j, c := range cb {
+		if !sigUsed[j] {
+			*diffs = append(*diffs, Difference{Path: path, Kind: "extra", Detail: describe(c)})
+		}
+	}
+}
+
+func childName(n *xmltree.Node) string {
+	if n.Kind == xmltree.Element {
+		return n.Name
+	}
+	return "#text"
+}
+
+func describe(n *xmltree.Node) string {
+	if n.Kind != xmltree.Element {
+		return "#text " + strings.TrimSpace(n.Text)
+	}
+	if id := n.Attr("id"); id != "" {
+		return fmt.Sprintf("<%s id=%q>", n.Name, id)
+	}
+	return "<" + n.Name + ">"
+}

@@ -1,0 +1,271 @@
+package treediff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbmlcompose/internal/xmltree"
+)
+
+func parse(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return n
+}
+
+func TestEditDistanceIdentical(t *testing.T) {
+	a := parse(t, `<m><s id="A"/><s id="B"/></m>`)
+	if d := EditDistance(a, a); d != 0 {
+		t.Errorf("distance to self = %d", d)
+	}
+}
+
+func TestEditDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{`<m/>`, `<m/>`, 0},
+		{`<m/>`, `<x/>`, 1},                       // relabel root
+		{`<m><a/></m>`, `<m/>`, 1},                // delete leaf
+		{`<m/>`, `<m><a/></m>`, 1},                // insert leaf
+		{`<m><a/><b/></m>`, `<m><b/><a/></m>`, 2}, // ordered: swap costs 2
+		{`<m><a/></m>`, `<m><b/></m>`, 1},         // relabel leaf
+		{`<m><a><x/></a></m>`, `<m><x/></m>`, 1},  // delete interior node
+	}
+	for _, tc := range cases {
+		a, b := parse(t, tc.a), parse(t, tc.b)
+		if d := EditDistance(a, b); d != tc.want {
+			t.Errorf("EditDistance(%s, %s) = %d, want %d", tc.a, tc.b, d, tc.want)
+		}
+	}
+}
+
+func TestEditDistanceAttributesInLabel(t *testing.T) {
+	a := parse(t, `<s id="A" name="x"/>`)
+	b := parse(t, `<s name="x" id="A"/>`)
+	if d := EditDistance(a, b); d != 0 {
+		t.Errorf("attribute order should not matter: %d", d)
+	}
+	c := parse(t, `<s id="B" name="x"/>`)
+	if d := EditDistance(a, c); d != 1 {
+		t.Errorf("attribute change = %d, want 1", d)
+	}
+}
+
+func TestQuickEditDistanceMetric(t *testing.T) {
+	var gen func(r *rand.Rand, depth int) *xmltree.Node
+	gen = func(r *rand.Rand, depth int) *xmltree.Node {
+		names := []string{"a", "b", "c"}
+		n := xmltree.NewElement(names[r.Intn(len(names))])
+		if depth > 0 {
+			for i := 0; i < r.Intn(3); i++ {
+				n.AppendChild(gen(r, depth-1))
+			}
+		}
+		return n
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := gen(r, 3)
+		b := gen(r, 3)
+		c := gen(r, 3)
+		dab, dba := EditDistance(a, b), EditDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		return EditDistance(a, c) <= dab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualUnordered(t *testing.T) {
+	a := parse(t, `<l><s id="A"/><s id="B"/></l>`)
+	b := parse(t, `<l><s id="B"/><s id="A"/></l>`)
+	if !EqualUnordered(a, b) {
+		t.Error("reordered siblings should be unordered-equal")
+	}
+	c := parse(t, `<l><s id="A"/><s id="C"/></l>`)
+	if EqualUnordered(a, c) {
+		t.Error("different content must not be equal")
+	}
+	// Nested reorder.
+	d := parse(t, `<m><l><x/><y/></l><k/></m>`)
+	e := parse(t, `<m><k/><l><y/><x/></l></m>`)
+	if !EqualUnordered(d, e) {
+		t.Error("nested reorder should be unordered-equal")
+	}
+	// Multiset semantics: duplicates count.
+	f := parse(t, `<l><s id="A"/><s id="A"/></l>`)
+	g := parse(t, `<l><s id="A"/></l>`)
+	if EqualUnordered(f, g) {
+		t.Error("different multiplicities must not be equal")
+	}
+}
+
+const docA = `<sbml><model id="m">
+  <listOfSpecies>
+    <species id="A" compartment="c"/>
+    <species id="B" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+
+func TestCompareSBMLEqualUpToListOrder(t *testing.T) {
+	reordered := `<sbml><model id="m">
+  <listOfSpecies>
+    <species id="B" compartment="c"/>
+    <species id="A" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+	diffs := CompareSBML(parse(t, docA), parse(t, reordered))
+	if len(diffs) != 0 {
+		t.Errorf("reordered species should compare equal, got %v", diffs)
+	}
+}
+
+func TestCompareSBMLDetectsMissing(t *testing.T) {
+	smaller := `<sbml><model id="m">
+  <listOfSpecies>
+    <species id="A" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+	diffs := CompareSBML(parse(t, docA), parse(t, smaller))
+	if len(diffs) != 1 || diffs[0].Kind != "missing" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if got := diffs[0].String(); got == "" {
+		t.Error("empty difference description")
+	}
+}
+
+func TestCompareSBMLDetectsChangedAttribute(t *testing.T) {
+	changed := `<sbml><model id="m">
+  <listOfSpecies>
+    <species id="A" compartment="nucleus"/>
+    <species id="B" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+	diffs := CompareSBML(parse(t, docA), parse(t, changed))
+	if len(diffs) != 1 || diffs[0].Kind != "changed" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestCompareSBMLMathOrderMatters(t *testing.T) {
+	// a-b vs b-a inside math must be reported even though the enclosing
+	// lists are unordered.
+	mk := func(first, second string) string {
+		return `<sbml><model id="m"><listOfRules><rateRule variable="x">
+  <math><apply><minus/><ci>` + first + `</ci><ci>` + second + `</ci></apply></math>
+</rateRule></listOfRules></model></sbml>`
+	}
+	diffs := CompareSBML(parse(t, mk("a", "b")), parse(t, mk("b", "a")))
+	if len(diffs) == 0 {
+		t.Error("operand order change inside math must be detected")
+	}
+}
+
+func TestCompareSBMLRulesOrderMatters(t *testing.T) {
+	mk := func(first, second string) string {
+		return `<sbml><model id="m"><listOfRules>
+  <assignmentRule variable="` + first + `"><math><cn>1</cn></math></assignmentRule>
+  <assignmentRule variable="` + second + `"><math><cn>1</cn></math></assignmentRule>
+</listOfRules></model></sbml>`
+	}
+	diffs := CompareSBML(parse(t, mk("x", "y")), parse(t, mk("y", "x")))
+	if len(diffs) == 0 {
+		t.Error("rule order is significant and must be detected")
+	}
+}
+
+func TestCompareSBMLExtraComponent(t *testing.T) {
+	bigger := `<sbml><model id="m">
+  <listOfSpecies>
+    <species id="A" compartment="c"/>
+    <species id="B" compartment="c"/>
+    <species id="C" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+	diffs := CompareSBML(parse(t, docA), parse(t, bigger))
+	if len(diffs) != 1 || diffs[0].Kind != "extra" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestCompareSBMLIgnoresComments(t *testing.T) {
+	commented := `<sbml><model id="m">
+  <listOfSpecies>
+    <!-- a helpful note -->
+    <species id="A" compartment="c"/>
+    <species id="B" compartment="c"/>
+  </listOfSpecies>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+    </reaction>
+  </listOfReactions>
+</model></sbml>`
+	if diffs := CompareSBML(parse(t, docA), parse(t, commented)); len(diffs) != 0 {
+		t.Errorf("comments should be ignored: %v", diffs)
+	}
+}
+
+func TestQuickUnorderedEqualInvariantUnderShuffle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := xmltree.NewElement("listOfSpecies")
+		for i := 0; i < 2+r.Intn(6); i++ {
+			c := xmltree.NewElement("species")
+			c.SetAttr("id", string(rune('A'+i)))
+			n.AppendChild(c)
+		}
+		shuffled := n.Clone()
+		r.Shuffle(len(shuffled.Children), func(i, j int) {
+			shuffled.Children[i], shuffled.Children[j] = shuffled.Children[j], shuffled.Children[i]
+		})
+		return EqualUnordered(n, shuffled) && len(CompareSBML(n, shuffled)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

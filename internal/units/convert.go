@@ -1,0 +1,88 @@
+package units
+
+import "fmt"
+
+// This file implements the paper's Figure 6: converting reaction rate
+// constants between a concentration (moles-per-litre) formulation and a
+// discrete molecule-count formulation. The conversion depends on reaction
+// order because the rate law's dimensionality changes with each
+// concentration factor:
+//
+//	Zeroth order  0 → X     rate k M·s⁻¹       c = nA·k·V   molecules/s
+//	First order   X → ?     rate k[X] M·s⁻¹    c = k        per second
+//	Second order  X+Y → ?   rate k[X][Y]       c = k/(nA·V) per molecule per second
+//
+// where nA is Avogadro's constant and V the compartment volume in litres.
+
+// SubstanceBasis says how a model quantifies species amounts.
+type SubstanceBasis int
+
+const (
+	// Moles means concentrations in mol/L (deterministic models).
+	Moles SubstanceBasis = iota
+	// Molecules means discrete counts (stochastic models).
+	Molecules
+)
+
+// String returns the basis name.
+func (b SubstanceBasis) String() string {
+	if b == Molecules {
+		return "molecules"
+	}
+	return "moles"
+}
+
+// RateConversion describes a rate-constant conversion performed by the
+// composer while resolving a unit conflict; it is recorded in the
+// composition log.
+type RateConversion struct {
+	Order    int
+	From, To SubstanceBasis
+	VolumeL  float64
+	In, Out  float64
+}
+
+// ConvertRateConstant converts the rate constant k of a reaction of the
+// given order (0, 1 or 2) between substance bases, for a compartment of
+// volume volumeL litres. First-order constants are basis-independent
+// (Figure 6: "the number of molecules is cx/s, c = k").
+func ConvertRateConstant(order int, k float64, from, to SubstanceBasis, volumeL float64) (float64, error) {
+	if from == to {
+		return k, nil
+	}
+	if volumeL <= 0 {
+		return 0, fmt.Errorf("units: rate conversion needs positive volume, got %g", volumeL)
+	}
+	switch order {
+	case 0:
+		// moles: k M/s  → molecules: nA·k·V molecules/s
+		if from == Moles {
+			return Avogadro * k * volumeL, nil
+		}
+		return k / (Avogadro * volumeL), nil
+	case 1:
+		return k, nil
+	case 2:
+		// moles: k /(M·s) → molecules: k/(nA·V) per molecule per second
+		if from == Moles {
+			return k / (Avogadro * volumeL), nil
+		}
+		return k * Avogadro * volumeL, nil
+	default:
+		return 0, fmt.Errorf("units: unsupported reaction order %d (Figure 6 covers 0, 1, 2)", order)
+	}
+}
+
+// ConcentrationToCount converts a concentration in mol/L to a molecule count
+// for a compartment of volumeL litres: x = nA·[X]·V.
+func ConcentrationToCount(conc, volumeL float64) float64 {
+	return Avogadro * conc * volumeL
+}
+
+// CountToConcentration converts a molecule count to mol/L.
+func CountToConcentration(count, volumeL float64) (float64, error) {
+	if volumeL <= 0 {
+		return 0, fmt.Errorf("units: conversion needs positive volume, got %g", volumeL)
+	}
+	return count / (Avogadro * volumeL), nil
+}

@@ -1,0 +1,60 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVectorString(t *testing.T) {
+	v, err := Litre.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.String()
+	if !strings.Contains(s, "m^3") || !strings.Contains(s, "0.001") {
+		t.Errorf("litre vector = %q", s)
+	}
+	dimless, err := (Definition{ID: "d", Units: []Unit{NewUnit("dimensionless")}}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dimless.String(); got != "1" {
+		t.Errorf("dimensionless vector = %q", got)
+	}
+	second, _ := (Definition{ID: "s", Units: []Unit{NewUnit("second")}}).Canonical()
+	if got := second.String(); got != "s" {
+		t.Errorf("second vector = %q", got)
+	}
+}
+
+func TestSubstanceBasisString(t *testing.T) {
+	if Moles.String() != "moles" || Molecules.String() != "molecules" {
+		t.Error("basis names wrong")
+	}
+}
+
+func TestDimensionErrorMessage(t *testing.T) {
+	_, err := ConversionFactor(Litre, PerSecond)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "incompatible dimensions") {
+		t.Errorf("error = %q", err)
+	}
+}
+
+func TestSameDimensionErrorPropagation(t *testing.T) {
+	bad := Definition{ID: "bad", Units: []Unit{NewUnit("wibbles")}}
+	if _, err := SameDimension(bad, Litre); err == nil {
+		t.Error("unknown kind on left should error")
+	}
+	if _, err := SameDimension(Litre, bad); err == nil {
+		t.Error("unknown kind on right should error")
+	}
+	if _, err := ConversionFactor(Litre, bad); err == nil {
+		t.Error("unknown kind in ConversionFactor should error")
+	}
+	if _, err := Equivalent(bad, Litre); err == nil {
+		t.Error("unknown kind in Equivalent should error")
+	}
+}

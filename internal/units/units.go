@@ -1,0 +1,265 @@
+// Package units implements the SBML unit system: base units, composite unit
+// definitions, dimensional analysis, equivalence testing and conversion
+// factors. It also implements the paper's Figure 6: converting reaction rate
+// constants between mole-based and molecule-based substance units for
+// zeroth-, first- and second-order kinetics, which the composer uses to
+// resolve conflicts between models that quantify the same species in
+// different units.
+package units
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Avogadro is Avogadro's constant in molecules per mole (2019 SI exact
+// value; the paper quotes 6.022×10²³).
+const Avogadro = 6.02214076e23
+
+// Unit is one factor of a composite unit definition, following the SBML
+// schema: the represented quantity is (Multiplier × 10^Scale × Kind)^Exponent.
+type Unit struct {
+	Kind       string  // an SBML base unit name, e.g. "mole", "litre", "second"
+	Exponent   int     // defaults to 1
+	Scale      int     // power-of-ten prefix, e.g. -3 for milli
+	Multiplier float64 // defaults to 1
+}
+
+// NewUnit returns a Unit of the given kind with exponent 1, scale 0 and
+// multiplier 1.
+func NewUnit(kind string) Unit {
+	return Unit{Kind: kind, Exponent: 1, Multiplier: 1}
+}
+
+// Definition is a named composite unit: the product of its Units.
+type Definition struct {
+	ID    string
+	Name  string
+	Units []Unit
+}
+
+// dimension indexes for the SI-style base vector. SBML's "item" (counts of
+// molecules) and "mole" are distinct substance dimensions in the schema but
+// share the substance axis here with a numeric factor of Avogadro between
+// them, which is exactly what Figure 6 exploits.
+const (
+	dimMetre = iota
+	dimKilogram
+	dimSecond
+	dimAmpere
+	dimKelvin
+	dimSubstance // mole / item
+	dimCandela
+	dimRadian
+	numDims
+)
+
+var dimNames = [numDims]string{"m", "kg", "s", "A", "K", "mol", "cd", "rad"}
+
+// Vector is a dimension vector with an overall scale factor. Two quantities
+// are dimensionally compatible iff their Dims are equal; they are the *same*
+// unit iff Factor is also equal.
+type Vector struct {
+	Dims   [numDims]int
+	Factor float64
+}
+
+// baseExpansion expands each supported SBML base-unit kind into its
+// dimension vector and SI factor.
+var baseExpansion = map[string]Vector{
+	"dimensionless": {Factor: 1},
+	"metre":         unitVec(dimMetre, 1),
+	"meter":         unitVec(dimMetre, 1),
+	"kilogram":      unitVec(dimKilogram, 1),
+	"gram":          scaled(unitVec(dimKilogram, 1), 1e-3),
+	"second":        unitVec(dimSecond, 1),
+	"ampere":        unitVec(dimAmpere, 1),
+	"kelvin":        unitVec(dimKelvin, 1),
+	"candela":       unitVec(dimCandela, 1),
+	"radian":        unitVec(dimRadian, 1),
+	"steradian":     scaled(unitVec(dimRadian, 2), 1),
+	"mole":          scaled(unitVec(dimSubstance, 1), Avogadro), // substance measured in items
+	"item":          unitVec(dimSubstance, 1),
+	"litre":         scaled(unitVec(dimMetre, 3), 1e-3),
+	"liter":         scaled(unitVec(dimMetre, 3), 1e-3),
+	"hertz":         unitVec(dimSecond, -1),
+	"becquerel":     unitVec(dimSecond, -1),
+	"newton":        {Dims: dims(dimKilogram, 1, dimMetre, 1, dimSecond, -2), Factor: 1},
+	"pascal":        {Dims: dims(dimKilogram, 1, dimMetre, -1, dimSecond, -2), Factor: 1},
+	"joule":         {Dims: dims(dimKilogram, 1, dimMetre, 2, dimSecond, -2), Factor: 1},
+	"watt":          {Dims: dims(dimKilogram, 1, dimMetre, 2, dimSecond, -3), Factor: 1},
+	"coulomb":       {Dims: dims(dimAmpere, 1, dimSecond, 1), Factor: 1},
+	"volt":          {Dims: dims(dimKilogram, 1, dimMetre, 2, dimSecond, -3, dimAmpere, -1), Factor: 1},
+	"katal":         {Dims: dims(dimSubstance, 1, dimSecond, -1), Factor: Avogadro},
+	"lumen":         unitVec(dimCandela, 1),
+	"lux":           {Dims: dims(dimCandela, 1, dimMetre, -2), Factor: 1},
+}
+
+func unitVec(dim, exp int) Vector {
+	var v Vector
+	v.Dims[dim] = exp
+	v.Factor = 1
+	return v
+}
+
+func scaled(v Vector, f float64) Vector {
+	v.Factor *= f
+	return v
+}
+
+func dims(pairs ...int) [numDims]int {
+	var d [numDims]int
+	for i := 0; i+1 < len(pairs); i += 2 {
+		d[pairs[i]] = pairs[i+1]
+	}
+	return d
+}
+
+// KnownKinds returns the sorted list of base unit kinds this package
+// understands; this is the "list of known units" the paper says unit
+// definitions are compared against.
+func KnownKinds() []string {
+	kinds := make([]string, 0, len(baseExpansion))
+	for k := range baseExpansion {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// IsKnownKind reports whether kind is a recognized SBML base unit.
+func IsKnownKind(kind string) bool {
+	_, ok := baseExpansion[strings.ToLower(kind)]
+	return ok
+}
+
+// Canonical reduces a unit definition to its dimension vector. Definitions
+// with unknown base kinds return an error.
+func (d Definition) Canonical() (Vector, error) {
+	out := Vector{Factor: 1}
+	for _, u := range d.Units {
+		base, ok := baseExpansion[strings.ToLower(u.Kind)]
+		if !ok {
+			return Vector{}, fmt.Errorf("units: unknown base unit kind %q in definition %q", u.Kind, d.ID)
+		}
+		exp := u.Exponent
+		if exp == 0 && u.Kind != "dimensionless" {
+			exp = 1 // SBML default
+		}
+		mult := u.Multiplier
+		if mult == 0 {
+			mult = 1
+		}
+		factor := mult * math.Pow(10, float64(u.Scale)) * base.Factor
+		for i := range out.Dims {
+			out.Dims[i] += base.Dims[i] * exp
+		}
+		out.Factor *= math.Pow(factor, float64(exp))
+	}
+	return out, nil
+}
+
+// String renders the vector as a compact dimensional formula, e.g.
+// "1e-3 · m^3" for litre.
+func (v Vector) String() string {
+	var parts []string
+	for i, e := range v.Dims {
+		if e == 0 {
+			continue
+		}
+		if e == 1 {
+			parts = append(parts, dimNames[i])
+		} else {
+			parts = append(parts, fmt.Sprintf("%s^%d", dimNames[i], e))
+		}
+	}
+	dimStr := strings.Join(parts, "·")
+	if dimStr == "" {
+		dimStr = "1"
+	}
+	if v.Factor == 1 {
+		return dimStr
+	}
+	return fmt.Sprintf("%g · %s", v.Factor, dimStr)
+}
+
+// SameDimension reports whether a and b measure the same physical quantity
+// (possibly at different scales, e.g. mole vs item, litre vs m³).
+func SameDimension(a, b Definition) (bool, error) {
+	va, err := a.Canonical()
+	if err != nil {
+		return false, err
+	}
+	vb, err := b.Canonical()
+	if err != nil {
+		return false, err
+	}
+	return va.Dims == vb.Dims, nil
+}
+
+// Equivalent reports whether a and b denote the very same unit: same
+// dimensions and a conversion factor of 1 (within floating-point tolerance).
+func Equivalent(a, b Definition) (bool, error) {
+	f, err := ConversionFactor(a, b)
+	if err != nil {
+		var dimErr *DimensionError
+		if errorsAs(err, &dimErr) {
+			return false, nil
+		}
+		return false, err
+	}
+	return math.Abs(f-1) < 1e-9, nil
+}
+
+// DimensionError reports an attempted conversion between incompatible
+// dimensions.
+type DimensionError struct {
+	A, B Vector
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("units: incompatible dimensions %s vs %s", e.A, e.B)
+}
+
+func errorsAs(err error, target **DimensionError) bool {
+	de, ok := err.(*DimensionError)
+	if ok {
+		*target = de
+	}
+	return ok
+}
+
+// ConversionFactor returns f such that a quantity of x in unit a equals
+// f·x in unit b. It returns a *DimensionError if the definitions measure
+// different quantities.
+func ConversionFactor(a, b Definition) (float64, error) {
+	va, err := a.Canonical()
+	if err != nil {
+		return 0, err
+	}
+	vb, err := b.Canonical()
+	if err != nil {
+		return 0, err
+	}
+	if va.Dims != vb.Dims {
+		return 0, &DimensionError{A: va, B: vb}
+	}
+	return va.Factor / vb.Factor, nil
+}
+
+// Common definitions used throughout SBML models and the test corpus.
+var (
+	// PerSecond is s⁻¹, the first-order rate constant unit.
+	PerSecond = Definition{ID: "per_second", Units: []Unit{{Kind: "second", Exponent: -1, Multiplier: 1}}}
+	// MolePerLitre is molar concentration (M).
+	MolePerLitre = Definition{ID: "mole_per_litre", Units: []Unit{
+		{Kind: "mole", Exponent: 1, Multiplier: 1},
+		{Kind: "litre", Exponent: -1, Multiplier: 1},
+	}}
+	// ItemCount is a bare molecule count.
+	ItemCount = Definition{ID: "item", Units: []Unit{{Kind: "item", Exponent: 1, Multiplier: 1}}}
+	// Litre is volume in litres.
+	Litre = Definition{ID: "litre", Units: []Unit{{Kind: "litre", Exponent: 1, Multiplier: 1}}}
+)

@@ -1,0 +1,277 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}
+
+func TestCanonicalLitre(t *testing.T) {
+	v, err := Litre.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dims[dimMetre] != 3 || v.Factor != 1e-3 {
+		t.Errorf("litre canonical = %s", v)
+	}
+}
+
+func TestCanonicalDerivedUnits(t *testing.T) {
+	newton := Definition{ID: "n", Units: []Unit{NewUnit("newton")}}
+	manual := Definition{ID: "m", Units: []Unit{
+		{Kind: "kilogram", Exponent: 1, Multiplier: 1},
+		{Kind: "metre", Exponent: 1, Multiplier: 1},
+		{Kind: "second", Exponent: -2, Multiplier: 1},
+	}}
+	eq, err := Equivalent(newton, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("newton != kg·m/s²")
+	}
+}
+
+func TestScaleAndMultiplier(t *testing.T) {
+	milliMolar := Definition{ID: "mM", Units: []Unit{
+		{Kind: "mole", Exponent: 1, Scale: -3, Multiplier: 1},
+		{Kind: "litre", Exponent: -1, Multiplier: 1},
+	}}
+	f, err := ConversionFactor(milliMolar, MolePerLitre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f, 1e-3, 1e-12) {
+		t.Errorf("mM → M factor = %g, want 1e-3", f)
+	}
+	// multiplier path: 60 s = 1 minute
+	minute := Definition{ID: "minute", Units: []Unit{{Kind: "second", Exponent: 1, Multiplier: 60}}}
+	second := Definition{ID: "second", Units: []Unit{NewUnit("second")}}
+	f, err = ConversionFactor(minute, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f, 60, 1e-12) {
+		t.Errorf("minute → second factor = %g, want 60", f)
+	}
+}
+
+func TestMoleItemShareDimension(t *testing.T) {
+	mole := Definition{ID: "mole", Units: []Unit{NewUnit("mole")}}
+	same, err := SameDimension(mole, ItemCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("mole and item should share the substance dimension")
+	}
+	f, err := ConversionFactor(mole, ItemCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f, Avogadro, 1e-12) {
+		t.Errorf("mole → item factor = %g, want Avogadro", f)
+	}
+}
+
+func TestIncompatibleDimensions(t *testing.T) {
+	_, err := ConversionFactor(Litre, PerSecond)
+	if err == nil {
+		t.Fatal("expected dimension error")
+	}
+	var de *DimensionError
+	if !errorsAs(err, &de) {
+		t.Fatalf("error type = %T, want *DimensionError", err)
+	}
+	eq, err := Equivalent(Litre, PerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("litre equivalent to per_second?")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	d := Definition{ID: "x", Units: []Unit{NewUnit("parsnips")}}
+	if _, err := d.Canonical(); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if IsKnownKind("parsnips") {
+		t.Error("parsnips is not a unit")
+	}
+	if !IsKnownKind("mole") || !IsKnownKind("Litre") {
+		t.Error("known kinds rejected")
+	}
+}
+
+func TestKnownKindsSorted(t *testing.T) {
+	kinds := KnownKinds()
+	if len(kinds) < 20 {
+		t.Errorf("only %d known kinds", len(kinds))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Errorf("kinds not sorted at %d: %q >= %q", i, kinds[i-1], kinds[i])
+		}
+	}
+}
+
+func TestDefaultsAppliedInCanonical(t *testing.T) {
+	// Zero multiplier and zero exponent must take SBML defaults (1 and 1).
+	d := Definition{ID: "d", Units: []Unit{{Kind: "second"}}}
+	v, err := d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dims[dimSecond] != 1 || v.Factor != 1 {
+		t.Errorf("defaults not applied: %s", v)
+	}
+}
+
+// --- Figure 6 conversions ---
+
+func TestZerothOrderConversion(t *testing.T) {
+	// k = 2 M/s in volume 1e-15 L → nA·k·V molecules/s.
+	k := 2.0
+	vol := 1e-15
+	c, err := ConvertRateConstant(0, k, Moles, Molecules, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Avogadro * k * vol
+	if !approx(c, want, 1e-12) {
+		t.Errorf("zeroth order = %g, want %g", c, want)
+	}
+	// Round trip.
+	back, err := ConvertRateConstant(0, c, Molecules, Moles, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(back, k, 1e-12) {
+		t.Errorf("round trip = %g, want %g", back, k)
+	}
+}
+
+func TestFirstOrderConversionIsIdentity(t *testing.T) {
+	c, err := ConvertRateConstant(1, 0.37, Moles, Molecules, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0.37 {
+		t.Errorf("first order must be unchanged, got %g", c)
+	}
+}
+
+func TestSecondOrderConversion(t *testing.T) {
+	k := 1e6 // per M per s
+	vol := 1e-15
+	c, err := ConvertRateConstant(2, k, Moles, Molecules, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k / (Avogadro * vol)
+	if !approx(c, want, 1e-12) {
+		t.Errorf("second order = %g, want %g", c, want)
+	}
+	back, err := ConvertRateConstant(2, c, Molecules, Moles, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(back, k, 1e-12) {
+		t.Errorf("round trip = %g, want %g", back, k)
+	}
+}
+
+func TestConversionErrors(t *testing.T) {
+	if _, err := ConvertRateConstant(3, 1, Moles, Molecules, 1); err == nil {
+		t.Error("order 3 should error")
+	}
+	if _, err := ConvertRateConstant(0, 1, Moles, Molecules, 0); err == nil {
+		t.Error("zero volume should error")
+	}
+	if _, err := ConvertRateConstant(0, 1, Moles, Molecules, -2); err == nil {
+		t.Error("negative volume should error")
+	}
+	// Same basis never needs a volume.
+	if _, err := ConvertRateConstant(0, 1, Moles, Moles, 0); err != nil {
+		t.Errorf("same-basis conversion should be identity: %v", err)
+	}
+}
+
+func TestConcentrationCountRoundTrip(t *testing.T) {
+	vol := 2.5e-14
+	conc := 3.3e-6
+	n := ConcentrationToCount(conc, vol)
+	back, err := CountToConcentration(n, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(back, conc, 1e-12) {
+		t.Errorf("round trip = %g, want %g", back, conc)
+	}
+	if _, err := CountToConcentration(5, 0); err == nil {
+		t.Error("zero volume should error")
+	}
+}
+
+func TestQuickRateConversionRoundTrip(t *testing.T) {
+	f := func(kRaw, volRaw float64, orderRaw uint8) bool {
+		// Clamp to physically plausible magnitudes so Avogadro-sized
+		// products stay finite.
+		k := math.Abs(kRaw)
+		if math.IsInf(k, 0) || math.IsNaN(k) || k == 0 || k > 1e12 || k < 1e-12 {
+			k = 1 + math.Mod(math.Abs(kRaw), 1000)
+			if math.IsNaN(k) || math.IsInf(k, 0) {
+				k = 1
+			}
+		}
+		vol := math.Abs(volRaw)
+		if math.IsInf(vol, 0) || math.IsNaN(vol) || vol == 0 || vol > 1e3 || vol < 1e-21 {
+			vol = 1e-15
+		}
+		order := int(orderRaw % 3)
+		c, err := ConvertRateConstant(order, k, Moles, Molecules, vol)
+		if err != nil {
+			return false
+		}
+		back, err := ConvertRateConstant(order, c, Molecules, Moles, vol)
+		if err != nil {
+			return false
+		}
+		return approx(back, k, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConversionFactorSymmetry(t *testing.T) {
+	defs := []Definition{PerSecond, MolePerLitre, ItemCount, Litre,
+		{ID: "mM", Units: []Unit{{Kind: "mole", Scale: -3, Exponent: 1, Multiplier: 1}, {Kind: "litre", Exponent: -1, Multiplier: 1}}},
+		{ID: "item_per_l", Units: []Unit{{Kind: "item", Exponent: 1, Multiplier: 1}, {Kind: "litre", Exponent: -1, Multiplier: 1}}},
+	}
+	f := func(i, j uint8) bool {
+		a := defs[int(i)%len(defs)]
+		b := defs[int(j)%len(defs)]
+		fab, errAB := ConversionFactor(a, b)
+		fba, errBA := ConversionFactor(b, a)
+		if errAB != nil || errBA != nil {
+			// Must fail symmetrically.
+			return (errAB == nil) == (errBA == nil)
+		}
+		return approx(fab*fba, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package xmlmerge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbmlcompose/internal/xmltree"
+)
+
+// randomDoc builds a small random document with keyed and anonymous
+// elements. Ids are unique within the document (duplicate ids are malformed
+// XML and outside the merge's contract); values still vary across seeds so
+// cross-document conflicts occur.
+func randomDoc(r *rand.Rand) *xmltree.Node {
+	root := xmltree.NewElement("doc")
+	list := root.AppendChild(xmltree.NewElement("items"))
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	n := 1 + r.Intn(6)
+	for i := 0; i < n; i++ {
+		e := xmltree.NewElement("item")
+		e.SetAttr("id", ids[i])
+		e.SetAttr("v", string(rune('0'+r.Intn(4))))
+		list.AppendChild(e)
+	}
+	if r.Intn(2) == 0 {
+		root.AppendChild(xmltree.NewElement("footer"))
+	}
+	return root
+}
+
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r)
+		res, err := Merge(d, d)
+		if err != nil {
+			return false
+		}
+		// d ∪ d has exactly d's elements (set semantics on keys/canon).
+		return res.Doc.Count() == dedupCount(d) && len(res.Conflicts) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// dedupCount counts d's nodes after removing duplicate-key and
+// duplicate-canonical children, which is what self-merge should produce.
+func dedupCount(d *xmltree.Node) int {
+	cp := d.Clone()
+	var dedupe func(n *xmltree.Node)
+	dedupe = func(n *xmltree.Node) {
+		seenKey := map[string]bool{}
+		seenCanon := map[string]bool{}
+		var kept []*xmltree.Node
+		for _, c := range n.Children {
+			if c.Kind != xmltree.Element {
+				kept = append(kept, c)
+				continue
+			}
+			if k := key(c); k != "" {
+				if seenKey[k] {
+					continue
+				}
+				seenKey[k] = true
+			} else {
+				can := c.Canonical()
+				if seenCanon[can] {
+					continue
+				}
+				seenCanon[can] = true
+			}
+			dedupe(c)
+			kept = append(kept, c)
+		}
+		n.Children = kept
+	}
+	dedupe(cp)
+	return cp.Count()
+}
+
+func TestQuickMergeCommutativeSizes(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomDoc(rand.New(rand.NewSource(s1)))
+		b := randomDoc(rand.New(rand.NewSource(s2)))
+		ab, err1 := Merge(a, b)
+		ba, err2 := Merge(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab.Doc.Count() == ba.Doc.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

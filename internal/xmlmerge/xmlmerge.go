@@ -1,0 +1,195 @@
+// Package xmlmerge implements generic, semantics-free XML document
+// composition — the comparison point the paper's future work calls for
+// (§5: "creating a generic method that requires no semantics and comparing
+// it with both the SBML composition method for light and heavy semantics").
+//
+// The merge knows nothing about SBML: elements are identified purely by
+// their name plus an identifying attribute (id/name/symbol-like), children
+// are unioned recursively, and text is compared verbatim. That makes the
+// method applicable to any annotated-graph XML encoding, exactly as §5
+// envisions — and makes its failure modes measurable: it cannot match
+// synonymous species, cannot see commutative maths equality, and cannot
+// convert units (see the package tests and BenchmarkGenericVsSemantic).
+package xmlmerge
+
+import (
+	"fmt"
+	"strings"
+
+	"sbmlcompose/internal/xmltree"
+)
+
+// identifyingAttrs are tried in order to key an element; the list is
+// generic XML practice (DeltaXML-style), not an SBML schema.
+var identifyingAttrs = []string{"id", "name", "symbol", "variable", "species", "key"}
+
+// Conflict reports two keyed elements that matched but disagree in content.
+type Conflict struct {
+	// Path locates the parent element.
+	Path string
+	// Key is the matched element key.
+	Key string
+	// Detail describes the disagreement.
+	Detail string
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s: %s: %s", c.Path, c.Key, c.Detail)
+}
+
+// Result of a generic merge.
+type Result struct {
+	// Doc is the merged document.
+	Doc *xmltree.Node
+	// Conflicts lists keyed elements whose contents disagreed; the first
+	// document's version is kept.
+	Conflicts []Conflict
+}
+
+// key returns the match key of an element: its name plus the first
+// identifying attribute present, or "" for unkeyed (anonymous) elements.
+func key(n *xmltree.Node) string {
+	if n.Kind != xmltree.Element {
+		return ""
+	}
+	for _, attr := range identifyingAttrs {
+		if v := n.Attr(attr); v != "" {
+			return n.Name + "#" + attr + "=" + v
+		}
+	}
+	return ""
+}
+
+// Merge composes two XML documents generically: the result starts as a deep
+// copy of a, and b's elements are folded in. Keyed elements with equal keys
+// merge recursively; unkeyed elements merge when canonically identical and
+// are appended otherwise. The roots must share an element name.
+func Merge(a, b *xmltree.Node) (*Result, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("xmlmerge: nil document")
+	}
+	if a.Kind != xmltree.Element || b.Kind != xmltree.Element {
+		return nil, fmt.Errorf("xmlmerge: roots must be elements")
+	}
+	if a.Name != b.Name {
+		return nil, fmt.Errorf("xmlmerge: root mismatch <%s> vs <%s>", a.Name, b.Name)
+	}
+	res := &Result{Doc: a.Clone()}
+	mergeInto(res.Doc, b, a.Name, res, true)
+	return res, nil
+}
+
+// mergeInto folds src's children into dst (same-keyed element pair).
+// atRoot marks the document root: directly under it, same-name singleton
+// children form the document spine and merge even when their keys differ
+// (e.g. <model id="a"> with <model id="b">), with the id clash reported as
+// an ordinary attribute conflict.
+func mergeInto(dst, src *xmltree.Node, path string, res *Result, atRoot bool) {
+	// Attributes: first document wins on clashes; new attributes adopt.
+	for _, attr := range src.Attrs {
+		if !dst.HasAttr(attr.Name) {
+			dst.SetAttr(attr.Name, attr.Value)
+			continue
+		}
+		if dst.Attr(attr.Name) != attr.Value {
+			res.Conflicts = append(res.Conflicts, Conflict{
+				Path: path,
+				Key:  key(dst),
+				Detail: fmt.Sprintf("attribute %s: %q vs %q (keeping first)",
+					attr.Name, dst.Attr(attr.Name), attr.Value),
+			})
+		}
+	}
+
+	// Index dst's keyed children and canonical forms of unkeyed ones.
+	keyed := make(map[string]*xmltree.Node)
+	canon := make(map[string]bool)
+	for _, c := range dst.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		if k := key(c); k != "" {
+			keyed[k] = c
+			continue
+		}
+		canon[c.Canonical()] = true
+	}
+	// Text children compare as one concatenated blob.
+	dstText := strings.TrimSpace(textOf(dst))
+	srcText := strings.TrimSpace(textOf(src))
+	if dstText != "" && srcText != "" && dstText != srcText {
+		res.Conflicts = append(res.Conflicts, Conflict{
+			Path: path, Key: key(dst),
+			Detail: fmt.Sprintf("text %q vs %q (keeping first)", clip(dstText), clip(srcText)),
+		})
+	} else if dstText == "" && srcText != "" {
+		dst.AppendChild(xmltree.NewText(srcText))
+	}
+
+	for _, c := range src.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		k := key(c)
+		if k == "" {
+			// Anonymous: structural identity or append.
+			if canon[c.Canonical()] {
+				continue
+			}
+			// Same-named singleton containers merge recursively even
+			// without a key; this is what lets listOf* containers combine.
+			if sibling := singletonByName(dst, c.Name); sibling != nil {
+				mergeInto(sibling, c, path+"/"+c.Name, res, false)
+				continue
+			}
+			dst.AppendChild(c.Clone())
+			canon[c.Canonical()] = true
+			continue
+		}
+		if existing, ok := keyed[k]; ok {
+			mergeInto(existing, c, path+"/"+c.Name, res, false)
+			continue
+		}
+		if atRoot && singletonByName(src, c.Name) != nil {
+			if sibling := singletonByName(dst, c.Name); sibling != nil {
+				mergeInto(sibling, c, path+"/"+c.Name, res, false)
+				continue
+			}
+		}
+		cp := c.Clone()
+		dst.AppendChild(cp)
+		keyed[k] = cp
+	}
+}
+
+// singletonByName returns dst's sole element child with the given name, or
+// nil when absent or ambiguous.
+func singletonByName(dst *xmltree.Node, name string) *xmltree.Node {
+	var found *xmltree.Node
+	for _, c := range dst.Children {
+		if c.Kind == xmltree.Element && c.Name == name {
+			if found != nil {
+				return nil
+			}
+			found = c
+		}
+	}
+	return found
+}
+
+func textOf(n *xmltree.Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			b.WriteString(c.Text)
+		}
+	}
+	return b.String()
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,482 @@
+// Package xmltree provides a lightweight ordered XML document object model.
+//
+// The composition algorithms in this repository operate on SBML documents,
+// which are XML. Rather than binding struct tags with encoding/xml (which
+// loses element order and unknown attributes — both of which matter for the
+// tree-to-tree comparison methods of the paper's §4.1.1), we parse into an
+// explicit tree of Nodes that preserves document order, every attribute, and
+// character data. The tree supports cloning, canonical serialization,
+// path-based lookup and structural equality, and is the substrate for both
+// the SBML object model (internal/sbml) and the XML diff tools
+// (internal/treediff).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the node variants stored in a tree.
+type Kind int
+
+const (
+	// Element is a named XML element with attributes and children.
+	Element Kind = iota
+	// Text is a character-data node; only the Text field is meaningful.
+	Text
+	// Comment is an XML comment node; only the Text field is meaningful.
+	Comment
+)
+
+// String returns a human-readable name for the node kind.
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Comment:
+		return "comment"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Attr is a single XML attribute. Namespace prefixes are kept verbatim in
+// Name (e.g. "xmlns:math") because SBML documents use a small fixed set of
+// namespaces and round-tripping the prefix is more faithful than expanding
+// it.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one node of an XML document tree.
+type Node struct {
+	Kind     Kind
+	Name     string  // element name, with prefix if present
+	Attrs    []Attr  // attributes in document order
+	Children []*Node // child nodes in document order
+	Text     string  // character data for Text/Comment nodes
+}
+
+// NewElement returns a new element node with the given name.
+func NewElement(name string) *Node {
+	return &Node{Kind: Element, Name: name}
+}
+
+// NewText returns a new text node holding s.
+func NewText(s string) *Node {
+	return &Node{Kind: Text, Text: s}
+}
+
+// Parse reads an XML document from r and returns its root element.
+// Leading/trailing whitespace-only text nodes are dropped; interior text is
+// preserved verbatim. Processing instructions and directives are skipped.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Kind: Element, Name: qualified(t.Name)}
+			for _, a := range t.Attr {
+				n.Attrs = append(n.Attrs, Attr{Name: qualified(a.Name), Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // whitespace outside root
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, &Node{Kind: Text, Text: s})
+		case xml.Comment:
+			if len(stack) == 0 {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, &Node{Kind: Comment, Text: string(t)})
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unclosed element %q", stack[len(stack)-1].Name)
+	}
+	return root, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func qualified(n xml.Name) string {
+	// encoding/xml resolves prefixes to namespace URLs in Name.Space. SBML
+	// uses a handful of well-known namespaces; map them back to conventional
+	// prefixes so serialization stays readable, and ignore the default
+	// namespace entirely.
+	switch n.Space {
+	case "", "http://www.sbml.org/sbml/level2", "http://www.sbml.org/sbml/level2/version4",
+		"http://www.sbml.org/sbml/level3/version1/core", "http://www.w3.org/1998/Math/MathML":
+		return n.Local
+	case "xmlns":
+		return "xmlns:" + n.Local
+	default:
+		return n.Local
+	}
+}
+
+// Attr returns the value of the named attribute, or "" if absent.
+func (n *Node) Attr(name string) string {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// HasAttr reports whether the named attribute is present.
+func (n *Node) HasAttr(name string) bool {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SetAttr sets the named attribute, replacing an existing value or appending
+// a new attribute in document order.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// RemoveAttr deletes the named attribute if present.
+func (n *Node) RemoveAttr(name string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Child returns the first child element with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == Element && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildElements returns all child elements, optionally filtered by name.
+// An empty name matches every element child.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AppendChild appends c to n's children and returns c for chaining.
+func (n *Node) AppendChild(c *Node) *Node {
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// RemoveChild removes the first occurrence of c (by pointer identity) from
+// n's children and reports whether it was found.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// InnerText concatenates the text content of n and all its descendants in
+// document order, with surrounding whitespace trimmed.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.innerText(&b)
+	return strings.TrimSpace(b.String())
+}
+
+func (n *Node) innerText(b *strings.Builder) {
+	if n.Kind == Text {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.innerText(b)
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = make([]Attr, len(n.Attrs))
+		copy(cp.Attrs, n.Attrs)
+	}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Walk visits n and every descendant in document order, calling fn with the
+// node and its depth. If fn returns false the node's children are skipped.
+func (n *Node) Walk(fn func(node *Node, depth int) bool) {
+	n.walk(0, fn)
+}
+
+func (n *Node) walk(depth int, fn func(*Node, int) bool) {
+	if !fn(n, depth) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Find returns the first element reached by following the '/'-separated path
+// of element names below n, or nil if any step is missing. The path does not
+// include n itself: n.Find("model/listOfSpecies") looks for a "model" child.
+func (n *Node) Find(path string) *Node {
+	cur := n
+	for _, step := range strings.Split(path, "/") {
+		if cur = cur.Child(step); cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// FindAll returns every element reached by the '/'-separated path below n.
+// Each step fans out across all matching children.
+func (n *Node) FindAll(path string) []*Node {
+	frontier := []*Node{n}
+	for _, step := range strings.Split(path, "/") {
+		var next []*Node
+		for _, f := range frontier {
+			next = append(next, f.ChildElements(step)...)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	return frontier
+}
+
+// Count returns the number of nodes in the subtree rooted at n, including n.
+func (n *Node) Count() int {
+	total := 0
+	n.Walk(func(*Node, int) bool { total++; return true })
+	return total
+}
+
+// Equal reports deep structural equality of two subtrees: same kinds, names,
+// attribute sets (order-insensitive) and children (order-sensitive).
+// Attribute order is ignored because XML defines attributes as unordered.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	if a.Kind != Element {
+		return strings.TrimSpace(a.Text) == strings.TrimSpace(b.Text)
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		if !b.HasAttr(attr.Name) || b.Attr(attr.Name) != attr.Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTo serializes the subtree rooted at n to w as indented XML.
+// It implements io.WriterTo.
+func (n *Node) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	err := write(cw, n, 0)
+	return cw.n, err
+}
+
+// String returns the indented XML serialization of the subtree rooted at n.
+func (n *Node) String() string {
+	var b strings.Builder
+	_, _ = n.WriteTo(&b)
+	return b.String()
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func write(w io.Writer, n *Node, depth int) error {
+	ind := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case Text:
+		if _, err := fmt.Fprintf(w, "%s%s\n", ind, escapeText(strings.TrimSpace(n.Text))); err != nil {
+			return err
+		}
+		return nil
+	case Comment:
+		if _, err := fmt.Fprintf(w, "%s<!--%s-->\n", ind, n.Text); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s", ind, n.Name); err != nil {
+		return err
+	}
+	for _, a := range n.Attrs {
+		// XML escaping, not Go %q escaping: backslashes and friends must
+		// pass through verbatim.
+		if _, err := fmt.Fprintf(w, ` %s="%s"`, a.Name, escapeText(a.Value)); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := fmt.Fprint(w, "/>\n")
+		return err
+	}
+	// A single text child is written inline for readability.
+	if len(n.Children) == 1 && n.Children[0].Kind == Text {
+		_, err := fmt.Fprintf(w, ">%s</%s>\n", escapeText(strings.TrimSpace(n.Children[0].Text)), n.Name)
+		return err
+	}
+	if _, err := fmt.Fprint(w, ">\n"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := write(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", ind, n.Name)
+	return err
+}
+
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>\"") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Canonical returns a canonical single-line serialization of the subtree in
+// which attributes are sorted by name and inter-element whitespace is
+// normalized. Two trees have equal Canonical strings iff they are Equal up to
+// attribute order, making the string usable as a hash/index key.
+func (n *Node) Canonical() string {
+	var b strings.Builder
+	canonical(&b, n)
+	return b.String()
+}
+
+func canonical(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case Text:
+		b.WriteString("#t(")
+		b.WriteString(strings.TrimSpace(n.Text))
+		b.WriteString(")")
+		return
+	case Comment:
+		return // comments are not semantically significant
+	}
+	b.WriteString("<")
+	b.WriteString(n.Name)
+	attrs := make([]Attr, len(n.Attrs))
+	copy(attrs, n.Attrs)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	for _, a := range attrs {
+		b.WriteString(" ")
+		b.WriteString(a.Name)
+		b.WriteString("=")
+		b.WriteString(a.Value)
+	}
+	b.WriteString(">")
+	for _, c := range n.Children {
+		canonical(b, c)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteString(">")
+}

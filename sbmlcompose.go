@@ -1,0 +1,283 @@
+// Package sbmlcompose is a Go implementation of SBMLCompose, the automated
+// biochemical-network composition system of Goodfellow, Wilson & Hunt,
+// "Biochemical Network Matching and Composition" (EDBT 2010).
+//
+// The package merges SBML Level 2 models without user interaction: species
+// are matched by identical or synonymous names, maths (kinetic laws, rules,
+// function definitions, initial assignments) by commutativity-aware MathML
+// patterns, unit definitions by reduction to known base units, and
+// rate-constant conflicts are reconciled by mole↔molecule conversion before
+// being reported. Conflicting duplicates resolve first-model-wins with a
+// warning log.
+//
+// Quick start:
+//
+//	a, _ := sbmlcompose.ParseModelFile("glycolysis.xml")
+//	b, _ := sbmlcompose.ParseModelFile("tca.xml")
+//	res, err := sbmlcompose.Compose(a, b, nil)
+//	if err != nil { ... }
+//	_ = sbmlcompose.WriteModelFile(res.Model, "merged.xml")
+//
+// Beyond composition the package exposes the paper's full evaluation
+// toolchain: SBML-aware document diffing (§4.1.1), deterministic and
+// stochastic simulation (§4.1.2), residual-sum-of-squares trace comparison
+// (§4.1.3) and Monte Carlo temporal-logic model checking (§4.1.4).
+package sbmlcompose
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/mc2"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/sim"
+	"sbmlcompose/internal/synonym"
+	"sbmlcompose/internal/trace"
+	"sbmlcompose/internal/treediff"
+	"sbmlcompose/internal/xmltree"
+)
+
+// Model is an SBML Level 2 model; see the sbml package for the component
+// structure.
+type Model = sbml.Model
+
+// Document wraps a model with its SBML level/version header.
+type Document = sbml.Document
+
+// Options configures composition; the zero value (and nil) mean heavy
+// semantics with the built-in synonym table and a hash-map index.
+type Options = core.Options
+
+// Result is the outcome of a composition: the merged model, warnings, id
+// mappings and statistics.
+type Result = core.Result
+
+// Warning is one conflict decision taken during composition.
+type Warning = core.Warning
+
+// SynonymTable matches alternative names for the same biological entity.
+type SynonymTable = synonym.Table
+
+// Trace is a simulation time series.
+type Trace = trace.Trace
+
+// SimOptions configures simulation runs.
+type SimOptions = sim.Options
+
+// Difference is one discrepancy reported by Diff.
+type Difference = treediff.Difference
+
+// Semantics levels for Options.Semantics (heavy is the paper's full
+// treatment; light and none implement the §5 future-work comparison).
+const (
+	HeavySemantics = core.HeavySemantics
+	LightSemantics = core.LightSemantics
+	NoSemantics    = core.NoSemantics
+)
+
+// ParseModel reads an SBML document from r.
+func ParseModel(r io.Reader) (*Model, error) {
+	doc, err := sbml.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Model, nil
+}
+
+// ParseModelString parses an in-memory SBML document.
+func ParseModelString(s string) (*Model, error) {
+	doc, err := sbml.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Model, nil
+}
+
+// ParseModelFile reads an SBML file.
+func ParseModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ParseModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteModel serializes the model as an SBML Level 2 document.
+func WriteModel(m *Model, w io.Writer) error {
+	_, err := sbml.WrapModel(m).WriteTo(w)
+	return err
+}
+
+// WriteModelFile writes the model to a file.
+func WriteModelFile(m *Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteModel(m, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ModelToString renders the model as SBML text.
+func ModelToString(m *Model) string {
+	return sbml.WrapModel(m).String()
+}
+
+// Validate checks the model's structural and referential integrity,
+// returning nil when no error-severity issue exists.
+func Validate(m *Model) error {
+	return sbml.Check(m)
+}
+
+// BuiltinSynonyms returns the seeded biological synonym table.
+func BuiltinSynonyms() *SynonymTable {
+	return synonym.Builtin()
+}
+
+// NewSynonymTable returns an empty synonym table.
+func NewSynonymTable() *SynonymTable {
+	return synonym.NewTable()
+}
+
+// Compose merges model b into a copy of model a. A nil opts composes with
+// heavy semantics and the built-in synonym table; inputs are never
+// modified.
+func Compose(a, b *Model, opts *Options) (*Result, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
+		o.Synonyms = synonym.Builtin()
+	}
+	return core.Compose(a, b, o)
+}
+
+// ComposeAll left-folds Compose over the models, supporting incremental
+// assembly from a library of parts.
+func ComposeAll(models []*Model, opts *Options) (*Result, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
+		o.Synonyms = synonym.Builtin()
+	}
+	return core.ComposeAll(models, o)
+}
+
+// Match is a component correspondence between two models.
+type Match = core.Match
+
+// MatchModels computes which components of b denote the same entities as
+// components of a — the matching problem of the paper's title — without
+// producing a merged model. A nil opts matches with heavy semantics and the
+// built-in synonym table.
+func MatchModels(a, b *Model, opts *Options) ([]Match, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
+		o.Synonyms = synonym.Builtin()
+	}
+	return core.MatchModels(a, b, o)
+}
+
+// Decompose splits a model into its weakly connected reaction subnetworks,
+// each a standalone valid model carrying exactly the globals it references
+// (the paper's future-work item 2: "XML graph decomposition or splitting").
+// ComposeAll over the parts reconstructs the original network.
+func Decompose(m *Model) ([]*Model, error) {
+	return core.Decompose(m)
+}
+
+// Diff structurally compares two models with SBML order semantics
+// (listOf* containers are unordered, maths and rules are ordered) and
+// returns every difference; nil means semantically identical documents.
+func Diff(a, b *Model) []Difference {
+	na := sbml.WrapModel(a).ToXML()
+	nb := sbml.WrapModel(b).ToXML()
+	return treediff.CompareSBML(na, nb)
+}
+
+// EditDistance returns the Zhang–Shasha tree edit distance between the two
+// models' SBML documents; a coarse whole-document similarity measure.
+func EditDistance(a, b *Model) int {
+	return treediff.EditDistance(sbml.WrapModel(a).ToXML(), sbml.WrapModel(b).ToXML())
+}
+
+// SimulateODE integrates the model deterministically (RK4, or RKF45 when
+// opts.Adaptive) and returns sampled species concentrations.
+func SimulateODE(m *Model, opts SimOptions) (*Trace, error) {
+	return sim.SimulateODE(m, opts)
+}
+
+// SimulateSSA runs Gillespie's direct method over molecule counts; equal
+// seeds reproduce exactly.
+func SimulateSSA(m *Model, opts SimOptions) (*Trace, error) {
+	return sim.SimulateSSA(m, opts)
+}
+
+// RSS computes per-species residual sums of squares between two traces
+// (the §4.1.3 equivalence test); nil species selects all shared columns.
+func RSS(a, b *Trace, species []string) (map[string]float64, error) {
+	return trace.RSS(a, b, species)
+}
+
+// TracesEquivalent reports whether every shared species' RSS is below tol.
+func TracesEquivalent(a, b *Trace, tol float64) (bool, error) {
+	return trace.Equivalent(a, b, tol)
+}
+
+// CheckProperty evaluates a temporal-logic formula (mc2 syntax, e.g.
+// "G({A >= 0}) & F({B > 0.5})") over a deterministic simulation of the
+// model.
+func CheckProperty(m *Model, formula string, opts SimOptions) (bool, error) {
+	f, err := mc2.Parse(formula)
+	if err != nil {
+		return false, err
+	}
+	tr, err := sim.SimulateODE(m, opts)
+	if err != nil {
+		return false, err
+	}
+	return mc2.Check(tr, f)
+}
+
+// EstimateProbability estimates the probability that a stochastic
+// trajectory of the model satisfies the formula, over `runs` SSA
+// simulations (the §4.1.4 Monte Carlo model-checking procedure).
+func EstimateProbability(m *Model, formula string, runs int, opts SimOptions) (float64, error) {
+	f, err := mc2.Parse(formula)
+	if err != nil {
+		return 0, err
+	}
+	est, err := mc2.Probability(m, f, runs, opts)
+	if err != nil {
+		return 0, err
+	}
+	return est.Probability, nil
+}
+
+// CanonicalXML returns a canonical single-line serialization of the model's
+// SBML document, usable as an equality key.
+func CanonicalXML(m *Model) string {
+	return sbml.WrapModel(m).ToXML().Canonical()
+}
+
+// ParseXMLTree exposes the underlying XML DOM parse, for tools that need
+// document-level access (e.g. diff reports over raw files).
+func ParseXMLTree(r io.Reader) (*xmltree.Node, error) {
+	return xmltree.Parse(r)
+}
