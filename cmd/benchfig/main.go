@@ -6,6 +6,12 @@
 //	benchfig -fig 9               Figure 9: log10(compose time in ms) for
 //	                              semanticSBML and SBMLCompose over all
 //	                              pairs of the 17 annotated models.
+//	benchfig -json [-out f.json]  machine-readable engine benchmarks:
+//	                              ns/op for Compose and ComposeAll across
+//	                              index kinds, model sizes and assembly
+//	                              strategies, written as JSON (default
+//	                              BENCH_compose.json) so the perf
+//	                              trajectory is tracked across changes.
 //
 // Output is one whitespace-separated row per composition (ready for
 // gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
@@ -15,17 +21,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"testing"
 	"time"
 
 	"sbmlcompose/internal/biomodels"
 	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/index"
 	"sbmlcompose/internal/sbml"
 	"sbmlcompose/internal/semanticsbml"
+	"sbmlcompose/internal/synonym"
 )
 
 func main() {
@@ -37,11 +49,16 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.Int("fig", 8, "figure to regenerate: 8 or 9")
-		stride = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
-		reps   = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
+		fig      = flag.Int("fig", 8, "figure to regenerate: 8 or 9")
+		stride   = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
+		reps     = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
+		jsonMode = flag.Bool("json", false, "run the engine benchmark suite and write JSON")
+		outPath  = flag.String("out", "BENCH_compose.json", "output file for -json")
 	)
 	flag.Parse()
+	if *jsonMode {
+		return benchJSON(*outPath)
+	}
 	switch *fig {
 	case 8:
 		return figure8(*stride, *reps)
@@ -50,6 +67,126 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown figure %d (want 8 or 9)", *fig)
 	}
+}
+
+// benchResult is one benchmark row of the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_compose.json schema.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"go_maxprocs"`
+	Unix       int64         `json:"generated_unix"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchJSON measures Compose and ComposeAll across index kinds, model
+// sizes and assembly strategies, writing machine-readable results.
+func benchJSON(outPath string) error {
+	// Write to a sibling temp file and rename on success: the destination
+	// must stay writable (checked before spending minutes benchmarking),
+	// and an interrupted run must not truncate an existing snapshot.
+	f, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := f.Name()
+	defer os.Remove(tmpPath) // no-op after the rename
+	tab := synonym.Builtin()
+	report := &benchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Unix:       time.Now().Unix(),
+	}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op\n", name, report.Results[len(report.Results)-1].NsPerOp)
+	}
+
+	genPair := func(nodes, edges int, seed int64) (*sbml.Model, *sbml.Model) {
+		mk := func(id string, s int64) *sbml.Model {
+			return biomodels.Generate(biomodels.Config{
+				ID: id, Nodes: nodes, Edges: edges, Seed: s,
+				VocabularySize: 150, Decorate: true,
+			})
+		}
+		return mk("a", seed), mk("b", seed+1)
+	}
+
+	// Pairwise Compose: index kinds × model sizes.
+	sizes := []struct {
+		name         string
+		nodes, edges int
+	}{{"small", 15, 20}, {"medium", 60, 90}, {"large", 150, 240}}
+	kinds := []index.Kind{index.Hash, index.Linear, index.Sorted, index.SuffixTree}
+	for _, sz := range sizes {
+		a, b2 := genPair(sz.nodes, sz.edges, 31337)
+		for _, kind := range kinds {
+			opts := core.Options{Index: kind, Synonyms: tab}
+			record(fmt.Sprintf("Compose/size=%s/index=%s", sz.name, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Compose(a, b2, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Batch ComposeAll: strategies × batch sizes, hash and sorted indexes.
+	for _, n := range []int{8, 16} {
+		models := biomodels.NamespacedBatch(n, 60, 90, 880)
+		for _, kind := range []index.Kind{index.Hash, index.Sorted} {
+			opts := core.Options{Index: kind, Synonyms: tab}
+			record(fmt.Sprintf("ComposeAll/n=%d/index=%s/sequential", n, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ComposeAll(models, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			popts := opts
+			popts.Parallel = true
+			record(fmt.Sprintf("ComposeAll/n=%d/index=%s/parallel", n, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ComposeAll(models, popts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), outPath)
+	return nil
 }
 
 // timeCompose returns the minimum wall-clock seconds over reps runs.

@@ -13,7 +13,13 @@
 //	-semantics s   heavy | light | none (default heavy)
 //	-synonyms file extra synonym classes, one per line, tab-separated
 //	-index s       hash | linear | sorted | suffixtree (default hash)
+//	-parallel      batch-merge via balanced binary reduction (deterministic)
+//	-workers n     parallel worker pool size (default GOMAXPROCS)
 //	-stats         print merge statistics to stderr
+//
+// Without -parallel the models are streamed through an incremental
+// Composer: each file is parsed and folded into one persistent compiled
+// accumulator, so only one input model is resident at a time.
 package main
 
 import (
@@ -41,6 +47,8 @@ func run() error {
 		semantics = flag.String("semantics", "heavy", "matching depth: heavy | light | none")
 		synPath   = flag.String("synonyms", "", "extra synonym table file")
 		indexKind = flag.String("index", "hash", "component index: hash | linear | sorted | suffixtree")
+		parallel  = flag.Bool("parallel", false, "batch-merge via balanced binary reduction")
+		workers   = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		stats     = flag.Bool("stats", false, "print merge statistics to stderr")
 	)
 	flag.Parse()
@@ -97,18 +105,37 @@ func run() error {
 	}
 	opts.Log = logW
 
-	models := make([]*sbmlcompose.Model, 0, flag.NArg())
-	for _, path := range flag.Args() {
-		m, err := sbmlcompose.ParseModelFile(path)
+	var res *sbmlcompose.Result
+	if *parallel {
+		opts.Parallel = true
+		opts.Workers = *workers
+		models := make([]*sbmlcompose.Model, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			m, err := sbmlcompose.ParseModelFile(path)
+			if err != nil {
+				return err
+			}
+			models = append(models, m)
+		}
+		var err error
+		res, err = sbmlcompose.ComposeAll(models, &opts)
 		if err != nil {
 			return err
 		}
-		models = append(models, m)
-	}
-
-	res, err := sbmlcompose.ComposeAll(models, &opts)
-	if err != nil {
-		return err
+	} else {
+		// Stream: parse and fold one file at a time into the compiled
+		// accumulator.
+		comp := sbmlcompose.NewComposer(&opts)
+		for _, path := range flag.Args() {
+			m, err := sbmlcompose.ParseModelFile(path)
+			if err != nil {
+				return err
+			}
+			if err := comp.Add(m); err != nil {
+				return err
+			}
+		}
+		res = comp.Result()
 	}
 	if err := sbmlcompose.Validate(res.Model); err != nil {
 		fmt.Fprintf(logW, "warning: composed model failed validation: %v\n", err)

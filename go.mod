@@ -1,0 +1,3 @@
+module sbmlcompose
+
+go 1.24

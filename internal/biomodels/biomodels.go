@@ -264,6 +264,34 @@ func Corpus187() []*sbml.Model {
 	return models
 }
 
+// NamespacedBatch generates n decorated models of identical size whose
+// global parameters are renamed into per-model namespaces ("part03_k1"),
+// the curated-library case: species and structures still overlap and
+// merge, but no id ever fights over a name, so batch composition is
+// order-insensitive and every assembly strategy must produce the same
+// model byte for byte. The benchmark and engine-comparison harnesses share
+// this workload.
+func NamespacedBatch(n, nodes, edges int, seed int64) []*sbml.Model {
+	models := make([]*sbml.Model, n)
+	for i := range models {
+		m := Generate(Config{
+			ID:             fmt.Sprintf("part%02d", i),
+			Nodes:          nodes,
+			Edges:          edges,
+			Seed:           seed + int64(17*i),
+			VocabularySize: 150,
+			Decorate:       true,
+		})
+		ren := make(map[string]string, len(m.Parameters))
+		for _, p := range m.Parameters {
+			ren[p.ID] = m.ID + "_" + p.ID
+		}
+		m.RenameSymbols(ren)
+		models[i] = m
+	}
+	return models
+}
+
 // Annotated17 generates the 17-model semanticSBML test collection: 4–7
 // nodes, 0–3 edges, bare component lists, fully annotatable names.
 func Annotated17() []*sbml.Model {

@@ -17,37 +17,30 @@ import (
 // Second-model expressions have already had all accepted mappings applied
 // in place, so no mapping argument is needed here.
 func (c *composer) mathKey(e mathml.Expr) string {
-	if e == nil {
-		return ""
-	}
-	if c.opts.Semantics == NoSemantics {
-		return mathml.FormatInfix(e)
-	}
-	return mathml.Pattern(e, nil)
+	return mathKeyFor(c.opts, e)
 }
 
 // --- function definitions ---
 
 func (c *composer) composeFunctionDefinitions() {
-	idx := c.newIndex()
-	byID := make(map[string]*sbml.FunctionDefinition, len(c.out.FunctionDefinitions))
-	for _, f := range c.out.FunctionDefinitions {
-		idx.Insert(c.mathKey(f.Math), f)
-		byID[f.ID] = f
+	if len(c.second.FunctionDefinitions) == 0 {
+		return
 	}
 	for _, f := range c.second.FunctionDefinitions {
-		if hit, ok := idx.Lookup(c.mathKey(f.Math)); ok {
+		if hit, ok := c.acc.funcIdx.Lookup(c.mathKey(f.Math)); ok {
 			existing := hit.(*sbml.FunctionDefinition)
 			c.res.Stats.Merged++
 			c.mapID(f.ID, existing.ID)
 			continue
 		}
-		if _, clash := byID[f.ID]; clash || c.outIDs[f.ID] {
+		if c.outIDs[f.ID] {
 			c.renameID(f.ID, fmt.Sprintf("functionDefinition %q", f.ID))
 		}
 		c.out.FunctionDefinitions = append(c.out.FunctionDefinitions, f)
-		byID[f.ID] = f
-		idx.Insert(c.mathKey(f.Math), f)
+		// Key computed after the rename, which may have rewritten the body.
+		key := c.mathKey(f.Math)
+		c.acc.funcIdx.Insert(key, f)
+		c.watchMath(key, f)
 		c.claimID(f.ID)
 		c.res.Stats.Added++
 	}
@@ -59,38 +52,25 @@ func (c *composer) composeFunctionDefinitions() {
 // definitions are compared by checking the list of known units"); unknown
 // kinds fall back to a structural key.
 func unitKey(u *sbml.UnitDefinition) string {
-	vec, err := u.Definition().Canonical()
-	if err != nil {
-		parts := make([]string, len(u.Units))
-		for i, unit := range u.Units {
-			parts[i] = fmt.Sprintf("%s^%d@%d*%g", unit.Kind, unit.Exponent, unit.Scale, unit.Multiplier)
-		}
-		sort.Strings(parts)
-		return "struct:" + strings.Join(parts, ",")
-	}
-	return "vec:" + vec.String()
+	return units.Key(u.Definition())
 }
 
 func (c *composer) composeUnitDefinitions() {
-	idx := c.newIndex()
-	byID := make(map[string]*sbml.UnitDefinition, len(c.out.UnitDefinitions))
-	for _, u := range c.out.UnitDefinitions {
-		idx.Insert(unitKey(u), u)
-		byID[u.ID] = u
+	if len(c.second.UnitDefinitions) == 0 {
+		return
 	}
 	for _, u := range c.second.UnitDefinitions {
-		if hit, ok := idx.Lookup(unitKey(u)); ok {
+		if hit, ok := c.acc.unitIdx.Lookup(unitKey(u)); ok {
 			existing := hit.(*sbml.UnitDefinition)
 			c.res.Stats.Merged++
 			c.mapID(u.ID, existing.ID)
 			continue
 		}
-		if _, clash := byID[u.ID]; clash || c.outIDs[u.ID] {
+		if c.outIDs[u.ID] {
 			c.renameID(u.ID, fmt.Sprintf("unitDefinition %q", u.ID))
 		}
 		c.out.UnitDefinitions = append(c.out.UnitDefinitions, u)
-		byID[u.ID] = u
-		idx.Insert(unitKey(u), u)
+		c.acc.insertUnitDef(u)
 		c.claimID(u.ID)
 		c.res.Stats.Added++
 	}
@@ -99,17 +79,13 @@ func (c *composer) composeUnitDefinitions() {
 // --- compartment and species types ---
 
 func (c *composer) composeCompartmentTypes() {
-	idx := c.newIndex()
-	for _, ct := range c.out.CompartmentTypes {
-		idx.Insert(ct.ID, ct)
-		if ct.Name != "" {
-			idx.Insert("n:"+c.canonicalName(ct.Name), ct)
-		}
+	if len(c.second.CompartmentTypes) == 0 {
+		return
 	}
 	for _, ct := range c.second.CompartmentTypes {
-		hit, ok := idx.Lookup(ct.ID)
+		hit, ok := c.acc.compTypeIdx.Lookup(ct.ID)
 		if !ok && ct.Name != "" {
-			hit, ok = idx.Lookup("n:" + c.canonicalName(ct.Name))
+			hit, ok = c.acc.compTypeIdx.Lookup("n:" + c.canonicalName(ct.Name))
 		}
 		if ok {
 			existing := hit.(*sbml.CompartmentType)
@@ -121,27 +97,20 @@ func (c *composer) composeCompartmentTypes() {
 			c.renameID(ct.ID, fmt.Sprintf("compartmentType %q", ct.ID))
 		}
 		c.out.CompartmentTypes = append(c.out.CompartmentTypes, ct)
-		idx.Insert(ct.ID, ct)
-		if ct.Name != "" {
-			idx.Insert("n:"+c.canonicalName(ct.Name), ct)
-		}
+		c.acc.insertCompartmentType(ct)
 		c.claimID(ct.ID)
 		c.res.Stats.Added++
 	}
 }
 
 func (c *composer) composeSpeciesTypes() {
-	idx := c.newIndex()
-	for _, st := range c.out.SpeciesTypes {
-		idx.Insert(st.ID, st)
-		if st.Name != "" {
-			idx.Insert("n:"+c.canonicalName(st.Name), st)
-		}
+	if len(c.second.SpeciesTypes) == 0 {
+		return
 	}
 	for _, st := range c.second.SpeciesTypes {
-		hit, ok := idx.Lookup(st.ID)
+		hit, ok := c.acc.specTypeIdx.Lookup(st.ID)
 		if !ok && st.Name != "" {
-			hit, ok = idx.Lookup("n:" + c.canonicalName(st.Name))
+			hit, ok = c.acc.specTypeIdx.Lookup("n:" + c.canonicalName(st.Name))
 		}
 		if ok {
 			existing := hit.(*sbml.SpeciesType)
@@ -153,10 +122,7 @@ func (c *composer) composeSpeciesTypes() {
 			c.renameID(st.ID, fmt.Sprintf("speciesType %q", st.ID))
 		}
 		c.out.SpeciesTypes = append(c.out.SpeciesTypes, st)
-		idx.Insert(st.ID, st)
-		if st.Name != "" {
-			idx.Insert("n:"+c.canonicalName(st.Name), st)
-		}
+		c.acc.insertSpeciesType(st)
 		c.claimID(st.ID)
 		c.res.Stats.Added++
 	}
@@ -165,20 +131,13 @@ func (c *composer) composeSpeciesTypes() {
 // --- compartments ---
 
 func (c *composer) composeCompartments() {
-	idx := c.newIndex()
-	insert := func(comp *sbml.Compartment) {
-		idx.Insert("id:"+comp.ID, comp)
-		if comp.Name != "" && c.opts.Semantics != NoSemantics {
-			idx.Insert("n:"+c.canonicalName(comp.Name), comp)
-		}
-	}
-	for _, comp := range c.out.Compartments {
-		insert(comp)
+	if len(c.second.Compartments) == 0 {
+		return
 	}
 	for _, comp := range c.second.Compartments {
-		hit, ok := idx.Lookup("id:" + comp.ID)
+		hit, ok := c.acc.compIdx.Lookup("id:" + comp.ID)
 		if !ok && comp.Name != "" && c.opts.Semantics != NoSemantics {
-			hit, ok = idx.Lookup("n:" + c.canonicalName(comp.Name))
+			hit, ok = c.acc.compIdx.Lookup("n:" + c.canonicalName(comp.Name))
 		}
 		if ok {
 			existing := hit.(*sbml.Compartment)
@@ -205,7 +164,7 @@ func (c *composer) composeCompartments() {
 			c.renameID(comp.ID, fmt.Sprintf("compartment %q", comp.ID))
 		}
 		c.out.Compartments = append(c.out.Compartments, comp)
-		insert(comp)
+		c.acc.insertCompartment(comp)
 		c.claimID(comp.ID)
 		c.res.Stats.Added++
 	}
@@ -213,36 +172,21 @@ func (c *composer) composeCompartments() {
 
 // --- species ---
 
-// speciesKey matches the paper's rule: species are identical when their
-// names or identifiers are identical or synonymous. Species in different
-// compartments are different entities, so the (mapped) compartment is part
-// of the key.
+// speciesLookupKeys matches the paper's rule: species are identical when
+// their names or identifiers are identical or synonymous; the (mapped)
+// compartment is part of the key. See speciesKeysFor.
 func (c *composer) speciesLookupKeys(s *sbml.Species) []string {
-	keys := []string{"id:" + s.ID + "@" + s.Compartment}
-	if s.Name != "" && c.opts.Semantics != NoSemantics {
-		keys = append(keys, "n:"+c.canonicalName(s.Name)+"@"+s.Compartment)
-	}
-	if c.opts.Semantics != NoSemantics {
-		// An id in one model can match a name in the other.
-		keys = append(keys, "n:"+c.canonicalName(s.ID)+"@"+s.Compartment)
-	}
-	return keys
+	return speciesKeysFor(c.opts, s)
 }
 
 func (c *composer) composeSpecies() {
-	idx := c.newIndex()
-	insert := func(s *sbml.Species) {
-		for _, k := range c.speciesLookupKeys(s) {
-			idx.Insert(k, s)
-		}
-	}
-	for _, s := range c.out.Species {
-		insert(s)
+	if len(c.second.Species) == 0 {
+		return
 	}
 	for _, s := range c.second.Species {
 		var existing *sbml.Species
 		for _, k := range c.speciesLookupKeys(s) {
-			if hit, ok := idx.Lookup(k); ok {
+			if hit, ok := c.acc.speciesIdx.Lookup(k); ok {
 				existing = hit.(*sbml.Species)
 				break
 			}
@@ -257,7 +201,7 @@ func (c *composer) composeSpecies() {
 			c.renameID(s.ID, fmt.Sprintf("species %q", s.ID))
 		}
 		c.out.Species = append(c.out.Species, s)
-		insert(s)
+		c.acc.insertSpecies(s)
 		c.claimID(s.ID)
 		c.res.Stats.Added++
 	}
@@ -306,12 +250,11 @@ func (c *composer) checkSpeciesConflicts(first, second *sbml.Species) {
 // --- parameters ---
 
 func (c *composer) composeParameters() {
-	byID := make(map[string]*sbml.Parameter, len(c.out.Parameters))
-	for _, p := range c.out.Parameters {
-		byID[p.ID] = p
+	if len(c.second.Parameters) == 0 {
+		return
 	}
 	for _, p := range c.second.Parameters {
-		if existing, ok := byID[p.ID]; ok {
+		if existing, ok := c.acc.params[p.ID]; ok {
 			// The paper: parameters merge only when nothing distinguishes
 			// them; a same-named parameter with a different value is
 			// renamed so both survive.
@@ -328,7 +271,7 @@ func (c *composer) composeParameters() {
 			c.renameID(p.ID, fmt.Sprintf("parameter %q", p.ID))
 		}
 		c.out.Parameters = append(c.out.Parameters, p)
-		byID[p.ID] = p
+		c.acc.insertParameter(p)
 		c.claimID(p.ID)
 		c.res.Stats.Added++
 	}
@@ -363,15 +306,14 @@ func resolveUnits(m *sbml.Model, ref string) (units.Definition, bool) {
 // --- initial assignments ---
 
 func (c *composer) composeInitialAssignments() {
-	bySymbol := make(map[string]*sbml.InitialAssignment, len(c.out.InitialAssignments))
-	for _, ia := range c.out.InitialAssignments {
-		bySymbol[ia.Symbol] = ia
+	if len(c.second.InitialAssignments) == 0 {
+		return
 	}
 	for _, ia := range c.second.InitialAssignments {
-		existing, ok := bySymbol[ia.Symbol]
+		existing, ok := c.acc.assigns[ia.Symbol]
 		if !ok {
 			c.out.InitialAssignments = append(c.out.InitialAssignments, ia)
-			bySymbol[ia.Symbol] = ia
+			c.acc.insertInitialAssignment(ia)
 			c.res.Stats.Added++
 			continue
 		}
@@ -407,31 +349,26 @@ func envFor(m *sbml.Model, vals map[string]float64) mathml.Env {
 // --- rules ---
 
 func (c *composer) composeRules() {
-	byVar := make(map[string]*sbml.Rule)
-	algebraic := c.newIndex()
-	for _, r := range c.out.Rules {
-		if r.Kind == sbml.AlgebraicRule {
-			algebraic.Insert(c.mathKey(r.Math), r)
-			continue
-		}
-		byVar[r.Kind.String()+":"+r.Variable] = r
+	if len(c.second.Rules) == 0 {
+		return
 	}
 	for _, r := range c.second.Rules {
 		if r.Kind == sbml.AlgebraicRule {
-			if _, ok := algebraic.Lookup(c.mathKey(r.Math)); ok {
+			key := c.mathKey(r.Math)
+			if _, ok := c.acc.algIdx.Lookup(key); ok {
 				c.res.Stats.Merged++
 				continue
 			}
 			c.out.Rules = append(c.out.Rules, r)
-			algebraic.Insert(c.mathKey(r.Math), r)
+			c.acc.algIdx.Insert(key, r)
+			c.watchMath(key, r)
 			c.res.Stats.Added++
 			continue
 		}
-		key := r.Kind.String() + ":" + r.Variable
-		existing, ok := byVar[key]
+		existing, ok := c.acc.rules[ruleKeyFor(r)]
 		if !ok {
 			c.out.Rules = append(c.out.Rules, r)
-			byVar[key] = r
+			c.acc.insertRule(r)
 			c.res.Stats.Added++
 			continue
 		}
@@ -449,17 +386,18 @@ func (c *composer) composeRules() {
 // --- constraints ---
 
 func (c *composer) composeConstraints() {
-	idx := c.newIndex()
-	for _, con := range c.out.Constraints {
-		idx.Insert(c.mathKey(con.Math), con)
+	if len(c.second.Constraints) == 0 {
+		return
 	}
 	for _, con := range c.second.Constraints {
-		if _, ok := idx.Lookup(c.mathKey(con.Math)); ok {
+		key := c.mathKey(con.Math)
+		if _, ok := c.acc.consIdx.Lookup(key); ok {
 			c.res.Stats.Merged++
 			continue
 		}
 		c.out.Constraints = append(c.out.Constraints, con)
-		idx.Insert(c.mathKey(con.Math), con)
+		c.acc.consIdx.Insert(key, con)
+		c.watchMath(key, con)
 		c.res.Stats.Added++
 	}
 }
@@ -493,18 +431,17 @@ func reactionStructureKey(r *sbml.Reaction) string {
 }
 
 func (c *composer) composeReactions() {
-	idx := c.newIndex()
-	for _, r := range c.out.Reactions {
-		idx.Insert(reactionStructureKey(r), r)
+	if len(c.second.Reactions) == 0 {
+		return
 	}
 	for _, r := range c.second.Reactions {
-		hit, ok := idx.Lookup(reactionStructureKey(r))
+		hit, ok := c.acc.reactIdx.Lookup(reactionStructureKey(r))
 		if !ok {
 			if c.outIDs[r.ID] {
 				c.renameID(r.ID, fmt.Sprintf("reaction %q", r.ID))
 			}
 			c.out.Reactions = append(c.out.Reactions, r)
-			idx.Insert(reactionStructureKey(r), r)
+			c.acc.insertReaction(r)
 			c.claimID(r.ID)
 			c.res.Stats.Added++
 			continue
@@ -515,6 +452,12 @@ func (c *composer) composeReactions() {
 		switch {
 		case existing.KineticLaw == nil && r.KineticLaw != nil:
 			existing.KineticLaw = r.KineticLaw
+			// The adopted law's local parameter ids join the accumulator's
+			// id namespace (AllIDs collects them), so claim them for
+			// fresh-name generation in later steps.
+			for _, p := range r.KineticLaw.Parameters {
+				c.claimID(p.ID)
+			}
 			c.note(label, "adopted kinetic law from second model")
 		case existing.KineticLaw != nil && r.KineticLaw != nil:
 			if !c.kineticLawsEqual(existing, r) {
@@ -684,25 +627,17 @@ func reactionBasis(m *sbml.Model, r *sbml.Reaction) units.SubstanceBasis {
 // --- events ---
 
 // eventKey canonicalizes an event by its trigger, delay and assignment
-// patterns.
+// patterns. See eventKeyFor.
 func (c *composer) eventKey(e *sbml.Event) string {
-	parts := make([]string, 0, len(e.Assignments)+2)
-	parts = append(parts, "t:"+c.mathKey(e.Trigger), "d:"+c.mathKey(e.Delay))
-	assigns := make([]string, len(e.Assignments))
-	for i, a := range e.Assignments {
-		assigns[i] = a.Variable + "=" + c.mathKey(a.Math)
-	}
-	sort.Strings(assigns)
-	return strings.Join(append(parts, assigns...), "|")
+	return eventKeyFor(c.opts, e)
 }
 
 func (c *composer) composeEvents() {
-	idx := c.newIndex()
-	for _, e := range c.out.Events {
-		idx.Insert(c.eventKey(e), e)
+	if len(c.second.Events) == 0 {
+		return
 	}
 	for _, e := range c.second.Events {
-		if hit, ok := idx.Lookup(c.eventKey(e)); ok {
+		if hit, ok := c.acc.eventIdx.Lookup(c.eventKey(e)); ok {
 			existing := hit.(*sbml.Event)
 			c.res.Stats.Merged++
 			if e.ID != "" && existing.ID != "" {
@@ -714,7 +649,11 @@ func (c *composer) composeEvents() {
 			c.renameID(e.ID, fmt.Sprintf("event %q", e.ID))
 		}
 		c.out.Events = append(c.out.Events, e)
-		idx.Insert(c.eventKey(e), e)
+		// Key computed after the rename, which may have rewritten the
+		// trigger, delay or assignments.
+		key := c.eventKey(e)
+		c.acc.eventIdx.Insert(key, e)
+		c.watchMath(key, e)
 		c.claimID(e.ID)
 		c.res.Stats.Added++
 	}

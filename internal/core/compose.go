@@ -77,8 +77,24 @@ type Options struct {
 	// map; others exist for the index ablation).
 	Index index.Kind
 	// Log receives warning lines as they are produced; nil discards them.
-	// Warnings are also collected on the Result.
+	// Warnings are also collected on the Result. In parallel mode writes
+	// are serialized but their interleaving across merge nodes is
+	// unspecified; the Result's Warnings stay deterministic.
 	Log io.Writer
+	// Parallel switches ComposeAll from the sequential incremental fold to
+	// a balanced-binary-reduction merge executed by a worker pool. The
+	// merge tree depends only on the input order, so results are
+	// reproducible regardless of scheduling. Because components meet in a
+	// different order than under the left fold, results can differ from
+	// the sequential mode's on conflicting inputs: fresh-name choices,
+	// conflict resolutions, and even which duplicates merge (e.g. two
+	// equal-valued parameters that each conflict with an earlier model's
+	// may merge with each other in the tree but be renamed apart by the
+	// fold). On batches whose models don't fight over ids the two modes
+	// agree byte for byte.
+	Parallel bool
+	// Workers caps the parallel worker pool; 0 or less means GOMAXPROCS.
+	Workers int
 }
 
 // Warning records a decision the composer took on the user's behalf, such as
@@ -133,18 +149,104 @@ type Result struct {
 	Stats Stats
 }
 
-// composer carries the mutable state of one composition run.
+// composer carries the mutable state of one pairwise composition step. It
+// merges the second model into the compiled accumulator, keeping the
+// accumulator's indexes consistent as components land.
 type composer struct {
 	opts   Options
-	out    *sbml.Model // the grown first model
-	second *sbml.Model // private clone of the second model, renamed in place
+	acc    *CompiledModel // compiled accumulator; owns out and its indexes
+	out    *sbml.Model    // the grown first model (acc's model)
+	second *sbml.Model    // private clone of the second model, renamed in place
 	res    *Result
-	outIDs map[string]bool // all ids in out, for fresh-name generation
+	outIDs map[string]bool // all ids in out (acc's live id set), for fresh-name generation
 	// initialValues holds the pre-collected initial value of every symbol
 	// in each input model (§3: "the initial values of all component
 	// attributes are collected before composition begins").
 	firstValues  map[string]float64
 	secondValues map[string]float64
+	// secondIDs caches the second model's id set for fresh-name generation,
+	// built on the first rename and maintained through later renames and
+	// mappings so renameID stays O(1) instead of re-walking the model.
+	secondIDs map[string]bool
+	// mathWatch records each math-keyed component added this step with its
+	// at-insert key, so repairMathKeys can detect keys a later rename
+	// rewrote and rebuild only the affected families.
+	mathWatch []watchedKey
+}
+
+// watchedKey is one math-keyed component inserted during the current step.
+type watchedKey struct {
+	key  string
+	comp any // *FunctionDefinition, algebraic *Rule, *Constraint or *Event
+}
+
+// watchMath records a freshly indexed math-keyed component.
+func (c *composer) watchMath(key string, comp any) {
+	c.mathWatch = append(c.mathWatch, watchedKey{key: key, comp: comp})
+}
+
+// repairMathKeys re-derives the key of every math-keyed component the step
+// inserted and rebuilds the families where a key drifted — the only way an
+// accumulator index can go stale, since RenameSymbols touches only the
+// second model, whose appended components alias the accumulator's. Callers
+// that keep the accumulator past this step must invoke it after
+// runPipeline; the scan is O(step additions) and skipped entirely when the
+// step recorded no renames or mappings (keys cannot drift without a
+// RenameSymbols call).
+func (c *composer) repairMathKeys() {
+	if len(c.res.Mappings) == 0 && len(c.res.Renames) == 0 {
+		return
+	}
+	var funcs, algs, cons, events bool
+	for _, w := range c.mathWatch {
+		switch x := w.comp.(type) {
+		case *sbml.FunctionDefinition:
+			funcs = funcs || mathKeyFor(c.opts, x.Math) != w.key
+		case *sbml.Rule:
+			algs = algs || mathKeyFor(c.opts, x.Math) != w.key
+		case *sbml.Constraint:
+			cons = cons || mathKeyFor(c.opts, x.Math) != w.key
+		case *sbml.Event:
+			events = events || eventKeyFor(c.opts, x) != w.key
+		}
+	}
+	if funcs || algs || cons || events {
+		c.acc.rekeyMathIndexes(funcs, algs, cons, events)
+	}
+}
+
+// newStepComposer wires a pairwise step against a compiled accumulator. The
+// caller supplies secondValues (collected from the uncloned input, which is
+// equivalent and avoids touching the clone twice).
+func newStepComposer(acc *CompiledModel, second *sbml.Model, res *Result) *composer {
+	return &composer{
+		opts:        acc.opts,
+		acc:         acc,
+		out:         acc.model,
+		second:      second,
+		res:         res,
+		outIDs:      acc.ids,
+		firstValues: collectInitialValues(acc.model),
+	}
+}
+
+// runPipeline executes Figure 4's fixed composition order. Callers that
+// keep the accumulator beyond this step must repair math-derived index
+// keys afterwards (rekeyMathIndexes) if the step mapped or renamed ids; a
+// one-shot Compose skips that, its indexes die with the call.
+func (c *composer) runPipeline() {
+	c.composeFunctionDefinitions()
+	c.composeUnitDefinitions()
+	c.composeCompartmentTypes()
+	c.composeSpeciesTypes()
+	c.composeCompartments()
+	c.composeSpecies()
+	c.composeParameters()
+	c.composeInitialAssignments()
+	c.composeRules()
+	c.composeConstraints()
+	c.composeReactions()
+	c.composeEvents()
 }
 
 // Compose merges model b into a copy of model a following Figures 4 and 5.
@@ -168,36 +270,13 @@ func Compose(a, b *sbml.Model, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	c := &composer{
-		opts:   opts,
-		out:    a.Clone(),
-		second: b.Clone(),
-		res: &Result{
-			Mappings: map[string]string{},
-			Renames:  map[string]string{},
-		},
-	}
-	c.outIDs = c.out.AllIDs()
-	c.firstValues = collectInitialValues(a)
+	res := &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
+	c := newStepComposer(compile(a.Clone(), opts), b.Clone(), res)
 	c.secondValues = collectInitialValues(b)
-
-	// Figure 4: the fixed composition order.
-	c.composeFunctionDefinitions()
-	c.composeUnitDefinitions()
-	c.composeCompartmentTypes()
-	c.composeSpeciesTypes()
-	c.composeCompartments()
-	c.composeSpecies()
-	c.composeParameters()
-	c.composeInitialAssignments()
-	c.composeRules()
-	c.composeConstraints()
-	c.composeReactions()
-	c.composeEvents()
-
-	c.res.Model = c.out
-	c.res.Stats.Duration = time.Since(start)
-	return c.res, nil
+	c.runPipeline()
+	res.Model = c.out
+	res.Stats.Duration = time.Since(start)
+	return res, nil
 }
 
 // MatchModels computes the component correspondence between two models
@@ -213,36 +292,35 @@ func MatchModels(a, b *sbml.Model, opts Options) ([]Match, error) {
 	return res.Matches, nil
 }
 
-// ComposeAll left-folds Compose over the models, supporting the incremental
-// model assembly workflow the paper says semanticSBML cannot offer
-// ("should a group of modelers be creating a large new model … it is not
-// possible for the model to be built incrementally").
+// ComposeAll batch-composes the models, supporting the incremental model
+// assembly workflow the paper says semanticSBML cannot offer ("should a
+// group of modelers be creating a large new model … it is not possible for
+// the model to be built incrementally").
+//
+// By default it folds left-to-right through one persistent compiled
+// accumulator, so each input model is matched against indexes that are
+// updated in place rather than rebuilt every step. With opts.Parallel it
+// switches to a deterministic balanced-binary-reduction merge across a
+// worker pool (see Options.Parallel).
 func ComposeAll(models []*sbml.Model, opts Options) (*Result, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("core: ComposeAll requires at least one model")
 	}
-	acc := &Result{Model: models[0].Clone(), Mappings: map[string]string{}, Renames: map[string]string{}}
-	for _, m := range models[1:] {
-		step, err := Compose(acc.Model, m, opts)
-		if err != nil {
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("core: ComposeAll model %d is nil", i)
+		}
+	}
+	if opts.Parallel && len(models) > 1 {
+		return composeAllParallel(models, opts)
+	}
+	c := NewComposer(opts)
+	for _, m := range models {
+		if err := c.Add(m); err != nil {
 			return nil, err
 		}
-		step.Warnings = append(acc.Warnings, step.Warnings...)
-		step.Matches = append(acc.Matches, step.Matches...)
-		for k, v := range acc.Mappings {
-			step.Mappings[k] = v
-		}
-		for k, v := range acc.Renames {
-			step.Renames[k] = v
-		}
-		step.Stats.Merged += acc.Stats.Merged
-		step.Stats.Added += acc.Stats.Added
-		step.Stats.Renamed += acc.Stats.Renamed
-		step.Stats.Conflicts += acc.Stats.Conflicts
-		step.Stats.Duration += acc.Stats.Duration
-		acc = step
 	}
-	return acc, nil
+	return c.Result(), nil
 }
 
 // warn records a conflict decision and mirrors it to the log writer.
@@ -275,6 +353,10 @@ func (c *composer) mapID(from, to string) {
 	}
 	c.res.Mappings[from] = to
 	c.second.RenameSymbols(map[string]string{from: to})
+	if c.secondIDs != nil {
+		delete(c.secondIDs, from)
+		c.secondIDs[to] = true
+	}
 }
 
 // renameID gives a second-model component a fresh id derived from `from`
@@ -283,16 +365,20 @@ func (c *composer) mapID(from, to string) {
 // colliding with a pending id would make the in-place rename capture an
 // unrelated component.
 func (c *composer) renameID(from, component string) string {
-	secondIDs := c.second.AllIDs()
+	if c.secondIDs == nil {
+		c.secondIDs = c.second.AllIDs()
+	}
 	fresh := from
 	for i := 2; ; i++ {
 		fresh = fmt.Sprintf("%s_m%d", from, i)
-		if !c.outIDs[fresh] && !secondIDs[fresh] {
+		if !c.outIDs[fresh] && !c.secondIDs[fresh] {
 			break
 		}
 	}
 	c.res.Renames[from] = fresh
 	c.second.RenameSymbols(map[string]string{from: fresh})
+	delete(c.secondIDs, from)
+	c.secondIDs[fresh] = true
 	c.warn(component, "id %q already used in first model; renamed to %q", from, fresh)
 	c.res.Stats.Renamed++
 	return fresh
@@ -303,11 +389,6 @@ func (c *composer) claimID(id string) {
 	if id != "" {
 		c.outIDs[id] = true
 	}
-}
-
-// newIndex builds an index of the configured kind.
-func (c *composer) newIndex() index.Index {
-	return index.New(c.opts.Index)
 }
 
 // matchNames reports whether two component names/ids denote the same entity
@@ -332,15 +413,5 @@ func (c *composer) matchNames(a, b string) bool {
 // canonicalName returns the index key for an entity name under the current
 // semantics level.
 func (c *composer) canonicalName(name string) string {
-	switch c.opts.Semantics {
-	case NoSemantics:
-		return name
-	case LightSemantics:
-		return synonym.Normalize(name)
-	default:
-		if c.opts.Synonyms != nil {
-			return c.opts.Synonyms.Canonical(name)
-		}
-		return synonym.Normalize(name)
-	}
+	return canonicalNameFor(c.opts, name)
 }

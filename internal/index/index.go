@@ -59,15 +59,26 @@ func (k Kind) String() string {
 
 // New returns an empty index of the given kind.
 func New(kind Kind) Index {
+	return NewWithCapacity(kind, 0)
+}
+
+// NewWithCapacity returns an empty index of the given kind preallocated for
+// about n keys. The compiled-model layer sizes each per-component-type
+// index from the model's component counts so bulk compilation avoids
+// rehash/regrow churn; n is a hint, not a limit.
+func NewWithCapacity(kind Kind, n int) Index {
+	if n < 0 {
+		n = 0
+	}
 	switch kind {
 	case Linear:
-		return &linearIndex{}
+		return &linearIndex{items: make([]kv, 0, n)}
 	case Sorted:
-		return &sortedIndex{}
+		return &sortedIndex{items: make([]kv, 0, n)}
 	case SuffixTree:
 		return newSuffixIndex()
 	default:
-		return hashIndex{m: make(map[string]any)}
+		return hashIndex{m: make(map[string]any, n)}
 	}
 }
 

@@ -176,3 +176,25 @@ func BenchmarkIndexInsertLookup(b *testing.B) {
 		})
 	}
 }
+
+func TestNewWithCapacityAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, n := range []int{-1, 0, 5, 100} {
+				idx := NewWithCapacity(kind, n)
+				if idx.Len() != 0 {
+					t.Fatalf("cap %d: new index not empty", n)
+				}
+				idx.Insert("a", 1)
+				idx.Insert("b", 2)
+				idx.Insert("a", 3) // replace
+				if idx.Len() != 2 {
+					t.Fatalf("cap %d: Len = %d, want 2", n, idx.Len())
+				}
+				if v, ok := idx.Lookup("a"); !ok || v.(int) != 3 {
+					t.Fatalf("cap %d: Lookup(a) = %v %v", n, v, ok)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,16 @@ func Pattern(e Expr, mappings map[string]string) string {
 	return b.String()
 }
 
+// PatternAppend writes e's pattern into b, letting callers that assemble
+// composite keys (the compiled-model component indexes) avoid an
+// intermediate string per subexpression. A nil e writes nothing.
+func PatternAppend(b *strings.Builder, e Expr, mappings map[string]string) {
+	if e == nil {
+		return
+	}
+	writePattern(b, e, mappings, nil)
+}
+
 // PatternEqual reports whether a and b have identical patterns under the
 // given mappings (applied to a only — mappings translate a's namespace into
 // b's, mirroring how the composer stores model-1→model-2 renames).

@@ -3,6 +3,7 @@ package mathml
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -225,6 +226,29 @@ func BenchmarkEval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Eval(e, vals); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestPatternAppendMatchesPattern(t *testing.T) {
+	exprs := []Expr{
+		MustParseInfix("k1*A*B - k2*C"),
+		MustParseInfix("piecewise(1, A > 0, 0)"),
+		nil,
+	}
+	maps := []map[string]string{nil, {"A": "X"}}
+	for _, e := range exprs {
+		for _, m := range maps {
+			var b strings.Builder
+			b.WriteString("prefix:")
+			PatternAppend(&b, e, m)
+			want := "prefix:"
+			if e != nil {
+				want += Pattern(e, m)
+			}
+			if b.String() != want {
+				t.Errorf("PatternAppend = %q, want %q", b.String(), want)
+			}
 		}
 	}
 }

@@ -18,19 +18,29 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is a synonym table: a partition of names into equivalence classes.
-// The zero value is not usable; call NewTable.
+// The zero value is not usable; call NewTable. A Table is safe for
+// concurrent use: even read-style queries (Match, Canonical) mutate the
+// underlying union-find forest through path compression, so all access is
+// serialized — parallel composition shares one table across its workers.
 type Table struct {
+	mu     sync.Mutex
 	parent map[string]string // union-find forest over normalized names
 	rank   map[string]int
-	size   int // number of Add'ed pairs, for diagnostics
+	canon  map[string]string // root → lexicographically smallest class member
+	size   int               // number of Add'ed pairs, for diagnostics
 }
 
 // NewTable returns an empty synonym table.
 func NewTable() *Table {
-	return &Table{parent: make(map[string]string), rank: make(map[string]int)}
+	return &Table{
+		parent: make(map[string]string),
+		rank:   make(map[string]int),
+		canon:  make(map[string]string),
+	}
 }
 
 // Normalize maps a raw entity name to its canonical lookup form:
@@ -77,12 +87,20 @@ func (t *Table) ensure(x string) {
 	if _, ok := t.parent[x]; !ok {
 		t.parent[x] = x
 		t.rank[x] = 0
+		t.canon[x] = x
 	}
 }
 
 // Add records that a and b name the same biological entity. Both names are
 // normalized first.
 func (t *Table) Add(a, b string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(a, b)
+}
+
+// add is Add without locking, for callers already holding mu.
+func (t *Table) add(a, b string) {
 	na, nb := Normalize(a), Normalize(b)
 	if na == "" || nb == "" {
 		return
@@ -101,12 +119,19 @@ func (t *Table) Add(a, b string) {
 	if t.rank[ra] == t.rank[rb] {
 		t.rank[ra]++
 	}
+	// The united class's representative is the smaller of the two.
+	if t.canon[rb] < t.canon[ra] {
+		t.canon[ra] = t.canon[rb]
+	}
+	delete(t.canon, rb)
 }
 
 // AddClass records that all the given names are synonymous.
 func (t *Table) AddClass(names ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := 1; i < len(names); i++ {
-		t.Add(names[0], names[i])
+		t.add(names[0], names[i])
 	}
 }
 
@@ -121,6 +146,8 @@ func (t *Table) Match(a, b string) bool {
 	if t == nil {
 		return false
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.parent[na]; !ok {
 		return false
 	}
@@ -138,23 +165,23 @@ func (t *Table) Canonical(name string) string {
 	if t == nil {
 		return n
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.parent[n]; !ok {
 		return n
 	}
-	root := t.find(n)
-	best := n
-	for member := range t.parent {
-		if t.find(member) == root && member < best {
-			best = member
-		}
-	}
-	return best
+	// The representative is maintained per root as classes unite, so the
+	// hot path — every name the composer canonicalizes — is two map hits,
+	// not a table scan.
+	return t.canon[t.find(n)]
 }
 
 // Classes returns every equivalence class with at least two members, each
 // sorted, the classes ordered by their first element. Useful for dumping and
 // testing.
 func (t *Table) Classes() [][]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	byRoot := make(map[string][]string)
 	for member := range t.parent {
 		root := t.find(member)
@@ -177,6 +204,8 @@ func (t *Table) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.parent)
 }
 

@@ -190,3 +190,28 @@ func TestQuickMatchIsEquivalenceRelation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCanonicalMatchesBruteForceScan(t *testing.T) {
+	// The cached per-root representative must equal the lexicographically
+	// smallest class member found by scanning, for every known name.
+	tabs := map[string]*Table{"builtin": Builtin()}
+	layered := Builtin()
+	layered.AddClass("zeta", "alpha", "midway")
+	layered.Add("glucose", "blood sugar") // extends an existing class
+	layered.Add("alpha", "aardvark")      // lowers an existing representative
+	tabs["layered"] = layered
+	for name, tab := range tabs {
+		for member := range tab.parent {
+			root := tab.find(member)
+			best := member
+			for other := range tab.parent {
+				if tab.find(other) == root && other < best {
+					best = other
+				}
+			}
+			if got := tab.Canonical(member); got != best {
+				t.Errorf("%s: Canonical(%q) = %q, scan says %q", name, member, got, best)
+			}
+		}
+	}
+}

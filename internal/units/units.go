@@ -161,6 +161,24 @@ func (d Definition) Canonical() (Vector, error) {
 	return out, nil
 }
 
+// Key returns a canonical string key for a definition, the form the
+// composer's unit indexes store: the reduced dimension vector when every
+// base kind is known ("unit definitions are compared by checking the list
+// of known units", §3), and a sorted structural rendering otherwise so
+// unknown kinds still compare deterministically.
+func Key(d Definition) string {
+	vec, err := d.Canonical()
+	if err != nil {
+		parts := make([]string, len(d.Units))
+		for i, u := range d.Units {
+			parts[i] = fmt.Sprintf("%s^%d@%d*%g", u.Kind, u.Exponent, u.Scale, u.Multiplier)
+		}
+		sort.Strings(parts)
+		return "struct:" + strings.Join(parts, ",")
+	}
+	return "vec:" + vec.String()
+}
+
 // String renders the vector as a compact dimensional formula, e.g.
 // "1e-3 · m^3" for litre.
 func (v Vector) String() string {

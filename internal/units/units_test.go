@@ -2,6 +2,7 @@ package units
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -273,5 +274,27 @@ func TestQuickConversionFactorSymmetry(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestKeyReducesKnownUnits(t *testing.T) {
+	// Molar written factor-first and factor-last reduces to one vector key.
+	molar := Definition{ID: "c1", Units: []Unit{NewUnit("mole"), {Kind: "litre", Exponent: -1, Multiplier: 1}}}
+	ralom := Definition{ID: "c2", Units: []Unit{{Kind: "litre", Exponent: -1, Multiplier: 1}, NewUnit("mole")}}
+	if Key(molar) != Key(ralom) {
+		t.Errorf("equivalent definitions key differently: %q vs %q", Key(molar), Key(ralom))
+	}
+	litre := Definition{ID: "vol1", Units: []Unit{NewUnit("litre")}}
+	if got := Key(litre); !strings.HasPrefix(got, "vec:") {
+		t.Errorf("known-unit key = %q, want vec: prefix", got)
+	}
+	// Unknown kinds fall back to a deterministic structural key.
+	odd := Definition{ID: "odd", Units: []Unit{NewUnit("furlong"), NewUnit("second")}}
+	odd2 := Definition{ID: "odd2", Units: []Unit{NewUnit("second"), NewUnit("furlong")}}
+	if Key(odd) != Key(odd2) {
+		t.Errorf("structural key should sort factors: %q vs %q", Key(odd), Key(odd2))
+	}
+	if got := Key(odd); !strings.HasPrefix(got, "struct:") {
+		t.Errorf("unknown-unit key = %q, want struct: prefix", got)
 	}
 }

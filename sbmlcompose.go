@@ -18,6 +18,19 @@
 //	if err != nil { ... }
 //	_ = sbmlcompose.WriteModelFile(res.Model, "merged.xml")
 //
+// Batch and streaming assembly run on the compiled-model engine: Compile
+// precomputes a model's match keys and component indexes, Composer folds
+// models one at a time into a persistent compiled accumulator whose indexes
+// update in place, and ComposeAll with Options.Parallel batch-merges via a
+// deterministic balanced binary reduction across a worker pool:
+//
+//	c := sbmlcompose.NewComposer(nil)
+//	for _, path := range parts {
+//		m, _ := sbmlcompose.ParseModelFile(path)
+//		_ = c.Add(m)
+//	}
+//	merged := c.Result().Model
+//
 // Beyond composition the package exposes the paper's full evaluation
 // toolchain: SBML-aware document diffing (§4.1.1), deterministic and
 // stochastic simulation (§4.1.2), residual-sum-of-squares trace comparison
@@ -153,19 +166,20 @@ func NewSynonymTable() *SynonymTable {
 // heavy semantics and the built-in synonym table; inputs are never
 // modified.
 func Compose(a, b *Model, opts *Options) (*Result, error) {
-	o := Options{}
-	if opts != nil {
-		o = *opts
-	}
-	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
-		o.Synonyms = synonym.Builtin()
-	}
-	return core.Compose(a, b, o)
+	return core.Compose(a, b, resolveOptions(opts))
 }
 
-// ComposeAll left-folds Compose over the models, supporting incremental
-// assembly from a library of parts.
+// ComposeAll batch-composes the models: by default an incremental left
+// fold through one persistent compiled accumulator; with opts.Parallel a
+// deterministic balanced-binary-reduction merge across a worker pool
+// (opts.Workers, defaulting to GOMAXPROCS).
 func ComposeAll(models []*Model, opts *Options) (*Result, error) {
+	return core.ComposeAll(models, resolveOptions(opts))
+}
+
+// resolveOptions applies the facade defaults: nil means heavy semantics,
+// and heavy semantics without a table gets the built-in synonyms.
+func resolveOptions(opts *Options) Options {
 	o := Options{}
 	if opts != nil {
 		o = *opts
@@ -173,7 +187,36 @@ func ComposeAll(models []*Model, opts *Options) (*Result, error) {
 	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
 		o.Synonyms = synonym.Builtin()
 	}
-	return core.ComposeAll(models, o)
+	return o
+}
+
+// CompiledModel wraps a model with its precomputed match keys — normalized
+// and synonym-expanded names, commutativity-canonical MathML patterns,
+// reduced unit vectors — and prebuilt per-component-type indexes.
+type CompiledModel = core.CompiledModel
+
+// Compile precompiles a model for repeated or streaming composition. The
+// input is cloned; a nil opts compiles for heavy semantics with the
+// built-in synonym table.
+func Compile(m *Model, opts *Options) (*CompiledModel, error) {
+	return core.Compile(m, resolveOptions(opts))
+}
+
+// Composer assembles a model incrementally: each Add folds one more model
+// into a persistent compiled accumulator whose indexes are updated in
+// place — the streaming workflow the paper notes semanticSBML cannot offer.
+type Composer = core.Composer
+
+// NewComposer returns an empty streaming composer. A nil opts composes
+// with heavy semantics and the built-in synonym table.
+func NewComposer(opts *Options) *Composer {
+	return core.NewComposer(resolveOptions(opts))
+}
+
+// NewComposerFrom seeds a streaming composer with an already-compiled
+// accumulator; the composer takes ownership of cm.
+func NewComposerFrom(cm *CompiledModel) *Composer {
+	return core.NewComposerFrom(cm)
 }
 
 // Match is a component correspondence between two models.
@@ -184,14 +227,7 @@ type Match = core.Match
 // producing a merged model. A nil opts matches with heavy semantics and the
 // built-in synonym table.
 func MatchModels(a, b *Model, opts *Options) ([]Match, error) {
-	o := Options{}
-	if opts != nil {
-		o = *opts
-	}
-	if o.Synonyms == nil && o.Semantics == core.HeavySemantics {
-		o.Synonyms = synonym.Builtin()
-	}
-	return core.MatchModels(a, b, o)
+	return core.MatchModels(a, b, resolveOptions(opts))
 }
 
 // Decompose splits a model into its weakly connected reaction subnetworks,
