@@ -6,12 +6,20 @@
 //	benchfig -fig 9               Figure 9: log10(compose time in ms) for
 //	                              semanticSBML and SBMLCompose over all
 //	                              pairs of the 17 annotated models.
-//	benchfig -json [-out f.json]  machine-readable engine benchmarks:
-//	                              ns/op for Compose and ComposeAll across
-//	                              index kinds, model sizes and assembly
-//	                              strategies, written as JSON (default
-//	                              BENCH_compose.json) so the perf
-//	                              trajectory is tracked across changes.
+//	benchfig -json [-suite compose|sim] [-out f.json] [-quick]
+//	                              machine-readable engine benchmarks written
+//	                              as JSON so the perf trajectory is tracked
+//	                              across changes. Suite "compose" (default,
+//	                              BENCH_compose.json): ns/op for Compose and
+//	                              ComposeAll across index kinds, model sizes
+//	                              and assembly strategies. Suite "sim"
+//	                              (BENCH_sim.json): ODE derivative and SSA
+//	                              propensity steps under the compiled slot
+//	                              engine vs the tree-walking reference, full
+//	                              simulation runs, and mc2.Probability
+//	                              across worker counts. -quick runs each
+//	                              benchmark once (CI smoke) instead of
+//	                              through testing.Benchmark.
 //
 // Output is one whitespace-separated row per composition (ready for
 // gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
@@ -35,8 +43,10 @@ import (
 	"sbmlcompose/internal/biomodels"
 	"sbmlcompose/internal/core"
 	"sbmlcompose/internal/index"
+	"sbmlcompose/internal/mc2"
 	"sbmlcompose/internal/sbml"
 	"sbmlcompose/internal/semanticsbml"
+	"sbmlcompose/internal/sim"
 	"sbmlcompose/internal/synonym"
 )
 
@@ -52,12 +62,25 @@ func run() error {
 		fig      = flag.Int("fig", 8, "figure to regenerate: 8 or 9")
 		stride   = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
 		reps     = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
-		jsonMode = flag.Bool("json", false, "run the engine benchmark suite and write JSON")
-		outPath  = flag.String("out", "BENCH_compose.json", "output file for -json")
+		jsonMode = flag.Bool("json", false, "run an engine benchmark suite and write JSON")
+		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim")
+		outPath  = flag.String("out", "", "output file for -json (default BENCH_<suite>.json)")
+		quick    = flag.Bool("quick", false, "single-iteration smoke run instead of testing.Benchmark")
 	)
 	flag.Parse()
 	if *jsonMode {
-		return benchJSON(*outPath)
+		out := *outPath
+		if out == "" {
+			out = "BENCH_" + *suite + ".json"
+		}
+		switch *suite {
+		case "compose":
+			return benchJSON(out, *quick, benchCompose)
+		case "sim":
+			return benchJSON(out, *quick, benchSim)
+		default:
+			return fmt.Errorf("unknown suite %q (want compose or sim)", *suite)
+		}
 	}
 	switch *fig {
 	case 8:
@@ -86,9 +109,54 @@ type benchReport struct {
 	Results    []benchResult `json:"results"`
 }
 
-// benchJSON measures Compose and ComposeAll across index kinds, model
-// sizes and assembly strategies, writing machine-readable results.
-func benchJSON(outPath string) error {
+// recorder runs one named benchmark body — fn must perform its operation n
+// times — through testing.Benchmark, or exactly once in quick (CI smoke)
+// mode.
+type recorder struct {
+	report *benchReport
+	quick  bool
+	err    error
+}
+
+func (r *recorder) record(name string, fn func(n int) error) {
+	if r.err != nil {
+		return
+	}
+	var res benchResult
+	if r.quick {
+		start := time.Now()
+		if err := fn(1); err != nil {
+			r.err = fmt.Errorf("%s: %w", name, err)
+			return
+		}
+		res = benchResult{Name: name, Iterations: 1, NsPerOp: float64(time.Since(start).Nanoseconds())}
+	} else {
+		var innerErr error
+		b := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if err := fn(b.N); err != nil {
+				innerErr = err
+				b.FailNow()
+			}
+		})
+		if innerErr != nil {
+			r.err = fmt.Errorf("%s: %w", name, innerErr)
+			return
+		}
+		res = benchResult{
+			Name:        name,
+			Iterations:  b.N,
+			NsPerOp:     float64(b.T.Nanoseconds()) / float64(b.N),
+			AllocsPerOp: b.AllocsPerOp(),
+			BytesPerOp:  b.AllocedBytesPerOp(),
+		}
+	}
+	r.report.Results = append(r.report.Results, res)
+	fmt.Fprintf(os.Stderr, "%-56s %14.0f ns/op\n", name, res.NsPerOp)
+}
+
+// benchJSON runs a suite and writes machine-readable results.
+func benchJSON(outPath string, quick bool, suite func(*recorder) error) error {
 	// Write to a sibling temp file and rename on success: the destination
 	// must stay writable (checked before spending minutes benchmarking),
 	// and an interrupted run must not truncate an existing snapshot.
@@ -98,84 +166,25 @@ func benchJSON(outPath string) error {
 	}
 	tmpPath := f.Name()
 	defer os.Remove(tmpPath) // no-op after the rename
-	tab := synonym.Builtin()
-	report := &benchReport{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Unix:       time.Now().Unix(),
+	r := &recorder{
+		quick: quick,
+		report: &benchReport{
+			GoVersion:  runtime.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Unix:       time.Now().Unix(),
+		},
 	}
-	record := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
-		report.Results = append(report.Results, benchResult{
-			Name:        name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op\n", name, report.Results[len(report.Results)-1].NsPerOp)
+	if err := suite(r); err != nil {
+		f.Close()
+		return err
 	}
-
-	genPair := func(nodes, edges int, seed int64) (*sbml.Model, *sbml.Model) {
-		mk := func(id string, s int64) *sbml.Model {
-			return biomodels.Generate(biomodels.Config{
-				ID: id, Nodes: nodes, Edges: edges, Seed: s,
-				VocabularySize: 150, Decorate: true,
-			})
-		}
-		return mk("a", seed), mk("b", seed+1)
+	if r.err != nil {
+		f.Close()
+		return r.err
 	}
-
-	// Pairwise Compose: index kinds × model sizes.
-	sizes := []struct {
-		name         string
-		nodes, edges int
-	}{{"small", 15, 20}, {"medium", 60, 90}, {"large", 150, 240}}
-	kinds := []index.Kind{index.Hash, index.Linear, index.Sorted, index.SuffixTree}
-	for _, sz := range sizes {
-		a, b2 := genPair(sz.nodes, sz.edges, 31337)
-		for _, kind := range kinds {
-			opts := core.Options{Index: kind, Synonyms: tab}
-			record(fmt.Sprintf("Compose/size=%s/index=%s", sz.name, kind), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := core.Compose(a, b2, opts); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-		}
-	}
-
-	// Batch ComposeAll: strategies × batch sizes, hash and sorted indexes.
-	for _, n := range []int{8, 16} {
-		models := biomodels.NamespacedBatch(n, 60, 90, 880)
-		for _, kind := range []index.Kind{index.Hash, index.Sorted} {
-			opts := core.Options{Index: kind, Synonyms: tab}
-			record(fmt.Sprintf("ComposeAll/n=%d/index=%s/sequential", n, kind), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := core.ComposeAll(models, opts); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			popts := opts
-			popts.Parallel = true
-			record(fmt.Sprintf("ComposeAll/n=%d/index=%s/parallel", n, kind), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := core.ComposeAll(models, popts); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-		}
-	}
-
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := enc.Encode(r.report); err != nil {
 		f.Close()
 		return err
 	}
@@ -185,7 +194,142 @@ func benchJSON(outPath string) error {
 	if err := os.Rename(tmpPath, outPath); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), outPath)
+	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(r.report.Results), outPath)
+	return nil
+}
+
+// benchSizes is the shared size ladder of both suites.
+var benchSizes = []struct {
+	name         string
+	nodes, edges int
+}{{"small", 15, 20}, {"medium", 60, 90}, {"large", 150, 240}}
+
+func benchModel(name string, nodes, edges int, seed int64) *sbml.Model {
+	return biomodels.Generate(biomodels.Config{
+		ID: name, Nodes: nodes, Edges: edges, Seed: seed,
+		VocabularySize: 150, Decorate: true,
+	})
+}
+
+// benchCompose measures Compose and ComposeAll across index kinds, model
+// sizes and assembly strategies.
+func benchCompose(r *recorder) error {
+	tab := synonym.Builtin()
+	// Pairwise Compose: index kinds × model sizes.
+	kinds := []index.Kind{index.Hash, index.Linear, index.Sorted, index.SuffixTree}
+	for _, sz := range benchSizes {
+		a := benchModel("a", sz.nodes, sz.edges, 31337)
+		b := benchModel("b", sz.nodes, sz.edges, 31338)
+		for _, kind := range kinds {
+			opts := core.Options{Index: kind, Synonyms: tab}
+			r.record(fmt.Sprintf("Compose/size=%s/index=%s", sz.name, kind), func(n int) error {
+				for i := 0; i < n; i++ {
+					if _, err := core.Compose(a, b, opts); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+
+	// Batch ComposeAll: strategies × batch sizes, hash and sorted indexes.
+	for _, n := range []int{8, 16} {
+		models := biomodels.NamespacedBatch(n, 60, 90, 880)
+		for _, kind := range []index.Kind{index.Hash, index.Sorted} {
+			opts := core.Options{Index: kind, Synonyms: tab}
+			r.record(fmt.Sprintf("ComposeAll/n=%d/index=%s/sequential", n, kind), func(iters int) error {
+				for i := 0; i < iters; i++ {
+					if _, err := core.ComposeAll(models, opts); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			popts := opts
+			popts.Parallel = true
+			r.record(fmt.Sprintf("ComposeAll/n=%d/index=%s/parallel", n, kind), func(iters int) error {
+				for i := 0; i < iters; i++ {
+					if _, err := core.ComposeAll(models, popts); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+	return nil
+}
+
+// benchSim measures the simulation and model-checking stack: the ODE
+// derivative and SSA propensity inner loops under the compiled slot engine
+// and the tree-walking reference, full simulation runs, and the parallel
+// Monte Carlo checker across worker counts.
+func benchSim(r *recorder) error {
+	loop := func(fn func() error) func(int) error {
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := fn(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	for _, sz := range benchSizes {
+		m := benchModel("simbench_"+sz.name, sz.nodes, sz.edges, 90210)
+		dc, dt, err := sim.NewDerivBench(m)
+		if err != nil {
+			return err
+		}
+		r.record(fmt.Sprintf("ODEDeriv/size=%s/engine=compiled", sz.name), loop(dc))
+		r.record(fmt.Sprintf("ODEDeriv/size=%s/engine=tree", sz.name), loop(dt))
+
+		pc, pt, err := sim.NewPropensityBench(m)
+		if err != nil {
+			return err
+		}
+		r.record(fmt.Sprintf("SSAStep/size=%s/engine=compiled", sz.name), loop(pc))
+		r.record(fmt.Sprintf("SSAStep/size=%s/engine=tree", sz.name), loop(pt))
+
+		opts := sim.Options{T0: 0, T1: 1, Step: 0.01, Seed: 7}
+		eng, err := sim.Compile(m)
+		if err != nil {
+			return err
+		}
+		r.record(fmt.Sprintf("ODERun/size=%s/engine=compiled", sz.name), loop(func() error {
+			_, err := eng.ODE(opts)
+			return err
+		}))
+		r.record(fmt.Sprintf("ODERun/size=%s/engine=tree", sz.name), loop(func() error {
+			_, err := sim.ReferenceODE(m, opts)
+			return err
+		}))
+		r.record(fmt.Sprintf("SSARun/size=%s/engine=compiled", sz.name), loop(func() error {
+			_, err := eng.SSA(opts)
+			return err
+		}))
+		r.record(fmt.Sprintf("SSARun/size=%s/engine=tree", sz.name), loop(func() error {
+			_, err := sim.ReferenceSSA(m, opts)
+			return err
+		}))
+	}
+
+	// Monte Carlo checking across worker counts (consecutive-seed scheme:
+	// identical estimates at every width).
+	m := benchModel("simbench_mc", 60, 90, 90211)
+	formula := fmt.Sprintf("G({%s >= 0}) & F[0,2]({%s >= 0})", m.Species[0].ID, m.Species[1].ID)
+	f, err := mc2.Parse(formula)
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := sim.Options{T0: 0, T1: 2, Step: 0.1, Seed: 5, Workers: workers}
+		r.record(fmt.Sprintf("Probability/runs=20/workers=%d", workers), loop(func() error {
+			_, err := mc2.Probability(m, f, 20, opts)
+			return err
+		}))
+	}
 	return nil
 }
 

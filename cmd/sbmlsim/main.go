@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sbmlsim [-method ode|ssa] [-t1 10] [-step 0.1] [-seed 1] model.xml
+//	sbmlsim -method ssa -runs 100 -workers 8 model.xml   mean of 100 runs
 //	sbmlsim -rss other.csv model.xml        compare against a stored trace
 package main
 
@@ -32,6 +33,8 @@ func run() error {
 		step     = flag.Float64("step", 0.1, "output sampling step")
 		seed     = flag.Int64("seed", 1, "stochastic seed (ssa)")
 		adaptive = flag.Bool("adaptive", false, "use adaptive RKF45 integration (ode)")
+		runs     = flag.Int("runs", 1, "ssa only: average this many runs with consecutive seeds")
+		workers  = flag.Int("workers", 0, "worker pool for -runs > 1; 0 means GOMAXPROCS")
 		rssPath  = flag.String("rss", "", "CSV trace to compare against; prints per-species RSS")
 	)
 	flag.Parse()
@@ -42,13 +45,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := sbmlcompose.SimOptions{T0: *t0, T1: *t1, Step: *step, Seed: *seed, Adaptive: *adaptive}
+	opts := sbmlcompose.SimOptions{T0: *t0, T1: *t1, Step: *step, Seed: *seed, Adaptive: *adaptive, Workers: *workers}
 	var tr *sbmlcompose.Trace
 	switch *method {
 	case "ode":
+		if *runs > 1 {
+			return fmt.Errorf("-runs applies to -method ssa only")
+		}
 		tr, err = sbmlcompose.SimulateODE(m, opts)
 	case "ssa":
-		tr, err = sbmlcompose.SimulateSSA(m, opts)
+		if *runs > 1 {
+			tr, err = sbmlcompose.SimulateEnsembleSSA(m, *runs, opts)
+		} else {
+			tr, err = sbmlcompose.SimulateSSA(m, opts)
+		}
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}

@@ -128,6 +128,18 @@ type CompiledModel struct {
 	// when generating fresh names.
 	ids map[string]bool
 
+	// values holds the initial value of every symbol (attribute values
+	// overridden by initial-assignment results), kept equal at step
+	// boundaries to what collectInitialValues would scan from the live
+	// model. During a step the map is frozen — the step composer reads it
+	// as the first model's pre-collected values, per §3 — and insertions
+	// and adoptions buffer onto pendingVals; flushValues applies the
+	// buffer once the step's renames have settled. That turns the former
+	// per-step O(accumulator) scan into O(step additions + initial
+	// assignments).
+	values      map[string]float64
+	pendingVals []any // *Compartment | *Species | *Parameter | *InitialAssignment touched this step
+
 	funcIdx     index.Index                        // math pattern → *FunctionDefinition
 	unitIdx     index.Index                        // reduced unit vector → *UnitDefinition
 	compTypeIdx index.Index                        // id and canonical name → *CompartmentType
@@ -161,6 +173,7 @@ func compile(m *sbml.Model, opts Options) *CompiledModel {
 		opts:        opts,
 		model:       m,
 		ids:         m.AllIDs(),
+		values:      collectInitialValues(m),
 		funcIdx:     newIdx(len(m.FunctionDefinitions)),
 		unitIdx:     newIdx(len(m.UnitDefinitions)),
 		compTypeIdx: newIdx(2 * len(m.CompartmentTypes)),
@@ -211,6 +224,10 @@ func compile(m *sbml.Model, opts Options) *CompiledModel {
 	for _, e := range m.Events {
 		cm.insertEvent(e)
 	}
+	// The insert hooks above buffered every component onto pendingVals, but
+	// values was just scanned from this very model; drop the buffer so the
+	// first step doesn't replay the whole seed.
+	cm.pendingVals = nil
 	return cm
 }
 
@@ -258,20 +275,26 @@ func (cm *CompiledModel) insertCompartment(comp *sbml.Compartment) {
 	if comp.Name != "" && cm.opts.Semantics != NoSemantics {
 		cm.compIdx.Insert("n:"+canonicalNameFor(cm.opts, comp.Name), comp)
 	}
+	cm.noteValue(comp)
 }
 
 func (cm *CompiledModel) insertSpecies(s *sbml.Species) {
 	for _, k := range speciesKeysFor(cm.opts, s) {
 		cm.speciesIdx.Insert(k, s)
 	}
+	cm.noteValue(s)
 }
 
 func (cm *CompiledModel) insertParameter(p *sbml.Parameter) {
 	cm.params[p.ID] = p
+	cm.noteValue(p)
 }
 
 func (cm *CompiledModel) insertInitialAssignment(ia *sbml.InitialAssignment) {
 	cm.assigns[ia.Symbol] = ia
+	// An appended assignment changes the initial-value overlay even when
+	// the step adds no attribute values, so it must trigger a flush too.
+	cm.noteValue(ia)
 }
 
 func (cm *CompiledModel) insertRule(r *sbml.Rule) {
@@ -301,6 +324,84 @@ func (cm *CompiledModel) insertReaction(r *sbml.Reaction) {
 
 func (cm *CompiledModel) insertEvent(e *sbml.Event) {
 	cm.eventIdx.Insert(eventKeyFor(cm.opts, e), e)
+}
+
+// noteValue buffers a value-carrying component — freshly inserted, or an
+// existing one whose quantity a merge adopted — for flushValues. Its value
+// is derived at flush time from the live struct, so a rename later in the
+// same step (appended components alias the step's second model) cannot
+// leave a stale id keyed in the values map.
+func (cm *CompiledModel) noteValue(comp any) {
+	cm.pendingVals = append(cm.pendingVals, comp)
+}
+
+// flushValues folds the step's buffered value changes into the values map
+// and re-derives the initial-assignment overlay. Called at step end, after
+// renames have settled. Attribute entries are O(step additions); the
+// overlay is O(initial assignments) — an appended assignment's maths may
+// have been renamed after insertion, and any new attribute value can change
+// what an existing assignment evaluates to, so the overlay symbols are
+// reset to their attribute bases and recomputed with the same pass loop the
+// from-scratch scan uses. A step that added or adopted nothing pays
+// nothing.
+func (cm *CompiledModel) flushValues() {
+	if len(cm.pendingVals) == 0 {
+		return
+	}
+	for _, comp := range cm.pendingVals {
+		switch x := comp.(type) {
+		case *sbml.Compartment:
+			if x.HasSize {
+				cm.values[x.ID] = x.Size
+			}
+		case *sbml.Species:
+			if v, ok := speciesAttributeValue(x); ok {
+				cm.values[x.ID] = v
+			}
+		case *sbml.Parameter:
+			if x.HasValue {
+				cm.values[x.ID] = x.Value
+			}
+		case *sbml.InitialAssignment:
+			// No attribute layer of its own; its effect is the overlay
+			// replay below.
+		}
+	}
+	cm.pendingVals = cm.pendingVals[:0]
+	m := cm.model
+	if len(m.InitialAssignments) == 0 {
+		return
+	}
+	// Reset every overlay symbol to its attribute base, then replay the
+	// overlay exactly as collectInitialValues would.
+	for _, ia := range m.InitialAssignments {
+		if v, ok := cm.attributeValue(ia.Symbol); ok {
+			cm.values[ia.Symbol] = v
+		} else {
+			delete(cm.values, ia.Symbol)
+		}
+	}
+	applyInitialAssignmentOverlay(m, cm.values)
+}
+
+// attributeValue looks up a symbol's attribute-declared value in the live
+// model. The lookup order is the reverse of collectInitialValues' write
+// order (parameters over species over compartments), so even a
+// pathologically duplicated id resolves to the same value the scan ends
+// with.
+func (cm *CompiledModel) attributeValue(id string) (float64, bool) {
+	if p, ok := cm.params[id]; ok && p.HasValue {
+		return p.Value, true
+	}
+	if s := cm.model.SpeciesByID(id); s != nil {
+		if v, ok := speciesAttributeValue(s); ok {
+			return v, true
+		}
+	}
+	if comp := cm.model.CompartmentByID(id); comp != nil && comp.HasSize {
+		return comp.Size, true
+	}
+	return 0, false
 }
 
 // rekeyMathIndexes rebuilds the index families whose keys derive from
@@ -409,9 +510,11 @@ func (c *Composer) Add(m *sbml.Model) error {
 	cs.secondValues = collectInitialValues(m)
 	cs.runPipeline()
 	// The accumulator outlives this step; repair any math keys the step's
-	// renames rewrote. A one-shot Compose skips this, its indexes die with
-	// the call.
+	// renames rewrote and fold the step's value changes into the values
+	// map. A one-shot Compose skips both, its compiled state dies with the
+	// call.
 	cs.repairMathKeys()
+	c.acc.flushValues()
 	c.mergeStep(step)
 	return nil
 }

@@ -155,6 +155,7 @@ func (c *composer) composeCompartments() {
 			}
 			if !existing.HasSize && comp.HasSize {
 				existing.Size, existing.HasSize = comp.Size, true
+				c.acc.noteValue(existing)
 				c.note(label, "adopted size %g from second model", comp.Size)
 			}
 			c.mapID(comp.ID, existing.ID)
@@ -229,6 +230,7 @@ func (c *composer) checkSpeciesConflicts(first, second *sbml.Species) {
 		first.InitialAmount = second.InitialAmount
 		first.HasInitialConcentration = second.HasInitialConcentration
 		first.InitialConcentration = second.InitialConcentration
+		c.acc.noteValue(first)
 		c.note(label, "adopted initial quantity from second model")
 	}
 	if first.BoundaryCondition != second.BoundaryCondition {

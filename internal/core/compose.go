@@ -217,7 +217,11 @@ func (c *composer) repairMathKeys() {
 
 // newStepComposer wires a pairwise step against a compiled accumulator. The
 // caller supplies secondValues (collected from the uncloned input, which is
-// equivalent and avoids touching the clone twice).
+// equivalent and avoids touching the clone twice). The first model's values
+// come from the accumulator's incrementally-maintained map — frozen for the
+// duration of the step, exactly like the scan the seed performed here —
+// and callers that keep the accumulator flush the step's value changes
+// afterwards (flushValues).
 func newStepComposer(acc *CompiledModel, second *sbml.Model, res *Result) *composer {
 	return &composer{
 		opts:        acc.opts,
@@ -226,7 +230,7 @@ func newStepComposer(acc *CompiledModel, second *sbml.Model, res *Result) *compo
 		second:      second,
 		res:         res,
 		outIDs:      acc.ids,
-		firstValues: collectInitialValues(acc.model),
+		firstValues: acc.values,
 	}
 }
 

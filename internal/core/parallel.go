@@ -123,11 +123,14 @@ func mergeReduceNodes(left, right *reduceNode) *reduceNode {
 
 	step := &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
 	cs := newStepComposer(left.acc, right.acc.model, step)
-	cs.secondValues = collectInitialValues(right.acc.model)
+	// The right accumulator's values map is flushed (leaf compiles and
+	// child folds both settle it), so it already equals the scan.
+	cs.secondValues = right.acc.values
 	cs.runPipeline()
 	// The accumulator survives into the parent merge; repair any math keys
-	// this step's renames rewrote.
+	// this step's renames rewrote and settle its initial-value map.
 	cs.repairMathKeys()
+	left.acc.flushValues()
 	step.Model = left.acc.model
 	step.Stats.Duration = time.Since(start)
 	return &reduceNode{acc: left.acc, res: combineNode(left.res, right.res, step)}

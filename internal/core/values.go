@@ -23,11 +23,8 @@ func collectInitialValues(m *sbml.Model) map[string]float64 {
 		}
 	}
 	for _, s := range m.Species {
-		switch {
-		case s.HasInitialConcentration:
-			vals[s.ID] = s.InitialConcentration
-		case s.HasInitialAmount:
-			vals[s.ID] = s.InitialAmount
+		if v, ok := speciesAttributeValue(s); ok {
+			vals[s.ID] = v
 		}
 	}
 	for _, p := range m.Parameters {
@@ -35,13 +32,36 @@ func collectInitialValues(m *sbml.Model) map[string]float64 {
 			vals[p.ID] = p.Value
 		}
 	}
+	applyInitialAssignmentOverlay(m, vals)
+	return vals
+}
+
+// speciesAttributeValue returns a species' attribute-declared initial value
+// under the collection's precedence (concentration over amount).
+func speciesAttributeValue(s *sbml.Species) (float64, bool) {
+	switch {
+	case s.HasInitialConcentration:
+		return s.InitialConcentration, true
+	case s.HasInitialAmount:
+		return s.InitialAmount, true
+	}
+	return 0, false
+}
+
+// applyInitialAssignmentOverlay evaluates the model's initial assignments
+// over vals, overriding attribute values. Assignments may reference each
+// other; a couple of passes resolve simple chains without building a
+// dependency graph. Shared by the from-scratch scan and the compiled
+// accumulator's incremental maintenance so both provably agree.
+func applyInitialAssignmentOverlay(m *sbml.Model, vals map[string]float64) {
+	if len(m.InitialAssignments) == 0 {
+		return
+	}
 	funcs := make(map[string]mathml.Lambda, len(m.FunctionDefinitions))
 	for _, f := range m.FunctionDefinitions {
 		funcs[f.ID] = f.Math
 	}
 	env := &mathml.MapEnv{Values: vals, Functions: funcs}
-	// Initial assignments may reference each other; a couple of passes
-	// resolve simple chains without building a dependency graph.
 	for pass := 0; pass < 3; pass++ {
 		progressed := false
 		for _, ia := range m.InitialAssignments {
@@ -58,7 +78,6 @@ func collectInitialValues(m *sbml.Model) map[string]float64 {
 			break
 		}
 	}
-	return vals
 }
 
 const valueTolerance = 1e-9

@@ -1,0 +1,831 @@
+package mathml
+
+// This file implements the compiled evaluation path. Eval walks the AST
+// through interface dispatch, resolves every identifier through an Env map
+// lookup and allocates an argument slice per application — fine for a single
+// evaluation, ruinous inside a simulator's inner loop that evaluates the
+// same kinetic law millions of times. Compile performs all of that work
+// once: user-defined function applications are inlined, constant subtrees
+// are folded, every identifier is resolved to a dense slot index, and the
+// result is a flat stack-machine Program evaluated against a []float64
+// state vector with a caller-owned scratch stack — no maps, no interface
+// dispatch, no per-call allocation.
+//
+// The compiled semantics are a bitwise replica of Eval's: n-ary operators
+// fold in the same order from the same identity values, piecewise
+// conditions short-circuit identically via jumps, division by zero and
+// unmatched piecewise report the same errors, and the rare operators
+// (factorial, gcd, lcm, two-argument root and log) dispatch through the
+// very applyOp the tree walker uses. The equivalence tests compare the two
+// evaluators bit for bit on randomized expressions.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Resolver supplies compile-time identifier and function resolution: the
+// compile-time analogue of Env. Resolve maps a free identifier to its slot
+// in the state vector handed to Program.Eval.
+type Resolver interface {
+	// Resolve returns the state-vector slot bound to name.
+	Resolve(name string) (slot int, ok bool)
+	// Function returns the lambda bound to name, for inlining.
+	Function(name string) (Lambda, bool)
+}
+
+// BoundChecker is an optional Resolver refinement. When the resolver
+// implements it, loads of slots for which NeedsBoundCheck reports true are
+// compiled as checked loads: at evaluation time they consult the bound
+// bitmap passed to Eval and fail like Eval's "unbound identifier" error
+// when the slot is not (yet) bound. Simulators use this for symbols that
+// exist in the model but acquire a value only once an assignment rule or
+// event has run.
+type BoundChecker interface {
+	NeedsBoundCheck(slot int) bool
+}
+
+// SymbolTable is the standard Resolver: a dense name→slot interner with an
+// attached function-definition table.
+type SymbolTable struct {
+	slots map[string]int
+	names []string
+	funcs map[string]Lambda
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{slots: make(map[string]int)}
+}
+
+// Intern returns the slot for name, assigning the next free slot on first
+// use.
+func (t *SymbolTable) Intern(name string) int {
+	if s, ok := t.slots[name]; ok {
+		return s
+	}
+	s := len(t.names)
+	t.slots[name] = s
+	t.names = append(t.names, name)
+	return s
+}
+
+// Bind maps name to an existing slot, shadowing any earlier binding of the
+// name without allocating a new slot. Simulators use it to express SBML's
+// resolution layering (e.g. "time" over a like-named species).
+func (t *SymbolTable) Bind(name string, slot int) { t.slots[name] = slot }
+
+// Resolve implements Resolver.
+func (t *SymbolTable) Resolve(name string) (int, bool) {
+	s, ok := t.slots[name]
+	return s, ok
+}
+
+// Slot is Resolve under its conventional name.
+func (t *SymbolTable) Slot(name string) (int, bool) { return t.Resolve(name) }
+
+// Function implements Resolver.
+func (t *SymbolTable) Function(name string) (Lambda, bool) {
+	f, ok := t.funcs[name]
+	return f, ok
+}
+
+// DefineFunction registers a function definition for inlining.
+func (t *SymbolTable) DefineFunction(id string, l Lambda) {
+	if t.funcs == nil {
+		t.funcs = make(map[string]Lambda)
+	}
+	t.funcs[id] = l
+}
+
+// Len returns the number of interned slots; state vectors passed to
+// programs compiled against this table must be at least this long.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// Names returns the interned names in slot order. The slice is live.
+func (t *SymbolTable) Names() []string { return t.names }
+
+// opcode enumerates the VM instructions.
+type opcode uint8
+
+const (
+	opConst       opcode = iota // push f
+	opLoad                      // push state[n]
+	opLoadChecked               // push state[n], failing when !bound[n]
+	opAddN                      // fold + over top n (identity 0, Eval order)
+	opMulN                      // fold × over top n (identity 1)
+	opNeg                       // unary minus
+	opSub                       // binary minus
+	opDiv                       // divide, error on zero divisor
+	opPow                       // math.Pow
+	opSqrt                      // single-argument root
+	opUnary                     // unaryFuncs[n]
+	opNot                       // logical not
+	opEq2                       // binary ==
+	opNeq                       // !=
+	opGt                        // >
+	opLt                        // <
+	opGe                        // >=
+	opLe                        // <=
+	opAndN                      // n-ary and (no short-circuit, like Eval)
+	opOrN                       // n-ary or
+	opXorN                      // n-ary xor (odd count of nonzero)
+	opMinN                      // n-ary min
+	opMaxN                      // n-ary max
+	opGeneric                   // applyOp(sym, top n) — rare operators
+	opJmp                       // jump to n
+	opJz                        // pop; jump to n when zero
+	opNoPiece                   // piecewise fell through with no otherwise
+	opPop                       // discard the top of stack
+)
+
+// instr is one VM instruction. n is a slot, argument count, unary-function
+// index or jump target depending on op; f is the literal for opConst; sym
+// carries the operator or identifier name for opGeneric and error messages.
+type instr struct {
+	op  opcode
+	n   int32
+	f   float64
+	sym string
+}
+
+// unaryFuncs backs opUnary. Entries replicate applyOp's one-argument cases
+// exactly (sec/csc/cot as reciprocals, log as log10).
+var unaryFuncs = [...]func(float64) float64{
+	math.Abs, math.Exp, math.Log, math.Log10, math.Floor, math.Ceil,
+	math.Sin, math.Cos, math.Tan,
+	func(x float64) float64 { return 1 / math.Cos(x) },
+	func(x float64) float64 { return 1 / math.Sin(x) },
+	func(x float64) float64 { return 1 / math.Tan(x) },
+	math.Asin, math.Acos, math.Atan,
+	math.Sinh, math.Cosh, math.Tanh,
+}
+
+// unaryIndex maps operator names to unaryFuncs entries.
+var unaryIndex = map[string]int32{
+	"abs": 0, "exp": 1, "ln": 2, "log": 3, "floor": 4, "ceiling": 5,
+	"sin": 6, "cos": 7, "tan": 8, "sec": 9, "csc": 10, "cot": 11,
+	"arcsin": 12, "arccos": 13, "arctan": 14,
+	"sinh": 15, "cosh": 16, "tanh": 17,
+}
+
+// Preallocated runtime errors (messages identical to Eval's) so the error
+// paths don't disturb the VM's zero-allocation guarantee.
+var (
+	errDivZero = errors.New("mathml: division by zero")
+	errNoPiece = errors.New("mathml: piecewise with no matching piece and no otherwise")
+)
+
+// Program is a compiled expression: a flat instruction sequence evaluated
+// against a state vector. A Program is immutable after Compile and safe for
+// concurrent use; each goroutine supplies its own scratch stack.
+type Program struct {
+	code     []instr
+	maxStack int
+	checked  bool
+}
+
+// MaxStack returns the scratch-stack length Eval requires.
+func (p *Program) MaxStack() int { return p.maxStack }
+
+// Checked reports whether the program contains checked loads (and hence
+// consults the bound bitmap).
+func (p *Program) Checked() bool { return p.checked }
+
+// NewStack allocates a scratch stack of the required size.
+func (p *Program) NewStack() []float64 { return make([]float64, p.maxStack) }
+
+// maxProgramLen bounds the compiled size; inlining nested function calls
+// can in principle blow an expression up exponentially, and a runaway
+// program is better reported than emitted.
+const maxProgramLen = 1 << 20
+
+// Compile translates e into a Program under the given resolver. Function
+// applications are inlined (with Eval's recursion-depth limit), constant
+// subtrees folded, and operator arities checked — arity mistakes Eval would
+// report on every call surface once, here. Unresolvable identifiers are
+// compile errors with Eval's wording.
+func Compile(e Expr, r Resolver) (*Program, error) {
+	if e == nil {
+		return nil, fmt.Errorf("mathml: eval of nil expression")
+	}
+	inlined, err := inlineCalls(e, r, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{r: r}
+	if bc, ok := r.(BoundChecker); ok {
+		c.bc = bc
+	}
+	if err := c.emitExpr(foldConstants(inlined)); err != nil {
+		return nil, err
+	}
+	if c.cur != 1 {
+		return nil, fmt.Errorf("mathml: internal compile error: stack depth %d", c.cur)
+	}
+	return &Program{code: c.code, maxStack: c.max, checked: c.checked}, nil
+}
+
+// seqOp is an internal operator marking eager argument evaluation: all
+// operands but the last are evaluated and discarded, then the last is the
+// result. inlineCalls emits it so that a function argument Eval would have
+// evaluated eagerly — but whose parameter the body uses only conditionally
+// (or not at all) — still runs, and still surfaces its runtime errors. The
+// NUL byte keeps it out of any parseable operator namespace.
+const seqOp = "\x00seq"
+
+// inlineCalls replaces user-defined function applications by their
+// substituted bodies, mirroring Eval's call-by-value semantics: arguments
+// are pure expressions, so by-name substitution computes identical values,
+// and arguments the body does not unconditionally evaluate are forced
+// through seqOp so their errors surface exactly as under eager evaluation.
+func inlineCalls(e Expr, r Resolver, depth int) (Expr, error) {
+	if depth > maxCallDepth {
+		return nil, fmt.Errorf("mathml: call depth exceeded (recursive function definition?)")
+	}
+	switch x := e.(type) {
+	case Apply:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			ia, err := inlineCalls(a, r, depth)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ia
+		}
+		if knownOperators[x.Op] {
+			return Apply{Op: x.Op, Args: args}, nil
+		}
+		fn, ok := r.Function(x.Op)
+		if !ok {
+			return nil, fmt.Errorf("mathml: unknown operator or function %q", x.Op)
+		}
+		if len(fn.Params) != len(args) {
+			return nil, fmt.Errorf("mathml: function %q wants %d args, got %d", x.Op, len(fn.Params), len(args))
+		}
+		repl := make(map[string]Expr, len(args))
+		for i, p := range fn.Params {
+			repl[p] = args[i]
+		}
+		body, err := inlineCalls(Substitute(fn.Body, repl), r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		// Eval computes every argument before entering the body; arguments
+		// whose parameters the body evaluates only conditionally must be
+		// forced so both evaluators fail on the same inputs. Literals
+		// cannot fail and are skipped.
+		uncond := unconditionalSyms(fn.Body)
+		var forced []Expr
+		for i, p := range fn.Params {
+			if _, ok := args[i].(Num); ok {
+				continue
+			}
+			if !uncond[p] {
+				forced = append(forced, args[i])
+			}
+		}
+		if len(forced) == 0 {
+			return body, nil
+		}
+		return Apply{Op: seqOp, Args: append(forced, body)}, nil
+	case Piecewise:
+		pieces := make([]Piece, len(x.Pieces))
+		for i, p := range x.Pieces {
+			v, err := inlineCalls(p.Value, r, depth)
+			if err != nil {
+				return nil, err
+			}
+			cond, err := inlineCalls(p.Cond, r, depth)
+			if err != nil {
+				return nil, err
+			}
+			pieces[i] = Piece{Value: v, Cond: cond}
+		}
+		var other Expr
+		if x.Otherwise != nil {
+			var err error
+			if other, err = inlineCalls(x.Otherwise, r, depth); err != nil {
+				return nil, err
+			}
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}, nil
+	default:
+		return e, nil
+	}
+}
+
+// unconditionalSyms returns the free symbols e is guaranteed to evaluate
+// whenever it is evaluated (successfully or not): all operands of an
+// application are computed eagerly, but only a piecewise's first condition
+// is certain to run. Lambda parameters shadow outer symbols. Used to decide
+// which inlined function arguments need forcing; omitting a symbol here is
+// safe (it merely forces an extra evaluation of a pure expression), wrongly
+// including one is not.
+func unconditionalSyms(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectUnconditional(e, out, nil)
+	return out
+}
+
+func collectUnconditional(e Expr, out map[string]bool, bound map[string]bool) {
+	switch x := e.(type) {
+	case Sym:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case Apply:
+		for _, a := range x.Args {
+			collectUnconditional(a, out, bound)
+		}
+	case Lambda:
+		// A bare lambda fails before evaluating anything.
+	case Piecewise:
+		if len(x.Pieces) > 0 {
+			collectUnconditional(x.Pieces[0].Cond, out, bound)
+		} else if x.Otherwise != nil {
+			collectUnconditional(x.Otherwise, out, bound)
+		}
+	}
+}
+
+// foldConstants collapses applications whose operands are all literals,
+// using the very applyOp the runtime would, so the folded value is the
+// value the instruction sequence would have produced. Applications that
+// would error at runtime (division by zero, bad factorial) are left intact
+// so the error still surfaces at evaluation time. Piecewise nodes fold
+// their children but never collapse: Eval checks conditions lazily and
+// folding across pieces could hide (or invent) runtime errors.
+func foldConstants(e Expr) Expr {
+	switch x := e.(type) {
+	case Apply:
+		args := make([]Expr, len(x.Args))
+		allNum := true
+		for i, a := range x.Args {
+			args[i] = foldConstants(a)
+			if _, ok := args[i].(Num); !ok {
+				allNum = false
+			}
+		}
+		if allNum && knownOperators[x.Op] {
+			vals := make([]float64, len(args))
+			for i, a := range args {
+				vals[i] = a.(Num).Value
+			}
+			if v, err := applyOp(x.Op, vals); err == nil {
+				return Num{Value: v}
+			}
+		}
+		return Apply{Op: x.Op, Args: args}
+	case Piecewise:
+		pieces := make([]Piece, len(x.Pieces))
+		for i, p := range x.Pieces {
+			pieces[i] = Piece{Value: foldConstants(p.Value), Cond: foldConstants(p.Cond)}
+		}
+		var other Expr
+		if x.Otherwise != nil {
+			other = foldConstants(x.Otherwise)
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}
+	default:
+		return e
+	}
+}
+
+// compiler emits instructions while tracking stack depth.
+type compiler struct {
+	r       Resolver
+	bc      BoundChecker
+	code    []instr
+	cur     int
+	max     int
+	checked bool
+}
+
+// emit appends one instruction and returns its index (for jump patching).
+func (c *compiler) emit(i instr) (int, error) {
+	if len(c.code) >= maxProgramLen {
+		return 0, fmt.Errorf("mathml: compiled program exceeds %d instructions (deeply nested function inlining?)", maxProgramLen)
+	}
+	c.code = append(c.code, i)
+	return len(c.code) - 1, nil
+}
+
+// adjust moves the tracked stack depth.
+func (c *compiler) adjust(delta int) {
+	c.cur += delta
+	if c.cur > c.max {
+		c.max = c.cur
+	}
+}
+
+func (c *compiler) emitExpr(e Expr) error {
+	switch x := e.(type) {
+	case nil:
+		return fmt.Errorf("mathml: eval of nil expression")
+	case Num:
+		if _, err := c.emit(instr{op: opConst, f: x.Value}); err != nil {
+			return err
+		}
+		c.adjust(1)
+		return nil
+	case Sym:
+		slot, ok := c.r.Resolve(x.Name)
+		if !ok {
+			return fmt.Errorf("mathml: unbound identifier %q", x.Name)
+		}
+		op := opLoad
+		if c.bc != nil && c.bc.NeedsBoundCheck(slot) {
+			op = opLoadChecked
+			c.checked = true
+		}
+		if _, err := c.emit(instr{op: op, n: int32(slot), sym: x.Name}); err != nil {
+			return err
+		}
+		c.adjust(1)
+		return nil
+	case Apply:
+		if x.Op == seqOp {
+			return c.emitSeq(x)
+		}
+		return c.emitApply(x)
+	case Lambda:
+		return fmt.Errorf("mathml: cannot evaluate bare lambda")
+	case Piecewise:
+		return c.emitPiecewise(x)
+	}
+	return fmt.Errorf("mathml: unknown expression type %T", e)
+}
+
+// emitSeq compiles a seqOp marker: evaluate-and-discard every forced
+// argument, then the body. Arguments that folded to literals cannot fail
+// and are elided.
+func (c *compiler) emitSeq(a Apply) error {
+	for _, arg := range a.Args[:len(a.Args)-1] {
+		if _, ok := arg.(Num); ok {
+			continue
+		}
+		if err := c.emitExpr(arg); err != nil {
+			return err
+		}
+		if _, err := c.emit(instr{op: opPop}); err != nil {
+			return err
+		}
+		c.adjust(-1)
+	}
+	return c.emitExpr(a.Args[len(a.Args)-1])
+}
+
+// emitApply compiles one operator application. Arities mirror applyOp's
+// checks; the error wording matches so compile-time diagnoses read like the
+// runtime ones.
+func (c *compiler) emitApply(a Apply) error {
+	for _, arg := range a.Args {
+		if err := c.emitExpr(arg); err != nil {
+			return err
+		}
+	}
+	n := len(a.Args)
+	need := func(want int) error {
+		if n != want {
+			return fmt.Errorf("mathml: %s wants %d args, got %d", a.Op, want, n)
+		}
+		return nil
+	}
+	atLeast := func(want int) error {
+		if n < want {
+			return fmt.Errorf("mathml: %s wants at least %d args, got %d", a.Op, want, n)
+		}
+		return nil
+	}
+	nary := func(op opcode) error {
+		if _, err := c.emit(instr{op: op, n: int32(n)}); err != nil {
+			return err
+		}
+		c.adjust(1 - n) // n operands replaced by one result
+		return nil
+	}
+	binary := func(op opcode) error {
+		if err := need(2); err != nil {
+			return err
+		}
+		if _, err := c.emit(instr{op: op}); err != nil {
+			return err
+		}
+		c.adjust(-1)
+		return nil
+	}
+	unary := func(op opcode, fn int32) error {
+		if err := need(1); err != nil {
+			return err
+		}
+		_, err := c.emit(instr{op: op, n: fn})
+		return err
+	}
+	generic := func() error {
+		if _, err := c.emit(instr{op: opGeneric, n: int32(n), sym: a.Op}); err != nil {
+			return err
+		}
+		c.adjust(1 - n)
+		return nil
+	}
+	switch a.Op {
+	case "plus":
+		return nary(opAddN)
+	case "times":
+		return nary(opMulN)
+	case "minus":
+		if n == 1 {
+			return unary(opNeg, 0)
+		}
+		return binary(opSub)
+	case "divide":
+		return binary(opDiv)
+	case "power":
+		return binary(opPow)
+	case "root":
+		if n == 1 {
+			return unary(opSqrt, 0)
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		return generic() // zeroth-root check lives in applyOp
+	case "log":
+		if n == 1 {
+			return unary(opUnary, unaryIndex["log"])
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		return generic() // arbitrary-base log
+	case "abs", "exp", "ln", "floor", "ceiling",
+		"sin", "cos", "tan", "sec", "csc", "cot",
+		"arcsin", "arccos", "arctan", "sinh", "cosh", "tanh":
+		return unary(opUnary, unaryIndex[a.Op])
+	case "not":
+		return unary(opNot, 0)
+	case "factorial":
+		if err := need(1); err != nil {
+			return err
+		}
+		return generic() // domain checks live in applyOp
+	case "eq":
+		if err := atLeast(2); err != nil {
+			return err
+		}
+		if n == 2 {
+			if _, err := c.emit(instr{op: opEq2}); err != nil {
+				return err
+			}
+			c.adjust(-1)
+			return nil
+		}
+		return generic()
+	case "neq":
+		return binary(opNeq)
+	case "gt":
+		return binary(opGt)
+	case "lt":
+		return binary(opLt)
+	case "geq":
+		return binary(opGe)
+	case "leq":
+		return binary(opLe)
+	case "and":
+		return nary(opAndN)
+	case "or":
+		return nary(opOrN)
+	case "xor":
+		return nary(opXorN)
+	case "min":
+		if err := atLeast(1); err != nil {
+			return err
+		}
+		return nary(opMinN)
+	case "max":
+		if err := atLeast(1); err != nil {
+			return err
+		}
+		return nary(opMaxN)
+	case "gcd", "lcm":
+		if err := atLeast(1); err != nil {
+			return err
+		}
+		return generic()
+	}
+	// inlineCalls resolved every non-operator application, so this is a
+	// MathML operator the VM has no lowering for.
+	return fmt.Errorf("mathml: unimplemented operator %q", a.Op)
+}
+
+// emitPiecewise lowers lazy condition evaluation to conditional jumps:
+// conditions run in order, the first nonzero one selects its value, later
+// pieces are skipped entirely — exactly Eval's traversal.
+func (c *compiler) emitPiecewise(p Piecewise) error {
+	base := c.cur
+	var ends []int
+	for _, piece := range p.Pieces {
+		if err := c.emitExpr(piece.Cond); err != nil {
+			return err
+		}
+		jz, err := c.emit(instr{op: opJz})
+		if err != nil {
+			return err
+		}
+		c.adjust(-1)
+		if err := c.emitExpr(piece.Value); err != nil {
+			return err
+		}
+		jmp, err := c.emit(instr{op: opJmp})
+		if err != nil {
+			return err
+		}
+		ends = append(ends, jmp)
+		c.code[jz].n = int32(len(c.code))
+		c.cur = base // the fall-through path re-enters with the piece's value popped
+	}
+	if p.Otherwise != nil {
+		if err := c.emitExpr(p.Otherwise); err != nil {
+			return err
+		}
+	} else {
+		if _, err := c.emit(instr{op: opNoPiece}); err != nil {
+			return err
+		}
+		c.adjust(1) // unreachable fall-through; keep depth accounting consistent
+	}
+	for _, jmp := range ends {
+		c.code[jmp].n = int32(len(c.code))
+	}
+	return nil
+}
+
+// Eval runs the program over the state vector. stack is caller-owned
+// scratch of at least MaxStack() elements (a short or nil stack is
+// replaced, at the cost of an allocation). bound is consulted only by
+// checked loads and may be nil otherwise; bound[slot] reports whether the
+// slot currently holds a value. The fast path performs no allocation.
+func (p *Program) Eval(state, stack []float64, bound []bool) (float64, error) {
+	if len(stack) < p.maxStack {
+		stack = make([]float64, p.maxStack)
+	}
+	sp := 0
+	code := p.code
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.op {
+		case opConst:
+			stack[sp] = in.f
+			sp++
+		case opLoad:
+			stack[sp] = state[in.n]
+			sp++
+		case opLoadChecked:
+			if bound != nil && !bound[in.n] {
+				return 0, fmt.Errorf("mathml: unbound identifier %q", in.sym)
+			}
+			stack[sp] = state[in.n]
+			sp++
+		case opAddN:
+			n := int(in.n)
+			sum := 0.0
+			for i := sp - n; i < sp; i++ {
+				sum += stack[i]
+			}
+			sp -= n
+			stack[sp] = sum
+			sp++
+		case opMulN:
+			n := int(in.n)
+			prod := 1.0
+			for i := sp - n; i < sp; i++ {
+				prod *= stack[i]
+			}
+			sp -= n
+			stack[sp] = prod
+			sp++
+		case opNeg:
+			stack[sp-1] = -stack[sp-1]
+		case opSub:
+			stack[sp-2] -= stack[sp-1]
+			sp--
+		case opDiv:
+			if stack[sp-1] == 0 {
+				return 0, errDivZero
+			}
+			stack[sp-2] /= stack[sp-1]
+			sp--
+		case opPow:
+			stack[sp-2] = math.Pow(stack[sp-2], stack[sp-1])
+			sp--
+		case opSqrt:
+			stack[sp-1] = math.Sqrt(stack[sp-1])
+		case opUnary:
+			stack[sp-1] = unaryFuncs[in.n](stack[sp-1])
+		case opNot:
+			stack[sp-1] = b2f(stack[sp-1] == 0)
+		case opEq2:
+			stack[sp-2] = b2f(stack[sp-2] == stack[sp-1])
+			sp--
+		case opNeq:
+			stack[sp-2] = b2f(stack[sp-2] != stack[sp-1])
+			sp--
+		case opGt:
+			stack[sp-2] = b2f(stack[sp-2] > stack[sp-1])
+			sp--
+		case opLt:
+			stack[sp-2] = b2f(stack[sp-2] < stack[sp-1])
+			sp--
+		case opGe:
+			stack[sp-2] = b2f(stack[sp-2] >= stack[sp-1])
+			sp--
+		case opLe:
+			stack[sp-2] = b2f(stack[sp-2] <= stack[sp-1])
+			sp--
+		case opAndN:
+			n := int(in.n)
+			v := 1.0
+			for i := sp - n; i < sp; i++ {
+				if stack[i] == 0 {
+					v = 0
+					break
+				}
+			}
+			sp -= n
+			stack[sp] = v
+			sp++
+		case opOrN:
+			n := int(in.n)
+			v := 0.0
+			for i := sp - n; i < sp; i++ {
+				if stack[i] != 0 {
+					v = 1
+					break
+				}
+			}
+			sp -= n
+			stack[sp] = v
+			sp++
+		case opXorN:
+			n := int(in.n)
+			cnt := 0
+			for i := sp - n; i < sp; i++ {
+				if stack[i] != 0 {
+					cnt++
+				}
+			}
+			sp -= n
+			stack[sp] = b2f(cnt%2 == 1)
+			sp++
+		case opMinN:
+			n := int(in.n)
+			m := stack[sp-n]
+			for i := sp - n + 1; i < sp; i++ {
+				m = math.Min(m, stack[i])
+			}
+			sp -= n
+			stack[sp] = m
+			sp++
+		case opMaxN:
+			n := int(in.n)
+			m := stack[sp-n]
+			for i := sp - n + 1; i < sp; i++ {
+				m = math.Max(m, stack[i])
+			}
+			sp -= n
+			stack[sp] = m
+			sp++
+		case opGeneric:
+			n := int(in.n)
+			v, err := applyOp(in.sym, stack[sp-n:sp])
+			if err != nil {
+				return 0, err
+			}
+			sp -= n
+			stack[sp] = v
+			sp++
+		case opJmp:
+			pc = int(in.n) - 1
+		case opJz:
+			sp--
+			if stack[sp] == 0 {
+				pc = int(in.n) - 1
+			}
+		case opNoPiece:
+			return 0, errNoPiece
+		case opPop:
+			sp--
+		}
+	}
+	return stack[0], nil
+}
+
+// b2f encodes a boolean as MathML's numeric truth values.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,419 @@
+package mathml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tableFor builds a symbol table and matching MapEnv over the given
+// bindings.
+func tableFor(vals map[string]float64, funcs map[string]Lambda) (*SymbolTable, []float64, *MapEnv) {
+	st := NewSymbolTable()
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	// Deterministic slot order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	state := make([]float64, len(names))
+	for _, name := range names {
+		state[st.Intern(name)] = vals[name]
+	}
+	for id, l := range funcs {
+		st.DefineFunction(id, l)
+	}
+	return st, state, &MapEnv{Values: vals, Functions: funcs}
+}
+
+func TestCompileBasicParity(t *testing.T) {
+	vals := map[string]float64{"a": 2.5, "b": -3, "c": 0.125, "k": 4}
+	funcs := map[string]Lambda{
+		"mm": {Params: []string{"s", "v", "km"}, Body: MustParseInfix("v*s/(km+s)")},
+	}
+	st, state, env := tableFor(vals, funcs)
+	exprs := []string{
+		"a + b*c - k^2",
+		"mm(a, k, c) + mm(b, a, k)",
+		"a/c",
+		"min(a, b, c) + max(a, b) - abs(b)",
+		"exp(c) * ln(a) + sin(b) - cos(a)/tan(c)",
+		"floor(a) + ceiling(c)",
+		"(a > b) + (a < b) + (a >= b) + (a <= b) + (a == a) + (a != b)",
+		"2^10 + 3*7 - 1",
+		"root(k)",
+		"-a + -(b*c)",
+	}
+	for _, src := range exprs {
+		e := MustParseInfix(src)
+		want, werr := Eval(e, env)
+		prog, cerr := Compile(e, st)
+		if cerr != nil {
+			t.Fatalf("%s: compile: %v", src, cerr)
+		}
+		got, gerr := prog.Eval(state, prog.NewStack(), nil)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%s: error mismatch: eval=%v compiled=%v", src, werr, gerr)
+		}
+		if werr == nil && math.Float64bits(want) != math.Float64bits(got) {
+			t.Errorf("%s: eval=%v compiled=%v", src, want, got)
+		}
+	}
+}
+
+func TestCompilePiecewiseLaziness(t *testing.T) {
+	// The second piece divides by zero but the first condition selects; the
+	// compiled program must skip it exactly like the tree walker.
+	e := Piecewise{
+		Pieces: []Piece{
+			{Cond: MustParseInfix("a > 0"), Value: N(7)},
+			{Cond: MustParseInfix("a <= 0"), Value: MustParseInfix("1/zero")},
+		},
+	}
+	st, state, env := tableFor(map[string]float64{"a": 1, "zero": 0}, nil)
+	prog, err := Compile(e, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, werr := Eval(e, env)
+	got, gerr := prog.Eval(state, prog.NewStack(), nil)
+	if werr != nil || gerr != nil {
+		t.Fatalf("unexpected errors: %v / %v", werr, gerr)
+	}
+	if want != 7 || got != 7 {
+		t.Fatalf("want 7/7, got %v/%v", want, got)
+	}
+	// Flip the guard: both evaluators must now hit the division by zero
+	// with the same message.
+	state[st.Intern("a")] = -1
+	env.Values["a"] = -1
+	_, werr = Eval(e, env)
+	_, gerr = prog.Eval(state, prog.NewStack(), nil)
+	if werr == nil || gerr == nil || werr.Error() != gerr.Error() {
+		t.Fatalf("error parity: eval=%v compiled=%v", werr, gerr)
+	}
+}
+
+func TestCompilePiecewiseNoMatch(t *testing.T) {
+	e := Piecewise{Pieces: []Piece{{Cond: MustParseInfix("a > 10"), Value: N(1)}}}
+	st, state, env := tableFor(map[string]float64{"a": 0}, nil)
+	prog, err := Compile(e, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := Eval(e, env)
+	_, gerr := prog.Eval(state, prog.NewStack(), nil)
+	if werr == nil || gerr == nil || werr.Error() != gerr.Error() {
+		t.Fatalf("error parity: eval=%v compiled=%v", werr, gerr)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	st := NewSymbolTable()
+	st.Intern("x")
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{S("ghost"), "unbound identifier"},
+		{Call("nosuchfn", N(1)), "unknown operator or function"},
+		{Call("divide", N(1)), "wants 2 args"},
+		{Lambda{Params: []string{"p"}, Body: N(1)}, "bare lambda"},
+		{nil, "nil expression"},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.e, st); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Compile(%v) error = %v, want %q", tc.e, err, tc.want)
+		}
+	}
+	// Recursive function definitions exhaust the inline depth.
+	st.DefineFunction("f", Lambda{Params: []string{"p"}, Body: Call("f", S("p"))})
+	if _, err := Compile(Call("f", N(1)), st); err == nil || !strings.Contains(err.Error(), "call depth") {
+		t.Errorf("recursive inline error = %v", err)
+	}
+}
+
+// TestCompileCallByValueErrorParity pins Eval's eager-argument semantics
+// through inlining: an argument whose parameter the body never evaluates
+// (unused, or reachable only through an untaken piecewise branch) must
+// still run and still fail.
+func TestCompileCallByValueErrorParity(t *testing.T) {
+	funcs := map[string]Lambda{
+		"constfn": {Params: []string{"x"}, Body: N(1)},
+		"guarded": {Params: []string{"x", "sel"}, Body: Piecewise{
+			Pieces:    []Piece{{Cond: MustParseInfix("sel > 0"), Value: S("x")}},
+			Otherwise: N(0),
+		}},
+	}
+	st, state, env := tableFor(map[string]float64{"a": 3, "zero": 0}, funcs)
+	for _, src := range []string{
+		"constfn(1/zero)",              // unused parameter
+		"guarded(1/zero, 0 - 1)",       // parameter behind an untaken branch
+		"constfn(a) + constfn(a/zero)", // one healthy call, one failing
+	} {
+		e := MustParseInfix(src)
+		_, werr := Eval(e, env)
+		prog, cerr := Compile(e, st)
+		if cerr != nil {
+			t.Fatalf("%s: compile: %v", src, cerr)
+		}
+		_, gerr := prog.Eval(state, prog.NewStack(), nil)
+		if werr == nil || gerr == nil {
+			t.Fatalf("%s: both evaluators must fail: eval=%v compiled=%v", src, werr, gerr)
+		}
+	}
+	// And the healthy path still computes the same value with no
+	// spurious forcing cost for literals.
+	e := MustParseInfix("constfn(a) + guarded(a, 1)")
+	want, werr := Eval(e, env)
+	prog, cerr := Compile(e, st)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	got, gerr := prog.Eval(state, prog.NewStack(), nil)
+	if werr != nil || gerr != nil || math.Float64bits(want) != math.Float64bits(got) {
+		t.Fatalf("healthy call: eval=%v/%v compiled=%v/%v", want, werr, got, gerr)
+	}
+}
+
+func TestCompileCheckedLoads(t *testing.T) {
+	st := NewSymbolTable()
+	xs := st.Intern("x")
+	ys := st.Intern("y")
+	r := &checkedTable{SymbolTable: st, unbound: map[int]bool{ys: true}}
+	prog, err := Compile(MustParseInfix("x + y"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Checked() {
+		t.Fatal("program should contain checked loads")
+	}
+	state := []float64{3, 4}
+	bound := []bool{true, false}
+	if _, err := prog.Eval(state, prog.NewStack(), bound); err == nil || !strings.Contains(err.Error(), `unbound identifier "y"`) {
+		t.Fatalf("unbound load error = %v", err)
+	}
+	bound[ys] = true
+	v, err := prog.Eval(state, prog.NewStack(), bound)
+	if err != nil || v != 7 {
+		t.Fatalf("bound eval = %v, %v", v, err)
+	}
+	_ = xs
+}
+
+type checkedTable struct {
+	*SymbolTable
+	unbound map[int]bool
+}
+
+func (c *checkedTable) NeedsBoundCheck(slot int) bool { return c.unbound[slot] }
+
+// randomExpr generates a deterministic random expression over the given
+// variables. Arities are always valid (arity mistakes are compile errors by
+// design), but runtime errors (division by zero and friends) can and should
+// occur so error parity is exercised.
+func randomVMExpr(r *rand.Rand, vars []string, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			// Small integers and awkward literals.
+			lits := []float64{0, 1, -1, 2, 0.5, -3.25, 10}
+			return N(lits[r.Intn(len(lits))])
+		}
+		return S(vars[r.Intn(len(vars))])
+	}
+	sub := func() Expr { return randomVMExpr(r, vars, depth-1) }
+	switch r.Intn(12) {
+	case 0:
+		n := 2 + r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = sub()
+		}
+		return Apply{Op: "plus", Args: args}
+	case 1:
+		n := 2 + r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = sub()
+		}
+		return Apply{Op: "times", Args: args}
+	case 2:
+		return Sub(sub(), sub())
+	case 3:
+		return Neg(sub())
+	case 4:
+		return Div(sub(), sub())
+	case 5:
+		return Pow(sub(), N(float64(r.Intn(4))))
+	case 6:
+		ops := []string{"gt", "lt", "geq", "leq", "eq", "neq"}
+		return Call(ops[r.Intn(len(ops))], sub(), sub())
+	case 7:
+		ops := []string{"and", "or", "xor"}
+		n := 2 + r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = sub()
+		}
+		return Apply{Op: ops[r.Intn(len(ops))], Args: args}
+	case 8:
+		ops := []string{"abs", "exp", "sin", "cos", "floor", "ceiling", "tanh"}
+		return Call(ops[r.Intn(len(ops))], sub())
+	case 9:
+		ops := []string{"min", "max"}
+		n := 1 + r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = sub()
+		}
+		return Apply{Op: ops[r.Intn(len(ops))], Args: args}
+	case 10:
+		// Piecewise with 1-2 pieces and optional otherwise.
+		pieces := []Piece{{Cond: Call("gt", sub(), N(0)), Value: sub()}}
+		if r.Intn(2) == 0 {
+			pieces = append(pieces, Piece{Cond: Call("leq", sub(), N(1)), Value: sub()})
+		}
+		var other Expr
+		if r.Intn(3) > 0 {
+			other = sub()
+		}
+		return Piecewise{Pieces: pieces, Otherwise: other}
+	default:
+		// User-defined call whose body references every parameter, so the
+		// tree walker's eager argument evaluation and the compiler's
+		// inlining agree on which errors surface.
+		return Call("fsum", sub(), sub())
+	}
+}
+
+func TestCompileRandomizedEquivalence(t *testing.T) {
+	vars := []string{"a", "b", "c", "d"}
+	funcs := map[string]Lambda{
+		"fsum": {Params: []string{"u", "v"}, Body: MustParseInfix("u*v + u - v")},
+	}
+	r := rand.New(rand.NewSource(20100322))
+	for trial := 0; trial < 400; trial++ {
+		e := randomVMExpr(r, vars, 4)
+		vals := make(map[string]float64, len(vars))
+		for _, v := range vars {
+			// Mix of zeros, negatives, fractions to provoke error paths.
+			switch r.Intn(4) {
+			case 0:
+				vals[v] = 0
+			case 1:
+				vals[v] = float64(r.Intn(7) - 3)
+			default:
+				vals[v] = r.NormFloat64() * 3
+			}
+		}
+		st, state, env := tableFor(vals, funcs)
+		prog, cerr := Compile(e, st)
+		if cerr != nil {
+			t.Fatalf("trial %d: compile of %s: %v", trial, e, cerr)
+		}
+		stack := prog.NewStack()
+		for probe := 0; probe < 3; probe++ {
+			want, werr := Eval(e, env)
+			got, gerr := prog.Eval(state, stack, nil)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("trial %d probe %d: %s\nerror mismatch: eval=%v compiled=%v", trial, probe, e, werr, gerr)
+			}
+			if werr == nil && math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("trial %d probe %d: %s\neval=%x compiled=%x", trial, probe, e, math.Float64bits(want), math.Float64bits(got))
+			}
+			// New state for the next probe, shared table.
+			for _, v := range vars {
+				nv := r.NormFloat64()
+				vals[v] = nv
+				state[mustSlot(st, v)] = nv
+			}
+		}
+	}
+}
+
+func mustSlot(st *SymbolTable, name string) int {
+	s, ok := st.Slot(name)
+	if !ok {
+		panic("missing slot " + name)
+	}
+	return s
+}
+
+func TestCompileConstantFolding(t *testing.T) {
+	st := NewSymbolTable()
+	st.Intern("x")
+	prog, err := Compile(MustParseInfix("(2*3 + 4^2) * x"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*3+4^2 folds to one constant: const, load, times.
+	if len(prog.code) != 3 {
+		t.Errorf("folded program has %d instructions, want 3", len(prog.code))
+	}
+	v, err := prog.Eval([]float64{2}, prog.NewStack(), nil)
+	if err != nil || v != 44 {
+		t.Errorf("eval = %v, %v; want 44", v, err)
+	}
+	// Division by zero must NOT fold: the error belongs to evaluation time.
+	prog, err = Compile(MustParseInfix("x + 1/0"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Eval([]float64{2}, prog.NewStack(), nil); err == nil {
+		t.Error("constant division by zero should still error at eval time")
+	}
+}
+
+func TestCompileEvalNoAllocs(t *testing.T) {
+	st := NewSymbolTable()
+	st.Intern("s")
+	st.Intern("vmax")
+	st.Intern("km")
+	prog, err := Compile(Add(MustParseInfix("vmax*s/(km+s)"), Mul(Call("min", S("s"), S("km")), Piecewise{Pieces: []Piece{{Cond: MustParseInfix("s > 0"), Value: N(1)}}, Otherwise: N(0)})), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{2, 5, 1.5}
+	stack := prog.NewStack()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := prog.Eval(state, stack, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Program.Eval allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkEvalTree(b *testing.B) {
+	env := &MapEnv{Values: map[string]float64{"s": 2, "vmax": 5, "km": 1.5, "k": 0.3}}
+	e := MustParseInfix("vmax*s/(km+s) + k*s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(e, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCompiled(b *testing.B) {
+	st, state, _ := tableFor(map[string]float64{"s": 2, "vmax": 5, "km": 1.5, "k": 0.3}, nil)
+	prog, err := Compile(MustParseInfix("vmax*s/(km+s) + k*s"), st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack := prog.NewStack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Eval(state, stack, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package mc2
+
+// Prepared-formula evaluation: atoms compiled to slot programs over the
+// trace's column layout, temporal operators computed for every sample index
+// in one backward dynamic-programming pass per formula node. This replaces
+// the recursive holds evaluation — O(trace²) for U/G/F because every start
+// index rescanned its suffix — with O(trace) per node, and is what lets
+// Probability's worker pool check thousands of trajectories cheaply. The
+// recursive evaluator remains the semantic reference; the tests pin the two
+// against each other on randomized traces and formulae.
+
+import (
+	"fmt"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/trace"
+)
+
+// pnode is one prepared formula node.
+type pnode struct {
+	kind    byte // 'a', '!', '&', '|', '>', 'U', 'G', 'F', 'X'
+	src     string
+	prog    *mathml.Program
+	bounded bool
+	lo, hi  float64
+	l, r    *pnode
+}
+
+// prepared is a formula bound to a trace column layout.
+type prepared struct {
+	root     *pnode
+	nCols    int
+	timeSlot int
+	maxStack int
+}
+
+// prepare compiles the formula's atoms against the given column names.
+// Like the reference environment, a later column shadows an earlier one of
+// the same name and "time" shadows any column so named.
+func prepare(f Formula, names []string) (*prepared, error) {
+	// Slot i is column i; the extra slot past the columns carries the
+	// sample time. Later duplicate columns and the time binding win, as in
+	// the map the recursive evaluator builds.
+	st := mathml.NewSymbolTable()
+	for i, n := range names {
+		st.Bind(n, i)
+	}
+	timeSlot := len(names)
+	st.Bind("time", timeSlot)
+	p := &prepared{nCols: len(names), timeSlot: timeSlot}
+	root, err := p.build(f, st)
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	return p, nil
+}
+
+func (p *prepared) build(f Formula, st *mathml.SymbolTable) (*pnode, error) {
+	switch x := f.(type) {
+	case atom:
+		prog, err := mathml.Compile(x.expr, st)
+		if err != nil {
+			return nil, fmt.Errorf("mc2: atom %q: %w", x.src, err)
+		}
+		if prog.MaxStack() > p.maxStack {
+			p.maxStack = prog.MaxStack()
+		}
+		return &pnode{kind: 'a', src: x.src, prog: prog}, nil
+	case not:
+		child, err := p.build(x.f, st)
+		if err != nil {
+			return nil, err
+		}
+		return &pnode{kind: '!', l: child}, nil
+	case binop:
+		l, err := p.build(x.l, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.build(x.r, st)
+		if err != nil {
+			return nil, err
+		}
+		kind := map[string]byte{"&": '&', "|": '|', "->": '>', "U": 'U'}[x.op]
+		if kind == 0 {
+			return nil, fmt.Errorf("mc2: unknown operator %q", x.op)
+		}
+		return &pnode{kind: kind, l: l, r: r}, nil
+	case temporal:
+		child, err := p.build(x.f, st)
+		if err != nil {
+			return nil, err
+		}
+		if x.op != "G" && x.op != "F" && x.op != "X" {
+			return nil, fmt.Errorf("mc2: unknown temporal operator %q", x.op)
+		}
+		return &pnode{kind: x.op[0], bounded: x.bounded, lo: x.lo, hi: x.hi, l: child}, nil
+	}
+	return nil, fmt.Errorf("mc2: unknown formula type %T", f)
+}
+
+// check evaluates the prepared formula at the start of the trace. It
+// allocates its own scratch, so one prepared formula may check many traces
+// concurrently.
+func (p *prepared) check(tr *trace.Trace) (bool, error) {
+	if tr.Len() == 0 {
+		return false, fmt.Errorf("mc2: empty trace")
+	}
+	if len(tr.Names) != p.nCols {
+		return false, fmt.Errorf("mc2: trace has %d columns, formula prepared for %d", len(tr.Names), p.nCols)
+	}
+	ev := &dpEval{
+		tr:    tr,
+		state: make([]float64, p.nCols+1),
+		stack: make([]float64, p.maxStack),
+		time:  p.timeSlot,
+	}
+	sat, err := ev.vec(p.root)
+	if err != nil {
+		return false, err
+	}
+	return sat[0], nil
+}
+
+// dpEval carries per-check scratch.
+type dpEval struct {
+	tr    *trace.Trace
+	state []float64
+	stack []float64
+	time  int
+}
+
+// vec computes the node's satisfaction vector: out[i] reports satisfaction
+// at sample index i. Child slices are reused in place where possible.
+func (ev *dpEval) vec(nd *pnode) ([]bool, error) {
+	tr := ev.tr
+	n := tr.Len()
+	switch nd.kind {
+	case 'a':
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			copy(ev.state, tr.Values[i])
+			ev.state[ev.time] = tr.Times[i]
+			v, err := nd.prog.Eval(ev.state, ev.stack, nil)
+			if err != nil {
+				return nil, fmt.Errorf("mc2: atom %q: %w", nd.src, err)
+			}
+			out[i] = v != 0
+		}
+		return out, nil
+	case '!':
+		out, err := ev.vec(nd.l)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = !out[i]
+		}
+		return out, nil
+	case '&', '|', '>':
+		l, err := ev.vec(nd.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.vec(nd.r)
+		if err != nil {
+			return nil, err
+		}
+		for i := range l {
+			switch nd.kind {
+			case '&':
+				l[i] = l[i] && r[i]
+			case '|':
+				l[i] = l[i] || r[i]
+			default:
+				l[i] = !l[i] || r[i]
+			}
+		}
+		return l, nil
+	case 'U':
+		l, err := ev.vec(nd.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.vec(nd.r)
+		if err != nil {
+			return nil, err
+		}
+		// φ U ψ at i ⇔ ψ at i, or φ at i and φ U ψ at i+1 — the backward
+		// recurrence of the recursive scan.
+		for i := n - 2; i >= 0; i-- {
+			r[i] = r[i] || (l[i] && r[i+1])
+		}
+		return r, nil
+	case 'X':
+		out, err := ev.vec(nd.l)
+		if err != nil {
+			return nil, err
+		}
+		copy(out, out[1:])
+		out[n-1] = false
+		return out, nil
+	case 'G', 'F':
+		child, err := ev.vec(nd.l)
+		if err != nil {
+			return nil, err
+		}
+		if !nd.bounded {
+			// Suffix conjunction / disjunction.
+			for i := n - 2; i >= 0; i-- {
+				if nd.kind == 'G' {
+					child[i] = child[i] && child[i+1]
+				} else {
+					child[i] = child[i] || child[i+1]
+				}
+			}
+			return child, nil
+		}
+		return ev.boundedWindow(nd, child), nil
+	}
+	return nil, fmt.Errorf("mc2: unknown prepared node %q", nd.kind)
+}
+
+// boundedWindow evaluates G[a,b]/F[a,b] for every start index with a
+// prefix-sum count over a monotone sample window. The window of start i is
+// the reference scan's: samples j ≥ i with Times[i]+lo ≤ Times[j] ≤
+// Times[i]+hi; both endpoints only move forward as i grows because sample
+// times are strictly increasing. F needs a true in the window; G needs no
+// false and a non-empty window (an entirely out-of-trace bound fails, as in
+// the reference).
+func (ev *dpEval) boundedWindow(nd *pnode, child []bool) []bool {
+	tr := ev.tr
+	n := len(child)
+	// pre[j] counts true child samples in [0, j).
+	pre := make([]int, n+1)
+	for i, v := range child {
+		pre[i+1] = pre[i]
+		if v {
+			pre[i+1]++
+		}
+	}
+	out := make([]bool, n)
+	a, b := 0, 0 // first j with Times[j] ≥ lo_i; first j with Times[j] > hi_i
+	for i := 0; i < n; i++ {
+		lo, hi := tr.Times[i]+nd.lo, tr.Times[i]+nd.hi
+		for a < n && tr.Times[a] < lo {
+			a++
+		}
+		for b < n && tr.Times[b] <= hi {
+			b++
+		}
+		start, end := a, b
+		if start < i {
+			start = i // the scan never looks before its own start index
+		}
+		if end < start {
+			end = start
+		}
+		trues := pre[end] - pre[start]
+		if nd.kind == 'F' {
+			out[i] = trues > 0
+		} else {
+			size := end - start
+			out[i] = size > 0 && trues == size
+		}
+	}
+	return out
+}

@@ -14,6 +14,26 @@
 //	φ U ψ                       until
 //
 // Example: "G({A >= 0}) & F({B > 0.9})".
+//
+// # Evaluation strategy
+//
+// Checking runs on a prepared form of the formula: every atom is compiled
+// once (mathml.Compile) against the trace's column layout, and each
+// temporal operator is evaluated for all sample indexes in a single
+// backward dynamic-programming pass — U, G and F are O(trace) per node
+// (bounded variants use monotone window endpoints over the strictly
+// increasing sample times) instead of the naive recursion's O(trace²)
+// suffix rescans. The recursive evaluator is retained as the semantic
+// reference and pinned against the DP by tests. One visible difference:
+// preparation resolves every atom eagerly, so a formula naming an unknown
+// species fails even when lazy connective evaluation would have skipped it.
+//
+// Probability estimation compiles the model once (sim.Compile) and fans the
+// stochastic runs out across a worker pool (sim.Options.Workers, default
+// GOMAXPROCS) with the same consecutive per-run seeds as the serial order,
+// so the estimate is bit-identical for every worker count. Its confidence
+// interval is a 95% Wilson score interval, which stays honest at p̂ = 0 or 1
+// where the normal approximation collapses to zero width.
 package mc2
 
 import (
@@ -396,10 +416,11 @@ func (p *parser) parseNumber() (float64, error) {
 
 // Check evaluates the formula at the start of the trace.
 func Check(tr *trace.Trace, f Formula) (bool, error) {
-	if tr.Len() == 0 {
-		return false, fmt.Errorf("mc2: empty trace")
+	p, err := prepare(f, tr.Names)
+	if err != nil {
+		return false, err
 	}
-	return f.holds(tr, 0)
+	return p.check(tr)
 }
 
 // CheckString parses and evaluates a formula over the trace.
@@ -417,38 +438,82 @@ type Estimate struct {
 	Probability float64
 	// Runs is the sample count.
 	Runs int
-	// HalfWidth is the 95% normal-approximation confidence half-interval.
+	// Lo and Hi bound the 95% Wilson score confidence interval. Unlike the
+	// normal approximation, the interval has positive width even when every
+	// run agreed (Probability 0 or 1), where small run counts overstate
+	// certainty.
+	Lo, Hi float64
+	// HalfWidth is half the Wilson interval's width, (Hi-Lo)/2.
 	HalfWidth float64
+}
+
+// newEstimate builds the Wilson-interval estimate for `satisfied` successes
+// in `runs` trials.
+func newEstimate(satisfied, runs int) Estimate {
+	const z = 1.96 // 97.5th normal percentile: two-sided 95%
+	n := float64(runs)
+	p := float64(satisfied) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	hw := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	lo, hi := center-hw, center+hw
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Estimate{
+		Probability: p,
+		Runs:        runs,
+		Lo:          lo,
+		Hi:          hi,
+		HalfWidth:   (hi - lo) / 2,
+	}
 }
 
 // Probability estimates P(φ) over stochastic trajectories of the model:
 // `runs` SSA simulations with consecutive seeds starting at opts.Seed, each
 // checked against the formula. This is the MC2 procedure used to compare
-// composed and expected model behaviour.
+// composed and expected model behaviour. The model is compiled once and the
+// runs execute on a pool of opts.Workers workers (default GOMAXPROCS); the
+// per-run seeds are those of the serial order, so the estimate is identical
+// for every worker count.
 func Probability(m *sbml.Model, f Formula, runs int, opts sim.Options) (Estimate, error) {
 	if runs <= 0 {
 		return Estimate{}, fmt.Errorf("mc2: runs must be positive")
 	}
-	satisfied := 0
-	for i := 0; i < runs; i++ {
+	eng, err := sim.Compile(m)
+	if err != nil {
+		return Estimate{}, err
+	}
+	prep, err := prepare(f, eng.SpeciesIDs())
+	if err != nil {
+		return Estimate{}, err
+	}
+	sat := make([]bool, runs)
+	err = sim.RunParallel(runs, opts.Workers, func(i int) error {
 		runOpts := opts
 		runOpts.Seed = opts.Seed + int64(i)
-		tr, err := sim.SimulateSSA(m, runOpts)
+		tr, err := eng.SSA(runOpts)
 		if err != nil {
-			return Estimate{}, err
+			return err
 		}
-		ok, err := Check(tr, f)
+		ok, err := prep.check(tr)
 		if err != nil {
-			return Estimate{}, err
+			return err
 		}
+		sat[i] = ok
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	satisfied := 0
+	for _, ok := range sat {
 		if ok {
 			satisfied++
 		}
 	}
-	p := float64(satisfied) / float64(runs)
-	return Estimate{
-		Probability: p,
-		Runs:        runs,
-		HalfWidth:   1.96 * math.Sqrt(p*(1-p)/float64(runs)),
-	}, nil
+	return newEstimate(satisfied, runs), nil
 }

@@ -1,0 +1,122 @@
+package sim
+
+// Benchmark hooks for cmd/benchfig: closures that execute exactly one inner
+// -loop operation — an ODE derivative evaluation or an SSA propensity
+// sweep — under the compiled engine and under the tree-walking reference,
+// so BENCH_sim.json can record the speedup at the granularity the tentpole
+// targets. Not part of the stable simulation API.
+
+import (
+	"math"
+
+	"sbmlcompose/internal/mathml"
+	"sbmlcompose/internal/sbml"
+)
+
+// NewDerivBench returns closures that evaluate the full derivative vector
+// once at a fixed state, for the compiled engine and the reference
+// evaluator respectively.
+func NewDerivBench(m *sbml.Model) (compiled, tree func() error, err error) {
+	e, err := Compile(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := e.newRunState()
+	rs.ensureODEBuffers()
+	if err := rs.initODEState(); err != nil {
+		return nil, nil, err
+	}
+	compiled = func() error { return rs.derivAt(0.5, rs.state, rs.dydt) }
+
+	tm, err := compileTree(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	state, err := tm.initialState()
+	if err != nil {
+		return nil, nil, err
+	}
+	tree = func() error {
+		_, err := tm.derivatives(0.5, state)
+		return err
+	}
+	return compiled, tree, nil
+}
+
+// NewPropensityBench returns closures that rebuild the evaluation
+// environment and evaluate every reaction's propensity once, for both
+// evaluators — one Gillespie step's worth of expression work.
+func NewPropensityBench(m *sbml.Model) (compiled, tree func() error, err error) {
+	e, err := Compile(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := e.newRunState()
+	for i, s := range e.species {
+		switch {
+		case s.HasInitialAmount:
+			rs.state[i] = math.Round(s.InitialAmount)
+		case s.HasInitialConcentration:
+			rs.state[i] = math.Round(s.InitialConcentration * 1000)
+		}
+	}
+	compiled = func() error {
+		_, err := rs.propensities(0.5)
+		return err
+	}
+
+	tm, err := compileTree(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := make([]float64, len(tm.species))
+	for i, s := range tm.species {
+		switch {
+		case s.HasInitialAmount:
+			counts[i] = math.Round(s.InitialAmount)
+		case s.HasInitialConcentration:
+			counts[i] = math.Round(s.InitialConcentration * 1000)
+		}
+	}
+	type lawCase struct {
+		law    mathml.Expr
+		locals map[string]float64
+	}
+	var laws []lawCase
+	for _, r := range tm.model.Reactions {
+		if r.KineticLaw == nil || r.KineticLaw.Math == nil {
+			continue
+		}
+		lp := make(map[string]float64)
+		for _, p := range r.KineticLaw.Parameters {
+			if p.HasValue {
+				lp[p.ID] = p.Value
+			}
+		}
+		laws = append(laws, lawCase{law: r.KineticLaw.Math, locals: lp})
+	}
+	tree = func() error {
+		env, err := tm.env(0.5, counts)
+		if err != nil {
+			return err
+		}
+		for _, lc := range laws {
+			local := env
+			if len(lc.locals) > 0 {
+				vals := make(map[string]float64, len(env.Values)+len(lc.locals))
+				for k, v := range env.Values {
+					vals[k] = v
+				}
+				for k, v := range lc.locals {
+					vals[k] = v
+				}
+				local = &mathml.MapEnv{Values: vals, Functions: tm.funcs}
+			}
+			if _, err := mathml.Eval(lc.law, local); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return compiled, tree, nil
+}

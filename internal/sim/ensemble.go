@@ -1,0 +1,146 @@
+package sim
+
+// Parallel multi-run driver. The engine compiles a model once; an ensemble
+// then fans independent SSA trajectories out across a worker pool, each
+// with its own runState and a consecutively-seeded RNG, so the result is
+// identical for every worker count — the same scheme mc2.Probability uses.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/trace"
+)
+
+// workerCount resolves Options.Workers against runs.
+func workerCount(workers, runs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunParallel executes fn(run) for run ∈ [0, runs) on a worker pool of the
+// given size (≤0 means GOMAXPROCS) and returns the lowest-run-index error,
+// so failures are as deterministic as the results themselves. It is the
+// fan-out primitive shared by EnsembleSSA and mc2.Probability; fn must be
+// safe for concurrent invocation across distinct run indexes.
+func RunParallel(runs, workers int, fn func(run int) error) error {
+	errs := make([]error, runs)
+	if workers = workerCount(workers, runs); workers == 1 {
+		for i := 0; i < runs; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	// firstErr tracks the lowest run index that has failed so far. Runs
+	// beyond it are skipped — once a failure is final, their results can't
+	// matter — but runs below it still execute, so the error returned is
+	// the serial order's regardless of scheduling.
+	var firstErr atomic.Int64
+	firstErr.Store(int64(runs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(runs) {
+					return
+				}
+				if i > firstErr.Load() {
+					continue
+				}
+				if err := fn(int(i)); err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if i >= cur || firstErr.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnsembleSSA runs `runs` stochastic simulations with consecutive seeds
+// starting at opts.Seed — in parallel across opts.Workers workers — and
+// returns the mean trajectory. The mean is accumulated in run order, so the
+// result is bit-identical for every worker count.
+func EnsembleSSA(m *sbml.Model, runs int, opts Options) (*trace.Trace, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("sim: ensemble runs must be positive")
+	}
+	e, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return e.EnsembleSSA(runs, opts)
+}
+
+// EnsembleSSA is the engine form of the package-level EnsembleSSA.
+func (e *Engine) EnsembleSSA(runs int, opts Options) (*trace.Trace, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("sim: ensemble runs must be positive")
+	}
+	traces := make([]*trace.Trace, runs)
+	err := RunParallel(runs, opts.Workers, func(i int) error {
+		runOpts := opts
+		runOpts.Seed = opts.Seed + int64(i)
+		tr, err := e.SSA(runOpts)
+		if err != nil {
+			return err
+		}
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sequential reduction in run order keeps the mean deterministic.
+	mean := trace.New(e.names)
+	first := traces[0]
+	row := make([]float64, len(e.names))
+	for s := 0; s < first.Len(); s++ {
+		for j := range row {
+			row[j] = 0
+		}
+		for _, tr := range traces {
+			if tr.Len() != first.Len() {
+				return nil, fmt.Errorf("sim: ensemble runs sampled %d and %d points", first.Len(), tr.Len())
+			}
+			for j, v := range tr.Values[s] {
+				row[j] += v
+			}
+		}
+		for j := range row {
+			row[j] /= float64(runs)
+		}
+		if err := mean.Append(first.Times[s], row); err != nil {
+			return nil, err
+		}
+	}
+	return mean, nil
+}

@@ -15,13 +15,29 @@
 // derivative terms, and events fire on upward trigger crossings — with
 // their assignments deferred when the event declares a delay. The SSA path
 // ignores events (stochastic event semantics are out of the paper's scope).
+//
+// # Execution model
+//
+// SimulateODE and SimulateSSA run on a compiled engine (machine.go): the
+// model's symbols are resolved once into a dense slot-indexed state vector,
+// every kinetic law, rule, initial assignment and event expression is
+// compiled to a mathml.Program, and stoichiometry is a precomputed sparse
+// matrix — so the integrator and propensity inner loops are allocation-free
+// and touch no maps. Compile once via Compile and reuse the Engine to
+// amortize compilation across many runs (the model checker does exactly
+// that). The historical tree-walking evaluator is retained as ReferenceODE
+// and ReferenceSSA; the engine's trajectories are pinned bitwise to it by
+// the randomized equivalence tests, and benchfig measures both so the
+// speedup stays visible in BENCH_sim.json.
+//
+// Unlike the original evaluator, failures to evaluate an initial assignment
+// or assignment rule are simulation errors rather than silently skipped
+// updates (initial-assignment chains still get a best-effort first pass).
 package sim
 
 import (
 	"fmt"
-	"math"
 
-	"sbmlcompose/internal/mathml"
 	"sbmlcompose/internal/sbml"
 	"sbmlcompose/internal/trace"
 )
@@ -44,6 +60,10 @@ type Options struct {
 	// species use initialConcentration (count = conc × scale). Zero
 	// defaults to 1000.
 	ScaleFactor float64
+	// Workers caps the worker pool of multi-run drivers (EnsembleSSA,
+	// mc2.Probability); 0 or less means GOMAXPROCS. Single-trajectory
+	// simulation ignores it. Results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,309 +79,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// compiled is the shared executable form of a model.
-type compiled struct {
-	model   *sbml.Model
-	species []*sbml.Species // dynamic (non-constant, non-boundary) species first
-	index   map[string]int  // species id → state index
-	consts  map[string]float64
-	funcs   map[string]mathml.Lambda
-	rate    []*sbml.Rule // rate rules, applied as extra derivatives
-	assign  []*sbml.Rule // assignment rules, applied before evaluation
-	events  []*sbml.Event
+// SimulateODE integrates the model deterministically and returns the
+// sampled concentrations of every species.
+func SimulateODE(m *sbml.Model, opts Options) (*trace.Trace, error) {
+	e, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return e.ODE(opts)
 }
 
-// compile validates and flattens the model.
-func compile(m *sbml.Model) (*compiled, error) {
-	if err := sbml.Check(m); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+// SimulateSSA runs Gillespie's direct method over molecule counts and
+// returns counts sampled on the Options.Step grid. Species that specify an
+// initialAmount start at that count; species with an initialConcentration
+// start at round(concentration × ScaleFactor). The run is deterministic for
+// a given Options.Seed.
+func SimulateSSA(m *sbml.Model, opts Options) (*trace.Trace, error) {
+	e, err := Compile(m)
+	if err != nil {
+		return nil, err
 	}
-	c := &compiled{
-		model:  m,
-		index:  make(map[string]int),
-		consts: make(map[string]float64),
-		funcs:  make(map[string]mathml.Lambda),
-	}
-	for _, f := range m.FunctionDefinitions {
-		c.funcs[f.ID] = f.Math
-	}
-	for _, comp := range m.Compartments {
-		size := 1.0
-		if comp.HasSize {
-			size = comp.Size
-		}
-		c.consts[comp.ID] = size
-	}
-	for _, p := range m.Parameters {
-		if p.HasValue {
-			c.consts[p.ID] = p.Value
-		}
-	}
-	for _, s := range m.Species {
-		c.index[s.ID] = len(c.species)
-		c.species = append(c.species, s)
-	}
-	for _, r := range m.Rules {
-		switch r.Kind {
-		case sbml.RateRule:
-			c.rate = append(c.rate, r)
-		case sbml.AssignmentRule:
-			c.assign = append(c.assign, r)
-		}
-	}
-	c.events = m.Events
-	return c, nil
-}
-
-// initialState returns the initial concentration vector (per species).
-func (c *compiled) initialState() []float64 {
-	state := make([]float64, len(c.species))
-	vals := make(map[string]float64, len(c.consts))
-	for k, v := range c.consts {
-		vals[k] = v
-	}
-	for i, s := range c.species {
-		switch {
-		case s.HasInitialConcentration:
-			state[i] = s.InitialConcentration
-		case s.HasInitialAmount:
-			vol := 1.0
-			if comp := c.model.CompartmentByID(s.Compartment); comp != nil && comp.HasSize && comp.Size > 0 {
-				vol = comp.Size
-			}
-			state[i] = s.InitialAmount / vol
-		}
-		vals[s.ID] = state[i]
-	}
-	// Initial assignments override attribute values.
-	env := &mathml.MapEnv{Values: vals, Functions: c.funcs}
-	for pass := 0; pass < 2; pass++ {
-		for _, ia := range c.model.InitialAssignments {
-			if v, err := mathml.Eval(ia.Math, env); err == nil {
-				vals[ia.Symbol] = v
-				if idx, ok := c.index[ia.Symbol]; ok {
-					state[idx] = v
-				}
-			}
-		}
-	}
-	return state
-}
-
-// env builds the evaluation environment for a state at time t, applying
-// assignment rules.
-func (c *compiled) env(t float64, state []float64) *mathml.MapEnv {
-	vals := make(map[string]float64, len(c.consts)+len(state)+1)
-	for k, v := range c.consts {
-		vals[k] = v
-	}
-	for i, s := range c.species {
-		vals[s.ID] = state[i]
-	}
-	vals["time"] = t
-	env := &mathml.MapEnv{Values: vals, Functions: c.funcs}
-	for _, r := range c.assign {
-		if v, err := mathml.Eval(r.Math, env); err == nil {
-			vals[r.Variable] = v
-			if idx, ok := c.index[r.Variable]; ok {
-				state[idx] = v
-			}
-		}
-	}
-	return env
+	return e.SSA(opts)
 }
 
 // dynamic reports whether the species participates in the ODE state.
 func dynamic(s *sbml.Species) bool { return !s.Constant && !s.BoundaryCondition }
-
-// derivatives computes dstate/dt at (t, state).
-func (c *compiled) derivatives(t float64, state []float64) ([]float64, error) {
-	env := c.env(t, state)
-	d := make([]float64, len(state))
-	for _, r := range c.model.Reactions {
-		if r.KineticLaw == nil || r.KineticLaw.Math == nil {
-			continue
-		}
-		// Law-local parameters shadow globals.
-		local := env
-		if len(r.KineticLaw.Parameters) > 0 {
-			vals := make(map[string]float64, len(env.Values)+len(r.KineticLaw.Parameters))
-			for k, v := range env.Values {
-				vals[k] = v
-			}
-			for _, p := range r.KineticLaw.Parameters {
-				if p.HasValue {
-					vals[p.ID] = p.Value
-				}
-			}
-			local = &mathml.MapEnv{Values: vals, Functions: c.funcs}
-		}
-		rate, err := mathml.Eval(r.KineticLaw.Math, local)
-		if err != nil {
-			return nil, fmt.Errorf("sim: reaction %q: %w", r.ID, err)
-		}
-		for _, sr := range r.Reactants {
-			if idx, ok := c.index[sr.Species]; ok && dynamic(c.species[idx]) {
-				st := sr.Stoichiometry
-				if st == 0 {
-					st = 1
-				}
-				d[idx] -= st * rate
-			}
-		}
-		for _, sr := range r.Products {
-			if idx, ok := c.index[sr.Species]; ok && dynamic(c.species[idx]) {
-				st := sr.Stoichiometry
-				if st == 0 {
-					st = 1
-				}
-				d[idx] += st * rate
-			}
-		}
-	}
-	for _, r := range c.rate {
-		v, err := mathml.Eval(r.Math, env)
-		if err != nil {
-			return nil, fmt.Errorf("sim: rate rule for %q: %w", r.Variable, err)
-		}
-		if idx, ok := c.index[r.Variable]; ok {
-			d[idx] = v
-		}
-	}
-	return d, nil
-}
-
-// pendingEvent is an event whose trigger has fired but whose assignments
-// wait for its delay to elapse.
-type pendingEvent struct {
-	fireAt float64
-	event  *sbml.Event
-}
-
-// fireEvents applies any event whose trigger switched from false to true.
-// Events with a delay are queued on pending and executed once the clock
-// passes trigger time + delay (assignment maths evaluated at execution
-// time). prevTrig carries the previous trigger values; both it and pending
-// are updated in place.
-func (c *compiled) fireEvents(t float64, state []float64, prevTrig []bool, pending *[]pendingEvent) error {
-	if len(c.events) == 0 && len(*pending) == 0 {
-		return nil
-	}
-	env := c.env(t, state)
-	// Execute due delayed events first.
-	remaining := (*pending)[:0]
-	for _, pe := range *pending {
-		if pe.fireAt > t {
-			remaining = append(remaining, pe)
-			continue
-		}
-		if err := c.applyAssignments(pe.event, env, state); err != nil {
-			return err
-		}
-		env = c.env(t, state) // assignments may feed later triggers
-	}
-	*pending = remaining
-	for i, e := range c.events {
-		v, err := mathml.Eval(e.Trigger, env)
-		if err != nil {
-			return fmt.Errorf("sim: event trigger: %w", err)
-		}
-		now := v != 0
-		if now && !prevTrig[i] {
-			if e.Delay != nil {
-				d, err := mathml.Eval(e.Delay, env)
-				if err != nil {
-					return fmt.Errorf("sim: event delay: %w", err)
-				}
-				if d > 0 {
-					*pending = append(*pending, pendingEvent{fireAt: t + d, event: e})
-					prevTrig[i] = now
-					continue
-				}
-			}
-			if err := c.applyAssignments(e, env, state); err != nil {
-				return err
-			}
-			env = c.env(t, state)
-		}
-		prevTrig[i] = now
-	}
-	return nil
-}
-
-func (c *compiled) applyAssignments(e *sbml.Event, env *mathml.MapEnv, state []float64) error {
-	for _, a := range e.Assignments {
-		av, err := mathml.Eval(a.Math, env)
-		if err != nil {
-			return fmt.Errorf("sim: event assignment %q: %w", a.Variable, err)
-		}
-		if idx, ok := c.index[a.Variable]; ok {
-			state[idx] = av
-		} else {
-			c.consts[a.Variable] = av
-		}
-	}
-	return nil
-}
-
-// SimulateODE integrates the model deterministically and returns the
-// sampled concentrations of every species.
-func SimulateODE(m *sbml.Model, opts Options) (*trace.Trace, error) {
-	opts = opts.withDefaults()
-	if opts.T1 <= opts.T0 {
-		return nil, fmt.Errorf("sim: T1 (%g) must exceed T0 (%g)", opts.T1, opts.T0)
-	}
-	c, err := compile(m)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, len(c.species))
-	for i, s := range c.species {
-		names[i] = s.ID
-	}
-	tr := trace.New(names)
-	state := c.initialState()
-	prevTrig := make([]bool, len(c.events))
-	var pending []pendingEvent
-	// Evaluate triggers once at T0 so events true from the start do not
-	// fire spuriously.
-	if err := c.fireEvents(opts.T0, state, prevTrig, &pending); err != nil {
-		return nil, err
-	}
-	c.env(opts.T0, state) // refresh assignment-rule variables for output
-	if err := tr.Append(opts.T0, state); err != nil {
-		return nil, err
-	}
-	t := opts.T0
-	for t < opts.T1-1e-12 {
-		step := opts.Step
-		if t+step > opts.T1 {
-			step = opts.T1 - t
-		}
-		var err error
-		if opts.Adaptive {
-			state, err = c.rkf45Step(t, state, step, opts.Tolerance)
-		} else {
-			state, err = c.rk4Step(t, state, step)
-		}
-		if err != nil {
-			return nil, err
-		}
-		t += step
-		clampNonNegative(state)
-		if err := c.fireEvents(t, state, prevTrig, &pending); err != nil {
-			return nil, err
-		}
-		// Assignment-rule variables were last written at an intermediate
-		// Runge–Kutta stage; recompute them at the accepted state before
-		// sampling.
-		c.env(t, state)
-		if err := tr.Append(t, state); err != nil {
-			return nil, err
-		}
-	}
-	return tr, nil
-}
 
 func clampNonNegative(state []float64) {
 	for i, v := range state {
@@ -371,110 +113,9 @@ func clampNonNegative(state []float64) {
 	}
 }
 
-// rk4Step advances one classic Runge–Kutta step.
-func (c *compiled) rk4Step(t float64, y []float64, h float64) ([]float64, error) {
-	k1, err := c.derivatives(t, y)
-	if err != nil {
-		return nil, err
+func checkInterval(opts Options) error {
+	if opts.T1 <= opts.T0 {
+		return fmt.Errorf("sim: T1 (%g) must exceed T0 (%g)", opts.T1, opts.T0)
 	}
-	k2, err := c.derivatives(t+h/2, axpy(y, k1, h/2))
-	if err != nil {
-		return nil, err
-	}
-	k3, err := c.derivatives(t+h/2, axpy(y, k2, h/2))
-	if err != nil {
-		return nil, err
-	}
-	k4, err := c.derivatives(t+h, axpy(y, k3, h))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(y))
-	for i := range y {
-		out[i] = y[i] + h/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
-	}
-	return out, nil
-}
-
-// rkf45Step advances from t to t+h using embedded RKF45 sub-steps with
-// local error control.
-func (c *compiled) rkf45Step(t float64, y []float64, h, tol float64) ([]float64, error) {
-	target := t + h
-	sub := h
-	cur := append([]float64(nil), y...)
-	for t < target-1e-12 {
-		if t+sub > target {
-			sub = target - t
-		}
-		next, errEst, err := c.rkf45Once(t, cur, sub)
-		if err != nil {
-			return nil, err
-		}
-		if errEst <= tol || sub <= h*1e-6 {
-			cur = next
-			t += sub
-			if errEst > 0 {
-				sub = math.Min(h, 0.9*sub*math.Pow(tol/errEst, 0.2))
-			}
-			continue
-		}
-		sub = math.Max(h*1e-6, 0.9*sub*math.Pow(tol/errEst, 0.25))
-	}
-	return cur, nil
-}
-
-// rkf45Once takes one Fehlberg 4(5) step and returns the 5th-order solution
-// plus an error estimate.
-func (c *compiled) rkf45Once(t float64, y []float64, h float64) ([]float64, float64, error) {
-	k := make([][]float64, 6)
-	var err error
-	eval := func(dt float64, coeffs ...float64) ([]float64, error) {
-		yy := append([]float64(nil), y...)
-		for j, cf := range coeffs {
-			if cf == 0 {
-				continue
-			}
-			for i := range yy {
-				yy[i] += h * cf * k[j][i]
-			}
-		}
-		return c.derivatives(t+dt*h, yy)
-	}
-	if k[0], err = c.derivatives(t, y); err != nil {
-		return nil, 0, err
-	}
-	if k[1], err = eval(1.0/4, 1.0/4); err != nil {
-		return nil, 0, err
-	}
-	if k[2], err = eval(3.0/8, 3.0/32, 9.0/32); err != nil {
-		return nil, 0, err
-	}
-	if k[3], err = eval(12.0/13, 1932.0/2197, -7200.0/2197, 7296.0/2197); err != nil {
-		return nil, 0, err
-	}
-	if k[4], err = eval(1, 439.0/216, -8, 3680.0/513, -845.0/4104); err != nil {
-		return nil, 0, err
-	}
-	if k[5], err = eval(1.0/2, -8.0/27, 2, -3544.0/2565, 1859.0/4104, -11.0/40); err != nil {
-		return nil, 0, err
-	}
-	y5 := make([]float64, len(y))
-	var errEst float64
-	for i := range y {
-		v5 := y[i] + h*(16.0/135*k[0][i]+6656.0/12825*k[2][i]+28561.0/56430*k[3][i]-9.0/50*k[4][i]+2.0/55*k[5][i])
-		v4 := y[i] + h*(25.0/216*k[0][i]+1408.0/2565*k[2][i]+2197.0/4104*k[3][i]-1.0/5*k[4][i])
-		y5[i] = v5
-		if d := math.Abs(v5 - v4); d > errEst {
-			errEst = d
-		}
-	}
-	return y5, errEst, nil
-}
-
-func axpy(y, k []float64, h float64) []float64 {
-	out := make([]float64, len(y))
-	for i := range y {
-		out[i] = y[i] + h*k[i]
-	}
-	return out
+	return nil
 }

@@ -265,6 +265,14 @@ func SimulateSSA(m *Model, opts SimOptions) (*Trace, error) {
 	return sim.SimulateSSA(m, opts)
 }
 
+// SimulateEnsembleSSA averages `runs` stochastic trajectories with
+// consecutive seeds starting at opts.Seed, fanned out across
+// opts.Workers workers; the mean trace is identical for every worker
+// count.
+func SimulateEnsembleSSA(m *Model, runs int, opts SimOptions) (*Trace, error) {
+	return sim.EnsembleSSA(m, runs, opts)
+}
+
 // RSS computes per-species residual sums of squares between two traces
 // (the §4.1.3 equivalence test); nil species selects all shared columns.
 func RSS(a, b *Trace, species []string) (map[string]float64, error) {
@@ -293,17 +301,30 @@ func CheckProperty(m *Model, formula string, opts SimOptions) (bool, error) {
 
 // EstimateProbability estimates the probability that a stochastic
 // trajectory of the model satisfies the formula, over `runs` SSA
-// simulations (the §4.1.4 Monte Carlo model-checking procedure).
+// simulations (the §4.1.4 Monte Carlo model-checking procedure). The runs
+// execute on opts.Workers workers (default GOMAXPROCS) with an estimate
+// identical to the serial order's; see ProbabilityEstimate for the
+// confidence interval.
 func EstimateProbability(m *Model, formula string, runs int, opts SimOptions) (float64, error) {
-	f, err := mc2.Parse(formula)
-	if err != nil {
-		return 0, err
-	}
-	est, err := mc2.Probability(m, f, runs, opts)
+	est, err := ProbabilityEstimate(m, formula, runs, opts)
 	if err != nil {
 		return 0, err
 	}
 	return est.Probability, nil
+}
+
+// Estimate is a Monte Carlo probability estimate with its 95% Wilson score
+// confidence interval.
+type Estimate = mc2.Estimate
+
+// ProbabilityEstimate is EstimateProbability with the full estimate: the
+// satisfying fraction plus its confidence interval.
+func ProbabilityEstimate(m *Model, formula string, runs int, opts SimOptions) (Estimate, error) {
+	f, err := mc2.Parse(formula)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return mc2.Probability(m, f, runs, opts)
 }
 
 // CanonicalXML returns a canonical single-line serialization of the model's
