@@ -6,7 +6,7 @@
 //	benchfig -fig 9               Figure 9: log10(compose time in ms) for
 //	                              semanticSBML and SBMLCompose over all
 //	                              pairs of the 17 annotated models.
-//	benchfig -json [-suite compose|sim] [-out f.json] [-quick]
+//	benchfig -json [-suite compose|sim|corpus] [-out f.json] [-quick]
 //	                              machine-readable engine benchmarks written
 //	                              as JSON so the perf trajectory is tracked
 //	                              across changes. Suite "compose" (default,
@@ -17,9 +17,14 @@
 //	                              propensity steps under the compiled slot
 //	                              engine vs the tree-walking reference, full
 //	                              simulation runs, and mc2.Probability
-//	                              across worker counts. -quick runs each
-//	                              benchmark once (CI smoke) instead of
-//	                              through testing.Benchmark.
+//	                              across worker counts. Suite "corpus"
+//	                              (BENCH_corpus.json): repository build and
+//	                              top-K search latency — inverted-index
+//	                              retrieval vs the naive all-pairs
+//	                              MatchModels scan — across corpus sizes
+//	                              10/100/1000. -quick runs each benchmark
+//	                              once (CI smoke) instead of through
+//	                              testing.Benchmark.
 //
 // Output is one whitespace-separated row per composition (ready for
 // gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
@@ -42,6 +47,7 @@ import (
 
 	"sbmlcompose/internal/biomodels"
 	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/corpus"
 	"sbmlcompose/internal/index"
 	"sbmlcompose/internal/mc2"
 	"sbmlcompose/internal/sbml"
@@ -63,7 +69,7 @@ func run() error {
 		stride   = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
 		reps     = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
 		jsonMode = flag.Bool("json", false, "run an engine benchmark suite and write JSON")
-		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim")
+		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim | corpus")
 		outPath  = flag.String("out", "", "output file for -json (default BENCH_<suite>.json)")
 		quick    = flag.Bool("quick", false, "single-iteration smoke run instead of testing.Benchmark")
 	)
@@ -78,8 +84,10 @@ func run() error {
 			return benchJSON(out, *quick, benchCompose)
 		case "sim":
 			return benchJSON(out, *quick, benchSim)
+		case "corpus":
+			return benchJSON(out, *quick, benchCorpus)
 		default:
-			return fmt.Errorf("unknown suite %q (want compose or sim)", *suite)
+			return fmt.Errorf("unknown suite %q (want compose, sim or corpus)", *suite)
 		}
 	}
 	switch *fig {
@@ -329,6 +337,85 @@ func benchSim(r *recorder) error {
 			_, err := mc2.Probability(m, f, 20, opts)
 			return err
 		}))
+	}
+	return nil
+}
+
+// corpusSizes is the repository size ladder: the point where the inverted
+// index must beat the all-pairs scan is the 1000-model corpus.
+var corpusSizes = []int{10, 100, 1000}
+
+// corpusModels generates a repository workload: n small models over a
+// shared vocabulary, so queries hit realistic overlap everywhere.
+func corpusModels(n int) []*sbml.Model {
+	models := make([]*sbml.Model, n)
+	for i := range models {
+		models[i] = biomodels.Generate(biomodels.Config{
+			ID:             fmt.Sprintf("bm%04d", i),
+			Nodes:          10 + i%9,
+			Edges:          14 + i%11,
+			Seed:           int64(40000 + 23*i),
+			VocabularySize: 300,
+			Decorate:       true,
+		})
+	}
+	return models
+}
+
+// benchCorpus measures the repository layer: corpus build cost, and top-K
+// search latency through the sharded inverted indexes vs the naive
+// baseline that pairwise-composes the query against every stored model
+// (what serving would cost without the corpus subsystem).
+func benchCorpus(r *recorder) error {
+	tab := synonym.Builtin()
+	matchOpts := core.Options{Synonyms: tab}
+	for _, size := range corpusSizes {
+		models := corpusModels(size)
+		query := models[size/2].Clone()
+
+		r.record(fmt.Sprintf("CorpusBuild/size=%d", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				c := corpus.New(corpus.Options{Shards: 4, Workers: 4, Match: matchOpts})
+				for _, m := range models {
+					if _, err := c.Add(m); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+
+		c := corpus.New(corpus.Options{Shards: 4, Workers: 4, Match: matchOpts})
+		for _, m := range models {
+			if _, err := c.Add(m); err != nil {
+				return err
+			}
+		}
+		sopts := corpus.SearchOptions{TopK: 5}
+		r.record(fmt.Sprintf("CorpusSearch/size=%d/engine=inverted", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				hits, err := c.Search(query, sopts)
+				if err != nil {
+					return err
+				}
+				if len(hits) == 0 || hits[0].ModelID != query.ID {
+					return fmt.Errorf("inverted search lost the planted hit at size %d", size)
+				}
+			}
+			return nil
+		})
+		r.record(fmt.Sprintf("CorpusSearch/size=%d/engine=allpairs", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				hits, err := corpus.SearchAllPairs(models, query, matchOpts, 5)
+				if err != nil {
+					return err
+				}
+				if len(hits) == 0 || hits[0].ModelID != query.ID {
+					return fmt.Errorf("all-pairs search lost the planted hit at size %d", size)
+				}
+			}
+			return nil
+		})
 	}
 	return nil
 }

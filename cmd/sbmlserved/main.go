@@ -1,0 +1,378 @@
+// Command sbmlserved serves a model repository over HTTP: the corpus
+// subsystem (sharded storage, inverted-index top-K matching, cached
+// simulation engines) exposed as a query service, the serving layer the
+// ROADMAP's "heavy traffic" north star demands.
+//
+// Endpoints:
+//
+//	POST   /models        add a model; body is SBML XML, ?id= overrides the
+//	                      model id. 201 with {"id","components","models"}.
+//	DELETE /models/{id}   remove a model. 204, or 404 if absent.
+//	POST   /search        rank the corpus against a query model. JSON body
+//	                      {"sbml","top_k","cutoff","min_score"}; returns
+//	                      ranked hits with per-component evidence.
+//	POST   /compose       merge a query model into a stored model. JSON
+//	                      body {"id","sbml"}; returns the merged SBML with
+//	                      warnings and statistics.
+//	POST   /simulate      simulate a stored model on its cached engine.
+//	                      JSON body {"id","method","t0","t1","step","seed",
+//	                      "adaptive","tolerance"}; returns the trace.
+//	POST   /check         evaluate a temporal-logic property over a
+//	                      deterministic simulation of a stored model. JSON
+//	                      body {"id","formula","t0","t1","step"}.
+//	GET    /healthz       liveness plus per-endpoint request counts and
+//	                      mean latencies.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sbmlcompose"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
+		shards  = flag.Int("shards", 4, "corpus shard count")
+		workers = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
+		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	srv := newServer(sbmlcompose.NewCorpus(&sbmlcompose.CorpusOptions{
+		Shards:  *shards,
+		Workers: *workers,
+	}))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sbmlserved: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	log.Printf("sbmlserved listening on %s", ln.Addr())
+
+	select {
+	case err := <-done:
+		log.Fatalf("sbmlserved: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("sbmlserved: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sbmlserved: drain incomplete: %v", err)
+	}
+	for _, line := range srv.statsLines() {
+		log.Print(line)
+	}
+}
+
+// endpointStat accumulates per-endpoint request counts and total latency.
+type endpointStat struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+}
+
+// server routes requests to the corpus and records per-endpoint timings.
+type server struct {
+	corpus *sbmlcompose.Corpus
+	mux    *http.ServeMux
+	start  time.Time
+	stats  map[string]*endpointStat // route label → stats, fixed at construction
+}
+
+// newServer wires the routes. Split from main so tests can drive the
+// handler through httptest without a listener.
+func newServer(c *sbmlcompose.Corpus) *server {
+	s := &server{corpus: c, mux: http.NewServeMux(), start: time.Now(), stats: map[string]*endpointStat{}}
+	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
+		st := &endpointStat{}
+		s.stats[pattern] = st
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			st.count.Add(1)
+			st.totalNs.Add(time.Since(t0).Nanoseconds())
+		})
+	}
+	route("POST /models", s.handleAddModel)
+	route("DELETE /models/{id}", s.handleRemoveModel)
+	route("POST /search", s.handleSearch)
+	route("POST /compose", s.handleCompose)
+	route("POST /simulate", s.handleSimulate)
+	route("POST /check", s.handleCheck)
+	route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	s.mux.ServeHTTP(w, r)
+}
+
+// statsLines renders the per-endpoint timing summary (logged at
+// shutdown; also served by /healthz).
+func (s *server) statsLines() []string {
+	var out []string
+	for pattern, ep := range s.endpointReport() {
+		out = append(out, fmt.Sprintf("sbmlserved: %-22s %6d requests, mean %.3f ms", pattern, ep.Count, ep.MeanMs))
+	}
+	return out
+}
+
+type endpointReport struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+func (s *server) endpointReport() map[string]endpointReport {
+	out := make(map[string]endpointReport, len(s.stats))
+	for pattern, st := range s.stats {
+		n := st.count.Load()
+		ep := endpointReport{Count: n}
+		if n > 0 {
+			ep.MeanMs = float64(st.totalNs.Load()) / float64(n) / 1e6
+		}
+		out[pattern] = ep
+	}
+	return out
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// modelError reports corpus "no model" errors as 404 and everything else
+// as 422 (the model exists but the operation failed on it).
+func modelError(w http.ResponseWriter, err error) {
+	if errors.Is(err, sbmlcompose.ErrModelNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "%v", err)
+}
+
+// --- handlers ---
+
+func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
+	m, err := sbmlcompose.ParseModel(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		m.ID = id
+	}
+	id, err := s.corpus.Add(m)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, sbmlcompose.ErrDuplicateModel) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":         id,
+		"components": m.ComponentCount(),
+		"models":     s.corpus.Len(),
+	})
+}
+
+func (s *server) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.corpus.Remove(id) {
+		writeError(w, http.StatusNotFound, "corpus: no model %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type searchRequest struct {
+	SBML     string  `json:"sbml"`
+	TopK     int     `json:"top_k"`
+	Cutoff   float64 `json:"cutoff"`
+	MinScore float64 `json:"min_score"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	query, err := sbmlcompose.ParseModelString(req.SBML)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse query: %v", err)
+		return
+	}
+	t0 := time.Now()
+	hits, err := s.corpus.Search(query, sbmlcompose.SearchOptions{
+		TopK: req.TopK, Cutoff: req.Cutoff, MinScore: req.MinScore,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "search: %v", err)
+		return
+	}
+	if hits == nil {
+		hits = []sbmlcompose.Hit{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hits":    hits,
+		"took_ms": float64(time.Since(t0).Nanoseconds()) / 1e6,
+	})
+}
+
+type composeRequest struct {
+	ID   string `json:"id"`
+	SBML string `json:"sbml"`
+}
+
+func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	var req composeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	query, err := sbmlcompose.ParseModelString(req.SBML)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse query: %v", err)
+		return
+	}
+	res, err := s.corpus.ComposeWith(req.ID, query)
+	if err != nil {
+		modelError(w, err)
+		return
+	}
+	warnings := make([]string, len(res.Warnings))
+	for i, warn := range res.Warnings {
+		warnings[i] = warn.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sbml":     sbmlcompose.ModelToString(res.Model),
+		"warnings": warnings,
+		"stats": map[string]any{
+			"merged":    res.Stats.Merged,
+			"added":     res.Stats.Added,
+			"renamed":   res.Stats.Renamed,
+			"conflicts": res.Stats.Conflicts,
+		},
+	})
+}
+
+type simulateRequest struct {
+	ID        string  `json:"id"`
+	Method    string  `json:"method"` // "ode" (default) or "ssa"
+	T0        float64 `json:"t0"`
+	T1        float64 `json:"t1"`
+	Step      float64 `json:"step"`
+	Seed      int64   `json:"seed"`
+	Adaptive  bool    `json:"adaptive"`
+	Tolerance float64 `json:"tolerance"`
+}
+
+func (r simulateRequest) simOptions() sbmlcompose.SimOptions {
+	return sbmlcompose.SimOptions{
+		T0: r.T0, T1: r.T1, Step: r.Step, Seed: r.Seed,
+		Adaptive: r.Adaptive, Tolerance: r.Tolerance,
+	}
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var (
+		tr  *sbmlcompose.Trace
+		err error
+	)
+	switch req.Method {
+	case "", "ode":
+		tr, err = s.corpus.SimulateODE(req.ID, req.simOptions())
+	case "ssa":
+		tr, err = s.corpus.SimulateSSA(req.ID, req.simOptions())
+	default:
+		err = errors.New("method must be \"ode\" or \"ssa\"")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err != nil {
+		modelError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"names":  tr.Names,
+		"times":  tr.Times,
+		"values": tr.Values,
+	})
+}
+
+type checkRequest struct {
+	ID      string  `json:"id"`
+	Formula string  `json:"formula"`
+	T0      float64 `json:"t0"`
+	T1      float64 `json:"t1"`
+	Step    float64 `json:"step"`
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sat, err := s.corpus.CheckProperty(req.ID, req.Formula, sbmlcompose.SimOptions{
+		T0: req.T0, T1: req.T1, Step: req.Step,
+	})
+	if err != nil {
+		modelError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"satisfied": sat})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"models":    s.corpus.Len(),
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"endpoints": s.endpointReport(),
+	})
+}

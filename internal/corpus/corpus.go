@@ -1,0 +1,448 @@
+// Package corpus implements a concurrent, sharded in-memory model
+// repository with scored top-K matching — the paper's motivating scenario
+// of matching a query network against a curated model collection
+// (BioModels-style) to find composition partners, industrialized for
+// serving.
+//
+// Each added model is compiled once (core.Compile) and its match keys —
+// canonical-synonym ids, Figure 7 MathML patterns, reduced unit vectors —
+// are posted into per-shard inverted indexes. Retrieval for a query model
+// is then a posting-list walk over the query's own keys instead of an
+// O(corpus) pairwise composition scan: only models sharing at least one
+// key are ever scored. Scoring builds a sparse component score matrix from
+// the shared keys (exact id > synonym-canonical > math-pattern >
+// unit-compatible, see core.KeyTier) and runs a greedy maximum-weight
+// bipartite assignment with a cutoff, the score-matrix + cutoff workflow
+// of repository-scale matchers. Results are ranked top-K Hits with
+// per-component evidence.
+//
+// Sharding and the search worker pool are pure throughput mechanisms:
+// a model's score depends only on the query and that model, and the final
+// ranking sorts globally, so Search returns identical results at any shard
+// or worker count (pinned by the determinism tests).
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/mc2"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/sim"
+	"sbmlcompose/internal/trace"
+)
+
+// Sentinel errors, matchable with errors.Is, so callers (the HTTP server's
+// status mapping in particular) dispatch on identity rather than message
+// text.
+var (
+	// ErrNotFound wraps every "no such model" failure.
+	ErrNotFound = errors.New("model not found")
+	// ErrDuplicate wraps Add failures on an id already stored.
+	ErrDuplicate = errors.New("duplicate model id")
+)
+
+// Options configures a Corpus.
+type Options struct {
+	// Shards is the number of repository shards; 0 defaults to 4. More
+	// shards reduce lock contention between concurrent Adds and Searches.
+	Shards int
+	// Workers caps the Search scoring pool; 0 or less means GOMAXPROCS.
+	Workers int
+	// Match configures compilation and matching (semantics level, synonym
+	// table, index kind) for every model in the corpus.
+	Match core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// SearchOptions configures one Search call.
+type SearchOptions struct {
+	// TopK bounds the number of returned hits; 0 defaults to 5, negative
+	// means unbounded.
+	TopK int
+	// Cutoff drops component correspondences whose tier weight is below it
+	// (the score-matrix cutoff): 0 keeps every tier, 2.5 keeps only exact
+	// and synonym evidence, 5 disables matching entirely.
+	Cutoff float64
+	// MinScore drops whole hits scoring below it after assignment.
+	MinScore float64
+}
+
+// Evidence is one component correspondence supporting a Hit: the query
+// component was assigned to the hit model's component on the given tier.
+type Evidence struct {
+	// Query and Target are component ids in the query and corpus model.
+	Query  string `json:"query"`
+	Target string `json:"target"`
+	// Kind is the component family ("species", "reaction", ...).
+	Kind string `json:"kind"`
+	// Tier names the strongest shared-key tier ("exact-id", "synonym",
+	// "math-pattern", "unit-compatible").
+	Tier string `json:"tier"`
+	// Score is the tier weight this correspondence contributed.
+	Score float64 `json:"score"`
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	// ModelID identifies the corpus model.
+	ModelID string `json:"model_id"`
+	// Score is the summed weight of the assigned component
+	// correspondences; hits are ranked by it, descending.
+	Score float64 `json:"score"`
+	// Matched counts assigned query components.
+	Matched int `json:"matched"`
+	// Coverage is Matched over the query's matchable component count.
+	Coverage float64 `json:"coverage"`
+	// Evidence lists the assignment, sorted by query component id.
+	Evidence []Evidence `json:"evidence"`
+}
+
+// invPosting is one inverted-index posting: a component of a corpus model
+// reachable under some key.
+type invPosting struct {
+	comp string
+	kind string
+	tier core.KeyTier
+}
+
+// entry is one stored model with its compiled form, posted keys, and a
+// lazily compiled simulation engine.
+type entry struct {
+	id   string
+	cm   *core.CompiledModel
+	keys []core.ComponentKey
+
+	engOnce sync.Once
+	eng     *sim.Engine
+	engErr  error
+}
+
+// engine returns the entry's simulation engine, compiling it on first use.
+// The engine is immutable and concurrency-safe, so every later simulation
+// or model-checking request on this model reuses it; compilation is paid
+// once per corpus entry, not once per request.
+func (e *entry) engine() (*sim.Engine, error) {
+	e.engOnce.Do(func() { e.eng, e.engErr = sim.Compile(e.cm.Model()) })
+	return e.eng, e.engErr
+}
+
+// shard is one lock domain of the repository: a slice of the entries plus
+// the inverted index over their match keys.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	// inv maps a match key to the postings of every model in this shard
+	// that emits it, keyed by model id so Remove can drop a model's
+	// postings without touching other models'.
+	inv map[string]map[string][]invPosting
+}
+
+// Corpus is the sharded repository. All methods are safe for concurrent
+// use.
+type Corpus struct {
+	opts   Options
+	shards []*shard
+}
+
+// New returns an empty corpus.
+func New(opts Options) *Corpus {
+	opts = opts.withDefaults()
+	c := &Corpus{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries: make(map[string]*entry),
+			inv:     make(map[string]map[string][]invPosting),
+		}
+	}
+	return c
+}
+
+// Options returns the options the corpus was built with.
+func (c *Corpus) Options() Options { return c.opts }
+
+// shardFor maps a model id to its home shard. The assignment affects only
+// lock distribution, never results.
+func (c *Corpus) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Add compiles the model and stores it under its model id. The input is
+// cloned, never referenced. Empty and duplicate ids are errors.
+func (c *Corpus) Add(m *sbml.Model) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("corpus: Add requires a non-nil model")
+	}
+	if m.ID == "" {
+		return "", fmt.Errorf("corpus: model has no id")
+	}
+	cm, err := core.Compile(m, c.opts.Match)
+	if err != nil {
+		return "", err
+	}
+	e := &entry{id: m.ID, cm: cm, keys: cm.MatchKeys()}
+	sh := c.shardFor(m.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[m.ID]; dup {
+		return "", fmt.Errorf("corpus: model %q already present: %w", m.ID, ErrDuplicate)
+	}
+	sh.entries[m.ID] = e
+	for _, k := range e.keys {
+		byModel := sh.inv[k.Key]
+		if byModel == nil {
+			byModel = make(map[string][]invPosting)
+			sh.inv[k.Key] = byModel
+		}
+		byModel[m.ID] = append(byModel[m.ID], invPosting{comp: k.Component, kind: k.Kind, tier: k.Tier})
+	}
+	return m.ID, nil
+}
+
+// Remove deletes a model and all its postings; it reports whether the
+// model was present.
+func (c *Corpus) Remove(id string) bool {
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return false
+	}
+	delete(sh.entries, id)
+	for _, k := range e.keys {
+		if byModel := sh.inv[k.Key]; byModel != nil {
+			delete(byModel, id)
+			if len(byModel) == 0 {
+				delete(sh.inv, k.Key)
+			}
+		}
+	}
+	return true
+}
+
+// Len returns the number of stored models.
+func (c *Corpus) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// IDs returns the stored model ids, sorted.
+func (c *Corpus) IDs() []string {
+	var ids []string
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for id := range sh.entries {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Get returns a deep copy of a stored model, safe for the caller to
+// mutate.
+func (c *Corpus) Get(id string) (*sbml.Model, bool) {
+	e, ok := c.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return e.cm.Snapshot(), true
+}
+
+// Has reports whether a model is stored under id.
+func (c *Corpus) Has(id string) bool {
+	_, ok := c.lookup(id)
+	return ok
+}
+
+func (c *Corpus) lookup(id string) (*entry, bool) {
+	sh := c.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[id]
+	return e, ok
+}
+
+// ComposeWith merges the query model into a copy of the stored model under
+// the corpus match options — the "find a composition partner, then
+// compose" workflow. Neither the stored model nor the query is mutated.
+func (c *Corpus) ComposeWith(id string, query *sbml.Model) (*core.Result, error) {
+	e, ok := c.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
+	}
+	return core.Compose(e.cm.Model(), query, c.opts.Match)
+}
+
+// SimulateODE integrates a stored model on its cached engine.
+func (c *Corpus) SimulateODE(id string, opts sim.Options) (*trace.Trace, error) {
+	e, ok := c.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
+	}
+	eng, err := e.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.ODE(opts)
+}
+
+// SimulateSSA runs Gillespie's direct method on a stored model's cached
+// engine.
+func (c *Corpus) SimulateSSA(id string, opts sim.Options) (*trace.Trace, error) {
+	e, ok := c.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
+	}
+	eng, err := e.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.SSA(opts)
+}
+
+// CheckProperty evaluates a temporal-logic formula (mc2 syntax) over a
+// deterministic simulation of a stored model, reusing the cached engine.
+func (c *Corpus) CheckProperty(id string, formula string, opts sim.Options) (bool, error) {
+	f, err := mc2.Parse(formula)
+	if err != nil {
+		return false, err
+	}
+	e, ok := c.lookup(id)
+	if !ok {
+		return false, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
+	}
+	eng, err := e.engine()
+	if err != nil {
+		return false, err
+	}
+	tr, err := eng.ODE(opts)
+	if err != nil {
+		return false, err
+	}
+	return mc2.Check(tr, f)
+}
+
+// Search ranks the corpus models against the query. Candidate retrieval
+// walks the query's match keys through each shard's inverted index, so
+// models sharing no key with the query are never touched; candidates are
+// then scored concurrently (greedy maximum-weight assignment over the
+// shared-key score matrix) and merged into one global ranking: score
+// descending, model id ascending on ties, truncated to TopK.
+func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
+	if query == nil {
+		return nil, fmt.Errorf("corpus: Search requires a non-nil query")
+	}
+	if opts.TopK == 0 {
+		opts.TopK = 5
+	}
+	// Each Search compiles the query once; callers issuing the same query
+	// repeatedly pay that compile per call (noted in CHANGES.md as a
+	// future win — hold the compiled query).
+	qcm, err := core.Compile(query, c.opts.Match)
+	if err != nil {
+		return nil, err
+	}
+	qkeys := qcm.MatchKeys()
+	denom := qcm.MatchableComponents()
+
+	// Retrieval: accumulate, per candidate model, the score-matrix cells
+	// its postings share with the query. The per-model cell set is the
+	// union over all shards of that model's postings, so shard layout
+	// cannot influence it.
+	cells := make(map[string]*candidate)
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, qk := range qkeys {
+			if qk.Tier.Weight() < opts.Cutoff {
+				continue
+			}
+			byModel, ok := sh.inv[qk.Key]
+			if !ok {
+				continue
+			}
+			for modelID, postings := range byModel {
+				cand := cells[modelID]
+				if cand == nil {
+					cand = &candidate{modelID: modelID}
+					cells[modelID] = cand
+				}
+				for _, p := range postings {
+					cand.add(qk, p)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if len(cells) == 0 {
+		return nil, nil
+	}
+
+	// Scoring: fan the candidates out across the worker pool. Candidates
+	// are ordered by id first so the result slice layout is deterministic;
+	// each score depends only on the candidate's own cells.
+	cands := make([]*candidate, 0, len(cells))
+	for _, cand := range cells {
+		cands = append(cands, cand)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].modelID < cands[j].modelID })
+	hits := make([]Hit, len(cands))
+	workers := c.opts.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cands); i += workers {
+				hits[i] = cands[i].assign(denom, opts.Cutoff)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic global merge: drop empty/sub-threshold hits, rank by
+	// score then id, truncate.
+	ranked := hits[:0]
+	for _, h := range hits {
+		if h.Matched == 0 || h.Score < opts.MinScore {
+			continue
+		}
+		ranked = append(ranked, h)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].ModelID < ranked[j].ModelID
+	})
+	if opts.TopK >= 0 && len(ranked) > opts.TopK {
+		ranked = ranked[:opts.TopK]
+	}
+	return append([]Hit(nil), ranked...), nil
+}

@@ -656,6 +656,23 @@ func (rs *runState) initODEState() error {
 	return nil
 }
 
+// sampleCapacity sizes the output trace from the sampling grid so the
+// simulation loops append without per-sample allocation (the SSA boundary
+// fill may run one or two past it; the trace grows amortized then). The
+// hint is clamped: a pathological span/step ratio must not pre-allocate
+// unbounded memory or overflow the int conversion.
+func sampleCapacity(opts Options) int {
+	if opts.Step <= 0 {
+		return 0
+	}
+	const maxHint = 1 << 20
+	samples := (opts.T1 - opts.T0) / opts.Step
+	if !(samples >= 0) || samples > maxHint {
+		return maxHint
+	}
+	return int(samples) + 2
+}
+
 // ODE integrates the model deterministically; see SimulateODE.
 func (e *Engine) ODE(opts Options) (*trace.Trace, error) {
 	opts = opts.withDefaults()
@@ -670,7 +687,7 @@ func (e *Engine) ODE(opts Options) (*trace.Trace, error) {
 	if err := rs.initODEState(); err != nil {
 		return nil, err
 	}
-	tr := trace.New(e.names)
+	tr := trace.NewWithCapacity(e.names, sampleCapacity(opts))
 	// Evaluate triggers once at T0 so events true from the start do not
 	// fire spuriously.
 	if err := rs.fireEvents(opts.T0); err != nil {
@@ -862,7 +879,7 @@ func (e *Engine) SSA(opts Options) (*trace.Trace, error) {
 			rs.state[i] = math.Round(s.InitialConcentration * opts.ScaleFactor)
 		}
 	}
-	tr := trace.New(e.names)
+	tr := trace.NewWithCapacity(e.names, sampleCapacity(opts))
 	t := opts.T0
 	nextSample := opts.T0
 	appendSample := func() error {

@@ -23,11 +23,40 @@ type Trace struct {
 	Times []float64
 	// Values holds one row per time, one column per name.
 	Values [][]float64
+	// buf is the flat backing storage appended rows are sliced from, so a
+	// preallocated trace appends without per-sample allocation. Rows are
+	// never mutated after Append, so a grown trace may span several
+	// buffers (old rows keep pointing into retired ones).
+	buf []float64
 }
 
 // New returns an empty trace over the given column names.
 func New(names []string) *Trace {
 	return &Trace{Names: append([]string(nil), names...)}
+}
+
+// NewWithCapacity returns an empty trace preallocated for about `samples`
+// rows: the simulators size it from the SimOptions step count so the
+// sampling loop appends allocation-free. The capacity is a hint — the
+// trace grows amortized past it, and absurd hints (a user-supplied
+// simulation span of 1e18 samples) are clamped rather than allocated or
+// overflowed.
+func NewWithCapacity(names []string, samples int) *Trace {
+	t := New(names)
+	// Cap the up-front allocation at ~1M cells; longer traces grow
+	// amortized like an unhinted one.
+	const maxCells = 1 << 20
+	if n := len(t.Names); n > 0 && samples > maxCells/n {
+		samples = maxCells / n
+	} else if samples > maxCells {
+		samples = maxCells
+	}
+	if samples > 0 {
+		t.Times = make([]float64, 0, samples)
+		t.Values = make([][]float64, 0, samples)
+		t.buf = make([]float64, 0, samples*len(t.Names))
+	}
+	return t
 }
 
 // Append adds a sample row. The row is copied.
@@ -39,7 +68,19 @@ func (t *Trace) Append(time float64, row []float64) error {
 		return fmt.Errorf("trace: time %g not after %g", time, t.Times[n-1])
 	}
 	t.Times = append(t.Times, time)
-	t.Values = append(t.Values, append([]float64(nil), row...))
+	if len(t.buf)+len(row) > cap(t.buf) {
+		// Start a fresh buffer instead of letting append copy rows the
+		// existing Values slices already cover; doubling keeps the growth
+		// amortized-constant per sample.
+		newCap := 2 * cap(t.buf)
+		if min := 64 * len(row); newCap < min {
+			newCap = min
+		}
+		t.buf = make([]float64, 0, newCap)
+	}
+	start := len(t.buf)
+	t.buf = append(t.buf, row...)
+	t.Values = append(t.Values, t.buf[start:len(t.buf):len(t.buf)])
 	return nil
 }
 

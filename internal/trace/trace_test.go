@@ -209,3 +209,82 @@ func TestQuickRSSSymmetricOnSameGrid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendPreallocatedDoesNotAllocate pins the satellite optimization:
+// a trace preallocated from the expected sample count appends rows with
+// zero allocations — the per-sample row copy comes out of the flat
+// backing buffer.
+func TestAppendPreallocatedDoesNotAllocate(t *testing.T) {
+	const samples = 200
+	names := []string{"A", "B", "C"}
+	tr := NewWithCapacity(names, samples)
+	row := []float64{1, 2, 3}
+	i := 0
+	allocs := testing.AllocsPerRun(samples, func() {
+		row[0] = float64(i)
+		if err := tr.Append(float64(i), row); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Append on a preallocated trace allocates %.1f/op, want 0", allocs)
+	}
+	if tr.Len() != samples+1 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), samples+1)
+	}
+	for j := 0; j <= samples; j++ {
+		if tr.Values[j][0] != float64(j) || tr.Values[j][1] != 2 || tr.Values[j][2] != 3 {
+			t.Fatalf("row %d corrupted: %v", j, tr.Values[j])
+		}
+	}
+}
+
+// TestAppendGrowsPastCapacity checks amortized growth: rows appended past
+// the preallocated capacity stay intact (earlier rows keep pointing into
+// retired buffers, later rows into fresh ones) and the row copy still
+// isolates the caller's slice.
+func TestAppendGrowsPastCapacity(t *testing.T) {
+	for _, prealloc := range []int{0, 1, 5} {
+		tr := NewWithCapacity([]string{"X", "Y"}, prealloc)
+		row := []float64{0, 0}
+		for i := 0; i < 100; i++ {
+			row[0], row[1] = float64(i), float64(-i)
+			if err := tr.Append(float64(i), row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The caller's row buffer is reused every iteration; stored rows
+		// must not alias it.
+		row[0], row[1] = 999, 999
+		for i := 0; i < 100; i++ {
+			if tr.Values[i][0] != float64(i) || tr.Values[i][1] != float64(-i) {
+				t.Fatalf("prealloc=%d: row %d = %v", prealloc, i, tr.Values[i])
+			}
+		}
+		// Column extraction still sees the right data across buffer
+		// boundaries.
+		xs, err := tr.Series("X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range xs {
+			if v != float64(i) {
+				t.Fatalf("prealloc=%d: series[%d] = %g", prealloc, i, v)
+			}
+		}
+	}
+}
+
+// TestAppendZeroColumns covers the degenerate empty-model trace.
+func TestAppendZeroColumns(t *testing.T) {
+	tr := NewWithCapacity(nil, 10)
+	for i := 0; i < 3; i++ {
+		if err := tr.Append(float64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
