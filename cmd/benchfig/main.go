@@ -6,7 +6,7 @@
 //	benchfig -fig 9               Figure 9: log10(compose time in ms) for
 //	                              semanticSBML and SBMLCompose over all
 //	                              pairs of the 17 annotated models.
-//	benchfig -json [-suite compose|sim|corpus] [-out f.json] [-quick]
+//	benchfig -json [-suite compose|sim|corpus|store] [-out f.json] [-quick]
 //	                              machine-readable engine benchmarks written
 //	                              as JSON so the perf trajectory is tracked
 //	                              across changes. Suite "compose" (default,
@@ -21,9 +21,15 @@
 //	                              (BENCH_corpus.json): repository build and
 //	                              top-K search latency — inverted-index
 //	                              retrieval vs the naive all-pairs
-//	                              MatchModels scan — across corpus sizes
-//	                              10/100/1000. -quick runs each benchmark
-//	                              once (CI smoke) instead of through
+//	                              MatchModels scan, plus the compiled-query
+//	                              LRU's repeated-query win — across corpus
+//	                              sizes 10/100/1000. Suite "store"
+//	                              (BENCH_store.json): durable-store WAL
+//	                              append latency per fsync policy, replay
+//	                              throughput, and recovery (Open) latency
+//	                              from raw WAL vs snapshot across corpus
+//	                              sizes. -quick runs each benchmark once
+//	                              (CI smoke) instead of through
 //	                              testing.Benchmark.
 //
 // Output is one whitespace-separated row per composition (ready for
@@ -53,6 +59,7 @@ import (
 	"sbmlcompose/internal/sbml"
 	"sbmlcompose/internal/semanticsbml"
 	"sbmlcompose/internal/sim"
+	"sbmlcompose/internal/store"
 	"sbmlcompose/internal/synonym"
 )
 
@@ -86,8 +93,10 @@ func run() error {
 			return benchJSON(out, *quick, benchSim)
 		case "corpus":
 			return benchJSON(out, *quick, benchCorpus)
+		case "store":
+			return benchJSON(out, *quick, benchStore)
 		default:
-			return fmt.Errorf("unknown suite %q (want compose, sim or corpus)", *suite)
+			return fmt.Errorf("unknown suite %q (want compose, sim, corpus or store)", *suite)
 		}
 	}
 	switch *fig {
@@ -385,9 +394,15 @@ func benchCorpus(r *recorder) error {
 			return nil
 		})
 
-		c := corpus.New(corpus.Options{Shards: 4, Workers: 4, Match: matchOpts})
+		// QueryCache -1: the baseline search row measures the full
+		// compile-and-retrieve path, comparable with earlier snapshots.
+		c := corpus.New(corpus.Options{Shards: 4, Workers: 4, QueryCache: -1, Match: matchOpts})
+		cached := corpus.New(corpus.Options{Shards: 4, Workers: 4, Match: matchOpts})
 		for _, m := range models {
 			if _, err := c.Add(m); err != nil {
+				return err
+			}
+			if _, err := cached.Add(m); err != nil {
 				return err
 			}
 		}
@@ -404,6 +419,39 @@ func benchCorpus(r *recorder) error {
 			}
 			return nil
 		})
+		// The repeated-query path: every iteration after the first hits
+		// the compiled-query LRU, so this row shows what a client issuing
+		// the same query repeatedly pays.
+		r.record(fmt.Sprintf("CorpusSearch/size=%d/engine=inverted+qcache", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				hits, err := cached.Search(query, sopts)
+				if err != nil {
+					return err
+				}
+				if len(hits) == 0 || hits[0].ModelID != query.ID {
+					return fmt.Errorf("cached search lost the planted hit at size %d", size)
+				}
+			}
+			return nil
+		})
+		// The cache's saving is the query compile, which scales with query
+		// size — shown once with a medium (60-node) query.
+		if size == 100 {
+			big := benchModel("bigquery", 60, 90, 4242)
+			for _, row := range []struct {
+				label string
+				c     *corpus.Corpus
+			}{{"inverted", c}, {"inverted+qcache", cached}} {
+				r.record(fmt.Sprintf("CorpusSearch/size=%d/query=large/engine=%s", size, row.label), func(n int) error {
+					for i := 0; i < n; i++ {
+						if _, err := row.c.Search(big, sopts); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}
+		}
 		r.record(fmt.Sprintf("CorpusSearch/size=%d/engine=allpairs", size), func(n int) error {
 			for i := 0; i < n; i++ {
 				hits, err := corpus.SearchAllPairs(models, query, matchOpts, 5)
@@ -416,6 +464,131 @@ func benchCorpus(r *recorder) error {
 			}
 			return nil
 		})
+	}
+	return nil
+}
+
+// benchStore measures the durability layer: WAL append latency under
+// each fsync policy (the per-mutation durability cost, isolated from
+// model compilation by pre-encoding the record blob), recovery latency —
+// store.Open replaying a raw WAL vs loading a snapshot — across corpus
+// sizes, and the snapshot (compaction) write itself.
+func benchStore(r *recorder) error {
+	copts := corpus.Options{Shards: 4, Workers: 4, Match: core.Options{Synonyms: synonym.Builtin()}}
+	blob := []byte(sbml.WrapModel(benchModel("walblob", 12, 16, 555)).String())
+
+	for _, policy := range []store.FsyncPolicy{store.FsyncNever, store.FsyncAlways} {
+		dir, err := os.MkdirTemp("", "benchstore-append-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		s, err := store.Open(dir, store.Options{
+			Corpus: copts, Fsync: policy, CompactBytes: -1, NoSnapshotOnClose: true,
+		})
+		if err != nil {
+			return err
+		}
+		seq := 0
+		r.record(fmt.Sprintf("WALAppend/fsync=%s", policy), func(n int) error {
+			for i := 0; i < n; i++ {
+				seq++
+				if err := s.PersistAdd(fmt.Sprintf("m%09d", seq), blob); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+
+	for _, size := range corpusSizes {
+		models := corpusModels(size)
+		// prepare replays the same churned mutation history (every model
+		// add followed by an add+remove of a throwaway clone) into a
+		// store directory, left either as the raw WAL — recovery must
+		// replay all 3N records — or compacted to one snapshot at close,
+		// which holds only the N live models. The gap between the two
+		// rows is what compaction buys at restart.
+		prepare := func(snapshot bool) (string, error) {
+			dir, err := os.MkdirTemp("", "benchstore-rec-*")
+			if err != nil {
+				return "", err
+			}
+			s, err := store.Open(dir, store.Options{
+				Corpus: copts, Fsync: store.FsyncNever, CompactBytes: -1, NoSnapshotOnClose: !snapshot,
+			})
+			if err != nil {
+				return "", err
+			}
+			for _, m := range models {
+				if _, err := s.Corpus().Add(m); err != nil {
+					return "", err
+				}
+				churn := m.Clone()
+				churn.ID = m.ID + "_churn"
+				if _, err := s.Corpus().Add(churn); err != nil {
+					return "", err
+				}
+				if ok, err := s.Corpus().Remove(churn.ID); err != nil || !ok {
+					return "", fmt.Errorf("churn remove %s: ok=%v err=%v", churn.ID, ok, err)
+				}
+			}
+			return dir, s.Close()
+		}
+		// Measured opens must leave the fixture intact: no close snapshot,
+		// no background compaction.
+		ropts := store.Options{
+			Corpus: copts, Fsync: store.FsyncNever, CompactBytes: -1, NoSnapshotOnClose: true,
+		}
+		for _, src := range []struct {
+			name     string
+			snapshot bool
+		}{{"wal", false}, {"snapshot", true}} {
+			dir, err := prepare(src.snapshot)
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			r.record(fmt.Sprintf("StoreRecovery/models=%d/source=%s", size, src.name), func(n int) error {
+				for i := 0; i < n; i++ {
+					s, err := store.Open(dir, ropts)
+					if err != nil {
+						return err
+					}
+					if got := s.Corpus().Len(); got != size {
+						return fmt.Errorf("recovered %d models, want %d", got, size)
+					}
+					if err := s.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+
+		snapDir, err := prepare(true)
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(snapDir)
+		s, err := store.Open(snapDir, ropts)
+		if err != nil {
+			return err
+		}
+		r.record(fmt.Sprintf("StoreSnapshot/models=%d", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := s.Snapshot(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := s.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -20,11 +20,23 @@
 //	POST   /check         evaluate a temporal-logic property over a
 //	                      deterministic simulation of a stored model. JSON
 //	                      body {"id","formula","t0","t1","step"}.
+//	POST   /snapshot      force a snapshot + WAL compaction of the durable
+//	                      store. 200 with the store status, 409 when the
+//	                      server runs without -data, 500 when the snapshot
+//	                      cannot be written.
 //	GET    /healthz       liveness plus per-endpoint request counts and
-//	                      mean latencies.
+//	                      mean latencies; with -data also the store status
+//	                      (recovery stats, WAL tail size, snapshots).
+//
+// With -data DIR the corpus is durable: every add/remove is appended to a
+// write-ahead log (fsynced per -fsync) before it is acknowledged, and
+// snapshots bound recovery time. Restarting the server on the same
+// directory reconstructs the corpus exactly — ids, rankings, scores.
+// Without -data the corpus lives in memory only, as before.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get a drain window before the listener closes.
+// get a drain window before the listener closes; with -data the shutdown
+// takes a final snapshot so the next start is a pure snapshot load.
 package main
 
 import (
@@ -51,13 +63,36 @@ func main() {
 		shards  = flag.Int("shards", 4, "corpus shard count")
 		workers = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
 		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		dataDir = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy with -data: always | interval | never")
+		compact = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
 	)
 	flag.Parse()
 
-	srv := newServer(sbmlcompose.NewCorpus(&sbmlcompose.CorpusOptions{
+	copts := sbmlcompose.CorpusOptions{
 		Shards:  *shards,
 		Workers: *workers,
-	}))
+	}
+	var srv *server
+	if *dataDir != "" {
+		st, err := sbmlcompose.OpenCorpus(*dataDir, &sbmlcompose.StoreOptions{
+			Corpus:       copts,
+			Fsync:        sbmlcompose.FsyncPolicy(*fsync),
+			CompactBytes: *compact,
+		})
+		if err != nil {
+			log.Fatalf("sbmlserved: open data dir: %v", err)
+		}
+		rs := st.Stats()
+		log.Printf("sbmlserved: recovered %s: %d snapshot models (seq %d), %d WAL records (%d adds, %d removes, %d skipped)",
+			*dataDir, rs.SnapshotModels, rs.SnapshotSeq, rs.WALRecords, rs.WALAdds, rs.WALRemoves, rs.WALSkipped)
+		if rs.TornTail {
+			log.Printf("sbmlserved: dropped torn WAL tail (%d bytes of unacknowledged writes)", rs.DroppedBytes)
+		}
+		srv = newPersistentServer(st)
+	} else {
+		srv = newServer(sbmlcompose.NewCorpus(&copts))
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sbmlserved: %v", err)
@@ -81,6 +116,15 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("sbmlserved: drain incomplete: %v", err)
 	}
+	if srv.store != nil {
+		// Graceful-shutdown snapshot: the next start recovers from the
+		// snapshot alone instead of replaying the whole WAL.
+		if err := srv.store.Close(); err != nil {
+			log.Printf("sbmlserved: store close: %v", err)
+		} else {
+			log.Printf("sbmlserved: final snapshot written (%d models)", srv.corpus.Len())
+		}
+	}
 	for _, line := range srv.statsLines() {
 		log.Print(line)
 	}
@@ -95,13 +139,15 @@ type endpointStat struct {
 // server routes requests to the corpus and records per-endpoint timings.
 type server struct {
 	corpus *sbmlcompose.Corpus
-	mux    *http.ServeMux
-	start  time.Time
-	stats  map[string]*endpointStat // route label → stats, fixed at construction
+	// store is the durable backing, nil when serving in-memory.
+	store *sbmlcompose.CorpusStore
+	mux   *http.ServeMux
+	start time.Time
+	stats map[string]*endpointStat // route label → stats, fixed at construction
 }
 
-// newServer wires the routes. Split from main so tests can drive the
-// handler through httptest without a listener.
+// newServer wires the routes over an in-memory corpus. Split from main so
+// tests can drive the handler through httptest without a listener.
 func newServer(c *sbmlcompose.Corpus) *server {
 	s := &server{corpus: c, mux: http.NewServeMux(), start: time.Now(), stats: map[string]*endpointStat{}}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
@@ -120,7 +166,15 @@ func newServer(c *sbmlcompose.Corpus) *server {
 	route("POST /compose", s.handleCompose)
 	route("POST /simulate", s.handleSimulate)
 	route("POST /check", s.handleCheck)
+	route("POST /snapshot", s.handleSnapshot)
 	route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// newPersistentServer wires the routes over a recovered durable store.
+func newPersistentServer(st *sbmlcompose.CorpusStore) *server {
+	s := newServer(st.Corpus())
+	s.store = st
 	return s
 }
 
@@ -204,7 +258,7 @@ func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.corpus.Add(m)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
+		status := persistStatus(err)
 		if errors.Is(err, sbmlcompose.ErrDuplicateModel) {
 			status = http.StatusConflict
 		}
@@ -220,11 +274,25 @@ func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.corpus.Remove(id) {
+	ok, err := s.corpus.Remove(id)
+	if err != nil {
+		writeError(w, persistStatus(err), "%v", err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "corpus: no model %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// persistStatus maps a mutation error to a status: durable-store failures
+// are server faults (500), everything else is a request fault (422).
+func persistStatus(err error) int {
+	if errors.Is(err, sbmlcompose.ErrPersistFailed) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
 }
 
 type searchRequest struct {
@@ -368,11 +436,30 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"satisfied": sat})
 }
 
+// handleSnapshot forces a snapshot + WAL compaction: the admin lever for
+// bounding recovery time before a planned restart. Failures are server
+// faults (500) carrying the store error detail.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "server is running without -data; nothing to snapshot")
+		return
+	}
+	if err := s.store.Snapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Status()})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"status":    "ok",
 		"models":    s.corpus.Len(),
 		"uptime_s":  time.Since(s.start).Seconds(),
 		"endpoints": s.endpointReport(),
-	})
+	}
+	if s.store != nil {
+		payload["store"] = s.store.Status()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }

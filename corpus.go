@@ -44,6 +44,10 @@ var (
 	ErrModelNotFound = corpuspkg.ErrNotFound
 	// ErrDuplicateModel wraps Corpus.Add failures on an id already stored.
 	ErrDuplicateModel = corpuspkg.ErrDuplicate
+	// ErrPersistFailed wraps corpus mutations that failed in the durable
+	// store (WAL append, snapshot write) rather than on the model itself —
+	// a server-side fault, not a bad request.
+	ErrPersistFailed = corpuspkg.ErrPersist
 )
 
 // NewCorpus returns an empty model repository. A nil opts (or zero-valued

@@ -1,0 +1,63 @@
+package sbmlcompose
+
+import (
+	"sbmlcompose/internal/store"
+	"sbmlcompose/internal/synonym"
+)
+
+// This file is the facade over the durable-store subsystem
+// (internal/store): the write-ahead log + snapshot layer that makes a
+// Corpus survive restarts. OpenCorpus recovers (or creates) a store whose
+// corpus is byte-identical — ids, match-key indexes, search rankings — to
+// one that never restarted.
+
+// CorpusStore couples a recovered Corpus to its WAL and snapshot files.
+// Every Add/Remove on the corpus is logged durably before it becomes
+// visible; Snapshot compacts the log; Close takes a graceful-shutdown
+// snapshot so the next open is a pure snapshot load.
+type CorpusStore = store.Store
+
+// StoreOptions configures OpenCorpus: the recovered corpus's options plus
+// the WAL fsync policy and the auto-compaction threshold.
+type StoreOptions = store.Options
+
+// RecoveryStats describes what OpenCorpus found and replayed (snapshot
+// models, WAL records applied, torn-tail bytes dropped).
+type RecoveryStats = store.RecoveryStats
+
+// StoreStatus is a point-in-time health view of a CorpusStore.
+type StoreStatus = store.Status
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy = store.FsyncPolicy
+
+// The WAL durability policies: sync every append (no acknowledged write
+// is ever lost), sync on a timer, or leave flushing to the OS.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncNever    = store.FsyncNever
+)
+
+// ErrCorruptSnapshot marks a snapshot file recovery refuses to load:
+// unlike a torn WAL tail (which only ever holds unacknowledged writes and
+// is dropped silently), a corrupt snapshot would lose the whole corpus if
+// ignored.
+var ErrCorruptSnapshot = store.ErrCorruptSnapshot
+
+// OpenCorpus opens (or creates) a durable corpus in dir: the snapshot is
+// loaded, the WAL tail replayed on top of it, and the returned store's
+// Corpus() is ready to serve with every subsequent mutation persisted. A
+// nil opts (or zero-valued corpus match options) means heavy semantics
+// with the built-in synonym table, like NewCorpus, and the default
+// durability policy (fsync every append, 8 MiB compaction threshold).
+func OpenCorpus(dir string, opts *StoreOptions) (*CorpusStore, error) {
+	o := StoreOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Corpus.Match.Synonyms == nil && o.Corpus.Match.Semantics == HeavySemantics {
+		o.Corpus.Match.Synonyms = synonym.Builtin()
+	}
+	return store.Open(dir, o)
+}

@@ -45,7 +45,40 @@ var (
 	ErrNotFound = errors.New("model not found")
 	// ErrDuplicate wraps Add failures on an id already stored.
 	ErrDuplicate = errors.New("duplicate model id")
+	// ErrPersist wraps every mutation failure whose cause is the durable
+	// store (WAL append, snapshot write), not the model itself: the input
+	// was valid but could not be made durable, a server-side condition.
+	ErrPersist = errors.New("persist failed")
 )
+
+// Persister records corpus mutations durably. The corpus calls it under
+// the mutated shard's write lock, after validation but before the
+// in-memory mutation becomes visible, so the durable log is always a
+// prefix of the in-memory state: an error aborts the mutation and the
+// caller sees neither the log record nor the map change. Implementations
+// must be safe for concurrent calls from different shards.
+type Persister interface {
+	// PersistAdd logs the addition of a model. sbmlBytes is the canonical
+	// serialization of the model exactly as stored (post-clone), so
+	// replaying the record reconstructs an identical corpus entry.
+	PersistAdd(id string, sbmlBytes []byte) error
+	// PersistRemove logs the removal of a stored model.
+	PersistRemove(id string) error
+}
+
+// ModelBlob is one stored model in canonical serialized form, the unit of
+// snapshot and replay.
+type ModelBlob struct {
+	ID   string
+	SBML []byte
+}
+
+// canonicalBytes is the serialization persisted to the WAL and snapshots.
+// It must be stable under write→parse→write so a recovered corpus
+// re-persists byte-identical records.
+func canonicalBytes(m *sbml.Model) []byte {
+	return []byte(sbml.WrapModel(m).String())
+}
 
 // Options configures a Corpus.
 type Options struct {
@@ -54,6 +87,11 @@ type Options struct {
 	Shards int
 	// Workers caps the Search scoring pool; 0 or less means GOMAXPROCS.
 	Workers int
+	// QueryCache bounds the LRU of compiled query models Search keeps,
+	// keyed by the query's canonical SBML bytes, so repeated identical
+	// queries skip recompilation (the PR 3 hot spot). 0 defaults to 32;
+	// negative disables the cache.
+	QueryCache int
 	// Match configures compilation and matching (semantics level, synonym
 	// table, index kind) for every model in the corpus.
 	Match core.Options
@@ -65,6 +103,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueryCache == 0 {
+		o.QueryCache = 32
 	}
 	return o
 }
@@ -155,8 +196,12 @@ type shard struct {
 // Corpus is the sharded repository. All methods are safe for concurrent
 // use.
 type Corpus struct {
-	opts   Options
-	shards []*shard
+	opts    Options
+	shards  []*shard
+	queries *queryCache
+	// persister, when non-nil, is called under the shard write lock before
+	// every mutation becomes visible; see SetPersister.
+	persister Persister
 }
 
 // New returns an empty corpus.
@@ -169,8 +214,17 @@ func New(opts Options) *Corpus {
 			inv:     make(map[string]map[string][]invPosting),
 		}
 	}
+	if opts.QueryCache > 0 {
+		c.queries = newQueryCache(opts.QueryCache)
+	}
 	return c
 }
+
+// SetPersister attaches the durable-store hook. It must be called before
+// the corpus is shared between goroutines (the store attaches it at Open,
+// after recovery replay and before returning the corpus); a nil persister
+// keeps the corpus purely in-memory.
+func (c *Corpus) SetPersister(p Persister) { c.persister = p }
 
 // Options returns the options the corpus was built with.
 func (c *Corpus) Options() Options { return c.opts }
@@ -197,11 +251,27 @@ func (c *Corpus) Add(m *sbml.Model) (string, error) {
 		return "", err
 	}
 	e := &entry{id: m.ID, cm: cm, keys: cm.MatchKeys()}
+	// Serialize outside the lock: the blob is a pure function of the
+	// compiled (cloned) model, and holding the shard lock across an XML
+	// render would stall that shard's readers for no consistency gain.
+	var blob []byte
+	if c.persister != nil {
+		blob = canonicalBytes(cm.Model())
+	}
 	sh := c.shardFor(m.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.entries[m.ID]; dup {
 		return "", fmt.Errorf("corpus: model %q already present: %w", m.ID, ErrDuplicate)
+	}
+	if c.persister != nil {
+		// Log before applying: an append failure leaves both the log and
+		// the in-memory state without the model. The persisted bytes are
+		// the stored model's exact canonical form, so replay reconstructs
+		// exactly what this corpus stores.
+		if err := c.persister.PersistAdd(m.ID, blob); err != nil {
+			return "", fmt.Errorf("corpus: persist add %q: %w", m.ID, err)
+		}
 	}
 	sh.entries[m.ID] = e
 	for _, k := range e.keys {
@@ -216,14 +286,21 @@ func (c *Corpus) Add(m *sbml.Model) (string, error) {
 }
 
 // Remove deletes a model and all its postings; it reports whether the
-// model was present.
-func (c *Corpus) Remove(id string) bool {
+// model was present. With a persister attached the removal is logged
+// before it is applied, and a log failure (wrapping ErrPersist) leaves
+// the model in place.
+func (c *Corpus) Remove(id string) (bool, error) {
 	sh := c.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.entries[id]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if c.persister != nil {
+		if err := c.persister.PersistRemove(id); err != nil {
+			return false, fmt.Errorf("corpus: persist remove %q: %w", id, err)
+		}
 	}
 	delete(sh.entries, id)
 	for _, k := range e.keys {
@@ -234,7 +311,37 @@ func (c *Corpus) Remove(id string) bool {
 			}
 		}
 	}
-	return true
+	return true, nil
+}
+
+// DumpConsistent returns every stored model in canonical serialized form,
+// sorted by id, under a corpus-wide read lock: every shard is read-locked
+// before the first entry is serialized, so no mutation can be in flight
+// (mutations hold a shard write lock across both the persister call and
+// the map change). before, if non-nil, runs while all locks are held —
+// the store uses it to capture its WAL append position at a point that is
+// provably consistent with the dumped state, which is what makes a
+// snapshot's "records ≤ LastSeq are included" claim true.
+func (c *Corpus) DumpConsistent(before func()) []ModelBlob {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range c.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	if before != nil {
+		before()
+	}
+	var blobs []ModelBlob
+	for _, sh := range c.shards {
+		for id, e := range sh.entries {
+			blobs = append(blobs, ModelBlob{ID: id, SBML: canonicalBytes(e.cm.Model())})
+		}
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].ID < blobs[j].ID })
+	return blobs
 }
 
 // Len returns the number of stored models.
@@ -346,6 +453,32 @@ func (c *Corpus) CheckProperty(id string, formula string, opts sim.Options) (boo
 	return mc2.Check(tr, f)
 }
 
+// compileQuery returns the query's match keys and matchable-component
+// count, through the compiled-query LRU when one is configured: repeated
+// identical queries (same canonical SBML bytes) skip recompilation. The
+// cached values are read-only and shared safely across concurrent
+// Searches.
+func (c *Corpus) compileQuery(query *sbml.Model) ([]core.ComponentKey, int, error) {
+	if c.queries == nil {
+		qcm, err := core.Compile(query, c.opts.Match)
+		if err != nil {
+			return nil, 0, err
+		}
+		return qcm.MatchKeys(), qcm.MatchableComponents(), nil
+	}
+	key := string(canonicalBytes(query))
+	if cq, ok := c.queries.get(key); ok {
+		return cq.keys, cq.denom, nil
+	}
+	qcm, err := core.Compile(query, c.opts.Match)
+	if err != nil {
+		return nil, 0, err
+	}
+	cq := &cachedQuery{keys: qcm.MatchKeys(), denom: qcm.MatchableComponents()}
+	c.queries.put(key, cq)
+	return cq.keys, cq.denom, nil
+}
+
 // Search ranks the corpus models against the query. Candidate retrieval
 // walks the query's match keys through each shard's inverted index, so
 // models sharing no key with the query are never touched; candidates are
@@ -359,15 +492,10 @@ func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 	if opts.TopK == 0 {
 		opts.TopK = 5
 	}
-	// Each Search compiles the query once; callers issuing the same query
-	// repeatedly pay that compile per call (noted in CHANGES.md as a
-	// future win — hold the compiled query).
-	qcm, err := core.Compile(query, c.opts.Match)
+	qkeys, denom, err := c.compileQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	qkeys := qcm.MatchKeys()
-	denom := qcm.MatchableComponents()
 
 	// Retrieval: accumulate, per candidate model, the score-matrix cells
 	// its postings share with the query. The per-model cell set is the

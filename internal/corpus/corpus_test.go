@@ -77,11 +77,11 @@ func TestAddRemoveLifecycle(t *testing.T) {
 		t.Fatal("Get snapshot aliases corpus state")
 	}
 
-	if !c.Remove(models[4].ID) {
-		t.Fatal("Remove missed a stored model")
+	if ok, err := c.Remove(models[4].ID); err != nil || !ok {
+		t.Fatalf("Remove missed a stored model: ok=%v err=%v", ok, err)
 	}
-	if c.Remove(models[4].ID) {
-		t.Fatal("second Remove reported success")
+	if ok, err := c.Remove(models[4].ID); err != nil || ok {
+		t.Fatalf("second Remove reported success: ok=%v err=%v", ok, err)
 	}
 	if got := c.Len(); got != 6 {
 		t.Fatalf("Len after Remove = %d, want 6", got)

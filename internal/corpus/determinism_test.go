@@ -66,7 +66,10 @@ func TestConcurrentAddSearchRemove(t *testing.T) {
 					return
 				}
 				if i%2 == 1 {
-					c.Remove(m.ID)
+					if _, err := c.Remove(m.ID); err != nil {
+						t.Error(err)
+						return
+					}
 				}
 			}
 		}(g)

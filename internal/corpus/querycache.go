@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"container/list"
+	"sync"
+
+	"sbmlcompose/internal/core"
+)
+
+// This file implements the compiled-query LRU behind Search. PR 3 noted
+// that Search recompiles its query on every call even when a client
+// (dashboards, pollers, the benchfig repeated-query loop) issues the same
+// query over and over; compilation — synonym canonicalization, math
+// patterns, unit reduction, index construction — dwarfs the retrieval
+// walk for small queries. The cache is keyed by the query's canonical
+// SBML bytes, so two structurally identical uploads hit the same slot and
+// any mutation of the caller's model changes the key. Cached entries hold
+// only what Search consumes (the match keys and the matchable-component
+// denominator); both are pure functions of the query and the corpus match
+// options, so a cache hit cannot change a ranking — pinned by
+// TestQueryCacheRankingsIdentical.
+
+// cachedQuery is one compiled query's Search-relevant derivative.
+type cachedQuery struct {
+	keys  []core.ComponentKey
+	denom int
+}
+
+// queryCache is a mutex-guarded LRU: front of the list is most recent.
+type queryCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+// lruEntry is the list element payload.
+type lruEntry struct {
+	key string
+	cq  *cachedQuery
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached compile for key, marking it most recently used.
+func (qc *queryCache) get(key string) (*cachedQuery, bool) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	el, ok := qc.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	qc.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).cq, true
+}
+
+// put inserts a freshly compiled query, evicting the least recently used
+// entry past capacity. A concurrent duplicate insert keeps the newer
+// value; both are equal by construction.
+func (qc *queryCache) put(key string, cq *cachedQuery) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if el, ok := qc.byKey[key]; ok {
+		qc.ll.MoveToFront(el)
+		el.Value.(*lruEntry).cq = cq
+		return
+	}
+	qc.byKey[key] = qc.ll.PushFront(&lruEntry{key: key, cq: cq})
+	for qc.ll.Len() > qc.max {
+		last := qc.ll.Back()
+		qc.ll.Remove(last)
+		delete(qc.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached queries (test hook).
+func (qc *queryCache) len() int {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return qc.ll.Len()
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"sbmlcompose/internal/corpus"
+)
+
+// This file implements the snapshot store: a gob-encoded manifest of every
+// model's canonical bytes plus the WAL sequence number the snapshot
+// covers, written atomically (temp file + rename, like benchfig's JSON
+// writer) so a crash mid-write leaves the previous snapshot intact.
+//
+// Unlike a torn WAL tail — which only ever holds unacknowledged writes
+// and is safely dropped — a corrupt snapshot would silently lose the
+// whole corpus if ignored, so loadSnapshot reports corruption as a hard
+// error (ErrCorruptSnapshot) and Open refuses to start.
+
+const (
+	snapMagic   = "sbsnap-1"
+	snapVersion = 1
+	// snapName is the single live snapshot file; writes replace it
+	// atomically.
+	snapName = "corpus.snap"
+)
+
+// ErrCorruptSnapshot marks an unreadable snapshot file. Recovery will not
+// guess around it: the operator must restore or delete the snapshot.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+// snapManifest is the gob payload.
+type snapManifest struct {
+	Version int
+	// LastSeq is the highest WAL sequence number whose effect the
+	// snapshot includes; replay skips records at or below it.
+	LastSeq uint64
+	Models  []corpus.ModelBlob
+}
+
+// writeSnapshot writes the manifest to dir/corpus.snap via a synced temp
+// file and rename.
+func writeSnapshot(dir string, man snapManifest) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(man); err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	f, err := os.CreateTemp(dir, snapName+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := f.Name()
+	defer os.Remove(tmpPath) // no-op after the rename
+	header := make([]byte, len(snapMagic)+8)
+	copy(header, snapMagic)
+	binary.LittleEndian.PutUint32(header[len(snapMagic):], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(header[len(snapMagic)+4:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, snapName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadSnapshot reads dir/corpus.snap. A missing file is a fresh store
+// (ok=false, no error); anything unreadable wraps ErrCorruptSnapshot.
+func loadSnapshot(dir string) (snapManifest, bool, error) {
+	var man snapManifest
+	data, err := os.ReadFile(filepath.Join(dir, snapName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return man, false, nil
+	}
+	if err != nil {
+		return man, false, err
+	}
+	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != snapMagic {
+		return man, false, fmt.Errorf("store: %s: bad header: %w", snapName, ErrCorruptSnapshot)
+	}
+	length := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	payload := data[len(snapMagic)+8:]
+	if uint32(len(payload)) != length {
+		return man, false, fmt.Errorf("store: %s: payload is %d bytes, header says %d: %w",
+			snapName, len(payload), length, ErrCorruptSnapshot)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return man, false, fmt.Errorf("store: %s: CRC mismatch: %w", snapName, ErrCorruptSnapshot)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&man); err != nil {
+		return man, false, fmt.Errorf("store: %s: decode: %v: %w", snapName, err, ErrCorruptSnapshot)
+	}
+	if man.Version != snapVersion {
+		return man, false, fmt.Errorf("store: %s: unsupported snapshot version %d: %w",
+			snapName, man.Version, ErrCorruptSnapshot)
+	}
+	return man, true, nil
+}

@@ -1,0 +1,537 @@
+// Package store makes the corpus durable: an append-only write-ahead log
+// plus periodic snapshots, with Open replaying snapshot-then-tail to
+// reconstruct a corpus.Corpus whose contents, match-key indexes and
+// search rankings are identical to a never-restarted corpus.
+//
+// # On-disk layout
+//
+// A store directory holds one snapshot and one or more WAL segments:
+//
+//	corpus.snap            snapshot (optional until first compaction)
+//	wal-<gen 16-hex>.log   WAL segments, generation order = lexical order
+//
+// # WAL format (version sbwal-v1)
+//
+// Each segment begins with the 8-byte magic "sbwal-v1", followed by
+// length+CRC-framed records:
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC-32 (IEEE) of the payload
+//	payload    bytes
+//
+// A record payload is:
+//
+//	byte     op               1 = AddModel, 2 = RemoveModel
+//	uvarint  seq              monotonically increasing across segments
+//	uvarint  len(id) + id     the model id
+//	uvarint  len(sbml) + sbml (AddModel only) canonical SBML bytes,
+//	                          exactly as the corpus stores the model
+//
+// The sequence number orders records globally and links the WAL to
+// snapshots: a snapshot records the highest seq whose effect it includes,
+// and replay skips records at or below it, which is what makes
+// compaction crash-safe at every intermediate step (a crash between
+// snapshot rename and segment deletion merely replays records that the
+// seq check then skips).
+//
+// # Recovery
+//
+// Open loads the snapshot (a corrupt snapshot is a hard error — see
+// ErrCorruptSnapshot — because ignoring it would silently lose the
+// corpus), then replays WAL records in order. Replay stops at the first
+// bad frame of a segment — short frame header, implausible length, CRC
+// mismatch, undecodable payload — and drops everything from it to the
+// segment's end: a torn or corrupt tail holds only unacknowledged
+// writes, and is never mis-applied (pinned byte-by-byte by the
+// crash-recovery property test). The tail segment is physically
+// truncated back to its last intact record so later appends continue a
+// well-formed log.
+//
+// # Durability policy
+//
+// FsyncAlways syncs the WAL after every append — an acknowledged
+// mutation survives power loss, at a per-write latency cost.
+// FsyncInterval syncs on a timer, bounding loss to the interval;
+// FsyncNever leaves flushing to the OS. Snapshots are always written
+// cold-path durable (temp file + fsync + rename + directory sync)
+// regardless of policy.
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sbmlcompose/internal/corpus"
+	"sbmlcompose/internal/sbml"
+)
+
+// FsyncPolicy selects when WAL appends are synced to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged write is ever
+	// lost. The default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer (Options.FsyncEvery): loss after a
+	// crash is bounded by the interval.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// Options configures Open.
+type Options struct {
+	// Corpus configures the recovered corpus (shards, workers, match
+	// options, query cache).
+	Corpus corpus.Options
+	// Fsync is the WAL durability policy; empty means FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period; 0 defaults to 200ms.
+	FsyncEvery time.Duration
+	// CompactBytes triggers an automatic snapshot (and WAL truncation)
+	// once the live segment's record bytes exceed it. 0 defaults to 8 MiB;
+	// negative disables auto-compaction.
+	CompactBytes int64
+	// NoSnapshotOnClose skips the final snapshot Close normally takes
+	// (used by crash harnesses and recovery benchmarks that need the raw
+	// WAL to survive).
+	NoSnapshotOnClose bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncAlways
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return o, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", o.Fsync)
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 200 * time.Millisecond
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
+	return o, nil
+}
+
+// RecoveryStats describes what Open found and replayed; the server logs
+// it at startup and serves it on /healthz.
+type RecoveryStats struct {
+	// SnapshotModels counts models restored from the snapshot; SnapshotSeq
+	// is the WAL sequence number the snapshot covered.
+	SnapshotModels int    `json:"snapshot_models"`
+	SnapshotSeq    uint64 `json:"snapshot_seq"`
+	// WALSegments and WALRecords count the segments read and the intact
+	// records in them; WALSkipped of those were already covered by the
+	// snapshot, WALAdds/WALRemoves were applied.
+	WALSegments int `json:"wal_segments"`
+	WALRecords  int `json:"wal_records"`
+	WALSkipped  int `json:"wal_skipped"`
+	WALAdds     int `json:"wal_adds"`
+	WALRemoves  int `json:"wal_removes"`
+	// TornTail reports that a torn or corrupt tail was found and dropped;
+	// DroppedBytes is its size.
+	TornTail     bool  `json:"torn_tail"`
+	DroppedBytes int64 `json:"dropped_bytes"`
+}
+
+// Status is a point-in-time view of the store for health reporting.
+type Status struct {
+	Dir       string        `json:"dir"`
+	Fsync     FsyncPolicy   `json:"fsync"`
+	Recovery  RecoveryStats `json:"recovery"`
+	LastSeq   uint64        `json:"last_seq"`
+	TailBytes int64         `json:"wal_tail_bytes"`
+	// Snapshots counts snapshots taken since Open (manual, automatic and
+	// on close); CompactError is the most recent background-compaction
+	// failure, empty when healthy.
+	Snapshots    int64  `json:"snapshots"`
+	CompactError string `json:"compact_error,omitempty"`
+}
+
+// Store couples a recovered corpus to its WAL and snapshot files. It is
+// the corpus's Persister: every Add/Remove is logged (and, under
+// FsyncAlways, synced) before the in-memory mutation becomes visible.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir   string
+	opts  Options
+	c     *corpus.Corpus
+	stats RecoveryStats
+
+	// mu guards the WAL writer, sequence counter and tail size. Lock
+	// order is shard lock → mu (persist calls arrive holding a shard
+	// lock; DumpConsistent's callback takes mu while holding every shard
+	// lock), so mu must never be held while acquiring a shard lock.
+	mu        sync.Mutex
+	wal       *walWriter
+	gen       uint64
+	seq       uint64
+	tailBytes int64
+	closing   bool // Close has begun: no new Close work, appends still drain
+	closed    bool // WAL closed: appends fail
+
+	// snapMu serializes snapshots (manual, auto-compaction, close).
+	snapMu     sync.Mutex
+	snapshots  atomic.Int64
+	compactErr atomic.Value // string
+	compactCh  chan struct{}
+	done       chan struct{}
+	wg         sync.WaitGroup
+}
+
+// Open recovers (or creates) a store in dir and returns it with its
+// corpus reconstructed from snapshot plus WAL tail. The returned store is
+// already attached to the corpus as its persister, so every subsequent
+// corpus mutation is durable under the configured fsync policy.
+func Open(dir string, opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+
+	man, haveSnap, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := corpus.New(opts.Corpus)
+	if haveSnap {
+		for _, blob := range man.Models {
+			if err := applyAdd(c, blob.ID, blob.SBML); err != nil {
+				return nil, fmt.Errorf("store: snapshot model %q: %w", blob.ID, err)
+			}
+		}
+		s.stats.SnapshotModels = len(man.Models)
+		s.stats.SnapshotSeq = man.LastSeq
+		s.seq = man.LastSeq
+	}
+
+	segs, err := segmentPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.WALSegments = len(segs)
+	for i, path := range segs {
+		rep, err := readSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if rep.droppedBytes > 0 {
+			s.stats.TornTail = true
+			s.stats.DroppedBytes += rep.droppedBytes
+			if i != len(segs)-1 {
+				// A torn tail is only self-repairing at the end of the
+				// log. Mid-sequence (possible after a failed compaction
+				// left multiple segments and the OS then lost a tail under
+				// fsync=never/interval), replaying the later segments
+				// would apply records across a gap in history — refuse
+				// loudly instead of guessing.
+				return nil, fmt.Errorf("store: %s has a torn or corrupt tail but later segments exist; refusing to replay past the gap (restore the segment or delete the newer ones)", path)
+			}
+		}
+		for _, rec := range rep.records {
+			s.stats.WALRecords++
+			if rec.seq > s.seq {
+				s.seq = rec.seq
+			}
+			if rec.seq <= man.LastSeq {
+				s.stats.WALSkipped++
+				continue
+			}
+			switch rec.op {
+			case opAdd:
+				if err := applyAdd(c, rec.id, rec.sbml); err != nil {
+					return nil, fmt.Errorf("store: replay %s seq %d: %w", path, rec.seq, err)
+				}
+				s.stats.WALAdds++
+			case opRemove:
+				ok, err := c.Remove(rec.id)
+				if err != nil {
+					return nil, fmt.Errorf("store: replay %s seq %d: %w", path, rec.seq, err)
+				}
+				if !ok {
+					return nil, fmt.Errorf("store: replay %s seq %d: remove of absent model %q", path, rec.seq, rec.id)
+				}
+				s.stats.WALRemoves++
+			}
+		}
+		if i == len(segs)-1 {
+			// Tail segment: repair a torn tail and reopen for appending.
+			if rep.goodOff < int64(len(walMagic)) {
+				// Crash during segment creation: recreate it whole.
+				if err := os.Remove(path); err != nil {
+					return nil, fmt.Errorf("store: recreate %s: %w", path, err)
+				}
+				s.wal, err = createSegment(path, opts.Fsync == FsyncAlways)
+			} else {
+				if rep.droppedBytes > 0 {
+					if err := os.Truncate(path, rep.goodOff); err != nil {
+						return nil, fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+					}
+				}
+				s.wal, err = openSegmentForAppend(path, rep.goodOff, opts.Fsync == FsyncAlways)
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.tailBytes = s.wal.off - int64(len(walMagic))
+			if s.gen, err = segmentGen(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(segs) == 0 {
+		s.gen = 1
+		s.wal, err = createSegment(segmentName(dir, s.gen), opts.Fsync == FsyncAlways)
+		if err != nil {
+			return nil, err
+		}
+		syncDir(dir)
+	}
+
+	s.c = c
+	c.SetPersister(s)
+
+	s.wg.Add(1)
+	go s.compactLoop()
+	if opts.Fsync == FsyncInterval {
+		s.wg.Add(1)
+		go s.fsyncLoop()
+	}
+	return s, nil
+}
+
+// applyAdd parses a canonical blob and adds it to the corpus (which has
+// no persister attached during recovery, so nothing is re-logged).
+func applyAdd(c *corpus.Corpus, id string, blob []byte) error {
+	doc, err := sbml.ParseString(string(blob))
+	if err != nil {
+		// Parse guarantees doc.Model on success, so this covers model-less
+		// documents too.
+		return fmt.Errorf("parse stored model: %w", err)
+	}
+	if doc.Model.ID != id {
+		return fmt.Errorf("stored bytes carry id %q, record says %q", doc.Model.ID, id)
+	}
+	_, err = c.Add(doc.Model)
+	return err
+}
+
+// Corpus returns the recovered corpus. Mutations made through it are
+// persisted by this store.
+func (s *Store) Corpus() *corpus.Corpus { return s.c }
+
+// Stats returns what recovery found at Open.
+func (s *Store) Stats() RecoveryStats { return s.stats }
+
+// Status returns the store's current health view.
+func (s *Store) Status() Status {
+	s.mu.Lock()
+	seq, tail := s.seq, s.tailBytes
+	s.mu.Unlock()
+	st := Status{
+		Dir:       s.dir,
+		Fsync:     s.opts.Fsync,
+		Recovery:  s.stats,
+		LastSeq:   seq,
+		TailBytes: tail,
+		Snapshots: s.snapshots.Load(),
+	}
+	if msg, ok := s.compactErr.Load().(string); ok {
+		st.CompactError = msg
+	}
+	return st
+}
+
+// persistErr tags a durable-store failure so callers can map it apart
+// from model errors (the corpus sentinel makes errors.Is work through
+// the corpus's own wrapping).
+func persistErr(op string, err error) error {
+	return fmt.Errorf("store: %s: %w: %w", op, err, corpus.ErrPersist)
+}
+
+// PersistAdd implements corpus.Persister: it logs an AddModel record
+// (synced under FsyncAlways) before the corpus applies the mutation.
+// Called under the mutated shard's write lock.
+func (s *Store) PersistAdd(id string, sbmlBytes []byte) error {
+	return s.appendRecord(walRecord{op: opAdd, id: id, sbml: sbmlBytes}, "wal append add")
+}
+
+// PersistRemove implements corpus.Persister for removals.
+func (s *Store) PersistRemove(id string) error {
+	return s.appendRecord(walRecord{op: opRemove, id: id}, "wal append remove")
+}
+
+func (s *Store) appendRecord(rec walRecord, op string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return persistErr(op, fmt.Errorf("store is closed"))
+	}
+	s.seq++
+	rec.seq = s.seq
+	payload := encodeRecord(rec)
+	if err := s.wal.append(payload); err != nil {
+		return persistErr(op, err)
+	}
+	s.tailBytes += int64(walFrameLen + len(payload))
+	if s.opts.CompactBytes > 0 && s.tailBytes >= s.opts.CompactBytes {
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Snapshot writes a snapshot of the current corpus and truncates the WAL
+// to records newer than it: the compaction step. Safe to call at any
+// time; concurrent mutations keep flowing into a freshly rotated segment
+// while the snapshot file is written, and every intermediate crash state
+// recovers (the snapshot's LastSeq makes already-covered tail records
+// no-ops at replay).
+func (s *Store) Snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	// Rotate: new appends go to a fresh segment so the snapshot write
+	// happens without holding any corpus or WAL lock.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: snapshot: store is closed")
+	}
+	newGen := s.gen + 1
+	w, err := createSegment(segmentName(s.dir, newGen), s.opts.Fsync == FsyncAlways)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: snapshot rotate: %w", err)
+	}
+	old := s.wal
+	s.wal = w
+	s.gen = newGen
+	s.tailBytes = 0
+	s.mu.Unlock()
+	syncDir(s.dir)
+	// Close (and flush) the rotated-out segment. Its records are about to
+	// be covered by the snapshot; until the snapshot rename lands, the
+	// segment file itself stays on disk, so nothing is lost either way.
+	_ = old.close()
+
+	// Collect a consistent view: every shard read-locked before the first
+	// model is serialized, LastSeq captured under the same locks.
+	var lastSeq uint64
+	blobs := s.c.DumpConsistent(func() {
+		s.mu.Lock()
+		lastSeq = s.seq
+		s.mu.Unlock()
+	})
+	if err := writeSnapshot(s.dir, snapManifest{Version: snapVersion, LastSeq: lastSeq, Models: blobs}); err != nil {
+		// The old segments remain; recovery still replays them.
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+
+	// The snapshot covers every record in segments older than the live
+	// one (they were rotated out before LastSeq was captured); delete
+	// them. A crash before this point replays them into no-ops.
+	segs, err := segmentPaths(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range segs {
+		gen, err := segmentGen(path)
+		if err != nil {
+			return err
+		}
+		if gen < newGen {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: drop compacted segment %s: %w", path, err)
+			}
+		}
+	}
+	syncDir(s.dir)
+	s.snapshots.Add(1)
+	return nil
+}
+
+// compactLoop runs automatic compaction when the append path signals
+// that the tail grew past Options.CompactBytes.
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			if err := s.Snapshot(); err != nil {
+				s.compactErr.Store(err.Error())
+			} else {
+				s.compactErr.Store("")
+			}
+		}
+	}
+}
+
+// fsyncLoop syncs the WAL on a timer under FsyncInterval.
+func (s *Store) fsyncLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				_ = s.wal.fsync()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close stops background work, takes a final snapshot (unless
+// NoSnapshotOnClose — the graceful-shutdown snapshot makes the next Open
+// a pure snapshot load), and closes the WAL. The corpus stays readable
+// but further mutations fail with a persist error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	s.mu.Unlock()
+
+	close(s.done)
+	s.wg.Wait()
+
+	var snapErr error
+	if !s.opts.NoSnapshotOnClose {
+		snapErr = s.Snapshot()
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	w := s.wal
+	s.mu.Unlock()
+	closeErr := w.close()
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}

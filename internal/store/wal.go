@@ -1,0 +1,295 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the write-ahead-log layer: record framing,
+// encoding, the append path (with its failed-write repair), and the
+// replay reader with torn-tail detection. The on-disk format is
+// documented in the package comment (store.go); everything here must keep
+// that comment true.
+
+const (
+	walMagic    = "sbwal-v1" // 8-byte segment header
+	walFrameLen = 8          // uint32 length + uint32 CRC32
+	// walMaxRecord bounds a decoded length prefix. A frame claiming more
+	// is treated as a torn/corrupt tail, not an allocation request — a
+	// flipped bit in the length field must not ask for gigabytes.
+	walMaxRecord = 1 << 30
+
+	opAdd    = 1
+	opRemove = 2
+)
+
+var walCRC = crc32.IEEETable
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	op  byte
+	seq uint64
+	id  string
+	// sbml holds the canonical model bytes for opAdd records.
+	sbml []byte
+}
+
+// encodeRecord renders the record payload: op byte, then uvarint seq,
+// uvarint-length-prefixed id, and for adds a uvarint-length-prefixed
+// canonical SBML blob.
+func encodeRecord(rec walRecord) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64*3+len(rec.id)+len(rec.sbml))
+	buf = append(buf, rec.op)
+	buf = binary.AppendUvarint(buf, rec.seq)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.id)))
+	buf = append(buf, rec.id...)
+	if rec.op == opAdd {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.sbml)))
+		buf = append(buf, rec.sbml...)
+	}
+	return buf
+}
+
+// decodeRecord parses a payload that already passed its CRC check. An
+// error here still only drops the tail (the payload was intact on disk
+// but unintelligible, so nothing after it can be trusted either).
+func decodeRecord(payload []byte) (walRecord, error) {
+	var rec walRecord
+	if len(payload) == 0 {
+		return rec, fmt.Errorf("empty payload")
+	}
+	rec.op = payload[0]
+	rest := payload[1:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, fmt.Errorf("bad seq varint")
+	}
+	rec.seq = seq
+	rest = rest[n:]
+	idLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest[n:])) < idLen {
+		return rec, fmt.Errorf("bad id length")
+	}
+	rest = rest[n:]
+	rec.id = string(rest[:idLen])
+	rest = rest[idLen:]
+	switch rec.op {
+	case opAdd:
+		blobLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) != blobLen {
+			return rec, fmt.Errorf("bad sbml length")
+		}
+		rec.sbml = append([]byte(nil), rest[n:]...)
+	case opRemove:
+		if len(rest) != 0 {
+			return rec, fmt.Errorf("trailing bytes in remove record")
+		}
+	default:
+		return rec, fmt.Errorf("unknown op %d", rec.op)
+	}
+	return rec, nil
+}
+
+// walWriter appends framed records to one segment file.
+type walWriter struct {
+	f      *os.File
+	path   string
+	off    int64 // current append offset (file size)
+	sync   bool  // fsync after every append (FsyncAlways)
+	wedged error // sticky failure after an unrepairable partial append
+}
+
+// createSegment creates a fresh segment with its header written (and
+// optionally synced).
+func createSegment(path string, syncEvery bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if syncEvery {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walWriter{f: f, path: path, off: int64(len(walMagic)), sync: syncEvery}, nil
+}
+
+// openSegmentForAppend opens an existing segment, already verified and
+// tail-repaired by the replay pass, positioned at size for appending.
+func openSegmentForAppend(path string, size int64, syncEvery bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, off: size, sync: syncEvery}, nil
+}
+
+// append frames and writes one record. On a short or failed write it
+// truncates the file back to the pre-append offset so the segment stays
+// well-formed; if even that fails the writer wedges — every later append
+// fails fast rather than writing acked records after an unreadable gap
+// (replay drops everything from the first bad frame, so records behind a
+// gap would be silently lost).
+func (w *walWriter) append(payload []byte) error {
+	if w.wedged != nil {
+		return fmt.Errorf("wal wedged by earlier failure: %w", w.wedged)
+	}
+	frame := make([]byte, walFrameLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walCRC))
+	copy(frame[walFrameLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback("append", err)
+		return err
+	}
+	w.off += int64(len(frame))
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			// The bytes are written but not durable, and the caller will
+			// abort the mutation — the record must not survive in the log
+			// (a later crash would replay a write the client was told
+			// failed), so roll it back like a failed write.
+			w.off -= int64(len(frame))
+			w.rollback("fsync", err)
+			return err
+		}
+	}
+	return nil
+}
+
+// rollback truncates the segment back to w.off after a failed append or
+// sync; if the file cannot be restored the writer wedges.
+func (w *walWriter) rollback(op string, cause error) {
+	if terr := w.f.Truncate(w.off); terr != nil {
+		w.wedged = fmt.Errorf("%s failed (%v) and truncate failed (%v)", op, cause, terr)
+	} else if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+		w.wedged = fmt.Errorf("%s failed (%v) and re-seek failed (%v)", op, cause, serr)
+	}
+}
+
+func (w *walWriter) fsync() error { return w.f.Sync() }
+
+func (w *walWriter) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// segmentReplay is the outcome of reading one segment.
+type segmentReplay struct {
+	records []walRecord
+	// goodOff is the offset just past the last intact record; droppedBytes
+	// counts what a torn or corrupt tail cost.
+	goodOff      int64
+	droppedBytes int64
+	size         int64
+}
+
+// readSegment replays one segment file. A segment shorter than its header
+// is treated as a crash during creation: zero records, goodOff at the end
+// of whatever header prefix exists (the caller recreates it). A wrong
+// magic is a hard error — the file is not a WAL, and guessing would
+// mis-apply garbage. After the header, records are read until the first
+// bad frame (short frame header, implausible length, CRC mismatch, or an
+// undecodable payload); everything from that frame on is reported as
+// dropped, never applied.
+func readSegment(path string) (segmentReplay, error) {
+	var rep segmentReplay
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	rep.size = int64(len(data))
+	if len(data) < len(walMagic) {
+		rep.droppedBytes = int64(len(data))
+		return rep, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return rep, fmt.Errorf("store: %s: bad WAL magic %q", filepath.Base(path), data[:len(walMagic)])
+	}
+	off := int64(len(walMagic))
+	rep.goodOff = off
+	for off < rep.size {
+		if rep.size-off < walFrameLen {
+			break // torn frame header
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > walMaxRecord || off+walFrameLen+length > rep.size {
+			break // torn or corrupt length
+		}
+		payload := data[off+walFrameLen : off+walFrameLen+length]
+		if crc32.Checksum(payload, walCRC) != sum {
+			break // corrupt payload
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break // intact bytes, unintelligible record
+		}
+		rep.records = append(rep.records, rec)
+		off += walFrameLen + length
+		rep.goodOff = off
+	}
+	rep.droppedBytes = rep.size - rep.goodOff
+	return rep, nil
+}
+
+// segmentPaths lists the directory's WAL segments in generation order
+// (the zero-padded hex generation in the name makes lexical order
+// generation order).
+func segmentPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// segmentName renders the segment filename for a generation.
+func segmentName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", gen))
+}
+
+// segmentGen parses the generation back out of a segment path.
+func segmentGen(path string) (uint64, error) {
+	base := filepath.Base(path)
+	var gen uint64
+	if _, err := fmt.Sscanf(base, "wal-%016x.log", &gen); err != nil {
+		return 0, fmt.Errorf("store: unparseable segment name %q: %v", base, err)
+	}
+	return gen, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

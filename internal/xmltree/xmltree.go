@@ -358,87 +358,101 @@ func Equal(a, b *Node) bool {
 }
 
 // WriteTo serializes the subtree rooted at n to w as indented XML.
-// It implements io.WriterTo.
+// It implements io.WriterTo. The subtree is rendered into one buffer and
+// written with a single Write: serialization is on the hot path of WAL
+// appends, snapshot writes and the corpus query cache, where the old
+// per-node fmt.Fprintf rendering cost more than compiling the model.
 func (n *Node) WriteTo(w io.Writer) (int64, error) {
-	cw := &countWriter{w: w}
-	err := write(cw, n, 0)
-	return cw.n, err
+	nn, err := w.Write(n.appendXML(make([]byte, 0, 1024), 0))
+	return int64(nn), err
 }
 
 // String returns the indented XML serialization of the subtree rooted at n.
 func (n *Node) String() string {
-	var b strings.Builder
-	_, _ = n.WriteTo(&b)
-	return b.String()
+	return string(n.appendXML(make([]byte, 0, 1024), 0))
 }
 
-type countWriter struct {
-	w   io.Writer
-	n   int64
-	err error
-}
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	if c.err != nil {
-		return 0, c.err
-	}
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	c.err = err
-	return n, err
-}
-
-func write(w io.Writer, n *Node, depth int) error {
-	ind := strings.Repeat("  ", depth)
+// appendXML renders the subtree into buf (returned grown, append-style).
+func (n *Node) appendXML(buf []byte, depth int) []byte {
 	switch n.Kind {
 	case Text:
-		if _, err := fmt.Fprintf(w, "%s%s\n", ind, escapeText(strings.TrimSpace(n.Text))); err != nil {
-			return err
-		}
-		return nil
+		buf = appendIndent(buf, depth)
+		buf = appendEscaped(buf, strings.TrimSpace(n.Text))
+		return append(buf, '\n')
 	case Comment:
-		if _, err := fmt.Fprintf(w, "%s<!--%s-->\n", ind, n.Text); err != nil {
-			return err
-		}
-		return nil
+		buf = appendIndent(buf, depth)
+		buf = append(buf, "<!--"...)
+		buf = append(buf, n.Text...)
+		return append(buf, "-->\n"...)
 	}
-	if _, err := fmt.Fprintf(w, "%s<%s", ind, n.Name); err != nil {
-		return err
-	}
+	buf = appendIndent(buf, depth)
+	buf = append(buf, '<')
+	buf = append(buf, n.Name...)
 	for _, a := range n.Attrs {
 		// XML escaping, not Go %q escaping: backslashes and friends must
 		// pass through verbatim.
-		if _, err := fmt.Fprintf(w, ` %s="%s"`, a.Name, escapeText(a.Value)); err != nil {
-			return err
-		}
+		buf = append(buf, ' ')
+		buf = append(buf, a.Name...)
+		buf = append(buf, '=', '"')
+		buf = appendEscaped(buf, a.Value)
+		buf = append(buf, '"')
 	}
 	if len(n.Children) == 0 {
-		_, err := fmt.Fprint(w, "/>\n")
-		return err
+		return append(buf, "/>\n"...)
 	}
 	// A single text child is written inline for readability.
 	if len(n.Children) == 1 && n.Children[0].Kind == Text {
-		_, err := fmt.Fprintf(w, ">%s</%s>\n", escapeText(strings.TrimSpace(n.Children[0].Text)), n.Name)
-		return err
+		buf = append(buf, '>')
+		buf = appendEscaped(buf, strings.TrimSpace(n.Children[0].Text))
+		buf = append(buf, "</"...)
+		buf = append(buf, n.Name...)
+		return append(buf, ">\n"...)
 	}
-	if _, err := fmt.Fprint(w, ">\n"); err != nil {
-		return err
-	}
+	buf = append(buf, ">\n"...)
 	for _, c := range n.Children {
-		if err := write(w, c, depth+1); err != nil {
-			return err
+		buf = c.appendXML(buf, depth+1)
+	}
+	buf = appendIndent(buf, depth)
+	buf = append(buf, "</"...)
+	buf = append(buf, n.Name...)
+	return append(buf, ">\n"...)
+}
+
+func appendIndent(buf []byte, depth int) []byte {
+	for i := 0; i < depth; i++ {
+		buf = append(buf, ' ', ' ')
+	}
+	return buf
+}
+
+// appendEscaped appends s with the four XML metacharacters escaped,
+// byte-for-byte what escapeText produced.
+func appendEscaped(buf []byte, s string) []byte {
+	if !strings.ContainsAny(s, "&<>\"") {
+		return append(buf, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			buf = append(buf, "&amp;"...)
+		case '<':
+			buf = append(buf, "&lt;"...)
+		case '>':
+			buf = append(buf, "&gt;"...)
+		case '"':
+			buf = append(buf, "&quot;"...)
+		default:
+			buf = append(buf, s[i])
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s</%s>\n", ind, n.Name)
-	return err
+	return buf
 }
 
 func escapeText(s string) string {
 	if !strings.ContainsAny(s, "&<>\"") {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s))
 }
 
 // Canonical returns a canonical single-line serialization of the subtree in
