@@ -40,14 +40,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -64,13 +68,22 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		fig      = flag.Int("fig", 8, "figure to regenerate: 8 or 9")
 		stride   = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
@@ -88,22 +101,22 @@ func run() error {
 		}
 		switch *suite {
 		case "compose":
-			return benchJSON(out, *quick, benchCompose)
+			return benchJSON(ctx, out, *quick, benchCompose)
 		case "sim":
-			return benchJSON(out, *quick, benchSim)
+			return benchJSON(ctx, out, *quick, benchSim)
 		case "corpus":
-			return benchJSON(out, *quick, benchCorpus)
+			return benchJSON(ctx, out, *quick, benchCorpus)
 		case "store":
-			return benchJSON(out, *quick, benchStore)
+			return benchJSON(ctx, out, *quick, benchStore)
 		default:
 			return fmt.Errorf("unknown suite %q (want compose, sim, corpus or store)", *suite)
 		}
 	}
 	switch *fig {
 	case 8:
-		return figure8(*stride, *reps)
+		return figure8(ctx, *stride, *reps)
 	case 9:
-		return figure9(*reps)
+		return figure9(ctx, *reps)
 	default:
 		return fmt.Errorf("unknown figure %d (want 8 or 9)", *fig)
 	}
@@ -130,6 +143,11 @@ type benchReport struct {
 // times — through testing.Benchmark, or exactly once in quick (CI smoke)
 // mode.
 type recorder struct {
+	// ctx cancels the suite between benchmarks: each record call checks it
+	// before running, so Ctrl-C skips the remaining rows and the partial
+	// results are still summarized (the committed JSON is never replaced
+	// by a partial run — the temp file is simply dropped).
+	ctx    context.Context
 	report *benchReport
 	quick  bool
 	err    error
@@ -138,6 +156,12 @@ type recorder struct {
 func (r *recorder) record(name string, fn func(n int) error) {
 	if r.err != nil {
 		return
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.err = err
+			return
+		}
 	}
 	var res benchResult
 	if r.quick {
@@ -172,8 +196,10 @@ func (r *recorder) record(name string, fn func(n int) error) {
 	fmt.Fprintf(os.Stderr, "%-56s %14.0f ns/op\n", name, res.NsPerOp)
 }
 
-// benchJSON runs a suite and writes machine-readable results.
-func benchJSON(outPath string, quick bool, suite func(*recorder) error) error {
+// benchJSON runs a suite and writes machine-readable results. A
+// cancelled run reports the benchmarks it completed and leaves any
+// existing output file untouched.
+func benchJSON(ctx context.Context, outPath string, quick bool, suite func(*recorder) error) error {
 	// Write to a sibling temp file and rename on success: the destination
 	// must stay writable (checked before spending minutes benchmarking),
 	// and an interrupted run must not truncate an existing snapshot.
@@ -184,6 +210,7 @@ func benchJSON(outPath string, quick bool, suite func(*recorder) error) error {
 	tmpPath := f.Name()
 	defer os.Remove(tmpPath) // no-op after the rename
 	r := &recorder{
+		ctx:   ctx,
 		quick: quick,
 		report: &benchReport{
 			GoVersion:  runtime.Version(),
@@ -197,6 +224,10 @@ func benchJSON(outPath string, quick bool, suite func(*recorder) error) error {
 	}
 	if r.err != nil {
 		f.Close()
+		if errors.Is(r.err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "benchfig: cancelled after %d completed benchmarks; %s left untouched\n",
+				len(r.report.Results), outPath)
+		}
 		return r.err
 	}
 	enc := json.NewEncoder(f)
@@ -616,7 +647,7 @@ func log10ms(seconds float64) float64 {
 	return math.Log10(ms)
 }
 
-func figure8(stride, reps int) error {
+func figure8(ctx context.Context, stride, reps int) error {
 	if stride < 1 {
 		stride = 1
 	}
@@ -646,6 +677,10 @@ func figure8(stride, reps int) error {
 
 	var times []float64
 	for idx, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: cancelled after %d/%d pairs\n", idx, len(pairs))
+			return err
+		}
 		a, b := sampled[p.i], sampled[p.j]
 		secs, err := timeCompose(a, b, reps, func(a, b *sbml.Model) error {
 			_, err := core.Compose(a, b, core.Options{})
@@ -667,7 +702,7 @@ func figure8(stride, reps int) error {
 	return nil
 }
 
-func figure9(reps int) error {
+func figure9(ctx context.Context, reps int) error {
 	models := biomodels.Annotated17()
 	fmt.Fprintf(os.Stderr, "figure 9: %d models, %d pairs, both engines\n",
 		len(models), len(models)*len(models))
@@ -677,6 +712,10 @@ func figure9(reps int) error {
 	idx := 0
 	for _, a := range models {
 		for _, b := range models {
+			if err := ctx.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: cancelled after %d/%d pairs\n", idx, len(models)*len(models))
+				return err
+			}
 			tOurs, err := timeCompose(a, b, reps, func(a, b *sbml.Model) error {
 				_, err := core.Compose(a, b, core.Options{})
 				return err

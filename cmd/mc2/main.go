@@ -14,12 +14,20 @@
 // the worker pool the runs execute on (default GOMAXPROCS) without
 // affecting the estimate, and the reported interval is a 95% Wilson score
 // interval.
+// Ctrl-C (SIGINT) or SIGTERM cancels the in-flight check or estimate at
+// its next loop-granular check (between and inside stochastic runs),
+// prints what was in progress to stderr, and exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/mc2"
@@ -27,15 +35,24 @@ import (
 )
 
 func main() {
-	code, err := run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	code, err := run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mc2:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(2)
 	}
 	os.Exit(code)
 }
 
-func run() (int, error) {
+func run(ctx context.Context) (int, error) {
 	var (
 		prop    = flag.String("prop", "", "temporal-logic property, e.g. 'G({A >= 0})'")
 		runs    = flag.Int("runs", 0, "stochastic runs; 0 checks the ODE trace once")
@@ -53,10 +70,19 @@ func run() (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	cli := sbmlcompose.New()
+	start := time.Now()
+	cancelled := func(what string) {
+		fmt.Fprintf(os.Stderr, "mc2: cancelled %s after %s (property %q, %d run(s) requested); no verdict\n",
+			what, time.Since(start).Round(time.Millisecond), *prop, *runs)
+	}
 	opts := sim.Options{T0: *t0, T1: *t1, Step: *step, Seed: *seed, Workers: *workers}
 	if *runs <= 0 {
-		ok, err := sbmlcompose.CheckProperty(m, *prop, opts)
+		ok, err := cli.CheckProperty(ctx, m, *prop, opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				cancelled("ODE property check")
+			}
 			return 2, err
 		}
 		if ok {
@@ -70,8 +96,11 @@ func run() (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	est, err := mc2.Probability(m, f, *runs, opts)
+	est, err := mc2.ProbabilityContext(ctx, m, f, *runs, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cancelled("probability estimate")
+		}
 		return 2, err
 	}
 	fmt.Printf("P(%s) ≈ %.4f, 95%% CI [%.4f, %.4f] (%d runs)\n", f, est.Probability, est.Lo, est.Hi, est.Runs)

@@ -20,13 +20,23 @@
 // Without -parallel the models are streamed through an incremental
 // Composer: each file is parsed and folded into one persistent compiled
 // accumulator, so only one input model is resident at a time.
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the in-flight composition at its
+// next loop-granular check, prints partial progress statistics to stderr,
+// and exits nonzero without writing a truncated output file; a second
+// signal kills the process immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/core"
@@ -34,13 +44,22 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sbmlcompose:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		logPath   = flag.String("log", "", "warnings log file (default stderr)")
@@ -105,12 +124,29 @@ func run() error {
 	}
 	opts.Log = logW
 
-	var res *sbmlcompose.Result
+	start := time.Now()
+	// A cancelled run reports what it got through before the signal — the
+	// point of signal-aware cancellation is dying informatively instead of
+	// mid-write.
+	folded := 0
+	partialStats := func(phase string, err error) error {
+		fmt.Fprintf(os.Stderr, "sbmlcompose: cancelled %s after folding %d/%d models in %s; no output written\n",
+			phase, folded, flag.NArg(), time.Since(start).Round(time.Millisecond))
+		return err
+	}
+
 	if *parallel {
 		opts.Parallel = true
 		opts.Workers = *workers
+	}
+	cli := sbmlcompose.New(sbmlcompose.WithMatchOptions(opts))
+	var res *sbmlcompose.Result
+	if *parallel {
 		models := make([]*sbmlcompose.Model, 0, flag.NArg())
 		for _, path := range flag.Args() {
+			if err := ctx.Err(); err != nil {
+				return partialStats("while parsing inputs", err)
+			}
 			m, err := sbmlcompose.ParseModelFile(path)
 			if err != nil {
 				return err
@@ -118,22 +154,31 @@ func run() error {
 			models = append(models, m)
 		}
 		var err error
-		res, err = sbmlcompose.ComposeAll(models, &opts)
+		res, err = cli.ComposeAll(ctx, models)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// A cancelled reduction discards all partial merge work,
+				// so zero models were folded into a surviving result.
+				return partialStats("during the parallel reduction", err)
+			}
 			return err
 		}
 	} else {
 		// Stream: parse and fold one file at a time into the compiled
 		// accumulator.
-		comp := sbmlcompose.NewComposer(&opts)
+		comp := cli.NewComposer()
 		for _, path := range flag.Args() {
 			m, err := sbmlcompose.ParseModelFile(path)
 			if err != nil {
 				return err
 			}
-			if err := comp.Add(m); err != nil {
+			if err := comp.AddContext(ctx, m); err != nil {
+				if errors.Is(err, context.Canceled) {
+					return partialStats("mid-fold", err)
+				}
 				return err
 			}
+			folded++
 		}
 		res = comp.Result()
 	}

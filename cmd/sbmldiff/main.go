@@ -12,13 +12,19 @@
 //
 // Exit status is 0 when the documents compare equal (or, for match mode,
 // when any components matched), 1 when they differ, 2 on error.
+// Ctrl-C (SIGINT) or SIGTERM cancels an in-flight match-mode composition
+// at its next component-family boundary and exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/textdiff"
@@ -26,15 +32,24 @@ import (
 )
 
 func main() {
-	code, err := run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	code, err := run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbmldiff:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(2)
 	}
 	os.Exit(code)
 }
 
-func run() (int, error) {
+func run(ctx context.Context) (int, error) {
 	mode := flag.String("mode", "semantic", "comparison mode: semantic | text | distance | match")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -117,8 +132,11 @@ func run() (int, error) {
 		if err != nil {
 			return 2, err
 		}
-		matches, err := sbmlcompose.MatchModels(a, b, nil)
+		matches, err := sbmlcompose.New().MatchModels(ctx, a, b)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "sbmldiff: cancelled mid-match; no verdict")
+			}
 			return 2, err
 		}
 		for _, m := range matches {

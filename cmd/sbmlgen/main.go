@@ -8,13 +8,21 @@
 //	sbmlgen -corpus biomodels -dir ./corpus
 //	sbmlgen -corpus annotated -dir ./annotated
 //	sbmlgen -nodes 50 -edges 80 -seed 7 > model.xml
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels a corpus generation between files:
+// the files already written remain valid, a partial-progress line goes to
+// stderr, and no file is ever left half-written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/biomodels"
@@ -22,13 +30,22 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sbmlgen:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		corpus = flag.String("corpus", "", "generate a whole corpus: biomodels | annotated")
 		dir    = flag.String("dir", ".", "output directory for -corpus")
@@ -58,7 +75,11 @@ func run() error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	for _, m := range models {
+	for i, m := range models {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "sbmlgen: cancelled after writing %d/%d models to %s\n", i, len(models), *dir)
+			return err
+		}
 		path := filepath.Join(*dir, m.ID+".xml")
 		if err := sbmlcompose.WriteModelFile(m, path); err != nil {
 			return err

@@ -34,19 +34,19 @@ func TestServerStateSurvivesRestart(t *testing.T) {
 
 	for i := 0; i < 6; i++ {
 		xml := modelXML(string(rune('a'+i))+"_dur", int64(500+i))
-		if rec, _ := do(t, s, "POST", "/models", xml); rec.Code != http.StatusCreated {
+		if rec, _ := do(t, s, "POST", "/v1/models", xml); rec.Code != http.StatusCreated {
 			t.Fatalf("POST /models #%d: %d", i, rec.Code)
 		}
 	}
 	// One removal so the WAL holds both record kinds.
-	if rec, _ := do(t, s, "DELETE", "/models/c_dur", ""); rec.Code != http.StatusNoContent {
+	if rec, _ := do(t, s, "DELETE", "/v1/models/c_dur", ""); rec.Code != http.StatusNoContent {
 		t.Fatalf("DELETE: %d", rec.Code)
 	}
 
 	searchBody := jsonBody(t, map[string]any{"sbml": modelXML("a_dur", 500), "top_k": 10})
 	composeBody := jsonBody(t, map[string]any{"id": "b_dur", "sbml": modelXML("query", 777)})
-	recS, _ := do(t, s, "POST", "/search", searchBody)
-	recC, _ := do(t, s, "POST", "/compose", composeBody)
+	recS, _ := do(t, s, "POST", "/v1/search", searchBody)
+	recC, _ := do(t, s, "POST", "/v1/compose", composeBody)
 	if recS.Code != http.StatusOK || recC.Code != http.StatusOK {
 		t.Fatalf("pre-restart search/compose: %d / %d", recS.Code, recC.Code)
 	}
@@ -65,20 +65,20 @@ func TestServerStateSurvivesRestart(t *testing.T) {
 	}
 	s2 := newPersistentServer(st2)
 
-	recS2, _ := do(t, s2, "POST", "/search", searchBody)
-	recC2, _ := do(t, s2, "POST", "/compose", composeBody)
+	recS2, _ := do(t, s2, "POST", "/v1/search", searchBody)
+	recC2, _ := do(t, s2, "POST", "/v1/compose", composeBody)
 	if recS2.Code != http.StatusOK || recC2.Code != http.StatusOK {
 		t.Fatalf("post-restart search/compose: %d / %d", recS2.Code, recC2.Code)
 	}
 	if got := stripTookMS(t, recS2.Body.String()); got != wantSearch {
-		t.Fatalf("/search diverges across restart:\n got %s\nwant %s", got, wantSearch)
+		t.Fatalf("/v1/search diverges across restart:\n got %s\nwant %s", got, wantSearch)
 	}
 	if got := recC2.Body.String(); got != wantCompose {
-		t.Fatalf("/compose diverges across restart:\n got %s\nwant %s", got, wantCompose)
+		t.Fatalf("/v1/compose diverges across restart:\n got %s\nwant %s", got, wantCompose)
 	}
 
 	// healthz reports the recovery.
-	rec, payload := do(t, s2, "GET", "/healthz", "")
+	rec, payload := do(t, s2, "GET", "/v1/healthz", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz: %d", rec.Code)
 	}
@@ -146,7 +146,7 @@ func TestOpenFailureModes(t *testing.T) {
 func TestFailureModeStatusCodes(t *testing.T) {
 	t.Run("snapshot without -data is 409", func(t *testing.T) {
 		s := testServer()
-		rec, payload := do(t, s, "POST", "/snapshot", "")
+		rec, payload := do(t, s, "POST", "/v1/snapshot", "")
 		if rec.Code != http.StatusConflict {
 			t.Fatalf("POST /snapshot: %d %v", rec.Code, payload)
 		}
@@ -156,8 +156,8 @@ func TestFailureModeStatusCodes(t *testing.T) {
 		st := openTestStore(t, t.TempDir())
 		defer st.Close()
 		s := newPersistentServer(st)
-		do(t, s, "POST", "/models", modelXML("snapme", 42))
-		rec, payload := do(t, s, "POST", "/snapshot", "")
+		do(t, s, "POST", "/v1/models", modelXML("snapme", 42))
+		rec, payload := do(t, s, "POST", "/v1/snapshot", "")
 		if rec.Code != http.StatusOK {
 			t.Fatalf("POST /snapshot: %d %v", rec.Code, payload)
 		}
@@ -171,13 +171,13 @@ func TestFailureModeStatusCodes(t *testing.T) {
 		st := openTestStore(t, dir)
 		defer st.Close()
 		s := newPersistentServer(st)
-		do(t, s, "POST", "/models", modelXML("doomed", 43))
+		do(t, s, "POST", "/v1/models", modelXML("doomed", 43))
 		// Yank the directory out from under the store: the snapshot's
 		// segment rotation and temp-file write have nowhere to go.
 		if err := os.RemoveAll(dir); err != nil {
 			t.Fatal(err)
 		}
-		rec, payload := do(t, s, "POST", "/snapshot", "")
+		rec, payload := do(t, s, "POST", "/v1/snapshot", "")
 		if rec.Code != http.StatusInternalServerError {
 			t.Fatalf("POST /snapshot on removed dir: %d %v", rec.Code, payload)
 		}
@@ -189,22 +189,22 @@ func TestFailureModeStatusCodes(t *testing.T) {
 	t.Run("persist failure makes mutations 500", func(t *testing.T) {
 		st := openTestStore(t, t.TempDir())
 		s := newPersistentServer(st)
-		do(t, s, "POST", "/models", modelXML("pinned", 44))
+		do(t, s, "POST", "/v1/models", modelXML("pinned", 44))
 		// A closed store is the cleanest reproducible WAL-append failure
 		// (the same mapping covers disk-full and I/O errors).
 		if err := st.Close(); err != nil {
 			t.Fatal(err)
 		}
-		rec, payload := do(t, s, "POST", "/models", modelXML("late", 45))
+		rec, payload := do(t, s, "POST", "/v1/models", modelXML("late", 45))
 		if rec.Code != http.StatusInternalServerError {
 			t.Fatalf("POST /models on closed store: %d %v", rec.Code, payload)
 		}
-		rec, payload = do(t, s, "DELETE", "/models/pinned", "")
+		rec, payload = do(t, s, "DELETE", "/v1/models/pinned", "")
 		if rec.Code != http.StatusInternalServerError {
 			t.Fatalf("DELETE on closed store: %d %v", rec.Code, payload)
 		}
 		// Reads keep serving the in-memory state.
-		rec, _ = do(t, s, "GET", "/healthz", "")
+		rec, _ = do(t, s, "GET", "/v1/healthz", "")
 		if rec.Code != http.StatusOK {
 			t.Fatalf("healthz after store close: %d", rec.Code)
 		}

@@ -3,30 +3,49 @@
 // simulation engines) exposed as a query service, the serving layer the
 // ROADMAP's "heavy traffic" north star demands.
 //
-// Endpoints:
+// The API is versioned under /v1/ with typed JSON requests and responses:
 //
-//	POST   /models        add a model; body is SBML XML, ?id= overrides the
-//	                      model id. 201 with {"id","components","models"}.
-//	DELETE /models/{id}   remove a model. 204, or 404 if absent.
-//	POST   /search        rank the corpus against a query model. JSON body
-//	                      {"sbml","top_k","cutoff","min_score"}; returns
-//	                      ranked hits with per-component evidence.
-//	POST   /compose       merge a query model into a stored model. JSON
-//	                      body {"id","sbml"}; returns the merged SBML with
-//	                      warnings and statistics.
-//	POST   /simulate      simulate a stored model on its cached engine.
-//	                      JSON body {"id","method","t0","t1","step","seed",
-//	                      "adaptive","tolerance"}; returns the trace.
-//	POST   /check         evaluate a temporal-logic property over a
-//	                      deterministic simulation of a stored model. JSON
-//	                      body {"id","formula","t0","t1","step"}.
-//	POST   /snapshot      force a snapshot + WAL compaction of the durable
-//	                      store. 200 with the store status, 409 when the
-//	                      server runs without -data, 500 when the snapshot
-//	                      cannot be written.
-//	GET    /healthz       liveness plus per-endpoint request counts and
-//	                      mean latencies; with -data also the store status
-//	                      (recovery stats, WAL tail size, snapshots).
+//	POST   /v1/models        add a model; body is SBML XML, ?id= overrides
+//	                         the model id. 201 with {"id","components",
+//	                         "models"}.
+//	DELETE /v1/models/{id}   remove a model. 204, or 404 if absent.
+//	POST   /v1/search        rank the corpus against a query model. JSON
+//	                         body {"sbml","top_k","cutoff","min_score",
+//	                         "offset","limit"}; returns the ranked page
+//	                         with per-component evidence. offset/limit
+//	                         paginate inside the ranking merge, so page N
+//	                         is exactly that slice of the full ranking.
+//	POST   /v1/compose       merge a query model into a stored model. JSON
+//	                         body {"id","sbml"}; returns the merged SBML
+//	                         with warnings and statistics.
+//	POST   /v1/simulate      simulate a stored model on its cached engine.
+//	                         JSON body {"id","method","t0","t1","step",
+//	                         "seed","adaptive","tolerance"}.
+//	POST   /v1/check         evaluate a temporal-logic property over a
+//	                         deterministic simulation of a stored model.
+//	                         JSON body {"id","formula","t0","t1","step"}.
+//	POST   /v1/snapshot      force a snapshot + WAL compaction of the
+//	                         durable store. 200 with the store status, 409
+//	                         without -data, 500 on write failure.
+//	GET    /v1/healthz       liveness, the in-flight request gauge,
+//	                         per-endpoint request counts and mean
+//	                         latencies; with -data also the store status.
+//
+// The legacy unversioned routes (POST /models, /search, ...) respond
+// with a permanent redirect to their /v1/ equivalents (308 for
+// method-bearing requests so a followed POST keeps its method and body;
+// 301 for GET/HEAD), preserving path suffix and query string. GET
+// /healthz alone still answers directly (and
+// identically to /v1/healthz): liveness probes and load balancers do not
+// follow redirects, and breaking them on upgrade would read as an outage.
+//
+// Every request handler runs under the request's context capped by
+// -request-timeout: a client that disconnects cancels the in-flight
+// corpus search, simulation or composition at its next cancellation
+// check, freeing the worker pool, and the handler maps the two context
+// terminations to JSON errors — 408 Request Timeout when the deadline
+// expired server-side, 499 (the de-facto "client closed request" status)
+// when the peer went away. Request bodies are capped at 64 MiB.
 //
 // With -data DIR the corpus is durable: every add/remove is appended to a
 // write-ahead log (fsynced per -fsync) before it is acknowledged, and
@@ -57,15 +76,24 @@ import (
 	"sbmlcompose"
 )
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was written. There is no standard
+// status for it; 499 is what fleet dashboards already aggregate.
+const statusClientClosedRequest = 499
+
+// maxBodyBytes caps request bodies (models can legitimately be large).
+const maxBodyBytes = 64 << 20
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
-		shards  = flag.Int("shards", 4, "corpus shard count")
-		workers = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
-		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
-		dataDir = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
-		fsync   = flag.String("fsync", "always", "WAL fsync policy with -data: always | interval | never")
-		compact = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
+		addr       = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
+		shards     = flag.Int("shards", 4, "corpus shard count")
+		workers    = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for search/compose/simulate/check (0 disables)")
+		dataDir    = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy with -data: always | interval | never")
+		compact    = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
 	)
 	flag.Parse()
 
@@ -93,6 +121,7 @@ func main() {
 	} else {
 		srv = newServer(sbmlcompose.NewCorpus(&copts))
 	}
+	srv.timeout = *reqTimeout
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sbmlserved: %v", err)
@@ -144,6 +173,11 @@ type server struct {
 	mux   *http.ServeMux
 	start time.Time
 	stats map[string]*endpointStat // route label → stats, fixed at construction
+	// timeout caps each request handler's context; 0 leaves only the
+	// client-disconnect cancellation of r.Context().
+	timeout time.Duration
+	// inFlight gauges currently executing requests, served by /healthz.
+	inFlight atomic.Int64
 }
 
 // newServer wires the routes over an in-memory corpus. Split from main so
@@ -160,15 +194,51 @@ func newServer(c *sbmlcompose.Corpus) *server {
 			st.totalNs.Add(time.Since(t0).Nanoseconds())
 		})
 	}
-	route("POST /models", s.handleAddModel)
-	route("DELETE /models/{id}", s.handleRemoveModel)
-	route("POST /search", s.handleSearch)
-	route("POST /compose", s.handleCompose)
-	route("POST /simulate", s.handleSimulate)
-	route("POST /check", s.handleCheck)
-	route("POST /snapshot", s.handleSnapshot)
+	route("POST /v1/models", s.handleAddModel)
+	route("DELETE /v1/models/{id}", s.handleRemoveModel)
+	route("POST /v1/search", s.handleSearch)
+	route("POST /v1/compose", s.handleCompose)
+	route("POST /v1/simulate", s.handleSimulate)
+	route("POST /v1/check", s.handleCheck)
+	route("POST /v1/snapshot", s.handleSnapshot)
+	route("GET /v1/healthz", s.handleHealthz)
+
+	// Legacy unversioned API routes moved permanently to /v1/. The
+	// redirect carries the method-specific pattern so an unknown
+	// path/method still 404/405s instead of bouncing.
+	for _, pattern := range []string{
+		"POST /models",
+		"DELETE /models/{id}",
+		"POST /search",
+		"POST /compose",
+		"POST /simulate",
+		"POST /check",
+		"POST /snapshot",
+	} {
+		s.mux.HandleFunc(pattern, redirectV1)
+	}
+	// Liveness probes don't follow redirects; /healthz keeps answering in
+	// place, identically to /v1/healthz.
 	route("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// redirectV1 permanently redirects a legacy route to its /v1 equivalent,
+// preserving the remaining path and the query string. GET/HEAD use the
+// classic 301; everything else uses 308 Permanent Redirect, because
+// clients rewrite a 301'd POST into a body-less GET (Go's http.Client,
+// curl -L) — the redirect must preserve method and body for a legacy
+// POST /search caller that follows it to keep working.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	status := http.StatusPermanentRedirect
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		status = http.StatusMovedPermanently
+	}
+	http.Redirect(w, r, target, status)
 }
 
 // newPersistentServer wires the routes over a recovered durable store.
@@ -179,8 +249,20 @@ func newPersistentServer(st *sbmlcompose.CorpusStore) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mux.ServeHTTP(w, r)
+}
+
+// requestCtx derives the handler context: the request's own context (so a
+// client disconnect cancels in-flight work) capped by the configured
+// per-request deadline.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
 }
 
 // statsLines renders the per-endpoint timing summary (logged at
@@ -213,6 +295,14 @@ func (s *server) endpointReport() map[string]endpointReport {
 
 // --- response helpers ---
 
+// errorResponse is the uniform JSON error body. Code is machine-readable
+// and set for context terminations ("deadline_exceeded",
+// "client_closed_request"); other errors carry only the message.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -222,7 +312,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeCtxError reports a context termination: 408 when the server-side
+// deadline expired, 499 when the client went away (the write is then
+// best-effort, but the status still lands in the endpoint stats).
+// Returns false if err is not a context termination.
+func writeCtxError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{
+			Error: "request timed out server-side: " + err.Error(),
+			Code:  "deadline_exceeded",
+		})
+		return true
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, statusClientClosedRequest, errorResponse{
+			Error: "client closed request: " + err.Error(),
+			Code:  "client_closed_request",
+		})
+		return true
+	}
+	return false
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -235,14 +347,109 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// modelError reports corpus "no model" errors as 404 and everything else
-// as 422 (the model exists but the operation failed on it).
+// modelError reports corpus "no model" errors as 404, context
+// terminations as 408/499, and everything else as 422 (the model exists
+// but the operation failed on it).
 func modelError(w http.ResponseWriter, err error) {
 	if errors.Is(err, sbmlcompose.ErrModelNotFound) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	if writeCtxError(w, err) {
+		return
+	}
 	writeError(w, http.StatusUnprocessableEntity, "%v", err)
+}
+
+// --- typed request/response DTOs ---
+
+type addModelResponse struct {
+	ID         string `json:"id"`
+	Components int    `json:"components"`
+	Models     int    `json:"models"`
+}
+
+type searchRequest struct {
+	SBML     string  `json:"sbml"`
+	TopK     int     `json:"top_k"`
+	Cutoff   float64 `json:"cutoff"`
+	MinScore float64 `json:"min_score"`
+	// Offset/Limit paginate the ranking: the response holds hits
+	// [Offset, Offset+Limit) of the full ranking. Limit takes precedence
+	// over the older TopK field when both are set.
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+type searchResponse struct {
+	Hits []sbmlcompose.Hit `json:"hits"`
+	// Offset and Limit echo the effective pagination window; Returned is
+	// len(Hits) for clients paging until a short page.
+	Offset   int     `json:"offset"`
+	Limit    int     `json:"limit"`
+	Returned int     `json:"returned"`
+	TookMs   float64 `json:"took_ms"`
+}
+
+type composeRequest struct {
+	ID   string `json:"id"`
+	SBML string `json:"sbml"`
+}
+
+type composeStats struct {
+	Merged    int `json:"merged"`
+	Added     int `json:"added"`
+	Renamed   int `json:"renamed"`
+	Conflicts int `json:"conflicts"`
+}
+
+type composeResponse struct {
+	SBML     string       `json:"sbml"`
+	Warnings []string     `json:"warnings"`
+	Stats    composeStats `json:"stats"`
+}
+
+type simulateRequest struct {
+	ID        string  `json:"id"`
+	Method    string  `json:"method"` // "ode" (default) or "ssa"
+	T0        float64 `json:"t0"`
+	T1        float64 `json:"t1"`
+	Step      float64 `json:"step"`
+	Seed      int64   `json:"seed"`
+	Adaptive  bool    `json:"adaptive"`
+	Tolerance float64 `json:"tolerance"`
+}
+
+type simulateResponse struct {
+	Names  []string    `json:"names"`
+	Times  []float64   `json:"times"`
+	Values [][]float64 `json:"values"`
+}
+
+type checkRequest struct {
+	ID      string  `json:"id"`
+	Formula string  `json:"formula"`
+	T0      float64 `json:"t0"`
+	T1      float64 `json:"t1"`
+	Step    float64 `json:"step"`
+}
+
+type checkResponse struct {
+	Satisfied bool `json:"satisfied"`
+}
+
+type snapshotResponse struct {
+	Status string                  `json:"status"`
+	Store  sbmlcompose.StoreStatus `json:"store"`
+}
+
+type healthzResponse struct {
+	Status    string                    `json:"status"`
+	Models    int                       `json:"models"`
+	InFlight  int64                     `json:"in_flight"`
+	UptimeS   float64                   `json:"uptime_s"`
+	Endpoints map[string]endpointReport `json:"endpoints"`
+	Store     *sbmlcompose.StoreStatus  `json:"store,omitempty"`
 }
 
 // --- handlers ---
@@ -265,10 +472,10 @@ func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"id":         id,
-		"components": m.ComponentCount(),
-		"models":     s.corpus.Len(),
+	writeJSON(w, http.StatusCreated, addModelResponse{
+		ID:         id,
+		Components: m.ComponentCount(),
+		Models:     s.corpus.Len(),
 	})
 }
 
@@ -295,13 +502,6 @@ func persistStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
-type searchRequest struct {
-	SBML     string  `json:"sbml"`
-	TopK     int     `json:"top_k"`
-	Cutoff   float64 `json:"cutoff"`
-	MinScore float64 `json:"min_score"`
-}
-
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if !decodeJSON(w, r, &req) {
@@ -312,26 +512,40 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse query: %v", err)
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	limit := req.TopK
+	if req.Limit > 0 {
+		limit = req.Limit
+	}
 	t0 := time.Now()
-	hits, err := s.corpus.Search(query, sbmlcompose.SearchOptions{
-		TopK: req.TopK, Cutoff: req.Cutoff, MinScore: req.MinScore,
+	hits, err := s.corpus.SearchContext(ctx, query, sbmlcompose.SearchOptions{
+		TopK: limit, Offset: req.Offset, Cutoff: req.Cutoff, MinScore: req.MinScore,
 	})
 	if err != nil {
+		if writeCtxError(w, err) {
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "search: %v", err)
 		return
 	}
 	if hits == nil {
 		hits = []sbmlcompose.Hit{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hits":    hits,
-		"took_ms": float64(time.Since(t0).Nanoseconds()) / 1e6,
+	offset := req.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	if limit == 0 {
+		limit = 5 // the SearchOptions.TopK default the corpus applied
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Hits:     hits,
+		Offset:   offset,
+		Limit:    limit,
+		Returned: len(hits),
+		TookMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
 	})
-}
-
-type composeRequest struct {
-	ID   string `json:"id"`
-	SBML string `json:"sbml"`
 }
 
 func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +558,9 @@ func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse query: %v", err)
 		return
 	}
-	res, err := s.corpus.ComposeWith(req.ID, query)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.corpus.ComposeWithContext(ctx, req.ID, query)
 	if err != nil {
 		modelError(w, err)
 		return
@@ -353,27 +569,16 @@ func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
 	for i, warn := range res.Warnings {
 		warnings[i] = warn.String()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"sbml":     sbmlcompose.ModelToString(res.Model),
-		"warnings": warnings,
-		"stats": map[string]any{
-			"merged":    res.Stats.Merged,
-			"added":     res.Stats.Added,
-			"renamed":   res.Stats.Renamed,
-			"conflicts": res.Stats.Conflicts,
+	writeJSON(w, http.StatusOK, composeResponse{
+		SBML:     sbmlcompose.ModelToString(res.Model),
+		Warnings: warnings,
+		Stats: composeStats{
+			Merged:    res.Stats.Merged,
+			Added:     res.Stats.Added,
+			Renamed:   res.Stats.Renamed,
+			Conflicts: res.Stats.Conflicts,
 		},
 	})
-}
-
-type simulateRequest struct {
-	ID        string  `json:"id"`
-	Method    string  `json:"method"` // "ode" (default) or "ssa"
-	T0        float64 `json:"t0"`
-	T1        float64 `json:"t1"`
-	Step      float64 `json:"step"`
-	Seed      int64   `json:"seed"`
-	Adaptive  bool    `json:"adaptive"`
-	Tolerance float64 `json:"tolerance"`
 }
 
 func (r simulateRequest) simOptions() sbmlcompose.SimOptions {
@@ -388,37 +593,30 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var (
 		tr  *sbmlcompose.Trace
 		err error
 	)
 	switch req.Method {
 	case "", "ode":
-		tr, err = s.corpus.SimulateODE(req.ID, req.simOptions())
+		tr, err = s.corpus.SimulateODEContext(ctx, req.ID, req.simOptions())
 	case "ssa":
-		tr, err = s.corpus.SimulateSSA(req.ID, req.simOptions())
+		tr, err = s.corpus.SimulateSSAContext(ctx, req.ID, req.simOptions())
 	default:
-		err = errors.New("method must be \"ode\" or \"ssa\"")
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "method must be \"ode\" or \"ssa\"")
 		return
 	}
 	if err != nil {
 		modelError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"names":  tr.Names,
-		"times":  tr.Times,
-		"values": tr.Values,
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Names:  tr.Names,
+		Times:  tr.Times,
+		Values: tr.Values,
 	})
-}
-
-type checkRequest struct {
-	ID      string  `json:"id"`
-	Formula string  `json:"formula"`
-	T0      float64 `json:"t0"`
-	T1      float64 `json:"t1"`
-	Step    float64 `json:"step"`
 }
 
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -426,40 +624,51 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sat, err := s.corpus.CheckProperty(req.ID, req.Formula, sbmlcompose.SimOptions{
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	sat, err := s.corpus.CheckPropertyContext(ctx, req.ID, req.Formula, sbmlcompose.SimOptions{
 		T0: req.T0, T1: req.T1, Step: req.Step,
 	})
 	if err != nil {
 		modelError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"satisfied": sat})
+	writeJSON(w, http.StatusOK, checkResponse{Satisfied: sat})
 }
 
 // handleSnapshot forces a snapshot + WAL compaction: the admin lever for
 // bounding recovery time before a planned restart. Failures are server
-// faults (500) carrying the store error detail.
+// faults (500) carrying the store error detail. The snapshot honors the
+// request context too — an impatient admin's Ctrl-C abandons the dump
+// between models rather than writing a snapshot nobody waits for.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		writeError(w, http.StatusConflict, "server is running without -data; nothing to snapshot")
 		return
 	}
-	if err := s.store.Snapshot(); err != nil {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if err := s.store.SnapshotContext(ctx); err != nil {
+		if writeCtxError(w, err) {
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Status()})
+	writeJSON(w, http.StatusOK, snapshotResponse{Status: "ok", Store: s.store.Status()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	payload := map[string]any{
-		"status":    "ok",
-		"models":    s.corpus.Len(),
-		"uptime_s":  time.Since(s.start).Seconds(),
-		"endpoints": s.endpointReport(),
+	payload := healthzResponse{
+		Status:    "ok",
+		Models:    s.corpus.Len(),
+		InFlight:  s.inFlight.Load(),
+		UptimeS:   time.Since(s.start).Seconds(),
+		Endpoints: s.endpointReport(),
 	}
 	if s.store != nil {
-		payload["store"] = s.store.Status()
+		st := s.store.Status()
+		payload.Store = &st
 	}
 	writeJSON(w, http.StatusOK, payload)
 }

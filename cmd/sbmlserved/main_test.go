@@ -50,31 +50,31 @@ func jsonBody(t *testing.T, v any) string {
 func TestModelLifecycleEndpoints(t *testing.T) {
 	s := testServer()
 
-	rec, payload := do(t, s, "POST", "/models", modelXML("srv_a", 100))
+	rec, payload := do(t, s, "POST", "/v1/models", modelXML("srv_a", 100))
 	if rec.Code != http.StatusCreated || payload["id"] != "srv_a" {
 		t.Fatalf("POST /models: %d %v", rec.Code, payload)
 	}
 	// Duplicate id → 409.
-	rec, _ = do(t, s, "POST", "/models", modelXML("srv_a", 100))
+	rec, _ = do(t, s, "POST", "/v1/models", modelXML("srv_a", 100))
 	if rec.Code != http.StatusConflict {
 		t.Fatalf("duplicate POST /models: %d", rec.Code)
 	}
 	// ?id= override.
-	rec, payload = do(t, s, "POST", "/models?id=renamed", modelXML("srv_a", 101))
+	rec, payload = do(t, s, "POST", "/v1/models?id=renamed", modelXML("srv_a", 101))
 	if rec.Code != http.StatusCreated || payload["id"] != "renamed" {
 		t.Fatalf("POST /models?id=: %d %v", rec.Code, payload)
 	}
 	// Malformed body → 400.
-	rec, _ = do(t, s, "POST", "/models", "<not-sbml")
+	rec, _ = do(t, s, "POST", "/v1/models", "<not-sbml")
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("malformed POST /models: %d", rec.Code)
 	}
 
-	rec, _ = do(t, s, "DELETE", "/models/renamed", "")
+	rec, _ = do(t, s, "DELETE", "/v1/models/renamed", "")
 	if rec.Code != http.StatusNoContent {
 		t.Fatalf("DELETE /models/renamed: %d", rec.Code)
 	}
-	rec, _ = do(t, s, "DELETE", "/models/renamed", "")
+	rec, _ = do(t, s, "DELETE", "/v1/models/renamed", "")
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("second DELETE: %d", rec.Code)
 	}
@@ -83,14 +83,14 @@ func TestModelLifecycleEndpoints(t *testing.T) {
 func TestSearchComposeEndpoints(t *testing.T) {
 	s := testServer()
 	for i := 0; i < 5; i++ {
-		rec, _ := do(t, s, "POST", "/models", modelXML(fmt.Sprintf("corp%d", i), int64(200+i)))
+		rec, _ := do(t, s, "POST", "/v1/models", modelXML(fmt.Sprintf("corp%d", i), int64(200+i)))
 		if rec.Code != http.StatusCreated {
 			t.Fatalf("seed model %d: %d", i, rec.Code)
 		}
 	}
 
 	query := modelXML("corp3", 203) // clone of a stored model
-	rec, payload := do(t, s, "POST", "/search", jsonBody(t, map[string]any{"sbml": query, "top_k": 3}))
+	rec, payload := do(t, s, "POST", "/v1/search", jsonBody(t, map[string]any{"sbml": query, "top_k": 3}))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /search: %d %v", rec.Code, payload)
 	}
@@ -106,7 +106,7 @@ func TestSearchComposeEndpoints(t *testing.T) {
 		t.Fatal("search response missing took_ms")
 	}
 
-	rec, payload = do(t, s, "POST", "/compose", jsonBody(t, map[string]any{"id": "corp0", "sbml": query}))
+	rec, payload = do(t, s, "POST", "/v1/compose", jsonBody(t, map[string]any{"id": "corp0", "sbml": query}))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /compose: %d %v", rec.Code, payload)
 	}
@@ -117,11 +117,11 @@ func TestSearchComposeEndpoints(t *testing.T) {
 	if err := sbmlcompose.Validate(merged); err != nil {
 		t.Fatalf("composed model invalid: %v", err)
 	}
-	rec, _ = do(t, s, "POST", "/compose", jsonBody(t, map[string]any{"id": "nope", "sbml": query}))
+	rec, _ = do(t, s, "POST", "/v1/compose", jsonBody(t, map[string]any{"id": "nope", "sbml": query}))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("compose with missing id: %d", rec.Code)
 	}
-	rec, _ = do(t, s, "POST", "/search", `{"sbml": 42}`)
+	rec, _ = do(t, s, "POST", "/v1/search", `{"sbml": 42}`)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("malformed search body: %d", rec.Code)
 	}
@@ -132,13 +132,13 @@ func TestSimulateCheckHealthzEndpoints(t *testing.T) {
 	m := biomodels.Generate(biomodels.Config{
 		ID: "sim_m", Nodes: 8, Edges: 10, Seed: 300, VocabularySize: 50, Decorate: true,
 	})
-	rec, _ := do(t, s, "POST", "/models", sbmlcompose.ModelToString(m))
+	rec, _ := do(t, s, "POST", "/v1/models", sbmlcompose.ModelToString(m))
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("seed: %d", rec.Code)
 	}
 
 	simReq := map[string]any{"id": "sim_m", "t0": 0, "t1": 1, "step": 0.1}
-	rec, payload := do(t, s, "POST", "/simulate", jsonBody(t, simReq))
+	rec, payload := do(t, s, "POST", "/v1/simulate", jsonBody(t, simReq))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /simulate: %d %v", rec.Code, payload)
 	}
@@ -148,18 +148,18 @@ func TestSimulateCheckHealthzEndpoints(t *testing.T) {
 	}
 	simReq["method"] = "ssa"
 	simReq["seed"] = 42
-	rec, _ = do(t, s, "POST", "/simulate", jsonBody(t, simReq))
+	rec, _ = do(t, s, "POST", "/v1/simulate", jsonBody(t, simReq))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /simulate ssa: %d", rec.Code)
 	}
 	simReq["method"] = "quantum"
-	rec, _ = do(t, s, "POST", "/simulate", jsonBody(t, simReq))
+	rec, _ = do(t, s, "POST", "/v1/simulate", jsonBody(t, simReq))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad method: %d", rec.Code)
 	}
 	simReq["method"] = "ode"
 	simReq["id"] = "missing"
-	rec, _ = do(t, s, "POST", "/simulate", jsonBody(t, simReq))
+	rec, _ = do(t, s, "POST", "/v1/simulate", jsonBody(t, simReq))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("simulate missing model: %d", rec.Code)
 	}
@@ -168,12 +168,12 @@ func TestSimulateCheckHealthzEndpoints(t *testing.T) {
 		"id": "sim_m", "formula": "G({" + m.Species[0].ID + " >= 0})",
 		"t0": 0, "t1": 1, "step": 0.1,
 	}
-	rec, payload = do(t, s, "POST", "/check", jsonBody(t, checkReq))
+	rec, payload = do(t, s, "POST", "/v1/check", jsonBody(t, checkReq))
 	if rec.Code != http.StatusOK || payload["satisfied"] != true {
 		t.Fatalf("POST /check: %d %v", rec.Code, payload)
 	}
 
-	rec, payload = do(t, s, "GET", "/healthz", "")
+	rec, payload = do(t, s, "GET", "/v1/healthz", "")
 	if rec.Code != http.StatusOK || payload["status"] != "ok" {
 		t.Fatalf("GET /healthz: %d %v", rec.Code, payload)
 	}
@@ -181,7 +181,7 @@ func TestSimulateCheckHealthzEndpoints(t *testing.T) {
 		t.Fatalf("healthz models = %v, want 1", payload["models"])
 	}
 	endpoints := payload["endpoints"].(map[string]any)
-	sim := endpoints["POST /simulate"].(map[string]any)
+	sim := endpoints["POST /v1/simulate"].(map[string]any)
 	if sim["count"].(float64) != 4 {
 		t.Fatalf("per-endpoint count for /simulate = %v, want 4", sim["count"])
 	}
@@ -195,8 +195,8 @@ func TestSimulateCheckHealthzEndpoints(t *testing.T) {
 func TestMethodRouting(t *testing.T) {
 	s := testServer()
 	for _, tc := range []struct{ method, path string }{
-		{"GET", "/models"},
-		{"PUT", "/search"},
+		{"GET", "/v1/models"},
+		{"PUT", "/v1/search"},
 		{"GET", "/nope"},
 	} {
 		req := httptest.NewRequest(tc.method, tc.path, bytes.NewReader(nil))

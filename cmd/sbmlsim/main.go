@@ -6,26 +6,44 @@
 //	sbmlsim [-method ode|ssa] [-t1 10] [-step 0.1] [-seed 1] model.xml
 //	sbmlsim -method ssa -runs 100 -workers 8 model.xml   mean of 100 runs
 //	sbmlsim -rss other.csv model.xml        compare against a stored trace
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the in-flight simulation at its next
+// integrator step (or stochastic-event check), prints what was in
+// progress to stderr, and exits 130 without emitting a truncated CSV.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/trace"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sbmlsim:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		method   = flag.String("method", "ode", "simulation method: ode | ssa")
 		t0       = flag.Float64("t0", 0, "start time")
@@ -45,6 +63,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cli := sbmlcompose.New()
+	start := time.Now()
 	opts := sbmlcompose.SimOptions{T0: *t0, T1: *t1, Step: *step, Seed: *seed, Adaptive: *adaptive, Workers: *workers}
 	var tr *sbmlcompose.Trace
 	switch *method {
@@ -52,17 +72,21 @@ func run() error {
 		if *runs > 1 {
 			return fmt.Errorf("-runs applies to -method ssa only")
 		}
-		tr, err = sbmlcompose.SimulateODE(m, opts)
+		tr, err = cli.SimulateODE(ctx, m, opts)
 	case "ssa":
 		if *runs > 1 {
-			tr, err = sbmlcompose.SimulateEnsembleSSA(m, *runs, opts)
+			tr, err = cli.SimulateEnsembleSSA(ctx, m, *runs, opts)
 		} else {
-			tr, err = sbmlcompose.SimulateSSA(m, opts)
+			tr, err = cli.SimulateSSA(ctx, m, opts)
 		}
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "sbmlsim: cancelled %s run of %s after %s (t1=%g, %d run(s)); no CSV written\n",
+				*method, flag.Arg(0), time.Since(start).Round(time.Millisecond), *t1, *runs)
+		}
 		return err
 	}
 	if *rssPath != "" {

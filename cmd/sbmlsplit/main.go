@@ -8,26 +8,43 @@
 //	sbmlsplit -dir parts model.xml      write one SBML file per component
 //	sbmlsplit -graph model.xml          print the reaction graph
 //	sbmlsplit -zoom model.xml           print the compartment-level graph
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels a -dir write between part files: the
+// parts already written remain valid and a partial-progress line goes to
+// stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"sbmlcompose"
 	"sbmlcompose/internal/graph"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Once the first signal has cancelled ctx, restore the default
+	// disposition so a second Ctrl-C kills the process immediately
+	// instead of being swallowed by the still-registered handler.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sbmlsplit:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		dir       = flag.String("dir", "", "write one SBML file per component to this directory")
 		showGraph = flag.Bool("graph", false, "print the species reaction graph")
@@ -69,6 +86,10 @@ func run() error {
 	fmt.Printf("%s: %d species, %d reactions → %d independent subnetworks\n",
 		m.ID, len(m.Species), len(m.Reactions), len(parts))
 	for i, p := range parts {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "sbmlsplit: cancelled after %d/%d parts\n", i, len(parts))
+			return err
+		}
 		fmt.Printf("  part %d (%s): %d species, %d reactions\n",
 			i+1, p.ID, len(p.Species), len(p.Reactions))
 		if *dir != "" {

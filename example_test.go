@@ -1,8 +1,11 @@
 package sbmlcompose_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"sbmlcompose"
 )
@@ -92,4 +95,65 @@ func ExampleCheckProperty() {
 	fmt.Println(ok)
 	// Output:
 	// true
+}
+
+// ExampleClient shows the primary API: one configured client, every
+// long-running call context-first. Results are byte-identical to the
+// legacy package-level functions.
+func ExampleClient() {
+	cli := sbmlcompose.New() // heavy semantics, built-in synonyms
+	a, _ := cli.ParseModelString(chainAB)
+	b, _ := cli.ParseModelString(chainBC)
+
+	res, err := cli.Compose(context.Background(), a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("species: %d, reactions: %d\n", len(res.Model.Species), len(res.Model.Reactions))
+	// Output:
+	// species: 3, reactions: 2
+}
+
+// ExampleNew configures a client with functional options: light
+// semantics (no synonym table, no unit conversion) and the parallel
+// batch-composition mode on four workers.
+func ExampleNew() {
+	cli := sbmlcompose.New(
+		sbmlcompose.WithSemantics(sbmlcompose.LightSemantics),
+		sbmlcompose.WithParallel(4),
+	)
+	a, _ := cli.ParseModelString(chainAB)
+	b, _ := cli.ParseModelString(chainBC)
+	res, err := cli.ComposeAll(context.Background(), []*sbmlcompose.Model{a, b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d models into %d species\n", 2, len(res.Model.Species))
+	// Output:
+	// merged 2 models into 3 species
+}
+
+// ExampleClient_EstimateProbability bounds a Monte Carlo probability
+// estimate with a deadline: the runs stop between (and inside) stochastic
+// simulations when the deadline passes, returning
+// context.DeadlineExceeded instead of running to completion. With a
+// generous deadline the estimate is the deterministic per-seed value.
+func ExampleClient_EstimateProbability() {
+	cli := sbmlcompose.New()
+	m, _ := cli.ParseModelString(chainAB)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	p, err := cli.EstimateProbability(ctx, m, "F({B > 200})", 40,
+		sbmlcompose.SimOptions{T0: 0, T1: 20, Step: 0.5, Seed: 1})
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("out of time")
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P = %.2f\n", p)
+	// Output:
+	// P = 1.00
 }

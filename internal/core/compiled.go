@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -445,6 +447,13 @@ func (cm *CompiledModel) rekeyMathIndexes(funcs, algs, cons, events bool) {
 
 // --- streaming incremental composer ---
 
+// ErrComposerPoisoned marks a Composer whose accumulator was abandoned
+// mid-mutation by a cancelled AddContext. Every later Add/AddContext fails
+// with an error wrapping it, and Result/Model/Snapshot return nil: the
+// accumulator holds an arbitrary prefix of the cancelled step and must not
+// be observed. Err exposes the original cancellation cause.
+var ErrComposerPoisoned = errors.New("composer poisoned by cancelled Add")
+
 // Composer assembles a composed model incrementally: each Add folds one
 // more model into a persistent compiled accumulator, updating the
 // accumulator's indexes in place instead of recompiling them — the
@@ -454,6 +463,10 @@ type Composer struct {
 	opts Options
 	acc  *CompiledModel
 	res  *Result
+	// err, once set, poisons the composer: a cancelled AddContext
+	// interrupted the step pipeline mid-mutation, so the accumulator is an
+	// arbitrary prefix of that step and no longer safe to extend or read.
+	err error
 }
 
 // NewComposer returns an empty streaming composer. The first Add seeds the
@@ -480,8 +493,27 @@ func NewComposerFrom(cm *CompiledModel) *Composer {
 // onto the composer's Result exactly as the sequential left fold reports
 // them: earlier steps win when two steps map or rename the same id.
 func (c *Composer) Add(m *sbml.Model) error {
+	return c.AddContext(context.Background(), m)
+}
+
+// AddContext is Add honoring cancellation: the step pipeline checks ctx
+// between component families. Cancellation observed before the first
+// family leaves the accumulator untouched and the composer usable — the
+// same Add can simply be retried. Cancellation observed mid-pipeline has
+// already mutated the accumulator, so the composer poisons itself: the
+// interrupted state is never exposed (Result/Model/Snapshot return nil)
+// and every later Add fails with an error wrapping ErrComposerPoisoned.
+// An uncancelled context folds byte-identically to Add.
+func (c *Composer) AddContext(ctx context.Context, m *sbml.Model) error {
+	if c.err != nil {
+		return c.err
+	}
 	if m == nil {
 		return fmt.Errorf("core: Composer.Add requires a non-nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		// Nothing has been touched yet: fail cleanly without poisoning.
+		return err
 	}
 	start := time.Now()
 	defer func() { c.res.Stats.Duration += time.Since(start) }()
@@ -508,7 +540,15 @@ func (c *Composer) Add(m *sbml.Model) error {
 	step := &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
 	cs := newStepComposer(c.acc, m.Clone(), step)
 	cs.secondValues = collectInitialValues(m)
-	cs.runPipeline()
+	if err := cs.runPipelineCtx(ctx); err != nil {
+		// The pipeline stopped between families: earlier families already
+		// landed in the accumulator, so it no longer equals any fold
+		// prefix. Refuse all further use rather than expose it.
+		c.err = fmt.Errorf("core: %w: %w", ErrComposerPoisoned, err)
+		c.acc = nil
+		c.res = &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
+		return err
+	}
 	// The accumulator outlives this step; repair any math keys the step's
 	// renames rewrote and fold the step's value changes into the values
 	// map. A one-shot Compose skips both, its compiled state dies with the
@@ -518,6 +558,10 @@ func (c *Composer) Add(m *sbml.Model) error {
 	c.mergeStep(step)
 	return nil
 }
+
+// Err returns the poison error set by a cancelled AddContext, or nil while
+// the composer is healthy.
+func (c *Composer) Err() error { return c.err }
 
 // mergeStep folds one pairwise step's result into the cumulative result,
 // replicating the left fold's aggregation: warnings and matches append in
@@ -542,13 +586,19 @@ func (c *Composer) mergeStep(step *Result) {
 	c.res.Stats.Conflicts += step.Stats.Conflicts
 }
 
-// Result returns the cumulative composition result. The result (and its
+// Result returns the cumulative composition result, or nil when the
+// composer was poisoned by a cancelled AddContext. The result (and its
 // Model) is live: subsequent Adds keep extending it.
-func (c *Composer) Result() *Result { return c.res }
+func (c *Composer) Result() *Result {
+	if c.err != nil {
+		return nil
+	}
+	return c.res
+}
 
-// Model returns the live accumulator model, or nil before the first Add.
-// Mutating it would desynchronize the compiled indexes; use Snapshot for a
-// safe copy.
+// Model returns the live accumulator model, or nil before the first Add or
+// after poisoning. Mutating it would desynchronize the compiled indexes;
+// use Snapshot for a safe copy.
 func (c *Composer) Model() *sbml.Model {
 	if c.acc == nil {
 		return nil
@@ -557,7 +607,7 @@ func (c *Composer) Model() *sbml.Model {
 }
 
 // Snapshot returns a deep copy of the accumulator, or nil before the first
-// Add.
+// Add or after poisoning.
 func (c *Composer) Snapshot() *sbml.Model {
 	if c.acc == nil {
 		return nil

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -239,26 +240,58 @@ func newStepComposer(acc *CompiledModel, second *sbml.Model, res *Result) *compo
 // keys afterwards (rekeyMathIndexes) if the step mapped or renamed ids; a
 // one-shot Compose skips that, its indexes die with the call.
 func (c *composer) runPipeline() {
-	c.composeFunctionDefinitions()
-	c.composeUnitDefinitions()
-	c.composeCompartmentTypes()
-	c.composeSpeciesTypes()
-	c.composeCompartments()
-	c.composeSpecies()
-	c.composeParameters()
-	c.composeInitialAssignments()
-	c.composeRules()
-	c.composeConstraints()
-	c.composeReactions()
-	c.composeEvents()
+	_ = c.runPipelineCtx(context.Background())
+}
+
+// runPipelineCtx is runPipeline with cancellation checked between component
+// families (Figure 4's stages are the step's natural units of work). On
+// cancellation it stops before the next family and returns the context's
+// error; families already composed have mutated the accumulator, so callers
+// that keep the accumulator must treat a non-nil return as poisoning it.
+// The check sequence never alters the composition itself: an uncancelled
+// context yields byte-identical results to runPipeline.
+func (c *composer) runPipelineCtx(ctx context.Context) error {
+	stages := []func(){
+		c.composeFunctionDefinitions,
+		c.composeUnitDefinitions,
+		c.composeCompartmentTypes,
+		c.composeSpeciesTypes,
+		c.composeCompartments,
+		c.composeSpecies,
+		c.composeParameters,
+		c.composeInitialAssignments,
+		c.composeRules,
+		c.composeConstraints,
+		c.composeReactions,
+		c.composeEvents,
+	}
+	for _, stage := range stages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stage()
+	}
+	return nil
 }
 
 // Compose merges model b into a copy of model a following Figures 4 and 5.
 // Neither input is modified. The error is non-nil only for nil inputs;
 // model-level conflicts are resolved first-wins and reported as warnings.
 func Compose(a, b *sbml.Model, opts Options) (*Result, error) {
+	return ComposeContext(context.Background(), a, b, opts)
+}
+
+// ComposeContext is Compose honoring cancellation: the pairwise step checks
+// ctx between component families and returns ctx's error without producing
+// a model when the context is done. All compiled state is private to the
+// call, so a cancelled ComposeContext leaves nothing half-mutated. An
+// uncancelled context yields results byte-identical to Compose.
+func ComposeContext(ctx context.Context, a, b *sbml.Model, opts Options) (*Result, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("core: Compose requires two non-nil models (got %v, %v)", a != nil, b != nil)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	// Figure 5 lines 1-2: if one model is empty, return the other.
@@ -277,7 +310,9 @@ func Compose(a, b *sbml.Model, opts Options) (*Result, error) {
 	res := &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
 	c := newStepComposer(compile(a.Clone(), opts), b.Clone(), res)
 	c.secondValues = collectInitialValues(b)
-	c.runPipeline()
+	if err := c.runPipelineCtx(ctx); err != nil {
+		return nil, err
+	}
 	res.Model = c.out
 	res.Stats.Duration = time.Since(start)
 	return res, nil
@@ -289,7 +324,13 @@ func Compose(a, b *sbml.Model, opts Options) (*Result, error) {
 // matches pair first-model ids with the second-model ids identified with
 // them.
 func MatchModels(a, b *sbml.Model, opts Options) ([]Match, error) {
-	res, err := Compose(a, b, opts)
+	return MatchModelsContext(context.Background(), a, b, opts)
+}
+
+// MatchModelsContext is MatchModels honoring cancellation; see
+// ComposeContext.
+func MatchModelsContext(ctx context.Context, a, b *sbml.Model, opts Options) ([]Match, error) {
+	res, err := ComposeContext(ctx, a, b, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +348,16 @@ func MatchModels(a, b *sbml.Model, opts Options) ([]Match, error) {
 // switches to a deterministic balanced-binary-reduction merge across a
 // worker pool (see Options.Parallel).
 func ComposeAll(models []*sbml.Model, opts Options) (*Result, error) {
+	return ComposeAllContext(context.Background(), models, opts)
+}
+
+// ComposeAllContext is ComposeAll honoring cancellation: the sequential
+// fold checks ctx between component families of every Add, and the parallel
+// reduction's workers check it between tree nodes. A cancelled call returns
+// ctx's error and no model; all accumulators are private to the call, so
+// nothing half-mutated escapes. An uncancelled context yields results
+// byte-identical to ComposeAll at every worker count.
+func ComposeAllContext(ctx context.Context, models []*sbml.Model, opts Options) (*Result, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("core: ComposeAll requires at least one model")
 	}
@@ -316,11 +367,11 @@ func ComposeAll(models []*sbml.Model, opts Options) (*Result, error) {
 		}
 	}
 	if opts.Parallel && len(models) > 1 {
-		return composeAllParallel(models, opts)
+		return composeAllParallel(ctx, models, opts)
 	}
 	c := NewComposer(opts)
 	for _, m := range models {
-		if err := c.Add(m); err != nil {
+		if err := c.AddContext(ctx, m); err != nil {
 			return nil, err
 		}
 	}

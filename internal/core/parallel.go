@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sync"
@@ -33,8 +34,12 @@ type reduceNode struct {
 }
 
 // composeAllParallel reduces the models pairwise until one result remains.
-// Callers guarantee len(models) >= 2 and no nil entries.
-func composeAllParallel(models []*sbml.Model, opts Options) (*Result, error) {
+// Callers guarantee len(models) >= 2 and no nil entries. Cancellation is
+// checked by every worker between tree nodes (and between component
+// families inside a node): a cancelled call drains its pool, discards all
+// partial accumulators — none of which are reachable by the caller — and
+// returns ctx's error.
+func composeAllParallel(ctx context.Context, models []*sbml.Model, opts Options) (*Result, error) {
 	start := time.Now()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -49,20 +54,32 @@ func composeAllParallel(models []*sbml.Model, opts Options) (*Result, error) {
 	// (synonym expansion, math patterns, unit vectors), so spread it over
 	// the pool too.
 	level := make([]*reduceNode, len(models))
-	runLimited(workers, len(models), func(i int) {
+	err := runLimited(ctx, workers, len(models), func(i int) error {
 		start := time.Now()
 		acc := compile(models[i].Clone(), opts)
 		res := &Result{Model: acc.model, Mappings: map[string]string{}, Renames: map[string]string{}}
 		res.Stats.Duration = time.Since(start)
 		level[i] = &reduceNode{acc: acc, res: res}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	for len(level) > 1 {
 		pairs := len(level) / 2
 		next := make([]*reduceNode, pairs, pairs+1)
-		runLimited(workers, pairs, func(i int) {
-			next[i] = mergeReduceNodes(level[2*i], level[2*i+1])
+		err := runLimited(ctx, workers, pairs, func(i int) error {
+			node, err := mergeReduceNodes(ctx, level[2*i], level[2*i+1])
+			if err != nil {
+				return err
+			}
+			next[i] = node
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		if len(level)%2 == 1 {
 			next = append(next, level[len(level)-1])
 		}
@@ -78,33 +95,59 @@ func composeAllParallel(models []*sbml.Model, opts Options) (*Result, error) {
 
 // runLimited executes fn(0..n-1) across at most `workers` goroutines.
 // Which worker runs which index is scheduling-dependent, but fn(i) writes
-// only slot i, so results don't depend on the assignment.
-func runLimited(workers, n int, fn func(i int)) {
+// only slot i, so results don't depend on the assignment. Workers check
+// ctx before claiming each unit and stop claiming once it is done or any
+// fn fails; every started fn runs to completion (or its own internal ctx
+// check), the pool always drains, and the first error observed in claim
+// order is returned. Errors arise only from cancellation here, so which
+// unit reports it doesn't affect determinism of successful runs.
+func runLimited(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					failed.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // mergeReduceNodes folds the right subtree's model into the left subtree's
 // compiled accumulator and combines the reports. Both children are owned by
-// the reduction, so nothing is cloned; the right accumulator dies here.
-func mergeReduceNodes(left, right *reduceNode) *reduceNode {
+// the reduction, so nothing is cloned; the right accumulator dies here. A
+// mid-merge cancellation abandons the (now inconsistent) left accumulator,
+// which is safe because the whole reduction is discarded with it.
+func mergeReduceNodes(ctx context.Context, left, right *reduceNode) (*reduceNode, error) {
 	start := time.Now()
 	// Figure 5 lines 1-2: composing with an empty model returns the other —
 	// like pairwise Compose, an empty left side adopts the right even when
@@ -113,12 +156,12 @@ func mergeReduceNodes(left, right *reduceNode) *reduceNode {
 		node := &Result{Model: right.acc.model, Mappings: map[string]string{}, Renames: map[string]string{}}
 		node.Stats.Added = right.acc.model.ComponentCount()
 		node.Stats.Duration = time.Since(start)
-		return &reduceNode{acc: right.acc, res: combineNode(left.res, right.res, node)}
+		return &reduceNode{acc: right.acc, res: combineNode(left.res, right.res, node)}, nil
 	}
 	if right.acc.model.ComponentCount() == 0 {
 		node := &Result{Model: left.acc.model, Mappings: map[string]string{}, Renames: map[string]string{}}
 		node.Stats.Duration = time.Since(start)
-		return &reduceNode{acc: left.acc, res: combineNode(left.res, right.res, node)}
+		return &reduceNode{acc: left.acc, res: combineNode(left.res, right.res, node)}, nil
 	}
 
 	step := &Result{Mappings: map[string]string{}, Renames: map[string]string{}}
@@ -126,14 +169,16 @@ func mergeReduceNodes(left, right *reduceNode) *reduceNode {
 	// The right accumulator's values map is flushed (leaf compiles and
 	// child folds both settle it), so it already equals the scan.
 	cs.secondValues = right.acc.values
-	cs.runPipeline()
+	if err := cs.runPipelineCtx(ctx); err != nil {
+		return nil, err
+	}
 	// The accumulator survives into the parent merge; repair any math keys
 	// this step's renames rewrote and settle its initial-value map.
 	cs.repairMathKeys()
 	left.acc.flushValues()
 	step.Model = left.acc.model
 	step.Stats.Duration = time.Since(start)
-	return &reduceNode{acc: left.acc, res: combineNode(left.res, right.res, step)}
+	return &reduceNode{acc: left.acc, res: combineNode(left.res, right.res, step)}, nil
 }
 
 // combineNode merges two child results with the result of composing their

@@ -23,6 +23,7 @@
 package corpus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -115,6 +116,12 @@ type SearchOptions struct {
 	// TopK bounds the number of returned hits; 0 defaults to 5, negative
 	// means unbounded.
 	TopK int
+	// Offset skips that many ranked hits before TopK applies — the
+	// pagination window [Offset, Offset+TopK) of the global ranking. It is
+	// honored inside the ranking merge, so page N of a search equals the
+	// corresponding slice of an unpaginated ranking at every shard and
+	// worker count. Negative is treated as 0.
+	Offset int
 	// Cutoff drops component correspondences whose tier weight is below it
 	// (the score-matrix cutoff): 0 keeps every tier, 2.5 keeps only exact
 	// and synonym evidence, 5 disables matching entirely.
@@ -323,6 +330,17 @@ func (c *Corpus) Remove(id string) (bool, error) {
 // provably consistent with the dumped state, which is what makes a
 // snapshot's "records ≤ LastSeq are included" claim true.
 func (c *Corpus) DumpConsistent(before func()) []ModelBlob {
+	blobs, _ := c.DumpConsistentContext(context.Background(), before)
+	return blobs
+}
+
+// DumpConsistentContext is DumpConsistent honoring cancellation: ctx is
+// checked between entries while the per-model XML renders run (the dump's
+// units of work), so a snapshot of a large corpus can be abandoned without
+// holding every shard read lock for its full duration. A cancelled dump
+// returns ctx's error and no blobs; the corpus is read-locked only, so no
+// state needs undoing.
+func (c *Corpus) DumpConsistentContext(ctx context.Context, before func()) ([]ModelBlob, error) {
 	for _, sh := range c.shards {
 		sh.mu.RLock()
 	}
@@ -337,11 +355,14 @@ func (c *Corpus) DumpConsistent(before func()) []ModelBlob {
 	var blobs []ModelBlob
 	for _, sh := range c.shards {
 		for id, e := range sh.entries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			blobs = append(blobs, ModelBlob{ID: id, SBML: canonicalBytes(e.cm.Model())})
 		}
 	}
 	sort.Slice(blobs, func(i, j int) bool { return blobs[i].ID < blobs[j].ID })
-	return blobs
+	return blobs, nil
 }
 
 // Len returns the number of stored models.
@@ -397,15 +418,29 @@ func (c *Corpus) lookup(id string) (*entry, bool) {
 // the corpus match options — the "find a composition partner, then
 // compose" workflow. Neither the stored model nor the query is mutated.
 func (c *Corpus) ComposeWith(id string, query *sbml.Model) (*core.Result, error) {
+	return c.ComposeWithContext(context.Background(), id, query)
+}
+
+// ComposeWithContext is ComposeWith honoring cancellation: the pairwise
+// composition checks ctx between component families. All compiled state is
+// private to the call (the stored model is never mutated), so a cancelled
+// compose leaves the corpus untouched.
+func (c *Corpus) ComposeWithContext(ctx context.Context, id string, query *sbml.Model) (*core.Result, error) {
 	e, ok := c.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
 	}
-	return core.Compose(e.cm.Model(), query, c.opts.Match)
+	return core.ComposeContext(ctx, e.cm.Model(), query, c.opts.Match)
 }
 
 // SimulateODE integrates a stored model on its cached engine.
 func (c *Corpus) SimulateODE(id string, opts sim.Options) (*trace.Trace, error) {
+	return c.SimulateODEContext(context.Background(), id, opts)
+}
+
+// SimulateODEContext is SimulateODE honoring cancellation: the integrator
+// checks ctx between output steps.
+func (c *Corpus) SimulateODEContext(ctx context.Context, id string, opts sim.Options) (*trace.Trace, error) {
 	e, ok := c.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
@@ -414,12 +449,18 @@ func (c *Corpus) SimulateODE(id string, opts sim.Options) (*trace.Trace, error) 
 	if err != nil {
 		return nil, err
 	}
-	return eng.ODE(opts)
+	return eng.ODECtx(ctx, opts)
 }
 
 // SimulateSSA runs Gillespie's direct method on a stored model's cached
 // engine.
 func (c *Corpus) SimulateSSA(id string, opts sim.Options) (*trace.Trace, error) {
+	return c.SimulateSSAContext(context.Background(), id, opts)
+}
+
+// SimulateSSAContext is SimulateSSA honoring cancellation: the event loop
+// checks ctx periodically mid-run.
+func (c *Corpus) SimulateSSAContext(ctx context.Context, id string, opts sim.Options) (*trace.Trace, error) {
 	e, ok := c.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
@@ -428,12 +469,18 @@ func (c *Corpus) SimulateSSA(id string, opts sim.Options) (*trace.Trace, error) 
 	if err != nil {
 		return nil, err
 	}
-	return eng.SSA(opts)
+	return eng.SSACtx(ctx, opts)
 }
 
 // CheckProperty evaluates a temporal-logic formula (mc2 syntax) over a
 // deterministic simulation of a stored model, reusing the cached engine.
 func (c *Corpus) CheckProperty(id string, formula string, opts sim.Options) (bool, error) {
+	return c.CheckPropertyContext(context.Background(), id, formula, opts)
+}
+
+// CheckPropertyContext is CheckProperty honoring cancellation during the
+// underlying ODE simulation.
+func (c *Corpus) CheckPropertyContext(ctx context.Context, id string, formula string, opts sim.Options) (bool, error) {
 	f, err := mc2.Parse(formula)
 	if err != nil {
 		return false, err
@@ -446,7 +493,7 @@ func (c *Corpus) CheckProperty(id string, formula string, opts sim.Options) (boo
 	if err != nil {
 		return false, err
 	}
-	tr, err := eng.ODE(opts)
+	tr, err := eng.ODECtx(ctx, opts)
 	if err != nil {
 		return false, err
 	}
@@ -467,7 +514,7 @@ func (c *Corpus) compileQuery(query *sbml.Model) ([]core.ComponentKey, int, erro
 		return qcm.MatchKeys(), qcm.MatchableComponents(), nil
 	}
 	key := string(canonicalBytes(query))
-	if cq, ok := c.queries.get(key); ok {
+	if cq, ok := c.queries.Get(key); ok {
 		return cq.keys, cq.denom, nil
 	}
 	qcm, err := core.Compile(query, c.opts.Match)
@@ -475,7 +522,7 @@ func (c *Corpus) compileQuery(query *sbml.Model) ([]core.ComponentKey, int, erro
 		return nil, 0, err
 	}
 	cq := &cachedQuery{keys: qcm.MatchKeys(), denom: qcm.MatchableComponents()}
-	c.queries.put(key, cq)
+	c.queries.Put(key, cq)
 	return cq.keys, cq.denom, nil
 }
 
@@ -484,13 +531,31 @@ func (c *Corpus) compileQuery(query *sbml.Model) ([]core.ComponentKey, int, erro
 // models sharing no key with the query are never touched; candidates are
 // then scored concurrently (greedy maximum-weight assignment over the
 // shared-key score matrix) and merged into one global ranking: score
-// descending, model id ascending on ties, truncated to TopK.
+// descending, model id ascending on ties, windowed to [Offset,
+// Offset+TopK).
 func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
+	return c.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search honoring cancellation: ctx is checked between
+// shards during retrieval and by every scoring worker between candidates.
+// A cancelled search drains its worker pool (nothing outlives the call),
+// leaves the corpus untouched — Search never mutates shared state, so a
+// follow-up query behaves as if the cancelled one never ran — and returns
+// ctx's error. An uncancelled context ranks identically to Search at every
+// shard and worker count.
+func (c *Corpus) SearchContext(ctx context.Context, query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 	if query == nil {
 		return nil, fmt.Errorf("corpus: Search requires a non-nil query")
 	}
 	if opts.TopK == 0 {
 		opts.TopK = 5
+	}
+	if opts.Offset < 0 {
+		opts.Offset = 0
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	qkeys, denom, err := c.compileQuery(query)
 	if err != nil {
@@ -503,6 +568,9 @@ func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 	// cannot influence it.
 	cells := make(map[string]*candidate)
 	for _, sh := range c.shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sh.mu.RLock()
 		for _, qk := range qkeys {
 			if qk.Tier.Weight() < opts.Cutoff {
@@ -531,7 +599,9 @@ func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 
 	// Scoring: fan the candidates out across the worker pool. Candidates
 	// are ordered by id first so the result slice layout is deterministic;
-	// each score depends only on the candidate's own cells.
+	// each score depends only on the candidate's own cells. Workers check
+	// ctx between candidates and bail early when it fires; the partial
+	// hits slice is then discarded.
 	cands := make([]*candidate, 0, len(cells))
 	for _, cand := range cells {
 		cands = append(cands, cand)
@@ -548,14 +618,22 @@ func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(cands); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				hits[i] = cands[i].assign(denom, opts.Cutoff)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Deterministic global merge: drop empty/sub-threshold hits, rank by
-	// score then id, truncate.
+	// score then id, then cut the pagination window out of the full
+	// ranking — Offset models skipped here, inside the merge, so a page is
+	// exactly the corresponding slice of the unpaginated ranking.
 	ranked := hits[:0]
 	for _, h := range hits {
 		if h.Matched == 0 || h.Score < opts.MinScore {
@@ -569,6 +647,12 @@ func (c *Corpus) Search(query *sbml.Model, opts SearchOptions) ([]Hit, error) {
 		}
 		return ranked[i].ModelID < ranked[j].ModelID
 	})
+	if opts.Offset > 0 {
+		if opts.Offset >= len(ranked) {
+			return nil, nil
+		}
+		ranked = ranked[opts.Offset:]
+	}
 	if opts.TopK >= 0 && len(ranked) > opts.TopK {
 		ranked = ranked[:opts.TopK]
 	}

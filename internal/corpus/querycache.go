@@ -1,10 +1,8 @@
 package corpus
 
 import (
-	"container/list"
-	"sync"
-
 	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/lru"
 )
 
 // This file implements the compiled-query LRU behind Search. PR 3 noted
@@ -26,58 +24,10 @@ type cachedQuery struct {
 	denom int
 }
 
-// queryCache is a mutex-guarded LRU: front of the list is most recent.
-type queryCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
-	byKey map[string]*list.Element
-}
-
-// lruEntry is the list element payload.
-type lruEntry struct {
-	key string
-	cq  *cachedQuery
-}
+// queryCache is the shared mutex-guarded LRU (internal/lru) specialized
+// to compiled queries.
+type queryCache = lru.Cache[*cachedQuery]
 
 func newQueryCache(max int) *queryCache {
-	return &queryCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
-}
-
-// get returns the cached compile for key, marking it most recently used.
-func (qc *queryCache) get(key string) (*cachedQuery, bool) {
-	qc.mu.Lock()
-	defer qc.mu.Unlock()
-	el, ok := qc.byKey[key]
-	if !ok {
-		return nil, false
-	}
-	qc.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).cq, true
-}
-
-// put inserts a freshly compiled query, evicting the least recently used
-// entry past capacity. A concurrent duplicate insert keeps the newer
-// value; both are equal by construction.
-func (qc *queryCache) put(key string, cq *cachedQuery) {
-	qc.mu.Lock()
-	defer qc.mu.Unlock()
-	if el, ok := qc.byKey[key]; ok {
-		qc.ll.MoveToFront(el)
-		el.Value.(*lruEntry).cq = cq
-		return
-	}
-	qc.byKey[key] = qc.ll.PushFront(&lruEntry{key: key, cq: cq})
-	for qc.ll.Len() > qc.max {
-		last := qc.ll.Back()
-		qc.ll.Remove(last)
-		delete(qc.byKey, last.Value.(*lruEntry).key)
-	}
-}
-
-// len reports the number of cached queries (test hook).
-func (qc *queryCache) len() int {
-	qc.mu.Lock()
-	defer qc.mu.Unlock()
-	return qc.ll.Len()
+	return lru.New[*cachedQuery](max)
 }

@@ -45,7 +45,7 @@ func TestQueryCacheRankingsIdentical(t *testing.T) {
 			t.Fatalf("warm cached search diverges for %s:\n got %+v\nwant %+v", query.ID, warm, want)
 		}
 	}
-	if got := cached.queries.len(); got != 3 {
+	if got := cached.queries.Len(); got != 3 {
 		t.Fatalf("cache holds %d queries, want 3", got)
 	}
 
@@ -74,31 +74,31 @@ func TestQueryCacheRankingsIdentical(t *testing.T) {
 func TestQueryCacheEvictsLRU(t *testing.T) {
 	qc := newQueryCache(2)
 	a, b, c := &cachedQuery{denom: 1}, &cachedQuery{denom: 2}, &cachedQuery{denom: 3}
-	qc.put("a", a)
-	qc.put("b", b)
-	if _, ok := qc.get("a"); !ok { // touch a: b becomes LRU
+	qc.Put("a", a)
+	qc.Put("b", b)
+	if _, ok := qc.Get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	qc.put("c", c)
-	if qc.len() != 2 {
-		t.Fatalf("cache len = %d, want 2", qc.len())
+	qc.Put("c", c)
+	if qc.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", qc.Len())
 	}
-	if _, ok := qc.get("b"); ok {
+	if _, ok := qc.Get("b"); ok {
 		t.Fatal("b survived eviction despite being LRU")
 	}
-	if got, ok := qc.get("a"); !ok || got != a {
+	if got, ok := qc.Get("a"); !ok || got != a {
 		t.Fatal("a evicted despite recent use")
 	}
-	if got, ok := qc.get("c"); !ok || got != c {
+	if got, ok := qc.Get("c"); !ok || got != c {
 		t.Fatal("c missing after insert")
 	}
 	// Duplicate put keeps one entry and the newer value.
 	c2 := &cachedQuery{denom: 4}
-	qc.put("c", c2)
-	if qc.len() != 2 {
-		t.Fatalf("duplicate put grew the cache: %d", qc.len())
+	qc.Put("c", c2)
+	if qc.Len() != 2 {
+		t.Fatalf("duplicate put grew the cache: %d", qc.Len())
 	}
-	if got, _ := qc.get("c"); got != c2 {
+	if got, _ := qc.Get("c"); got != c2 {
 		t.Fatal("duplicate put kept the stale value")
 	}
 }

@@ -37,6 +37,7 @@
 package mc2
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -480,6 +481,18 @@ func newEstimate(satisfied, runs int) Estimate {
 // per-run seeds are those of the serial order, so the estimate is identical
 // for every worker count.
 func Probability(m *sbml.Model, f Formula, runs int, opts sim.Options) (Estimate, error) {
+	return ProbabilityContext(context.Background(), m, f, runs, opts)
+}
+
+// ProbabilityContext is Probability honoring cancellation: ctx is checked
+// between runs by the worker pool and inside each SSA event loop, the pool
+// drains before the call returns, and a cancelled estimate returns ctx's
+// error (never a partial fraction). An uncancelled context yields an
+// estimate bit-identical to Probability at every worker count.
+func ProbabilityContext(ctx context.Context, m *sbml.Model, f Formula, runs int, opts sim.Options) (Estimate, error) {
+	// Validate before compiling: an invalid runs count must fail with the
+	// argument error (as Probability always has), not with whatever the
+	// model's compilation happens to say, and must not pay a compile.
 	if runs <= 0 {
 		return Estimate{}, fmt.Errorf("mc2: runs must be positive")
 	}
@@ -487,15 +500,27 @@ func Probability(m *sbml.Model, f Formula, runs int, opts sim.Options) (Estimate
 	if err != nil {
 		return Estimate{}, err
 	}
+	return ProbabilityEngine(ctx, eng, f, runs, opts)
+}
+
+// ProbabilityEngine is ProbabilityContext over an already-compiled engine —
+// the repeated-request form: callers holding a model's engine (the facade
+// client's LRU, the corpus's per-entry cache) amortize compilation across
+// estimates. The estimate is bit-identical to Probability's for the same
+// model, seeds and runs.
+func ProbabilityEngine(ctx context.Context, eng *sim.Engine, f Formula, runs int, opts sim.Options) (Estimate, error) {
+	if runs <= 0 {
+		return Estimate{}, fmt.Errorf("mc2: runs must be positive")
+	}
 	prep, err := prepare(f, eng.SpeciesIDs())
 	if err != nil {
 		return Estimate{}, err
 	}
 	sat := make([]bool, runs)
-	err = sim.RunParallel(runs, opts.Workers, func(i int) error {
+	err = sim.RunParallelCtx(ctx, runs, opts.Workers, func(i int) error {
 		runOpts := opts
 		runOpts.Seed = opts.Seed + int64(i)
-		tr, err := eng.SSA(runOpts)
+		tr, err := eng.SSACtx(ctx, runOpts)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,157 @@
+package sim
+
+// Cancellation tests for the engine's context-aware run paths: the ODE
+// step loop, the SSA event loop (checked every ssaCtxCheckEvery events),
+// and the multi-run worker pool, including goroutine-leak checks.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingCtx reports Canceled from the (n+1)-th Err() call on.
+type countingCtx struct {
+	mu        sync.Mutex
+	remaining int
+	done      chan struct{}
+}
+
+func newCountingCtx(n int) *countingCtx {
+	return &countingCtx{remaining: n, done: make(chan struct{})}
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}       { return c.done }
+func (c *countingCtx) Value(any) any               { return nil }
+
+func (c *countingCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestODECtxCancelsMidIntegration(t *testing.T) {
+	e, err := Compile(decayModel(0.5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{T1: 10, Step: 0.01}
+	// Budget 5: the run survives five step-boundary checks, then stops.
+	if _, err := e.ODECtx(newCountingCtx(5), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run ODECtx = %v, want context.Canceled", err)
+	}
+	// Pre-cancelled context: no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ODECtx(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ODECtx = %v, want context.Canceled", err)
+	}
+	// The engine is unaffected: a live run still matches an independent
+	// engine bitwise.
+	tr, err := e.ODECtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := Compile(decayModel(0.5, 100))
+	want, err := e2.ODE(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Times) != len(want.Times) || tr.Values[len(tr.Values)-1][0] != want.Values[len(want.Values)-1][0] {
+		t.Fatal("post-cancellation run diverged from fresh engine")
+	}
+}
+
+func TestSSACtxCancelsInsideEventLoop(t *testing.T) {
+	// A large initial population sustains ~1e4 Gillespie events, so the
+	// every-1024-events check fires several times inside one run.
+	e, err := Compile(decayModel(1.0, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{T1: 50, Step: 25, Seed: 7}
+	if _, err := e.SSACtx(newCountingCtx(3), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run SSACtx = %v, want context.Canceled", err)
+	}
+	// Uncancelled runs are bitwise reproducible afterwards.
+	a, err := e.SSACtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.SSA(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		for j := range a.Values[i] {
+			if a.Values[i][j] != b.Values[i][j] {
+				t.Fatalf("sample %d col %d: %v != %v after cancelled run", i, j, a.Values[i][j], b.Values[i][j])
+			}
+		}
+	}
+}
+
+// TestRunParallelCtxCancelDrainsPool cancels a parallel fan-out mid-way
+// and requires the pool to drain with no leaked goroutines and the
+// context's error reported.
+func TestRunParallelCtxCancelDrainsPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	err := func() error {
+		return RunParallelCtx(ctx, 10000, 4, func(run int) error {
+			select {
+			case started <- struct{}{}:
+				cancel() // fire cancellation from inside the first run
+			default:
+			}
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+	}()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunParallelCtx = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestEnsembleSSACtxCancelled(t *testing.T) {
+	e, err := Compile(decayModel(1.0, 1e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EnsembleSSACtx(ctx, 50, Options{T1: 20, Step: 10, Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled EnsembleSSACtx = %v, want context.Canceled", err)
+	}
+	// The engine still produces the deterministic mean afterwards.
+	m1, err := e.EnsembleSSA(8, Options{T1: 5, Step: 1, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.EnsembleSSA(8, Options{T1: 5, Step: 1, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Values {
+		if m1.Values[i][0] != m2.Values[i][0] {
+			t.Fatalf("ensemble mean differs across worker counts at sample %d", i)
+		}
+	}
+}

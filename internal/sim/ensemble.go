@@ -6,6 +6,7 @@ package sim
 // identical for every worker count — the same scheme mc2.Probability uses.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,9 +36,25 @@ func workerCount(workers, runs int) int {
 // fan-out primitive shared by EnsembleSSA and mc2.Probability; fn must be
 // safe for concurrent invocation across distinct run indexes.
 func RunParallel(runs, workers int, fn func(run int) error) error {
+	return RunParallelCtx(context.Background(), runs, workers, fn)
+}
+
+// RunParallelCtx is RunParallel honoring cancellation: workers check ctx
+// before claiming each run and stop claiming once it is done, the pool
+// always drains (no goroutine outlives the call), and a cancelled call
+// returns ctx's error. Cancellation takes precedence over per-run errors —
+// with runs above the first failure skipped, the serial-order error may
+// not have been computed when the context fired. fn should itself pass ctx
+// into long single runs (e.g. Engine.SSACtx) so cancellation lands inside
+// a run, not just between runs. An uncancelled context behaves exactly
+// like RunParallel.
+func RunParallelCtx(ctx context.Context, runs, workers int, fn func(run int) error) error {
 	errs := make([]error, runs)
 	if workers = workerCount(workers, runs); workers == 1 {
 		for i := 0; i < runs; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -57,6 +74,9 @@ func RunParallel(runs, workers int, fn func(run int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(runs) {
 					return
@@ -77,6 +97,9 @@ func RunParallel(runs, workers int, fn func(run int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -90,6 +113,12 @@ func RunParallel(runs, workers int, fn func(run int) error) error {
 // returns the mean trajectory. The mean is accumulated in run order, so the
 // result is bit-identical for every worker count.
 func EnsembleSSA(m *sbml.Model, runs int, opts Options) (*trace.Trace, error) {
+	return EnsembleSSACtx(context.Background(), m, runs, opts)
+}
+
+// EnsembleSSACtx is EnsembleSSA honoring cancellation; see
+// Engine.EnsembleSSACtx.
+func EnsembleSSACtx(ctx context.Context, m *sbml.Model, runs int, opts Options) (*trace.Trace, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("sim: ensemble runs must be positive")
 	}
@@ -97,19 +126,28 @@ func EnsembleSSA(m *sbml.Model, runs int, opts Options) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.EnsembleSSA(runs, opts)
+	return e.EnsembleSSACtx(ctx, runs, opts)
 }
 
 // EnsembleSSA is the engine form of the package-level EnsembleSSA.
 func (e *Engine) EnsembleSSA(runs int, opts Options) (*trace.Trace, error) {
+	return e.EnsembleSSACtx(context.Background(), runs, opts)
+}
+
+// EnsembleSSACtx is EnsembleSSA honoring cancellation: ctx is checked
+// between runs by the worker pool and inside each run's event loop, the
+// pool drains before the call returns, and a cancelled ensemble returns
+// ctx's error with no partial mean. An uncancelled context produces a mean
+// bit-identical to EnsembleSSA at every worker count.
+func (e *Engine) EnsembleSSACtx(ctx context.Context, runs int, opts Options) (*trace.Trace, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("sim: ensemble runs must be positive")
 	}
 	traces := make([]*trace.Trace, runs)
-	err := RunParallel(runs, opts.Workers, func(i int) error {
+	err := RunParallelCtx(ctx, runs, opts.Workers, func(i int) error {
 		runOpts := opts
 		runOpts.Seed = opts.Seed + int64(i)
-		tr, err := e.SSA(runOpts)
+		tr, err := e.SSACtx(ctx, runOpts)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ package sim
 // mc2.Probability fan one compiled model out across a worker pool.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -675,6 +676,15 @@ func sampleCapacity(opts Options) int {
 
 // ODE integrates the model deterministically; see SimulateODE.
 func (e *Engine) ODE(opts Options) (*trace.Trace, error) {
+	return e.ODECtx(context.Background(), opts)
+}
+
+// ODECtx is ODE honoring cancellation: the integrator checks ctx between
+// output steps (each covering one RK4 step or a whole RKF45 sub-step
+// sequence) and returns ctx's error mid-run. The run state is private to
+// the call, so a cancelled run leaves nothing behind; an uncancelled
+// context produces a trace bitwise identical to ODE's.
+func (e *Engine) ODECtx(ctx context.Context, opts Options) (*trace.Trace, error) {
 	opts = opts.withDefaults()
 	if opts.T1 <= opts.T0 {
 		return nil, fmt.Errorf("sim: T1 (%g) must exceed T0 (%g)", opts.T1, opts.T0)
@@ -701,6 +711,9 @@ func (e *Engine) ODE(opts Options) (*trace.Trace, error) {
 	}
 	t := opts.T0
 	for t < opts.T1-1e-12 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := opts.Step
 		if t+step > opts.T1 {
 			step = opts.T1 - t
@@ -863,8 +876,22 @@ func (rs *runState) propensities(t float64) (float64, error) {
 	return total, nil
 }
 
+// ssaCtxCheckEvery is how many Gillespie events an SSA run executes
+// between context checks: frequent enough that cancellation lands within
+// microseconds even on stiff models, rare enough that the counter is
+// invisible next to the per-event propensity evaluation.
+const ssaCtxCheckEvery = 1024
+
 // SSA runs Gillespie's direct method; see SimulateSSA.
 func (e *Engine) SSA(opts Options) (*trace.Trace, error) {
+	return e.SSACtx(context.Background(), opts)
+}
+
+// SSACtx is SSA honoring cancellation: the event loop checks ctx every
+// ssaCtxCheckEvery reaction events and returns ctx's error mid-run. An
+// uncancelled context produces a trace bitwise identical to SSA's (the RNG
+// consumption sequence is untouched).
+func (e *Engine) SSACtx(ctx context.Context, opts Options) (*trace.Trace, error) {
 	opts = opts.withDefaults()
 	if opts.T1 <= opts.T0 {
 		return nil, fmt.Errorf("sim: T1 (%g) must exceed T0 (%g)", opts.T1, opts.T0)
@@ -892,7 +919,14 @@ func (e *Engine) SSA(opts Options) (*trace.Trace, error) {
 	if err := appendSample(); err != nil {
 		return nil, err
 	}
+	events := 0
 	for t < opts.T1 {
+		if events++; events >= ssaCtxCheckEvery {
+			events = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		total, err := rs.propensities(t)
 		if err != nil {
 			return nil, err

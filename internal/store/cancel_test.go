@@ -1,0 +1,88 @@
+package store
+
+// Cancellation tests for SnapshotContext: an aborted snapshot must leave
+// the store fully functional (appends, later snapshots, recovery) and
+// must never replace the snapshot file with a partial one.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"sbmlcompose/internal/sbml"
+)
+
+func TestSnapshotContextCancelled(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	for i := 0; i < 6; i++ {
+		mustAdd(t, s.Corpus(), testModel(i))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.SnapshotContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SnapshotContext = %v, want context.Canceled", err)
+	}
+
+	// The store keeps working: appends land, a real snapshot succeeds,
+	// and a reopen sees every model (the cancelled snapshot left the WAL
+	// segments in place, so recovery replays them).
+	mustAdd(t, s.Corpus(), testModel(6))
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot after cancelled snapshot: %v", err)
+	}
+	mustAdd(t, s.Corpus(), testModel(7))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if got := s2.Corpus().Len(); got != 8 {
+		t.Fatalf("recovered %d models, want 8", got)
+	}
+	adds := make([]*sbml.Model, 8)
+	for i := range adds {
+		adds[i] = testModel(i)
+	}
+	ref := buildReference(t, testOptions().Corpus, adds, nil)
+	assertCorporaEquivalent(t, s2.Corpus(), ref, adds[:3])
+}
+
+// TestConcurrentClose pins that every concurrent Close call blocks until
+// the store is actually closed: a nil return from any of them means the
+// final snapshot was attempted and the WAL is closed, so a caller may
+// immediately re-open the directory.
+func TestConcurrentClose(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	for i := 0; i < 4; i++ {
+		mustAdd(t, s.Corpus(), testModel(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+			// The store must really be closed by the time Close returns.
+			if err := s.Snapshot(); err == nil {
+				t.Error("Snapshot succeeded after Close returned")
+			}
+		}()
+	}
+	wg.Wait()
+
+	s2 := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if got := s2.Corpus().Len(); got != 4 {
+		t.Fatalf("recovered %d models after concurrent close, want 4", got)
+	}
+	if s2.Stats().WALRecords != 0 {
+		t.Fatalf("close snapshot missing: %d WAL records replayed", s2.Stats().WALRecords)
+	}
+}

@@ -58,6 +58,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -182,6 +184,16 @@ type Store struct {
 	compactCh  chan struct{}
 	done       chan struct{}
 	wg         sync.WaitGroup
+	// closeResult gates concurrent Close calls: the first closer does the
+	// work and publishes its error; later callers block until the channel
+	// closes, so a nil return from any Close means the store is closed.
+	closeResult chan struct{}
+	closeErr    error
+	// closeCtx is cancelled when Close begins, so an in-flight background
+	// compaction unwinds between units of work instead of delaying
+	// shutdown by a full snapshot write.
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
 }
 
 // Open recovers (or creates) a store in dir and returns it with its
@@ -197,11 +209,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		compactCh: make(chan struct{}, 1),
-		done:      make(chan struct{}),
+		dir:         dir,
+		opts:        opts,
+		compactCh:   make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		closeResult: make(chan struct{}),
 	}
+	s.closeCtx, s.closeCancel = context.WithCancel(context.Background())
 
 	man, haveSnap, err := loadSnapshot(dir)
 	if err != nil {
@@ -404,8 +418,22 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 // recovers (the snapshot's LastSeq makes already-covered tail records
 // no-ops at replay).
 func (s *Store) Snapshot() error {
+	return s.SnapshotContext(context.Background())
+}
+
+// SnapshotContext is Snapshot honoring cancellation: ctx is checked before
+// the segment rotation, between per-model serializations of the consistent
+// dump, and before the snapshot file write. A cancelled snapshot returns
+// ctx's error and writes no snapshot file; if the rotation already
+// happened, the rotated-out segment simply remains until the next
+// successful compaction covers it — every intermediate state recovers, as
+// with a crash. The durable contents are never affected by cancellation.
+func (s *Store) SnapshotContext(ctx context.Context) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Rotate: new appends go to a fresh segment so the snapshot write
 	// happens without holding any corpus or WAL lock.
@@ -434,11 +462,19 @@ func (s *Store) Snapshot() error {
 	// Collect a consistent view: every shard read-locked before the first
 	// model is serialized, LastSeq captured under the same locks.
 	var lastSeq uint64
-	blobs := s.c.DumpConsistent(func() {
+	blobs, err := s.c.DumpConsistentContext(ctx, func() {
 		s.mu.Lock()
 		lastSeq = s.seq
 		s.mu.Unlock()
 	})
+	if err != nil {
+		// Cancelled mid-dump: the rotated segments stay on disk and keep
+		// replaying at recovery, exactly as before this call.
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := writeSnapshot(s.dir, snapManifest{Version: snapVersion, LastSeq: lastSeq, Models: blobs}); err != nil {
 		// The old segments remain; recovery still replays them.
 		return fmt.Errorf("store: write snapshot: %w", err)
@@ -468,7 +504,11 @@ func (s *Store) Snapshot() error {
 }
 
 // compactLoop runs automatic compaction when the append path signals
-// that the tail grew past Options.CompactBytes.
+// that the tail grew past Options.CompactBytes. Compactions run under
+// closeCtx so a shutdown cancels an in-flight one between units of work
+// (Close then takes its own final snapshot); that cancellation is an
+// expected shutdown path, not a compaction failure, so it never lands in
+// CompactError.
 func (s *Store) compactLoop() {
 	defer s.wg.Done()
 	for {
@@ -476,8 +516,10 @@ func (s *Store) compactLoop() {
 		case <-s.done:
 			return
 		case <-s.compactCh:
-			if err := s.Snapshot(); err != nil {
-				s.compactErr.Store(err.Error())
+			if err := s.SnapshotContext(s.closeCtx); err != nil {
+				if !errors.Is(err, context.Canceled) {
+					s.compactErr.Store(err.Error())
+				}
 			} else {
 				s.compactErr.Store("")
 			}
@@ -512,11 +554,17 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
-		return nil
+		// Another goroutine is (or was) closing: wait for it to finish so
+		// a nil return always means the final snapshot was attempted and
+		// the WAL is closed — callers may delete or re-open the directory
+		// the moment Close returns.
+		<-s.closeResult
+		return s.closeErr
 	}
 	s.closing = true
 	s.mu.Unlock()
 
+	s.closeCancel()
 	close(s.done)
 	s.wg.Wait()
 
@@ -531,7 +579,10 @@ func (s *Store) Close() error {
 	s.mu.Unlock()
 	closeErr := w.close()
 	if snapErr != nil {
-		return snapErr
+		s.closeErr = snapErr
+	} else {
+		s.closeErr = closeErr
 	}
-	return closeErr
+	close(s.closeResult)
+	return s.closeErr
 }

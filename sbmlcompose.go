@@ -10,34 +10,55 @@
 // being reported. Conflicting duplicates resolve first-model-wins with a
 // warning log.
 //
-// Quick start:
+// Quick start — the context-aware Client is the primary API: configure it
+// once with functional options, then pass a context.Context to every
+// potentially long-running operation so it can be cancelled, deadlined, or
+// tied to an HTTP request's lifetime:
 //
-//	a, _ := sbmlcompose.ParseModelFile("glycolysis.xml")
-//	b, _ := sbmlcompose.ParseModelFile("tca.xml")
-//	res, err := sbmlcompose.Compose(a, b, nil)
+//	cli := sbmlcompose.New() // heavy semantics, built-in synonyms
+//	a, _ := cli.ParseModelFile("glycolysis.xml")
+//	b, _ := cli.ParseModelFile("tca.xml")
+//	res, err := cli.Compose(context.Background(), a, b)
 //	if err != nil { ... }
-//	_ = sbmlcompose.WriteModelFile(res.Model, "merged.xml")
+//	_ = cli.WriteModelFile(res.Model, "merged.xml")
 //
 // Batch and streaming assembly run on the compiled-model engine: Compile
 // precomputes a model's match keys and component indexes, Composer folds
 // models one at a time into a persistent compiled accumulator whose indexes
-// update in place, and ComposeAll with Options.Parallel batch-merges via a
+// update in place, and a client built WithParallel batch-merges via a
 // deterministic balanced binary reduction across a worker pool:
 //
-//	c := sbmlcompose.NewComposer(nil)
-//	for _, path := range parts {
-//		m, _ := sbmlcompose.ParseModelFile(path)
-//		_ = c.Add(m)
-//	}
-//	merged := c.Result().Model
+//	cli := sbmlcompose.New(sbmlcompose.WithParallel(8))
+//	res, err := cli.ComposeAll(ctx, models)
+//
+// Cancellation is honored at loop granularity everywhere — between
+// composition stages and reduction-tree nodes, between integrator steps,
+// inside stochastic event loops, between Monte Carlo runs — and a
+// cancelled operation drains its worker pools and returns the context's
+// error without exposing partial state. Uncancelled results are
+// byte-identical to the legacy API's.
 //
 // Beyond composition the package exposes the paper's full evaluation
 // toolchain: SBML-aware document diffing (§4.1.1), deterministic and
 // stochastic simulation (§4.1.2), residual-sum-of-squares trace comparison
-// (§4.1.3) and Monte Carlo temporal-logic model checking (§4.1.4).
+// (§4.1.3) and Monte Carlo temporal-logic model checking (§4.1.4), plus
+// the Corpus/CorpusStore repository sessions (scored top-K matching over a
+// model collection, durable across restarts) these build on.
+//
+// # Legacy package-level API
+//
+// The package-level functions that predate the Client (Compose,
+// ComposeAll, SimulateODE, EstimateProbability, ...) remain fully
+// supported: each is a thin context.Background() wrapper over a default
+// client (or the corresponding internal entry point) and composes,
+// simulates and ranks byte-identically to it. They are frozen rather than
+// deprecated — existing callers need not migrate — but they cannot be
+// cancelled and their *Options parameter cannot grow new behavior, so new
+// code should prefer the Client.
 package sbmlcompose
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -219,6 +240,11 @@ func NewComposerFrom(cm *CompiledModel) *Composer {
 	return core.NewComposerFrom(cm)
 }
 
+// ErrComposerPoisoned marks a Composer whose accumulator was abandoned
+// mid-mutation by a cancelled AddContext: later Adds fail with an error
+// wrapping it and Result/Model/Snapshot return nil. Match with errors.Is.
+var ErrComposerPoisoned = core.ErrComposerPoisoned
+
 // Match is a component correspondence between two models.
 type Match = core.Match
 
@@ -254,23 +280,27 @@ func EditDistance(a, b *Model) int {
 }
 
 // SimulateODE integrates the model deterministically (RK4, or RKF45 when
-// opts.Adaptive) and returns sampled species concentrations.
+// opts.Adaptive) and returns sampled species concentrations. It is a
+// context.Background() wrapper over the default client — repeated calls
+// on the same model hit the client's compiled-engine LRU; use
+// Client.SimulateODE to make the run cancellable.
 func SimulateODE(m *Model, opts SimOptions) (*Trace, error) {
-	return sim.SimulateODE(m, opts)
+	return defaultClient.SimulateODE(context.Background(), m, opts)
 }
 
 // SimulateSSA runs Gillespie's direct method over molecule counts; equal
-// seeds reproduce exactly.
+// seeds reproduce exactly. A context.Background() wrapper over the
+// default client, like SimulateODE.
 func SimulateSSA(m *Model, opts SimOptions) (*Trace, error) {
-	return sim.SimulateSSA(m, opts)
+	return defaultClient.SimulateSSA(context.Background(), m, opts)
 }
 
 // SimulateEnsembleSSA averages `runs` stochastic trajectories with
 // consecutive seeds starting at opts.Seed, fanned out across
 // opts.Workers workers; the mean trace is identical for every worker
-// count.
+// count. A context.Background() wrapper over the default client.
 func SimulateEnsembleSSA(m *Model, runs int, opts SimOptions) (*Trace, error) {
-	return sim.EnsembleSSA(m, runs, opts)
+	return defaultClient.SimulateEnsembleSSA(context.Background(), m, runs, opts)
 }
 
 // RSS computes per-species residual sums of squares between two traces
@@ -286,17 +316,10 @@ func TracesEquivalent(a, b *Trace, tol float64) (bool, error) {
 
 // CheckProperty evaluates a temporal-logic formula (mc2 syntax, e.g.
 // "G({A >= 0}) & F({B > 0.5})") over a deterministic simulation of the
-// model.
+// model. A context.Background() wrapper over the default client; use
+// Client.CheckProperty to bound the simulation with a deadline.
 func CheckProperty(m *Model, formula string, opts SimOptions) (bool, error) {
-	f, err := mc2.Parse(formula)
-	if err != nil {
-		return false, err
-	}
-	tr, err := sim.SimulateODE(m, opts)
-	if err != nil {
-		return false, err
-	}
-	return mc2.Check(tr, f)
+	return defaultClient.CheckProperty(context.Background(), m, formula, opts)
 }
 
 // EstimateProbability estimates the probability that a stochastic
@@ -304,7 +327,8 @@ func CheckProperty(m *Model, formula string, opts SimOptions) (bool, error) {
 // simulations (the §4.1.4 Monte Carlo model-checking procedure). The runs
 // execute on opts.Workers workers (default GOMAXPROCS) with an estimate
 // identical to the serial order's; see ProbabilityEstimate for the
-// confidence interval.
+// confidence interval. A context.Background() wrapper over the default
+// client; use Client.EstimateProbability to cancel or deadline the runs.
 func EstimateProbability(m *Model, formula string, runs int, opts SimOptions) (float64, error) {
 	est, err := ProbabilityEstimate(m, formula, runs, opts)
 	if err != nil {
@@ -318,13 +342,10 @@ func EstimateProbability(m *Model, formula string, runs int, opts SimOptions) (f
 type Estimate = mc2.Estimate
 
 // ProbabilityEstimate is EstimateProbability with the full estimate: the
-// satisfying fraction plus its confidence interval.
+// satisfying fraction plus its confidence interval. A
+// context.Background() wrapper over the default client.
 func ProbabilityEstimate(m *Model, formula string, runs int, opts SimOptions) (Estimate, error) {
-	f, err := mc2.Parse(formula)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return mc2.Probability(m, f, runs, opts)
+	return defaultClient.ProbabilityEstimate(context.Background(), m, formula, runs, opts)
 }
 
 // CanonicalXML returns a canonical single-line serialization of the model's
