@@ -25,10 +25,13 @@
 //	                              LRU's repeated-query win — across corpus
 //	                              sizes 10/100/1000. Suite "store"
 //	                              (BENCH_store.json): durable-store WAL
-//	                              append latency per fsync policy, replay
-//	                              throughput, and recovery (Open) latency
-//	                              from raw WAL vs snapshot across corpus
-//	                              sizes. -quick runs each benchmark once
+//	                              append latency per fsync policy — single
+//	                              writer and concurrent writers pitting
+//	                              fsync=always against group commit — and
+//	                              recovery (Open) latency from raw WAL vs
+//	                              binary snapshot vs the forced parse path
+//	                              across corpus sizes. -quick runs each
+//	                              benchmark once
 //	                              (CI smoke) instead of through
 //	                              testing.Benchmark.
 //
@@ -51,6 +54,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -535,6 +540,59 @@ func benchStore(r *recorder) error {
 		}
 	}
 
+	// Concurrent appends: always pays one fsync per record no matter how
+	// many writers queue behind it; group commit folds the queued records
+	// into one sync with the same durability guarantee. The always/group
+	// gap at each writer count is what group commit buys an ingest-heavy
+	// server; it widens with concurrency because the batch a single sync
+	// covers is at most the number of blocked writers.
+	for _, writers := range []int{8, 32} {
+		for _, policy := range []store.FsyncPolicy{store.FsyncAlways, store.FsyncGroup} {
+			dir, err := os.MkdirTemp("", "benchstore-group-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			s, err := store.Open(dir, store.Options{
+				Corpus: copts, Fsync: policy, CompactBytes: -1, NoSnapshotOnClose: true,
+			})
+			if err != nil {
+				return err
+			}
+			var seq atomic.Int64
+			r.record(fmt.Sprintf("WALAppend/fsync=%s/writers=%d", policy, writers), func(n int) error {
+				// Compact before each measured batch: the corpus is empty,
+				// so this rotates to a fresh segment and drops the old one,
+				// keeping file size (and thus fsync cost) steady instead of
+				// compounding across testing.Benchmark's calibration runs.
+				if err := s.Snapshot(); err != nil {
+					return err
+				}
+				var wg sync.WaitGroup
+				errs := make(chan error, writers)
+				per := (n + writers - 1) / writers
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							if err := s.PersistAdd(fmt.Sprintf("c%09d", seq.Add(1)), blob); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				return <-errs
+			})
+			if err := s.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
 	for _, size := range corpusSizes {
 		models := corpusModels(size)
 		// prepare replays the same churned mutation history (every model
@@ -574,18 +632,26 @@ func benchStore(r *recorder) error {
 		ropts := store.Options{
 			Corpus: copts, Fsync: store.FsyncNever, CompactBytes: -1, NoSnapshotOnClose: true,
 		}
+		// The three recovery sources: replaying the raw churned WAL,
+		// loading the binary snapshot through its precompiled match keys
+		// (the fast path), and the same snapshot forced through the XML
+		// parse + key-derivation path (RecoveryParseOnly) — the
+		// snapshot/snapshot-parse gap is what the binary codec buys.
 		for _, src := range []struct {
-			name     string
-			snapshot bool
-		}{{"wal", false}, {"snapshot", true}} {
+			name      string
+			snapshot  bool
+			parseOnly bool
+		}{{"wal", false, false}, {"snapshot", true, false}, {"snapshot-parse", true, true}} {
 			dir, err := prepare(src.snapshot)
 			if err != nil {
 				return err
 			}
 			defer os.RemoveAll(dir)
+			openOpts := ropts
+			openOpts.RecoveryParseOnly = src.parseOnly
 			r.record(fmt.Sprintf("StoreRecovery/models=%d/source=%s", size, src.name), func(n int) error {
 				for i := 0; i < n; i++ {
-					s, err := store.Open(dir, ropts)
+					s, err := store.Open(dir, openOpts)
 					if err != nil {
 						return err
 					}

@@ -138,7 +138,7 @@ func TestOpenFailureModes(t *testing.T) {
 		})
 	}
 	// The corrupt-snapshot case is also matchable by sentinel.
-	if _, err := sbmlcompose.OpenCorpus(corruptDir, nil); err == nil || !strings.Contains(err.Error(), "CRC") && !strings.Contains(err.Error(), "header") {
+	if _, err := sbmlcompose.OpenCorpus(corruptDir, nil); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("corrupt snapshot error lacks recovery detail: %v", err)
 	}
 }

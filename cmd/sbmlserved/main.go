@@ -47,10 +47,21 @@
 // expired server-side, 499 (the de-facto "client closed request" status)
 // when the peer went away. Request bodies are capped at 64 MiB.
 //
+// /v1/search responses are accelerated by a raw-body query cache
+// (-query-cache, default 128 entries; 0 disables): a byte-for-byte
+// repeat of an earlier request body skips JSON decoding, SBML parsing
+// and match-key derivation, going straight to ranking. Rankings always
+// run fresh against the live corpus, so cached and uncached responses
+// are identical even across adds and removes.
+//
 // With -data DIR the corpus is durable: every add/remove is appended to a
-// write-ahead log (fsynced per -fsync) before it is acknowledged, and
-// snapshots bound recovery time. Restarting the server on the same
-// directory reconstructs the corpus exactly — ids, rankings, scores.
+// write-ahead log (fsynced per -fsync: "always" syncs each append,
+// "group" batches concurrent appends into one sync with the same
+// no-acknowledged-write-lost guarantee — tune with -group-max-bytes and
+// -group-max-delay — "interval" syncs on a timer, "never" leaves
+// flushing to the OS) before it is acknowledged, and snapshots bound
+// recovery time. Restarting the server on the same directory
+// reconstructs the corpus exactly — ids, rankings, scores.
 // Without -data the corpus lives in memory only, as before.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
@@ -59,11 +70,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -74,6 +87,7 @@ import (
 	"time"
 
 	"sbmlcompose"
+	"sbmlcompose/internal/lru"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -84,6 +98,25 @@ const statusClientClosedRequest = 499
 // maxBodyBytes caps request bodies (models can legitimately be large).
 const maxBodyBytes = 64 << 20
 
+// defaultQueryCache is the -query-cache default: how many compiled
+// search queries the server remembers, keyed on the raw request body.
+const defaultQueryCache = 128
+
+// searchCacheMaxBody bounds which /v1/search bodies are cache-keyed; a
+// giant one-off query should not evict a working set of small ones (the
+// cache holds the raw body as its key).
+const searchCacheMaxBody = 1 << 20
+
+// cachedSearch is one query-cache entry: the decoded request and the
+// query compiled against the corpus's match options. Rankings are always
+// computed fresh against the live corpus, so an entry never goes stale
+// when models are added or removed — only the parse/compile work is
+// reused, never a result.
+type cachedSearch struct {
+	req searchRequest
+	cq  *sbmlcompose.CompiledQuery
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
@@ -92,8 +125,11 @@ func main() {
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for search/compose/simulate/check (0 disables)")
 		dataDir    = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
-		fsync      = flag.String("fsync", "always", "WAL fsync policy with -data: always | interval | never")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy with -data: always | group | interval | never")
 		compact    = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
+		groupBytes = flag.Int64("group-max-bytes", 0, "fsync=group: batched bytes forcing an immediate sync (0 = 1 MiB default)")
+		groupDelay = flag.Duration("group-max-delay", 0, "fsync=group: extra wait to widen a batch (0 = natural batching only)")
+		queryCache = flag.Int("query-cache", defaultQueryCache, "compiled-query cache entries keyed on raw /v1/search bodies (0 disables)")
 	)
 	flag.Parse()
 
@@ -104,9 +140,11 @@ func main() {
 	var srv *server
 	if *dataDir != "" {
 		st, err := sbmlcompose.OpenCorpus(*dataDir, &sbmlcompose.StoreOptions{
-			Corpus:       copts,
-			Fsync:        sbmlcompose.FsyncPolicy(*fsync),
-			CompactBytes: *compact,
+			Corpus:        copts,
+			Fsync:         sbmlcompose.FsyncPolicy(*fsync),
+			CompactBytes:  *compact,
+			GroupMaxBytes: *groupBytes,
+			GroupMaxDelay: *groupDelay,
 		})
 		if err != nil {
 			log.Fatalf("sbmlserved: open data dir: %v", err)
@@ -122,6 +160,11 @@ func main() {
 		srv = newServer(sbmlcompose.NewCorpus(&copts))
 	}
 	srv.timeout = *reqTimeout
+	if *queryCache <= 0 {
+		srv.searchCache = nil
+	} else if *queryCache != defaultQueryCache {
+		srv.searchCache = lru.New[cachedSearch](*queryCache)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sbmlserved: %v", err)
@@ -178,12 +221,25 @@ type server struct {
 	timeout time.Duration
 	// inFlight gauges currently executing requests, served by /healthz.
 	inFlight atomic.Int64
+	// searchCache maps raw /v1/search bodies to their decoded request and
+	// compiled query; nil disables caching (-query-cache 0). Byte-for-byte
+	// repeat searches — pollers, dashboards, paging clients — skip JSON
+	// decoding, SBML parsing and match-key derivation.
+	searchCache *lru.Cache[cachedSearch]
+	// searchCacheHits counts cache hits, reported by /healthz.
+	searchCacheHits atomic.Int64
 }
 
 // newServer wires the routes over an in-memory corpus. Split from main so
 // tests can drive the handler through httptest without a listener.
 func newServer(c *sbmlcompose.Corpus) *server {
-	s := &server{corpus: c, mux: http.NewServeMux(), start: time.Now(), stats: map[string]*endpointStat{}}
+	s := &server{
+		corpus:      c,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		stats:       map[string]*endpointStat{},
+		searchCache: lru.New[cachedSearch](defaultQueryCache),
+	}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
 		st := &endpointStat{}
 		s.stats[pattern] = st
@@ -449,7 +505,10 @@ type healthzResponse struct {
 	InFlight  int64                     `json:"in_flight"`
 	UptimeS   float64                   `json:"uptime_s"`
 	Endpoints map[string]endpointReport `json:"endpoints"`
-	Store     *sbmlcompose.StoreStatus  `json:"store,omitempty"`
+	// QueryCacheHits counts /v1/search requests answered from the raw-body
+	// compiled-query cache.
+	QueryCacheHits int64                    `json:"query_cache_hits"`
+	Store          *sbmlcompose.StoreStatus `json:"store,omitempty"`
 }
 
 // --- handlers ---
@@ -503,13 +562,13 @@ func persistStatus(err error) int {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	var req searchRequest
-	if !decodeJSON(w, r, &req) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request body: %v", err)
 		return
 	}
-	query, err := sbmlcompose.ParseModelString(req.SBML)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse query: %v", err)
+	req, cq, ok := s.searchQuery(w, body)
+	if !ok {
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
@@ -519,7 +578,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		limit = req.Limit
 	}
 	t0 := time.Now()
-	hits, err := s.corpus.SearchContext(ctx, query, sbmlcompose.SearchOptions{
+	hits, err := s.corpus.SearchCompiledContext(ctx, cq, sbmlcompose.SearchOptions{
 		TopK: limit, Offset: req.Offset, Cutoff: req.Cutoff, MinScore: req.MinScore,
 	})
 	if err != nil {
@@ -546,6 +605,45 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Returned: len(hits),
 		TookMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
 	})
+}
+
+// searchQuery resolves a raw /v1/search body to its decoded request and
+// compiled query, through the raw-body cache when one is configured. On
+// a hit the body is never JSON-decoded, the SBML never parsed, the match
+// keys never rederived; rankings still run fresh per request, so cached
+// and uncached responses are identical. Only fully successful
+// decode+parse+compile chains are cached — a body that produced a 4xx
+// re-earns its error every time — and oversized bodies bypass the cache
+// rather than evict a working set. On failure the response has been
+// written and ok is false.
+func (s *server) searchQuery(w http.ResponseWriter, body []byte) (req searchRequest, cq *sbmlcompose.CompiledQuery, ok bool) {
+	cacheable := s.searchCache != nil && len(body) <= searchCacheMaxBody
+	if cacheable {
+		if hit, found := s.searchCache.Get(string(body)); found {
+			s.searchCacheHits.Add(1)
+			return hit.req, hit.cq, true
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return req, nil, false
+	}
+	query, err := sbmlcompose.ParseModelString(req.SBML)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse query: %v", err)
+		return req, nil, false
+	}
+	cq, err = s.corpus.CompileQuery(query)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "search: %v", err)
+		return req, nil, false
+	}
+	if cacheable {
+		s.searchCache.Put(string(body), cachedSearch{req: req, cq: cq})
+	}
+	return req, cq, true
 }
 
 func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
@@ -660,11 +758,12 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	payload := healthzResponse{
-		Status:    "ok",
-		Models:    s.corpus.Len(),
-		InFlight:  s.inFlight.Load(),
-		UptimeS:   time.Since(s.start).Seconds(),
-		Endpoints: s.endpointReport(),
+		Status:         "ok",
+		Models:         s.corpus.Len(),
+		InFlight:       s.inFlight.Load(),
+		UptimeS:        time.Since(s.start).Seconds(),
+		Endpoints:      s.endpointReport(),
+		QueryCacheHits: s.searchCacheHits.Load(),
 	}
 	if s.store != nil {
 		st := s.store.Status()

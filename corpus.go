@@ -34,6 +34,13 @@ type SearchOptions = corpuspkg.SearchOptions
 // Hit is one ranked search result with per-component match evidence.
 type Hit = corpuspkg.Hit
 
+// CompiledQuery is a query model's derived match state — canonical bytes
+// plus tiered component keys — compiled once with Corpus.CompileQuery and
+// reusable across Corpus.SearchCompiled / SearchCompiledContext calls.
+// Rankings are identical to Search on the original model; only the
+// per-call parse and key derivation are skipped.
+type CompiledQuery = corpuspkg.CompiledQuery
+
 // MatchEvidence is one component correspondence supporting a Hit.
 type MatchEvidence = corpuspkg.Evidence
 

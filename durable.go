@@ -32,9 +32,11 @@ type StoreStatus = store.Status
 type FsyncPolicy = store.FsyncPolicy
 
 // The WAL durability policies: sync every append (no acknowledged write
-// is ever lost), sync on a timer, or leave flushing to the OS.
+// is ever lost), batch concurrent appends into one sync (same guarantee,
+// amortized cost), sync on a timer, or leave flushing to the OS.
 const (
 	FsyncAlways   = store.FsyncAlways
+	FsyncGroup    = store.FsyncGroup
 	FsyncInterval = store.FsyncInterval
 	FsyncNever    = store.FsyncNever
 )

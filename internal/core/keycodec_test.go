@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sbmlcompose/internal/biomodels"
+	"sbmlcompose/internal/synonym"
+)
+
+// TestMatchKeyCodecRoundTrip is the codec property test over randomized
+// models: decode(encode(keys)) must reproduce the derived keys exactly,
+// under every semantics level, so a recovered corpus posts the same
+// inverted-index entries as a freshly compiled one.
+func TestMatchKeyCodecRoundTrip(t *testing.T) {
+	for _, sem := range []SemanticsLevel{HeavySemantics, LightSemantics, NoSemantics} {
+		opts := Options{Semantics: sem}
+		if sem == HeavySemantics {
+			opts.Synonyms = synonym.Builtin()
+		}
+		for i := 0; i < 25; i++ {
+			m := biomodels.Generate(biomodels.Config{
+				ID:             fmt.Sprintf("rt%02d", i),
+				Nodes:          2 + i%9,
+				Edges:          1 + (i*3)%11,
+				Seed:           int64(9000 + 31*i),
+				VocabularySize: 15 + i,
+				Decorate:       i%2 == 0,
+			})
+			keys, err := MatchKeysFor(m, opts)
+			if err != nil {
+				t.Fatalf("sem=%v model %d: %v", sem, i, err)
+			}
+			got, err := DecodeMatchKeys(EncodeMatchKeys(keys))
+			if err != nil {
+				t.Fatalf("sem=%v model %d: decode: %v", sem, i, err)
+			}
+			if len(keys) == 0 {
+				if len(got) != 0 {
+					t.Fatalf("sem=%v model %d: decoded %d keys from empty set", sem, i, len(got))
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, keys) {
+				t.Fatalf("sem=%v model %d: keys diverge after round trip:\n got %+v\nwant %+v", sem, i, got, keys)
+			}
+		}
+	}
+}
+
+func TestMatchKeyCodecRejectsCorruption(t *testing.T) {
+	keys, err := MatchKeysFor(biomodels.Generate(biomodels.Config{
+		ID: "corrupt", Nodes: 5, Edges: 6, Seed: 77, VocabularySize: 20, Decorate: true,
+	}), Options{Synonyms: synonym.Builtin()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := EncodeMatchKeys(keys)
+	// Every truncation point must error, never decode a short key set
+	// silently (the count prefix pins the expected cardinality).
+	for cut := 0; cut < len(blob); cut++ {
+		if got, err := DecodeMatchKeys(blob[:cut]); err == nil && len(got) == len(keys) {
+			t.Fatalf("truncation at %d decoded a full key set", cut)
+		}
+	}
+	if _, err := DecodeMatchKeys(append(append([]byte(nil), blob...), 0x01)); err == nil {
+		t.Fatal("trailing byte not rejected")
+	}
+	// An out-of-range tier must error rather than post a garbage weight.
+	bad := EncodeMatchKeys([]ComponentKey{{Component: "x", Kind: "species", Key: "s|id:x@c", Tier: KeyTier(9)}})
+	if _, err := DecodeMatchKeys(bad); err == nil {
+		t.Fatal("out-of-range tier not rejected")
+	}
+}
+
+// TestMatchKeyFingerprint pins the fingerprint's sensitivity: equal
+// options agree regardless of synonym insertion order; changing the
+// semantics level or the table's classes changes the hash.
+func TestMatchKeyFingerprint(t *testing.T) {
+	a, b := synonym.NewTable(), synonym.NewTable()
+	a.Add("ATP", "adenosine triphosphate")
+	a.Add("glc", "glucose")
+	b.Add("glc", "glucose")
+	b.Add("adenosine triphosphate", "ATP")
+	fa := Options{Synonyms: a}.MatchKeyFingerprint()
+	if fb := (Options{Synonyms: b}).MatchKeyFingerprint(); fa != fb {
+		t.Fatalf("insertion order changed fingerprint: %x vs %x", fa, fb)
+	}
+	if f := (Options{Semantics: LightSemantics, Synonyms: a}).MatchKeyFingerprint(); f == fa {
+		t.Fatal("semantics level not reflected in fingerprint")
+	}
+	a.Add("H2O", "water")
+	if f := (Options{Synonyms: a}).MatchKeyFingerprint(); f == fa {
+		t.Fatal("added synonym class not reflected in fingerprint")
+	}
+	if f, g := (Options{}).MatchKeyFingerprint(), (Options{Synonyms: synonym.NewTable()}).MatchKeyFingerprint(); f != g {
+		t.Fatalf("nil table and empty table disagree: %x vs %x", f, g)
+	}
+}

@@ -72,6 +72,11 @@ type Persister interface {
 type ModelBlob struct {
 	ID   string
 	SBML []byte
+	// Keys holds the model's derived match keys — the expensive part of
+	// Add — so a snapshot can persist them alongside the canonical bytes
+	// and recovery can skip re-derivation (AddPrecompiled). The slice is
+	// shared read-only with the corpus entry; callers must not mutate it.
+	Keys []core.ComponentKey
 }
 
 // canonicalBytes is the serialization persisted to the WAL and snapshots.
@@ -168,16 +173,55 @@ type invPosting struct {
 	tier core.KeyTier
 }
 
-// entry is one stored model with its compiled form, posted keys, and a
-// lazily compiled simulation engine.
+// entry is one stored model with its posted keys, its compiled form
+// (possibly lazily materialized from canonical bytes), and a lazily
+// compiled simulation engine.
+//
+// Search needs only the keys — scoring is a pure function of the shared
+// postings (score.go) — so an entry recovered from a binary snapshot can
+// serve queries without ever parsing its model. The compiled model is
+// materialized on first structural use (Get, ComposeWith, Simulate,
+// CheckProperty, first snapshot render without stored bytes) from the
+// CRC-verified canonical bytes.
 type entry struct {
 	id   string
-	cm   *core.CompiledModel
 	keys []core.ComponentKey
+	// sbml is the canonical serialization, retained when the entry was
+	// installed from persisted bytes (Add with a persister attached, or
+	// AddPrecompiled at recovery). It backs both the lazy compile and
+	// DumpConsistent — canonical bytes are pinned stable under
+	// write→parse→write, so emitting them verbatim is byte-identical to
+	// re-rendering the parsed model.
+	sbml []byte
+	// match holds the corpus match options the keys were derived under,
+	// needed to compile lazily with identical semantics.
+	match core.Options
+
+	cmOnce sync.Once
+	cm     *core.CompiledModel
+	cmErr  error
 
 	engOnce sync.Once
 	eng     *sim.Engine
 	engErr  error
+}
+
+// compiled returns the entry's compiled model, materializing it from the
+// stored canonical bytes on first use. Eagerly added entries (Add, or
+// AddPrecompiled with Compiled set) pre-fill cm and never parse here.
+func (e *entry) compiled() (*core.CompiledModel, error) {
+	e.cmOnce.Do(func() {
+		if e.cm != nil {
+			return
+		}
+		doc, err := sbml.ParseString(string(e.sbml))
+		if err != nil {
+			e.cmErr = fmt.Errorf("corpus: lazy compile %q: parse stored bytes: %w", e.id, err)
+			return
+		}
+		e.cm, e.cmErr = core.Compile(doc.Model, e.match)
+	})
+	return e.cm, e.cmErr
 }
 
 // engine returns the entry's simulation engine, compiling it on first use.
@@ -185,7 +229,11 @@ type entry struct {
 // or model-checking request on this model reuses it; compilation is paid
 // once per corpus entry, not once per request.
 func (e *entry) engine() (*sim.Engine, error) {
-	e.engOnce.Do(func() { e.eng, e.engErr = sim.Compile(e.cm.Model()) })
+	cm, err := e.compiled()
+	if err != nil {
+		return nil, err
+	}
+	e.engOnce.Do(func() { e.eng, e.engErr = sim.Compile(cm.Model()) })
 	return e.eng, e.engErr
 }
 
@@ -257,13 +305,14 @@ func (c *Corpus) Add(m *sbml.Model) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	e := &entry{id: m.ID, cm: cm, keys: cm.MatchKeys()}
+	e := &entry{id: m.ID, cm: cm, keys: cm.MatchKeys(), match: c.opts.Match}
 	// Serialize outside the lock: the blob is a pure function of the
 	// compiled (cloned) model, and holding the shard lock across an XML
 	// render would stall that shard's readers for no consistency gain.
-	var blob []byte
+	// The blob is retained on the entry so snapshots emit it without
+	// re-rendering.
 	if c.persister != nil {
-		blob = canonicalBytes(cm.Model())
+		e.sbml = canonicalBytes(cm.Model())
 	}
 	sh := c.shardFor(m.ID)
 	sh.mu.Lock()
@@ -276,20 +325,70 @@ func (c *Corpus) Add(m *sbml.Model) (string, error) {
 		// the in-memory state without the model. The persisted bytes are
 		// the stored model's exact canonical form, so replay reconstructs
 		// exactly what this corpus stores.
-		if err := c.persister.PersistAdd(m.ID, blob); err != nil {
+		if err := c.persister.PersistAdd(m.ID, e.sbml); err != nil {
 			return "", fmt.Errorf("corpus: persist add %q: %w", m.ID, err)
 		}
 	}
-	sh.entries[m.ID] = e
+	sh.install(e)
+	return m.ID, nil
+}
+
+// install publishes an entry and its inverted-index postings; the caller
+// holds the shard write lock.
+func (sh *shard) install(e *entry) {
+	sh.entries[e.id] = e
 	for _, k := range e.keys {
 		byModel := sh.inv[k.Key]
 		if byModel == nil {
 			byModel = make(map[string][]invPosting)
 			sh.inv[k.Key] = byModel
 		}
-		byModel[m.ID] = append(byModel[m.ID], invPosting{comp: k.Component, kind: k.Kind, tier: k.Tier})
+		byModel[e.id] = append(byModel[e.id], invPosting{comp: k.Component, kind: k.Kind, tier: k.Tier})
 	}
-	return m.ID, nil
+}
+
+// PrecompiledModel is one recovery-path entry for AddPrecompiled: the
+// canonical serialized bytes plus the derived state a plain Add would have
+// computed from them. SBML must be the model's canonical serialization
+// (what a previous Add persisted) and Keys its match keys under the
+// corpus's exact match options — the durable store guards both with CRCs
+// and an options fingerprint before trusting them. Compiled, when
+// non-nil, seeds the compiled model eagerly (WAL replay compiles anyway
+// to derive keys); when nil the entry compiles lazily from SBML on first
+// structural use, and Search works off Keys alone.
+type PrecompiledModel struct {
+	ID       string
+	SBML     []byte
+	Keys     []core.ComponentKey
+	Compiled *core.CompiledModel
+}
+
+// AddPrecompiled installs a recovered model without parsing or key
+// derivation — the fast restart path. The caller vouches for the
+// invariants documented on PrecompiledModel; ownership of the slices
+// passes to the corpus. With a persister attached the addition is logged
+// first, exactly like Add.
+func (c *Corpus) AddPrecompiled(p PrecompiledModel) error {
+	if p.ID == "" {
+		return fmt.Errorf("corpus: precompiled model has no id")
+	}
+	if len(p.SBML) == 0 {
+		return fmt.Errorf("corpus: precompiled model %q has no canonical bytes", p.ID)
+	}
+	e := &entry{id: p.ID, keys: p.Keys, sbml: p.SBML, match: c.opts.Match, cm: p.Compiled}
+	sh := c.shardFor(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[p.ID]; dup {
+		return fmt.Errorf("corpus: model %q already present: %w", p.ID, ErrDuplicate)
+	}
+	if c.persister != nil {
+		if err := c.persister.PersistAdd(p.ID, p.SBML); err != nil {
+			return fmt.Errorf("corpus: persist add %q: %w", p.ID, err)
+		}
+	}
+	sh.install(e)
+	return nil
 }
 
 // Remove deletes a model and all its postings; it reports whether the
@@ -358,7 +457,19 @@ func (c *Corpus) DumpConsistentContext(ctx context.Context, before func()) ([]Mo
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			blobs = append(blobs, ModelBlob{ID: id, SBML: canonicalBytes(e.cm.Model())})
+			// Entries that carry their canonical bytes (persisted adds,
+			// recovered entries) dump them verbatim — byte-identical to a
+			// re-render by the canonical-bytes stability invariant, and it
+			// never forces a lazy entry to compile just to be snapshotted.
+			blob := ModelBlob{ID: id, SBML: e.sbml, Keys: e.keys}
+			if blob.SBML == nil {
+				cm, err := e.compiled()
+				if err != nil {
+					return nil, err
+				}
+				blob.SBML = canonicalBytes(cm.Model())
+			}
+			blobs = append(blobs, blob)
 		}
 	}
 	sort.Slice(blobs, func(i, j int) bool { return blobs[i].ID < blobs[j].ID })
@@ -397,7 +508,14 @@ func (c *Corpus) Get(id string) (*sbml.Model, bool) {
 	if !ok {
 		return nil, false
 	}
-	return e.cm.Snapshot(), true
+	cm, err := e.compiled()
+	if err != nil {
+		// Unreachable for entries installed through Add; a lazy entry's
+		// bytes are CRC-verified canonical output of a previous Add, and
+		// canonical bytes re-parse by construction.
+		return nil, false
+	}
+	return cm.Snapshot(), true
 }
 
 // Has reports whether a model is stored under id.
@@ -430,7 +548,11 @@ func (c *Corpus) ComposeWithContext(ctx context.Context, id string, query *sbml.
 	if !ok {
 		return nil, fmt.Errorf("corpus: no model %q: %w", id, ErrNotFound)
 	}
-	return core.ComposeContext(ctx, e.cm.Model(), query, c.opts.Match)
+	cm, err := e.compiled()
+	if err != nil {
+		return nil, err
+	}
+	return core.ComposeContext(ctx, cm.Model(), query, c.opts.Match)
 }
 
 // SimulateODE integrates a stored model on its cached engine.
@@ -526,6 +648,51 @@ func (c *Corpus) compileQuery(query *sbml.Model) ([]core.ComponentKey, int, erro
 	return cq.keys, cq.denom, nil
 }
 
+// CompiledQuery is a query compiled once for repeated searches: the match
+// keys and the matchable-component denominator, everything ranking
+// consumes. It is immutable and safe to share across concurrent
+// SearchCompiled calls, and valid only against the corpus that compiled
+// it (the keys depend on its match options).
+type CompiledQuery struct {
+	keys  []core.ComponentKey
+	denom int
+}
+
+// CompileQuery compiles a query model for SearchCompiled, through the
+// compiled-query LRU when one is configured. Callers that key their own
+// cache more cheaply than by canonical bytes (the HTTP server keys on raw
+// request bytes) hold the result and skip both serialization and
+// compilation on a hit.
+func (c *Corpus) CompileQuery(query *sbml.Model) (*CompiledQuery, error) {
+	if query == nil {
+		return nil, fmt.Errorf("corpus: CompileQuery requires a non-nil query")
+	}
+	keys, denom, err := c.compileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledQuery{keys: keys, denom: denom}, nil
+}
+
+// SearchCompiled ranks the corpus against an already compiled query; see
+// Search. Rankings are computed fresh against the live corpus on every
+// call, so SearchCompiled(CompileQuery(q)) equals Search(q) exactly.
+func (c *Corpus) SearchCompiled(cq *CompiledQuery, opts SearchOptions) ([]Hit, error) {
+	return c.SearchCompiledContext(context.Background(), cq, opts)
+}
+
+// SearchCompiledContext is SearchCompiled honoring cancellation, with
+// SearchContext's exact semantics.
+func (c *Corpus) SearchCompiledContext(ctx context.Context, cq *CompiledQuery, opts SearchOptions) ([]Hit, error) {
+	if cq == nil {
+		return nil, fmt.Errorf("corpus: SearchCompiled requires a non-nil compiled query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.rank(ctx, cq.keys, cq.denom, opts)
+}
+
 // Search ranks the corpus models against the query. Candidate retrieval
 // walks the query's match keys through each shard's inverted index, so
 // models sharing no key with the query are never touched; candidates are
@@ -548,18 +715,26 @@ func (c *Corpus) SearchContext(ctx context.Context, query *sbml.Model, opts Sear
 	if query == nil {
 		return nil, fmt.Errorf("corpus: Search requires a non-nil query")
 	}
-	if opts.TopK == 0 {
-		opts.TopK = 5
-	}
-	if opts.Offset < 0 {
-		opts.Offset = 0
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	qkeys, denom, err := c.compileQuery(query)
 	if err != nil {
 		return nil, err
+	}
+	return c.rank(ctx, qkeys, denom, opts)
+}
+
+// rank is the shared post-compile body of SearchContext and
+// SearchCompiledContext: retrieval, concurrent scoring and the
+// deterministic global merge, all a pure function of the query's keys and
+// denominator.
+func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int, opts SearchOptions) ([]Hit, error) {
+	if opts.TopK == 0 {
+		opts.TopK = 5
+	}
+	if opts.Offset < 0 {
+		opts.Offset = 0
 	}
 
 	// Retrieval: accumulate, per candidate model, the score-matrix cells

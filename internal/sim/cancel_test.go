@@ -70,6 +70,63 @@ func TestODECtxCancelsMidIntegration(t *testing.T) {
 	}
 }
 
+// TestODECtxCancelsInsideSubstepStorm pins cancellation from inside the
+// RKF45 sub-step loop. A very stiff decay under a tight tolerance drives
+// the step controller to its floor (h·1e-6), where one output step costs
+// on the order of a million sub-steps; ODECtx's between-steps check never
+// runs during that storm, so the loop must check on its own.
+func TestODECtxCancelsInsideSubstepStorm(t *testing.T) {
+	e, err := Compile(decayModel(1e8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storm := Options{T1: 1, Step: 1, Adaptive: true, Tolerance: 1e-14}
+	// Sanity that the configuration actually storms: even a budget of a
+	// thousand checks (~32k sub-steps) is exhausted inside the single
+	// output step. Without this the assertions below would pass vacuously
+	// on a non-stiff setup.
+	if _, err := e.ODECtx(newCountingCtx(1000), storm); !errors.Is(err, context.Canceled) {
+		t.Fatalf("storm with 1000-check budget: err = %v, want context.Canceled", err)
+	}
+	// A small budget cancels promptly mid-storm.
+	if _, err := e.ODECtx(newCountingCtx(3), storm); !errors.Is(err, context.Canceled) {
+		t.Fatalf("storm with 3-check budget: err = %v, want context.Canceled", err)
+	}
+	// Already-cancelled context: the adaptive path returns before any
+	// integration work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ODECtx(ctx, storm); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled adaptive ODECtx = %v, want context.Canceled", err)
+	}
+	// The in-loop check must not perturb the arithmetic: an uncancelled
+	// adaptive run is bitwise identical to a fresh engine's ODE.
+	mild := Options{T1: 1, Step: 0.1, Adaptive: true, Tolerance: 1e-8}
+	e2, err := Compile(decayModel(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.ODECtx(context.Background(), mild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, _ := Compile(decayModel(100, 1))
+	want, err := e3.ODE(mild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Times) != len(want.Times) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(got.Times), len(want.Times))
+	}
+	for i := range got.Values {
+		for j := range got.Values[i] {
+			if got.Values[i][j] != want.Values[i][j] {
+				t.Fatalf("value [%d][%d] diverges: %v vs %v", i, j, got.Values[i][j], want.Values[i][j])
+			}
+		}
+	}
+}
+
 func TestSSACtxCancelsInsideEventLoop(t *testing.T) {
 	// A large initial population sustains ~1e4 Gillespie events, so the
 	// every-1024-events check fires several times inside one run.

@@ -680,10 +680,13 @@ func (e *Engine) ODE(opts Options) (*trace.Trace, error) {
 }
 
 // ODECtx is ODE honoring cancellation: the integrator checks ctx between
-// output steps (each covering one RK4 step or a whole RKF45 sub-step
-// sequence) and returns ctx's error mid-run. The run state is private to
-// the call, so a cancelled run leaves nothing behind; an uncancelled
-// context produces a trace bitwise identical to ODE's.
+// output steps, and the adaptive path additionally checks it inside the
+// RKF45 sub-step loop (every rkf45CtxCheckEvery sub-steps), so even a
+// sub-step storm — a stiff system driving the controller to its minimum
+// step size for up to ~1e6 sub-steps per output step — returns ctx's
+// error promptly. The run state is private to the call, so a cancelled
+// run leaves nothing behind; an uncancelled context produces a trace
+// bitwise identical to ODE's.
 func (e *Engine) ODECtx(ctx context.Context, opts Options) (*trace.Trace, error) {
 	opts = opts.withDefaults()
 	if opts.T1 <= opts.T0 {
@@ -720,7 +723,7 @@ func (e *Engine) ODECtx(ctx context.Context, opts Options) (*trace.Trace, error)
 		}
 		var err error
 		if opts.Adaptive {
-			err = rs.rkf45Step(t, step, opts.Tolerance)
+			err = rs.rkf45StepCtx(ctx, t, step, opts.Tolerance)
 		} else {
 			err = rs.rk4Step(t, step)
 		}
@@ -773,13 +776,35 @@ func (rs *runState) rk4Step(t, h float64) error {
 	return nil
 }
 
+// rkf45CtxCheckEvery is how many RKF45 sub-steps run between context
+// checks. Rejections shrink the sub-step down to a floor of h*1e-6, and
+// floor-size accepts advance t by only ~1e-6·h each, so one output step
+// can cost on the order of a million sub-steps on a stiff system with a
+// tight tolerance — far too long to wait for the between-steps check in
+// ODECtx. The counter counts every loop iteration (rejections and
+// floor accepts alike — both are storm modes); at 6 derivative
+// evaluations per sub-step, a check every 32 is noise.
+const rkf45CtxCheckEvery = 32
+
 // rkf45Step advances rs.state from t to t+h with embedded RKF45 sub-steps.
 // The arithmetic replicates the reference step-size controller exactly.
 func (rs *runState) rkf45Step(t, h, tol float64) error {
+	return rs.rkf45StepCtx(context.Background(), t, h, tol)
+}
+
+// rkf45StepCtx is rkf45Step honoring cancellation from inside the
+// sub-step loop; see rkf45CtxCheckEvery. The step-size arithmetic is
+// untouched, so an uncancelled context integrates bitwise identically.
+func (rs *runState) rkf45StepCtx(ctx context.Context, t, h, tol float64) error {
 	target := t + h
 	sub := h
 	copy(rs.cur, rs.state)
-	for t < target-1e-12 {
+	for substeps := 0; t < target-1e-12; substeps++ {
+		if substeps%rkf45CtxCheckEvery == rkf45CtxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if t+sub > target {
 			sub = target - t
 		}

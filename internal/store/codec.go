@@ -1,0 +1,200 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/corpus"
+)
+
+// This file implements the versioned binary snapshot codec (format
+// sbsnap-2). Where the v1 format stored only each model's canonical SBML
+// bytes — forcing recovery to re-parse and re-derive match keys, the
+// dominant restart cost — v2 persists the derived state alongside them,
+// so Open installs precompiled entries and skips the XML pipeline
+// entirely.
+//
+// # Layout
+//
+//	"sbsnap-2"              8-byte magic (format version)
+//	uint64 LE  lastSeq      highest WAL seq the snapshot covers
+//	uint64 LE  fingerprint  core.Options.MatchKeyFingerprint of the match
+//	                        options the keys were derived under
+//	uint32 LE  count        entry count
+//	uint32 LE  headerCRC    CRC-32 (IEEE) of the 20 header bytes above
+//	count entries:
+//	  uint32 LE entryLen    bytes in this entry after this field
+//	  uint32 LE coreLen     bytes in the core section
+//	  uint32 LE coreCRC     CRC-32 of the core section
+//	  core section:         uvarint len(id) + id,
+//	                        uvarint len(sbml) + canonical SBML bytes
+//	  uint32 LE keysLen     bytes in the keys section
+//	  uint32 LE keysCRC     CRC-32 of the keys section
+//	  keys section:         core.EncodeMatchKeys blob
+//
+// # Corruption semantics
+//
+// The two per-entry sections fail differently, by design. The core
+// section holds the canonical bytes — the source of truth; losing it
+// loses the model, so a core CRC mismatch (or any framing damage that
+// makes the core unreachable) is a hard ErrCorruptSnapshot, like v1. The
+// keys section holds only derived state that can always be rebuilt from
+// the core bytes, so a keys CRC mismatch, an undecodable keys blob, or a
+// whole-file fingerprint mismatch degrades that entry (or file) to the
+// parse path: slower, never wrong. An unknown magic is a hard error; the
+// v1 magic routes to the legacy gob loader, whose entries all take the
+// parse path.
+
+const snapMagicV2 = "sbsnap-2"
+
+// snapHeaderLen is the fixed header after the magic: lastSeq (8) +
+// fingerprint (8) + count (4) + headerCRC (4).
+const snapHeaderLen = 24
+
+// snapEntry is one decoded snapshot entry. keysOK reports that the keys
+// section survived intact and was derived under the opening corpus's
+// match options; without it the entry must be re-parsed and re-derived.
+type snapEntry struct {
+	id     string
+	sbml   []byte
+	keys   []core.ComponentKey
+	keysOK bool
+}
+
+// snapFile is a decoded snapshot, version-independent: the v2 decoder
+// fills keys where trustworthy, the v1 loader leaves every entry on the
+// parse path.
+type snapFile struct {
+	lastSeq     uint64
+	fingerprint uint64
+	entries     []snapEntry
+}
+
+// encodeSnapshotV2 renders the full snapshot file image (magic included).
+func encodeSnapshotV2(lastSeq, fingerprint uint64, blobs []corpus.ModelBlob) []byte {
+	size := len(snapMagicV2) + snapHeaderLen
+	for _, b := range blobs {
+		size += 24 + 2*binary.MaxVarintLen64 + len(b.ID) + len(b.SBML) + 8*len(b.Keys)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapMagicV2...)
+	buf = binary.LittleEndian.AppendUint64(buf, lastSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, fingerprint)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blobs)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[len(snapMagicV2):]))
+	for _, b := range blobs {
+		cs := make([]byte, 0, 2*binary.MaxVarintLen64+len(b.ID)+len(b.SBML))
+		cs = binary.AppendUvarint(cs, uint64(len(b.ID)))
+		cs = append(cs, b.ID...)
+		cs = binary.AppendUvarint(cs, uint64(len(b.SBML)))
+		cs = append(cs, b.SBML...)
+		keys := core.EncodeMatchKeys(b.Keys)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(16+len(cs)+len(keys)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cs)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(cs))
+		buf = append(buf, cs...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(keys))
+		buf = append(buf, keys...)
+	}
+	return buf
+}
+
+// corruptf wraps a format violation in ErrCorruptSnapshot.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("store: %s: %s: %w", snapName, fmt.Sprintf(format, args...), ErrCorruptSnapshot)
+}
+
+// decodeSnapshotV2 parses a full file image whose magic already matched
+// snapMagicV2. Damage to canonical data is a hard error; damage confined
+// to a keys section only clears that entry's keysOK.
+func decodeSnapshotV2(data []byte) (snapFile, error) {
+	var sf snapFile
+	rest := data[len(snapMagicV2):]
+	if len(rest) < snapHeaderLen {
+		return sf, corruptf("truncated header")
+	}
+	header := rest[:snapHeaderLen-4]
+	if crc32.ChecksumIEEE(header) != binary.LittleEndian.Uint32(rest[snapHeaderLen-4:snapHeaderLen]) {
+		return sf, corruptf("header CRC mismatch")
+	}
+	sf.lastSeq = binary.LittleEndian.Uint64(header[0:8])
+	sf.fingerprint = binary.LittleEndian.Uint64(header[8:16])
+	count := binary.LittleEndian.Uint32(header[16:20])
+	rest = rest[snapHeaderLen:]
+	if uint64(count) > uint64(len(rest)) {
+		// Entries occupy many bytes each; a count beyond the remaining
+		// byte count is corruption, not an allocation request.
+		return sf, corruptf("entry count %d exceeds file size", count)
+	}
+	sf.entries = make([]snapEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return sf, corruptf("entry %d: truncated frame", i)
+		}
+		entryLen := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(entryLen) > uint64(len(rest)) || entryLen < 16 {
+			return sf, corruptf("entry %d: implausible length %d", i, entryLen)
+		}
+		eb := rest[:entryLen]
+		rest = rest[entryLen:]
+
+		coreLen := binary.LittleEndian.Uint32(eb[0:4])
+		coreCRC := binary.LittleEndian.Uint32(eb[4:8])
+		if uint64(coreLen) > uint64(len(eb))-16 {
+			return sf, corruptf("entry %d: core section overruns entry", i)
+		}
+		coreBytes := eb[8 : 8+coreLen]
+		if crc32.ChecksumIEEE(coreBytes) != coreCRC {
+			return sf, corruptf("entry %d: core CRC mismatch", i)
+		}
+		e, err := decodeSnapCore(coreBytes)
+		if err != nil {
+			return sf, corruptf("entry %d: %v", i, err)
+		}
+
+		// Keys section: any inconsistency here downgrades the entry to
+		// the parse path instead of failing the load — the canonical
+		// bytes above are intact and re-derivation is always correct.
+		keysFrame := eb[8+coreLen:]
+		if len(keysFrame) >= 8 {
+			keysLen := binary.LittleEndian.Uint32(keysFrame[0:4])
+			keysCRC := binary.LittleEndian.Uint32(keysFrame[4:8])
+			keysBytes := keysFrame[8:]
+			if uint64(keysLen) == uint64(len(keysBytes)) && crc32.ChecksumIEEE(keysBytes) == keysCRC {
+				if keys, err := core.DecodeMatchKeys(keysBytes); err == nil {
+					e.keys, e.keysOK = keys, true
+				}
+			}
+		}
+		sf.entries = append(sf.entries, e)
+	}
+	if len(rest) != 0 {
+		return sf, corruptf("%d trailing bytes after last entry", len(rest))
+	}
+	return sf, nil
+}
+
+// decodeSnapCore parses an entry's core section (id + canonical bytes).
+func decodeSnapCore(b []byte) (snapEntry, error) {
+	var e snapEntry
+	idLen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < idLen {
+		return e, fmt.Errorf("bad id length")
+	}
+	b = b[n:]
+	e.id = string(b[:idLen])
+	b = b[idLen:]
+	blobLen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) != blobLen {
+		return e, fmt.Errorf("bad sbml length")
+	}
+	e.sbml = append([]byte(nil), b[n:]...)
+	if e.id == "" || len(e.sbml) == 0 {
+		return e, fmt.Errorf("empty id or model bytes")
+	}
+	return e, nil
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/sbml"
+)
+
+// Tests for the binary snapshot codec at the store level: the
+// precompiled fast path must recover rankings byte-identical to the
+// parse path, damage to derived state must degrade (never corrupt), and
+// damage to canonical data must refuse to open. codec.go documents the
+// split; this file pins it.
+
+// buildSnapshotDir runs n models through a store and closes it, leaving
+// a v2 snapshot (and an empty live segment) in dir.
+func buildSnapshotDir(t *testing.T, dir string, n int) []*sbml.Model {
+	t.Helper()
+	s := mustOpen(t, dir, testOptions())
+	var adds []*sbml.Model
+	for i := 0; i < n; i++ {
+		m := testModel(i)
+		adds = append(adds, m)
+		mustAdd(t, s.Corpus(), m)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return adds
+}
+
+func snapPath(dir string) string { return filepath.Join(dir, snapName) }
+
+func mutateSnapshot(t *testing.T, dir string, mutate func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(snapPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath(dir), mutate(append([]byte(nil), data...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinarySnapshotRoundTrip pins the tentpole property: recovery from
+// persisted keys (no XML parse at all) yields a corpus whose rankings
+// and compositions are identical to the parse path's — checked against
+// both a never-restarted reference and a RecoveryParseOnly reopen.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	adds := buildSnapshotDir(t, dir, 12)
+	ref := buildReference(t, testOptions().Corpus, adds, nil)
+	queries := []*sbml.Model{testModel(2), testModel(40)}
+
+	fast := mustOpen(t, dir, testOptions())
+	if st := fast.Stats(); st.SnapshotPrecompiled != 12 || st.SnapshotParsed != 0 {
+		t.Fatalf("fast path stats: %+v, want 12 precompiled / 0 parsed", st)
+	}
+	assertCorporaEquivalent(t, fast.Corpus(), ref, queries)
+	if err := fast.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	slowOpts := testOptions()
+	slowOpts.RecoveryParseOnly = true
+	slow := mustOpen(t, dir, slowOpts)
+	if st := slow.Stats(); st.SnapshotParsed != 12 || st.SnapshotPrecompiled != 0 {
+		t.Fatalf("RecoveryParseOnly stats: %+v, want 12 parsed / 0 precompiled", st)
+	}
+	assertCorporaEquivalent(t, slow.Corpus(), ref, queries)
+	slow.Close()
+}
+
+// TestBinarySnapshotKeysDamageFallsBack flips the snapshot's final byte
+// — inside the last entry's keys blob — and expects a clean open with
+// exactly one entry downgraded to the parse path, results unchanged.
+func TestBinarySnapshotKeysDamageFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	adds := buildSnapshotDir(t, dir, 5)
+	mutateSnapshot(t, dir, func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b })
+	s := mustOpen(t, dir, testOptions())
+	if st := s.Stats(); st.SnapshotParsed != 1 || st.SnapshotPrecompiled != 4 {
+		t.Fatalf("stats after keys flip: %+v, want 1 parsed / 4 precompiled", st)
+	}
+	assertCorporaEquivalent(t, s.Corpus(), buildReference(t, testOptions().Corpus, adds, nil),
+		[]*sbml.Model{testModel(1)})
+	s.Close()
+}
+
+// TestBinarySnapshotTruncationRefusesToOpen sweeps every truncation
+// length: a snapshot cut anywhere must fail with ErrCorruptSnapshot —
+// the header's entry count and the per-entry framing leave no prefix
+// that silently decodes as a smaller corpus.
+func TestBinarySnapshotTruncationRefusesToOpen(t *testing.T) {
+	dir := t.TempDir()
+	buildSnapshotDir(t, dir, 3)
+	data, err := os.ReadFile(snapPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	for cut := 0; cut < len(data); cut += stride {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(snapPath(dir2), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir2, testOptions()); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("cut@%d: err = %v, want ErrCorruptSnapshot", cut, err)
+		}
+	}
+}
+
+// TestBinarySnapshotBitFlipSweep flips single bytes across the file.
+// Every flip must either refuse to open (canonical data or framing
+// damaged — the CRCs catch it) or open with results identical to the
+// reference (the flip hit derived state and the entry fell back to the
+// parse path). Nothing in between: a flip may cost speed, never truth.
+func TestBinarySnapshotBitFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	adds := buildSnapshotDir(t, dir, 3)
+	ref := buildReference(t, testOptions().Corpus, adds, nil)
+	query := testModel(1)
+	want := stateOf(t, ref, query)
+	data, err := os.ReadFile(snapPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 7
+	if testing.Short() {
+		stride = 41
+	}
+	fellBack := 0
+	for pos := 0; pos < len(data); pos += stride {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x5A
+		dir2 := t.TempDir()
+		if err := os.WriteFile(snapPath(dir2), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir2, testOptions())
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("flip@%d: err = %v, want ErrCorruptSnapshot", pos, err)
+			}
+			continue
+		}
+		if st := s.Stats(); st.SnapshotParsed > 0 {
+			fellBack++
+		}
+		assertRecoveredEqualsPrefix(t, s, want, query, "flip@"+itoa(int64(pos)))
+		s.Close()
+	}
+	if fellBack == 0 {
+		t.Fatal("no flip exercised the keys-damage fallback path")
+	}
+}
+
+// TestLegacyV1SnapshotStillOpens hand-writes an old-format (sbsnap-1
+// gob) snapshot and expects recovery through the parse path, with the
+// next snapshot upgrading the directory to the binary format.
+func TestLegacyV1SnapshotStillOpens(t *testing.T) {
+	adds := []*sbml.Model{testModel(0), testModel(1), testModel(2), testModel(3)}
+	ref := buildReference(t, testOptions().Corpus, adds, nil)
+	blobs := ref.DumpConsistent(nil)
+	for i := range blobs {
+		blobs[i].Keys = nil // old files carried canonical bytes only
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snapManifest{Version: snapVersionV1, LastSeq: 4, Models: blobs}); err != nil {
+		t.Fatal(err)
+	}
+	file := []byte(snapMagicV1)
+	file = binary.LittleEndian.AppendUint32(file, uint32(payload.Len()))
+	file = binary.LittleEndian.AppendUint32(file, crc32.ChecksumIEEE(payload.Bytes()))
+	file = append(file, payload.Bytes()...)
+	dir := t.TempDir()
+	if err := os.WriteFile(snapPath(dir), file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, testOptions())
+	st := s.Stats()
+	if st.SnapshotModels != 4 || st.SnapshotParsed != 4 || st.SnapshotPrecompiled != 0 || st.SnapshotSeq != 4 {
+		t.Fatalf("legacy recovery stats: %+v", st)
+	}
+	queries := []*sbml.Model{testModel(0), testModel(33)}
+	assertCorporaEquivalent(t, s.Corpus(), ref, queries)
+	if err := s.Close(); err != nil { // close-snapshot rewrites in v2
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOptions())
+	if st := s2.Stats(); st.SnapshotPrecompiled != 4 || st.SnapshotParsed != 0 {
+		t.Fatalf("post-upgrade stats: %+v, want all precompiled", st)
+	}
+	assertCorporaEquivalent(t, s2.Corpus(), ref, queries)
+	s2.Close()
+}
+
+// TestFingerprintMismatchReparses reopens a snapshot under different
+// match options: the persisted keys (derived under the old options) must
+// be ignored wholesale and the corpus must rank exactly as one built
+// from scratch under the new options.
+func TestFingerprintMismatchReparses(t *testing.T) {
+	dir := t.TempDir()
+	adds := buildSnapshotDir(t, dir, 6)
+	newOpts := testOptions()
+	newOpts.Corpus.Match = core.Options{Semantics: core.NoSemantics}
+	s := mustOpen(t, dir, newOpts)
+	if st := s.Stats(); st.SnapshotParsed != 6 || st.SnapshotPrecompiled != 0 {
+		t.Fatalf("stats under changed match options: %+v, want all parsed", st)
+	}
+	assertCorporaEquivalent(t, s.Corpus(), buildReference(t, newOpts.Corpus, adds, nil),
+		[]*sbml.Model{testModel(3), testModel(50)})
+	s.Close()
+}
+
+// TestSnapshotCoversWALInterleaving pins recovery when a binary snapshot
+// and a WAL tail coexist: snapshot entries install precompiled, tail
+// records (adds and removes past the snapshot's seq) replay through the
+// parallel parse path, in order.
+func TestSnapshotCoversWALInterleaving(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.NoSnapshotOnClose = true
+	s := mustOpen(t, dir, opts)
+	var adds []*sbml.Model
+	for i := 0; i < 4; i++ {
+		m := testModel(i)
+		adds = append(adds, m)
+		mustAdd(t, s.Corpus(), m)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail work past the snapshot: two more adds, one remove of a
+	// snapshotted model, one remove of a tail model.
+	for i := 4; i < 6; i++ {
+		m := testModel(i)
+		adds = append(adds, m)
+		mustAdd(t, s.Corpus(), m)
+	}
+	mustRemove(t, s.Corpus(), adds[1].ID)
+	mustRemove(t, s.Corpus(), adds[4].ID)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, opts)
+	st := s2.Stats()
+	if st.SnapshotPrecompiled != 4 || st.SnapshotParsed != 0 {
+		t.Fatalf("snapshot stats: %+v, want 4 precompiled", st)
+	}
+	if st.WALAdds != 2 || st.WALRemoves != 2 {
+		t.Fatalf("tail stats: %+v, want 2 adds / 2 removes", st)
+	}
+	ref := buildReference(t, opts.Corpus, adds, []string{adds[1].ID, adds[4].ID})
+	assertCorporaEquivalent(t, s2.Corpus(), ref, []*sbml.Model{testModel(0), testModel(21)})
+	s2.Close()
+}
+
+// corpusOptionsSanity guards the test setup itself: the fingerprint must
+// actually differ between the two option sets the mismatch test uses.
+func TestFingerprintTestOptionsDiffer(t *testing.T) {
+	a := testOptions().Corpus.Match.MatchKeyFingerprint()
+	b := core.Options{Semantics: core.NoSemantics}.MatchKeyFingerprint()
+	if a == b {
+		t.Fatal("test option sets share a fingerprint; mismatch test is vacuous")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 
 	"sbmlcompose/internal/biomodels"
@@ -271,6 +272,84 @@ func TestCrashRecoveryFinalRemoveRecord(t *testing.T) {
 	// Ends with a remove: a short record whose loss must resurrect the
 	// removed model exactly as the prefix corpus has it.
 	runCrashSweep(t, makeWorkload(t, 2, 9, true))
+}
+
+// TestFsyncFailureRollsBackRecord injects an fsync error into the
+// FsyncAlways append path: the add must fail, and — because the rollback
+// truncation is itself synced — the record must be durably gone, so a
+// crash-and-reopen recovers exactly the prefix and never resurrects a
+// write its caller was told failed.
+func TestFsyncFailureRollsBackRecord(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions() // FsyncAlways default
+	opts.NoSnapshotOnClose = true
+	s := mustOpen(t, dir, opts)
+	mustAdd(t, s.Corpus(), crashModel(0))
+
+	injected := fmt.Errorf("injected append fsync failure")
+	s.mu.Lock()
+	calls := 0
+	s.wal.syncHook = func(f *os.File) error {
+		calls++
+		if calls == 1 {
+			return injected // the append's own sync; the rollback sync succeeds
+		}
+		return f.Sync()
+	}
+	s.mu.Unlock()
+
+	if _, err := s.Corpus().Add(crashModel(1)); err == nil {
+		t.Fatal("add under failing fsync succeeded")
+	}
+	if calls < 2 {
+		t.Fatalf("rollback did not sync its truncation (%d sync calls)", calls)
+	}
+	if got := s.Corpus().Len(); got != 1 {
+		t.Fatalf("corpus len after failed add = %d, want 1", got)
+	}
+	// The writer repaired itself: later appends work and recovery sees
+	// the prefix plus the later add, never the failed record.
+	mustAdd(t, s.Corpus(), crashModel(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, opts)
+	want := []string{crashModel(0).ID, crashModel(2).ID}
+	if got := s2.Corpus().IDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered ids %v, want %v", got, want)
+	}
+	if st := s2.Stats(); st.TornTail {
+		t.Fatalf("rolled-back log reported torn tail: %+v", st)
+	}
+	s2.Close()
+}
+
+// TestFsyncFailureWithFailedRollbackWedges fails both the append fsync
+// and the rollback's confirming sync: the writer must wedge, and every
+// later append must fail fast — acknowledging records behind an
+// unconfirmed tail would lose them all at the next torn-tail repair.
+func TestFsyncFailureWithFailedRollbackWedges(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	mustAdd(t, s.Corpus(), crashModel(0))
+	injected := fmt.Errorf("injected persistent sync failure")
+	s.mu.Lock()
+	s.wal.syncHook = func(*os.File) error { return injected }
+	s.mu.Unlock()
+
+	if _, err := s.Corpus().Add(crashModel(1)); err == nil {
+		t.Fatal("add under failing fsync succeeded")
+	}
+	_, err := s.Corpus().Add(crashModel(2))
+	if err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("add after failed rollback: err = %v, want wedged fast-fail", err)
+	}
+	if got := s.Corpus().Len(); got != 1 {
+		t.Fatalf("corpus len after wedge = %d, want 1", got)
+	}
+	s.mu.Lock()
+	s.wal.syncHook = nil
+	s.mu.Unlock()
 }
 
 func TestCrashRecoveryTornSnapshotTempIgnored(t *testing.T) {

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"sbmlcompose/internal/corpus"
+	"sbmlcompose/internal/sbml"
+)
+
+// Tests for the FsyncGroup commit path: batched acknowledgement must
+// keep FsyncAlways's guarantee (an acked write survives, a failed write
+// vanishes) under concurrency, rotation and shutdown.
+
+func groupOptions() Options {
+	opts := testOptions()
+	opts.Fsync = FsyncGroup
+	return opts
+}
+
+// TestGroupCommitConcurrentWriters hammers the group path from many
+// goroutines and verifies every acknowledged add survives a reopen.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	opts := groupOptions()
+	opts.NoSnapshotOnClose = true // reopen must replay the group-committed WAL
+	s := mustOpen(t, dir, opts)
+	const writers, perWriter = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Corpus().Add(testModel(w*perWriter + i)); err != nil {
+					errs <- fmt.Errorf("writer %d add %d: %w", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, opts)
+	if got := s2.Corpus().Len(); got != writers*perWriter {
+		t.Fatalf("recovered %d models, want %d", got, writers*perWriter)
+	}
+	var adds []*sbml.Model
+	for i := 0; i < writers*perWriter; i++ {
+		adds = append(adds, testModel(i))
+	}
+	assertCorporaEquivalent(t, s2.Corpus(), buildReference(t, opts.Corpus, adds, nil),
+		[]*sbml.Model{testModel(3)})
+	s2.Close()
+}
+
+// TestGroupCommitFsyncFailure injects a batch-fsync failure: the add
+// must fail, the corpus must not contain the model, and — the deferred
+// durability property — the record must be gone from the log, so a
+// crash-and-reopen cannot resurrect a write its caller saw fail.
+func TestGroupCommitFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	opts := groupOptions()
+	opts.NoSnapshotOnClose = true
+	s := mustOpen(t, dir, opts)
+	mustAdd(t, s.Corpus(), testModel(0))
+
+	boom := errors.New("injected group fsync failure")
+	s.mu.Lock()
+	calls := 0
+	s.wal.syncHook = func(f *os.File) error {
+		calls++
+		if calls == 1 {
+			return boom // the batch fsync; the rollback sync goes through
+		}
+		return f.Sync()
+	}
+	s.mu.Unlock()
+
+	if _, err := s.Corpus().Add(testModel(1)); !errors.Is(err, corpus.ErrPersist) {
+		t.Fatalf("add under failing fsync: err = %v, want ErrPersist", err)
+	}
+	if got := s.Corpus().Len(); got != 1 {
+		t.Fatalf("corpus len after failed group commit = %d, want 1", got)
+	}
+	// The writer rolled back and stays usable: the next add goes through
+	// and both survive recovery; the failed record must not reappear.
+	mustAdd(t, s.Corpus(), testModel(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, opts)
+	ids := s2.Corpus().IDs()
+	want := []string{testModel(0).ID, testModel(2).ID}
+	if len(ids) != 2 || ids[0] != want[0] || ids[1] != want[1] {
+		t.Fatalf("recovered ids %v, want %v", ids, want)
+	}
+	s2.Close()
+}
+
+// TestGroupCommitFsyncAndRollbackFailure fails both the batch fsync and
+// the rollback's confirming sync: the writer must wedge and every later
+// append must fail fast rather than acknowledge records behind an
+// unconfirmed tail.
+func TestGroupCommitFsyncAndRollbackFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, groupOptions())
+	boom := errors.New("injected persistent sync failure")
+	s.mu.Lock()
+	s.wal.syncHook = func(*os.File) error { return boom }
+	s.mu.Unlock()
+
+	if _, err := s.Corpus().Add(testModel(0)); !errors.Is(err, corpus.ErrPersist) {
+		t.Fatalf("add under failing fsync: err = %v, want ErrPersist", err)
+	}
+	if _, err := s.Corpus().Add(testModel(1)); !errors.Is(err, corpus.ErrPersist) {
+		t.Fatalf("add after wedge: err = %v, want ErrPersist", err)
+	}
+	s.mu.Lock()
+	wedged := s.wal.wedged
+	s.wal.syncHook = nil // let Close's flush proceed against the real file
+	s.mu.Unlock()
+	if wedged == nil {
+		t.Fatal("writer not wedged after rollback sync failure")
+	}
+}
+
+// TestGroupCommitAcrossRotation runs concurrent group-mode adds while
+// snapshots rotate the segment under them; every acknowledged add must
+// survive, whichever side of a rotation its record landed on.
+func TestGroupCommitAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := groupOptions()
+	s := mustOpen(t, dir, opts)
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := s.Snapshot(); err != nil {
+				errs <- fmt.Errorf("snapshot %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if _, err := s.Corpus().Add(testModel(w*(n/4) + i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, opts)
+	if got := s2.Corpus().Len(); got != n {
+		t.Fatalf("recovered %d models, want %d", got, n)
+	}
+	s2.Close()
+}
+
+// TestGroupCommitCloseRace races Close against group-mode writers: each
+// add either succeeds (and must be recovered) or fails with a persist
+// error; nothing may hang on a waiter the final drain missed.
+func TestGroupCommitCloseRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		opts := groupOptions()
+		opts.NoSnapshotOnClose = true
+		s := mustOpen(t, dir, opts)
+		var wg sync.WaitGroup
+		acked := make([]bool, 8)
+		for w := range acked {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, err := s.Corpus().Add(testModel(w))
+				if err == nil {
+					acked[w] = true
+				} else if !errors.Is(err, corpus.ErrPersist) {
+					t.Errorf("round %d writer %d: unexpected error %v", round, w, err)
+				}
+			}(w)
+		}
+		time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+		if err := s.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		wg.Wait()
+		s2 := mustOpen(t, dir, opts)
+		for w, ok := range acked {
+			if !ok {
+				continue
+			}
+			if _, found := s2.Corpus().Get(testModel(w).ID); !found {
+				t.Fatalf("round %d: acknowledged add %d lost after Close", round, w)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestGroupCommitDelayBatches exercises the GroupMaxDelay/GroupMaxBytes
+// knobs: with a generous delay and a tiny byte cap, a single append must
+// still commit promptly once its bytes exceed the cap.
+func TestGroupCommitDelayBatches(t *testing.T) {
+	dir := t.TempDir()
+	opts := groupOptions()
+	opts.GroupMaxDelay = 30 * time.Second // would time out the test if waited
+	opts.GroupMaxBytes = 1                // any append overflows the cap at once
+	s := mustOpen(t, dir, opts)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Corpus().Add(testModel(0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("append under byte-cap overflow did not commit")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

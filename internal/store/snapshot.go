@@ -14,19 +14,25 @@ import (
 	"sbmlcompose/internal/corpus"
 )
 
-// This file implements the snapshot store: a gob-encoded manifest of every
-// model's canonical bytes plus the WAL sequence number the snapshot
-// covers, written atomically (temp file + rename, like benchfig's JSON
-// writer) so a crash mid-write leaves the previous snapshot intact.
+// This file implements the snapshot file store. Snapshots are written in
+// the binary sbsnap-2 format (codec.go): every model's canonical bytes
+// plus its precompiled match keys, the derived state that lets recovery
+// skip XML parsing entirely. Files are written atomically (temp file +
+// fsync + rename, like benchfig's JSON writer) so a crash mid-write
+// leaves the previous snapshot intact. Legacy sbsnap-1 files (a gob
+// manifest of canonical bytes only) still load — their entries simply
+// take the parse path.
 //
 // Unlike a torn WAL tail — which only ever holds unacknowledged writes
 // and is safely dropped — a corrupt snapshot would silently lose the
-// whole corpus if ignored, so loadSnapshot reports corruption as a hard
-// error (ErrCorruptSnapshot) and Open refuses to start.
+// whole corpus if ignored, so loadSnapshot reports corruption of the
+// canonical data as a hard error (ErrCorruptSnapshot) and Open refuses
+// to start. Damage confined to the derived keys merely downgrades
+// recovery to the parse path (codec.go documents the split).
 
 const (
-	snapMagic   = "sbsnap-1"
-	snapVersion = 1
+	snapMagicV1   = "sbsnap-1"
+	snapVersionV1 = 1
 	// snapName is the single live snapshot file; writes replace it
 	// atomically.
 	snapName = "corpus.snap"
@@ -36,7 +42,8 @@ const (
 // guess around it: the operator must restore or delete the snapshot.
 var ErrCorruptSnapshot = errors.New("corrupt snapshot")
 
-// snapManifest is the gob payload.
+// snapManifest is the legacy v1 gob payload, kept for reading snapshots
+// written before the binary format.
 type snapManifest struct {
 	Version int
 	// LastSeq is the highest WAL sequence number whose effect the
@@ -45,28 +52,19 @@ type snapManifest struct {
 	Models  []corpus.ModelBlob
 }
 
-// writeSnapshot writes the manifest to dir/corpus.snap via a synced temp
-// file and rename.
-func writeSnapshot(dir string, man snapManifest) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(man); err != nil {
-		return fmt.Errorf("store: encode snapshot: %w", err)
-	}
+// writeSnapshot writes an sbsnap-2 snapshot to dir/corpus.snap via a
+// synced temp file and rename. fingerprint records the match options the
+// blobs' keys were derived under, so a later Open with different options
+// knows to re-derive.
+func writeSnapshot(dir string, lastSeq, fingerprint uint64, blobs []corpus.ModelBlob) error {
+	image := encodeSnapshotV2(lastSeq, fingerprint, blobs)
 	f, err := os.CreateTemp(dir, snapName+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmpPath := f.Name()
 	defer os.Remove(tmpPath) // no-op after the rename
-	header := make([]byte, len(snapMagic)+8)
-	copy(header, snapMagic)
-	binary.LittleEndian.PutUint32(header[len(snapMagic):], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(header[len(snapMagic)+4:], crc32.ChecksumIEEE(payload.Bytes()))
-	if _, err := f.Write(header); err != nil {
-		f.Close()
-		return err
-	}
-	if _, err := f.Write(payload.Bytes()); err != nil {
+	if _, err := f.Write(image); err != nil {
 		f.Close()
 		return err
 	}
@@ -84,36 +82,64 @@ func writeSnapshot(dir string, man snapManifest) error {
 	return nil
 }
 
-// loadSnapshot reads dir/corpus.snap. A missing file is a fresh store
-// (ok=false, no error); anything unreadable wraps ErrCorruptSnapshot.
-func loadSnapshot(dir string) (snapManifest, bool, error) {
-	var man snapManifest
+// loadSnapshot reads dir/corpus.snap in whichever format the magic
+// declares. A missing file is a fresh store (ok=false, no error); an
+// unknown magic or damaged canonical data wraps ErrCorruptSnapshot.
+func loadSnapshot(dir string) (snapFile, bool, error) {
+	var sf snapFile
 	data, err := os.ReadFile(filepath.Join(dir, snapName))
 	if errors.Is(err, fs.ErrNotExist) {
-		return man, false, nil
+		return sf, false, nil
 	}
 	if err != nil {
-		return man, false, err
+		return sf, false, err
 	}
-	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != snapMagic {
-		return man, false, fmt.Errorf("store: %s: bad header: %w", snapName, ErrCorruptSnapshot)
+	if len(data) < len(snapMagicV2) {
+		return sf, false, corruptf("bad header")
 	}
-	length := binary.LittleEndian.Uint32(data[len(snapMagic):])
-	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
-	payload := data[len(snapMagic)+8:]
+	switch string(data[:len(snapMagicV2)]) {
+	case snapMagicV2:
+		sf, err = decodeSnapshotV2(data)
+	case snapMagicV1:
+		sf, err = decodeSnapshotV1(data)
+	default:
+		return sf, false, corruptf("unknown magic %q", data[:len(snapMagicV2)])
+	}
+	if err != nil {
+		return sf, false, err
+	}
+	return sf, true, nil
+}
+
+// decodeSnapshotV1 parses the legacy gob format. Every entry lands on the
+// parse path (keysOK false): v1 carried no derived state, and its gob
+// framing has no per-entry integrity to vouch for any.
+func decodeSnapshotV1(data []byte) (snapFile, error) {
+	var sf snapFile
+	if len(data) < len(snapMagicV1)+8 {
+		return sf, corruptf("bad header")
+	}
+	length := binary.LittleEndian.Uint32(data[len(snapMagicV1):])
+	sum := binary.LittleEndian.Uint32(data[len(snapMagicV1)+4:])
+	payload := data[len(snapMagicV1)+8:]
 	if uint32(len(payload)) != length {
-		return man, false, fmt.Errorf("store: %s: payload is %d bytes, header says %d: %w",
+		return sf, fmt.Errorf("store: %s: payload is %d bytes, header says %d: %w",
 			snapName, len(payload), length, ErrCorruptSnapshot)
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return man, false, fmt.Errorf("store: %s: CRC mismatch: %w", snapName, ErrCorruptSnapshot)
+		return sf, corruptf("CRC mismatch")
 	}
+	var man snapManifest
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&man); err != nil {
-		return man, false, fmt.Errorf("store: %s: decode: %v: %w", snapName, err, ErrCorruptSnapshot)
+		return sf, corruptf("decode: %v", err)
 	}
-	if man.Version != snapVersion {
-		return man, false, fmt.Errorf("store: %s: unsupported snapshot version %d: %w",
-			snapName, man.Version, ErrCorruptSnapshot)
+	if man.Version != snapVersionV1 {
+		return sf, corruptf("unsupported snapshot version %d", man.Version)
 	}
-	return man, true, nil
+	sf.lastSeq = man.LastSeq
+	sf.entries = make([]snapEntry, 0, len(man.Models))
+	for _, blob := range man.Models {
+		sf.entries = append(sf.entries, snapEntry{id: blob.ID, sbml: blob.SBML})
+	}
+	return sf, nil
 }

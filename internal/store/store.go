@@ -47,14 +47,27 @@
 // truncated back to its last intact record so later appends continue a
 // well-formed log.
 //
+// Snapshots are written in a binary format (sbsnap-2, codec.go) that
+// carries each model's precompiled match keys next to its canonical
+// bytes, so snapshot entries normally install without touching the XML
+// pipeline at all. The keys are trusted only when their CRC holds and
+// the snapshot's match-options fingerprint equals the opening corpus's;
+// otherwise — and for every WAL record, which carries bytes only — the
+// model takes the parse path, fanned out across GOMAXPROCS workers
+// (recover.go) and applied in record order. Either way the recovered
+// corpus is search-identical to a never-restarted one.
+//
 // # Durability policy
 //
 // FsyncAlways syncs the WAL after every append — an acknowledged
 // mutation survives power loss, at a per-write latency cost.
-// FsyncInterval syncs on a timer, bounding loss to the interval;
-// FsyncNever leaves flushing to the OS. Snapshots are always written
-// cold-path durable (temp file + fsync + rename + directory sync)
-// regardless of policy.
+// FsyncGroup gives the same guarantee at a fraction of the cost under
+// concurrency: appends are written immediately but acknowledged by a
+// group-commit loop that batches all appends landing while one fsync is
+// in flight into the next (group.go). FsyncInterval syncs on a timer,
+// bounding loss to the interval; FsyncNever leaves flushing to the OS.
+// Snapshots are always written cold-path durable (temp file + fsync +
+// rename + directory sync) regardless of policy.
 package store
 
 import (
@@ -67,7 +80,6 @@ import (
 	"time"
 
 	"sbmlcompose/internal/corpus"
-	"sbmlcompose/internal/sbml"
 )
 
 // FsyncPolicy selects when WAL appends are synced to stable storage.
@@ -77,6 +89,13 @@ const (
 	// FsyncAlways syncs after every append: no acknowledged write is ever
 	// lost. The default.
 	FsyncAlways FsyncPolicy = "always"
+	// FsyncGroup is FsyncAlways's guarantee with batched syncs: an append
+	// is not acknowledged until an fsync covering it completes, but one
+	// fsync acknowledges every append that landed while the previous one
+	// was in flight, so concurrent writers share the sync cost instead of
+	// paying it each. Latency per append stays around one fsync; aggregate
+	// throughput scales with the writer count.
+	FsyncGroup FsyncPolicy = "group"
 	// FsyncInterval syncs on a timer (Options.FsyncEvery): loss after a
 	// crash is bounded by the interval.
 	FsyncInterval FsyncPolicy = "interval"
@@ -93,6 +112,23 @@ type Options struct {
 	Fsync FsyncPolicy
 	// FsyncEvery is the FsyncInterval period; 0 defaults to 200ms.
 	FsyncEvery time.Duration
+	// GroupMaxBytes caps how many written-but-unsynced bytes a FsyncGroup
+	// batch accumulates before the loop stops waiting for more company and
+	// syncs; 0 defaults to 1 MiB. Only consulted when GroupMaxDelay > 0
+	// (with no delay, every batch commits as soon as the previous fsync
+	// returns).
+	GroupMaxBytes int64
+	// GroupMaxDelay, when positive, makes the FsyncGroup loop linger that
+	// long after the first append of a batch (or until GroupMaxBytes
+	// accumulate) to gather a larger batch, trading append latency for
+	// fewer syncs. 0 — the default — batches naturally: whatever lands
+	// during one fsync forms the next batch.
+	GroupMaxDelay time.Duration
+	// RecoveryParseOnly makes Open ignore the snapshot's precompiled match
+	// keys and push every model through the parse path, as if the snapshot
+	// carried canonical bytes only. Benchmarks use it to isolate the binary
+	// format's advantage; operators can use it to force re-derivation.
+	RecoveryParseOnly bool
 	// CompactBytes triggers an automatic snapshot (and WAL truncation)
 	// once the live segment's record bytes exceed it. 0 defaults to 8 MiB;
 	// negative disables auto-compaction.
@@ -107,12 +143,15 @@ func (o Options) withDefaults() (Options, error) {
 	switch o.Fsync {
 	case "":
 		o.Fsync = FsyncAlways
-	case FsyncAlways, FsyncInterval, FsyncNever:
+	case FsyncAlways, FsyncGroup, FsyncInterval, FsyncNever:
 	default:
-		return o, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", o.Fsync)
+		return o, fmt.Errorf("store: unknown fsync policy %q (want always, group, interval or never)", o.Fsync)
 	}
 	if o.FsyncEvery <= 0 {
 		o.FsyncEvery = 200 * time.Millisecond
+	}
+	if o.GroupMaxBytes <= 0 {
+		o.GroupMaxBytes = 1 << 20
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 8 << 20
@@ -124,9 +163,14 @@ func (o Options) withDefaults() (Options, error) {
 // it at startup and serves it on /healthz.
 type RecoveryStats struct {
 	// SnapshotModels counts models restored from the snapshot; SnapshotSeq
-	// is the WAL sequence number the snapshot covered.
-	SnapshotModels int    `json:"snapshot_models"`
-	SnapshotSeq    uint64 `json:"snapshot_seq"`
+	// is the WAL sequence number the snapshot covered. Of those models,
+	// SnapshotPrecompiled installed straight from persisted match keys and
+	// SnapshotParsed took the parse path (legacy format, damaged keys
+	// section, fingerprint mismatch, or Options.RecoveryParseOnly).
+	SnapshotModels      int    `json:"snapshot_models"`
+	SnapshotSeq         uint64 `json:"snapshot_seq"`
+	SnapshotPrecompiled int    `json:"snapshot_precompiled"`
+	SnapshotParsed      int    `json:"snapshot_parsed"`
 	// WALSegments and WALRecords count the segments read and the intact
 	// records in them; WALSkipped of those were already covered by the
 	// snapshot, WALAdds/WALRemoves were applied.
@@ -164,6 +208,10 @@ type Store struct {
 	opts  Options
 	c     *corpus.Corpus
 	stats RecoveryStats
+	// fingerprint identifies the match options the corpus's keys are
+	// derived under; snapshots record it so a later Open knows whether the
+	// persisted keys are trustworthy.
+	fingerprint uint64
 
 	// mu guards the WAL writer, sequence counter and tail size. Lock
 	// order is shard lock → mu (persist calls arrive holding a shard
@@ -176,6 +224,18 @@ type Store struct {
 	tailBytes int64
 	closing   bool // Close has begun: no new Close work, appends still drain
 	closed    bool // WAL closed: appends fail
+
+	// Group-commit state (FsyncGroup only; see group.go). groupMu
+	// serializes group commits against segment rotation — lock order is
+	// groupMu → mu, and whoever holds groupMu owns the invariant that
+	// every pending waiter's record sits in the current s.wal.
+	// groupWaiters (guarded by mu) are appends written but awaiting the
+	// fsync that acknowledges them; groupBytes counts their frame bytes;
+	// groupCh kicks the loop.
+	groupMu      sync.Mutex
+	groupCh      chan struct{}
+	groupWaiters []chan error
+	groupBytes   int64
 
 	// snapMu serializes snapshots (manual, auto-compaction, close).
 	snapMu     sync.Mutex
@@ -217,20 +277,46 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.closeCtx, s.closeCancel = context.WithCancel(context.Background())
 
-	man, haveSnap, err := loadSnapshot(dir)
+	sf, haveSnap, err := loadSnapshot(dir)
 	if err != nil {
 		return nil, err
 	}
+	s.fingerprint = opts.Corpus.Match.MatchKeyFingerprint()
 	c := corpus.New(opts.Corpus)
 	if haveSnap {
-		for _, blob := range man.Models {
-			if err := applyAdd(c, blob.ID, blob.SBML); err != nil {
-				return nil, fmt.Errorf("store: snapshot model %q: %w", blob.ID, err)
+		// Entries whose persisted keys survived their CRC — and were
+		// derived under these exact match options — install directly; the
+		// rest take the parse path, fanned out across workers (recover.go).
+		trustKeys := !opts.RecoveryParseOnly && sf.fingerprint == s.fingerprint
+		var snapJobs []parseJob
+		for _, e := range sf.entries {
+			if !(trustKeys && e.keysOK) {
+				snapJobs = append(snapJobs, parseJob{id: e.id, sbml: e.sbml})
 			}
 		}
-		s.stats.SnapshotModels = len(man.Models)
-		s.stats.SnapshotSeq = man.LastSeq
-		s.seq = man.LastSeq
+		parsed := parseAll(snapJobs, opts.Corpus.Match)
+		ji := 0
+		for _, e := range sf.entries {
+			p := corpus.PrecompiledModel{ID: e.id, SBML: e.sbml, Keys: e.keys}
+			if trustKeys && e.keysOK {
+				s.stats.SnapshotPrecompiled++
+			} else {
+				r := parsed[ji]
+				ji++
+				if r.err != nil {
+					return nil, fmt.Errorf("store: snapshot model %q: %w", e.id, r.err)
+				}
+				p.Keys = r.cm.MatchKeys()
+				p.Compiled = r.cm
+				s.stats.SnapshotParsed++
+			}
+			if err := c.AddPrecompiled(p); err != nil {
+				return nil, fmt.Errorf("store: snapshot model %q: %w", e.id, err)
+			}
+		}
+		s.stats.SnapshotModels = len(sf.entries)
+		s.stats.SnapshotSeq = sf.lastSeq
+		s.seq = sf.lastSeq
 	}
 
 	segs, err := segmentPaths(dir)
@@ -238,6 +324,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.stats.WALSegments = len(segs)
+	// Decode every segment sequentially (framing is cheap and ordered),
+	// collecting the records to apply; the expensive parse path for their
+	// adds is then fanned out before the ordered apply below.
+	type walApply struct {
+		rec  walRecord
+		path string
+	}
+	var pending []walApply
 	for i, path := range segs {
 		rep, err := readSegment(path)
 		if err != nil {
@@ -261,26 +355,11 @@ func Open(dir string, opts Options) (*Store, error) {
 			if rec.seq > s.seq {
 				s.seq = rec.seq
 			}
-			if rec.seq <= man.LastSeq {
+			if rec.seq <= sf.lastSeq {
 				s.stats.WALSkipped++
 				continue
 			}
-			switch rec.op {
-			case opAdd:
-				if err := applyAdd(c, rec.id, rec.sbml); err != nil {
-					return nil, fmt.Errorf("store: replay %s seq %d: %w", path, rec.seq, err)
-				}
-				s.stats.WALAdds++
-			case opRemove:
-				ok, err := c.Remove(rec.id)
-				if err != nil {
-					return nil, fmt.Errorf("store: replay %s seq %d: %w", path, rec.seq, err)
-				}
-				if !ok {
-					return nil, fmt.Errorf("store: replay %s seq %d: remove of absent model %q", path, rec.seq, rec.id)
-				}
-				s.stats.WALRemoves++
-			}
+			pending = append(pending, walApply{rec: rec, path: path})
 		}
 		if i == len(segs)-1 {
 			// Tail segment: repair a torn tail and reopen for appending.
@@ -316,6 +395,46 @@ func Open(dir string, opts Options) (*Store, error) {
 		syncDir(dir)
 	}
 
+	// Apply the WAL tail in record order. The adds' parse work runs in
+	// parallel first; the apply itself stays sequential because removes
+	// interleave with adds and duplicate detection is order-dependent.
+	var walJobs []parseJob
+	for _, pa := range pending {
+		if pa.rec.op == opAdd {
+			walJobs = append(walJobs, parseJob{id: pa.rec.id, sbml: pa.rec.sbml})
+		}
+	}
+	parsed := parseAll(walJobs, opts.Corpus.Match)
+	ji := 0
+	for _, pa := range pending {
+		switch pa.rec.op {
+		case opAdd:
+			r := parsed[ji]
+			ji++
+			if r.err != nil {
+				return nil, fmt.Errorf("store: replay %s seq %d: %w", pa.path, pa.rec.seq, r.err)
+			}
+			if err := c.AddPrecompiled(corpus.PrecompiledModel{
+				ID:       pa.rec.id,
+				SBML:     pa.rec.sbml,
+				Keys:     r.cm.MatchKeys(),
+				Compiled: r.cm,
+			}); err != nil {
+				return nil, fmt.Errorf("store: replay %s seq %d: %w", pa.path, pa.rec.seq, err)
+			}
+			s.stats.WALAdds++
+		case opRemove:
+			ok, err := c.Remove(pa.rec.id)
+			if err != nil {
+				return nil, fmt.Errorf("store: replay %s seq %d: %w", pa.path, pa.rec.seq, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("store: replay %s seq %d: remove of absent model %q", pa.path, pa.rec.seq, pa.rec.id)
+			}
+			s.stats.WALRemoves++
+		}
+	}
+
 	s.c = c
 	c.SetPersister(s)
 
@@ -325,23 +444,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.wg.Add(1)
 		go s.fsyncLoop()
 	}
+	if opts.Fsync == FsyncGroup {
+		s.groupCh = make(chan struct{}, 1)
+		s.wg.Add(1)
+		go s.groupLoop()
+	}
 	return s, nil
-}
-
-// applyAdd parses a canonical blob and adds it to the corpus (which has
-// no persister attached during recovery, so nothing is re-logged).
-func applyAdd(c *corpus.Corpus, id string, blob []byte) error {
-	doc, err := sbml.ParseString(string(blob))
-	if err != nil {
-		// Parse guarantees doc.Model on success, so this covers model-less
-		// documents too.
-		return fmt.Errorf("parse stored model: %w", err)
-	}
-	if doc.Model.ID != id {
-		return fmt.Errorf("stored bytes carry id %q, record says %q", doc.Model.ID, id)
-	}
-	_, err = c.Add(doc.Model)
-	return err
 }
 
 // Corpus returns the recovered corpus. Mutations made through it are
@@ -390,15 +498,22 @@ func (s *Store) PersistRemove(id string) error {
 }
 
 func (s *Store) appendRecord(rec walRecord, op string) error {
+	group := s.opts.Fsync == FsyncGroup
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || (group && s.closing) {
+		// Group appends must also stop at closing, not just closed: the
+		// group loop takes its final drain when Close signals done, and a
+		// waiter enqueued after that drain would block forever. closing is
+		// set under mu before done is closed, so this check and the drain
+		// cannot miss the same waiter.
+		s.mu.Unlock()
 		return persistErr(op, fmt.Errorf("store is closed"))
 	}
 	s.seq++
 	rec.seq = s.seq
 	payload := encodeRecord(rec)
 	if err := s.wal.append(payload); err != nil {
+		s.mu.Unlock()
 		return persistErr(op, err)
 	}
 	s.tailBytes += int64(walFrameLen + len(payload))
@@ -407,6 +522,26 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 		case s.compactCh <- struct{}{}:
 		default:
 		}
+	}
+	if !group {
+		s.mu.Unlock()
+		return nil
+	}
+	// Group commit: the record is written but not yet durable. Enqueue in
+	// the same critical section as the write — that is what lets both the
+	// group loop and segment rotation pair every waiter with the writer
+	// holding its bytes — then block until an fsync covers it (or fails;
+	// then the record has been rolled back and the mutation must abort).
+	done := make(chan error, 1)
+	s.groupWaiters = append(s.groupWaiters, done)
+	s.groupBytes += int64(walFrameLen + len(payload))
+	s.mu.Unlock()
+	select {
+	case s.groupCh <- struct{}{}:
+	default: // loop already kicked; it drains all waiters regardless
+	}
+	if err := <-done; err != nil {
+		return persistErr(op, err)
 	}
 	return nil
 }
@@ -436,23 +571,48 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	}
 
 	// Rotate: new appends go to a fresh segment so the snapshot write
-	// happens without holding any corpus or WAL lock.
+	// happens without holding any corpus or WAL lock. Under FsyncGroup the
+	// whole rotation runs inside groupMu: the group loop is locked out, and
+	// any waiters captured in the same critical section as the swap are
+	// exactly the appends whose bytes sit in the outgoing writer — they are
+	// resolved against it (resolveGroup) before anything else happens, so
+	// no waiter is ever left pending on a rotated-out segment.
+	group := s.opts.Fsync == FsyncGroup
+	if group {
+		s.groupMu.Lock()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if group {
+			s.groupMu.Unlock()
+		}
 		return fmt.Errorf("store: snapshot: store is closed")
 	}
 	newGen := s.gen + 1
 	w, err := createSegment(segmentName(s.dir, newGen), s.opts.Fsync == FsyncAlways)
 	if err != nil {
 		s.mu.Unlock()
+		if group {
+			s.groupMu.Unlock()
+		}
 		return fmt.Errorf("store: snapshot rotate: %w", err)
 	}
 	old := s.wal
 	s.wal = w
 	s.gen = newGen
 	s.tailBytes = 0
+	var waiters []chan error
+	if group {
+		waiters = s.groupWaiters
+		s.groupWaiters = nil
+		s.groupBytes = 0
+	}
 	s.mu.Unlock()
+	if group {
+		s.resolveGroup(old, waiters)
+		s.groupMu.Unlock()
+	}
 	syncDir(s.dir)
 	// Close (and flush) the rotated-out segment. Its records are about to
 	// be covered by the snapshot; until the snapshot rename lands, the
@@ -475,7 +635,7 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := writeSnapshot(s.dir, snapManifest{Version: snapVersion, LastSeq: lastSeq, Models: blobs}); err != nil {
+	if err := writeSnapshot(s.dir, lastSeq, s.fingerprint, blobs); err != nil {
 		// The old segments remain; recovery still replays them.
 		return fmt.Errorf("store: write snapshot: %w", err)
 	}

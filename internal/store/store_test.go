@@ -317,8 +317,13 @@ func TestCorruptSnapshotRefusesToOpen(t *testing.T) {
 	}
 	path := filepath.Join(dir, snapName)
 	for name, corrupt := range map[string]func([]byte) []byte{
-		"bad-magic":  func(b []byte) []byte { b[0] ^= 0xFF; return b },
-		"crc-flip":   func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"bad-magic": func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		// Offset 44 is inside the first entry's core section (canonical
+		// bytes): magic 8 + header 24 + entryLen 4 + coreLen 4 + coreCRC 4.
+		// Damage there is unrecoverable — unlike the keys section, whose
+		// corruption only downgrades the entry to the parse path (pinned in
+		// codec_test.go).
+		"core-flip":  func(b []byte) []byte { b[44] ^= 0x01; return b },
 		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
 		"header-own": func(b []byte) []byte { return b[:4] },
 	} {

@@ -98,11 +98,28 @@ func decodeRecord(payload []byte) (walRecord, error) {
 
 // walWriter appends framed records to one segment file.
 type walWriter struct {
-	f      *os.File
-	path   string
-	off    int64 // current append offset (file size)
-	sync   bool  // fsync after every append (FsyncAlways)
-	wedged error // sticky failure after an unrepairable partial append
+	f    *os.File
+	path string
+	off  int64 // current append offset (file size)
+	sync bool  // fsync after every append (FsyncAlways)
+	// syncedOff is the highest offset known durable, maintained by the
+	// group-commit path as its rollback target; per-append and interval
+	// syncing never consult it.
+	syncedOff int64
+	wedged    error // sticky failure after an unrepairable partial append
+	// syncHook, when non-nil, replaces f.Sync so tests can inject sync
+	// failures (the crash harness's failed-fsync coverage); a closure that
+	// counts its calls can fail the append sync but let the rollback sync
+	// through, or fail both.
+	syncHook func(*os.File) error
+}
+
+// doSync flushes the file, through the test hook when one is set.
+func (w *walWriter) doSync() error {
+	if w.syncHook != nil {
+		return w.syncHook(w.f)
+	}
+	return w.f.Sync()
 }
 
 // createSegment creates a fresh segment with its header written (and
@@ -122,7 +139,7 @@ func createSegment(path string, syncEvery bool) (*walWriter, error) {
 			return nil, err
 		}
 	}
-	return &walWriter{f: f, path: path, off: int64(len(walMagic)), sync: syncEvery}, nil
+	return &walWriter{f: f, path: path, off: int64(len(walMagic)), syncedOff: int64(len(walMagic)), sync: syncEvery}, nil
 }
 
 // openSegmentForAppend opens an existing segment, already verified and
@@ -136,7 +153,7 @@ func openSegmentForAppend(path string, size int64, syncEvery bool) (*walWriter, 
 		f.Close()
 		return nil, err
 	}
-	return &walWriter{f: f, path: path, off: size, sync: syncEvery}, nil
+	return &walWriter{f: f, path: path, off: size, syncedOff: size, sync: syncEvery}, nil
 }
 
 // append frames and writes one record. On a short or failed write it
@@ -159,7 +176,7 @@ func (w *walWriter) append(payload []byte) error {
 	}
 	w.off += int64(len(frame))
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.doSync(); err != nil {
 			// The bytes are written but not durable, and the caller will
 			// abort the mutation — the record must not survive in the log
 			// (a later crash would replay a write the client was told
@@ -177,15 +194,41 @@ func (w *walWriter) append(payload []byte) error {
 func (w *walWriter) rollback(op string, cause error) {
 	if terr := w.f.Truncate(w.off); terr != nil {
 		w.wedged = fmt.Errorf("%s failed (%v) and truncate failed (%v)", op, cause, terr)
-	} else if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+		return
+	}
+	if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
 		w.wedged = fmt.Errorf("%s failed (%v) and re-seek failed (%v)", op, cause, serr)
+		return
+	}
+	// The truncate must itself be synced: the failed append's bytes may
+	// already sit in the OS cache (or on disk — a failed fsync reports an
+	// unknown durable state), and a crash before the truncate reaches the
+	// device would resurrect a record whose caller was told it failed. If
+	// the device will not confirm the rollback, the writer wedges — no
+	// later append may be acknowledged on top of an unconfirmed tail.
+	if serr := w.doSync(); serr != nil {
+		w.wedged = fmt.Errorf("%s failed (%v) and rollback sync failed (%v)", op, cause, serr)
 	}
 }
 
-func (w *walWriter) fsync() error { return w.f.Sync() }
+// rollbackTo is the group-commit rollback: a failed batch fsync discards
+// every record past the last durable offset (all of them unacknowledged —
+// their waiters get the error) and re-syncs the truncation, restoring the
+// writer to its pre-batch state. The caller serializes against appends.
+func (w *walWriter) rollbackTo(off int64, op string, cause error) {
+	w.off = off
+	w.rollback(op, cause)
+}
+
+func (w *walWriter) fsync() error {
+	if w.wedged != nil {
+		return fmt.Errorf("wal wedged by earlier failure: %w", w.wedged)
+	}
+	return w.doSync()
+}
 
 func (w *walWriter) close() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.doSync(); err != nil {
 		w.f.Close()
 		return err
 	}
