@@ -239,6 +239,26 @@ func (c *Client) OpenCorpus(dir string, opts *StoreOptions) (*CorpusStore, error
 	return OpenCorpus(dir, opts)
 }
 
+// OpenReplica opens a durable corpus session in dir (like OpenCorpus,
+// inheriting the client's match options when opts is nil) and starts it
+// as a read-only follower of the primary at primaryURL. The returned
+// store serves reads immediately from its recovered state while the
+// replica converges it with the primary's log; call Replica.Promote to
+// take writes after a primary failure, and Replica.Stop before closing
+// the store.
+func (c *Client) OpenReplica(dir, primaryURL string, opts *StoreOptions) (*CorpusStore, *Replica, error) {
+	st, err := c.OpenCorpus(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := StartReplica(st, ReplicaOptions{PrimaryURL: primaryURL})
+	if err != nil {
+		_ = st.Close()
+		return nil, nil, err
+	}
+	return st, rep, nil
+}
+
 // --- simulation and model checking (engine-cached hot path) ---
 
 // engineFor returns a compiled engine for m through the client's LRU.

@@ -49,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -684,6 +686,76 @@ func benchStore(r *recorder) error {
 			return nil
 		})
 		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+
+	// ReplicationCatchUp: a fresh follower pulling a size-model feed from
+	// a live primary over the real HTTP endpoints — every frame fetched,
+	// CRC-verified, parsed across the recovery pool, and batch-persisted.
+	// One op is a full catch-up, so ns/op divided by the model count is
+	// the follower's catch-up throughput in records/s.
+	for _, size := range corpusSizes {
+		models := corpusModels(size)
+		pdir, err := os.MkdirTemp("", "benchstore-repl-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(pdir)
+		primary, err := store.Open(pdir, store.Options{
+			Corpus: copts, Fsync: store.FsyncNever, CompactBytes: -1, NoSnapshotOnClose: true,
+		})
+		if err != nil {
+			return err
+		}
+		for _, m := range models {
+			if _, err := primary.Corpus().Add(m); err != nil {
+				return err
+			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/replicate", primary.ServeReplicate)
+		mux.HandleFunc("GET /v1/replicate/snapshot", primary.ServeReplicateSnapshot)
+		ts := httptest.NewServer(mux)
+		target := primary.LastSeq()
+		r.record(fmt.Sprintf("ReplicationCatchUp/models=%d", size), func(n int) error {
+			for i := 0; i < n; i++ {
+				fdir, err := os.MkdirTemp("", "benchstore-follower-*")
+				if err != nil {
+					return err
+				}
+				follower, err := store.Open(fdir, store.Options{
+					Corpus: copts, Fsync: store.FsyncNever, CompactBytes: -1, NoSnapshotOnClose: true,
+				})
+				if err != nil {
+					return err
+				}
+				rep, err := store.StartReplica(follower, store.ReplicaOptions{
+					PrimaryURL: ts.URL,
+					PollWait:   50 * time.Millisecond,
+					MinBackoff: 5 * time.Millisecond,
+					MaxBackoff: 50 * time.Millisecond,
+				})
+				if err != nil {
+					return err
+				}
+				deadline := time.Now().Add(2 * time.Minute)
+				for follower.LastSeq() != target {
+					if time.Now().After(deadline) {
+						return fmt.Errorf("catch-up stuck at seq %d of %d", follower.LastSeq(), target)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				rep.Stop()
+				if err := follower.Close(); err != nil {
+					return err
+				}
+				os.RemoveAll(fdir)
+			}
+			return nil
+		})
+		ts.Close()
+		if err := primary.Close(); err != nil {
 			return err
 		}
 	}

@@ -130,8 +130,12 @@ func main() {
 		groupBytes = flag.Int64("group-max-bytes", 0, "fsync=group: batched bytes forcing an immediate sync (0 = 1 MiB default)")
 		groupDelay = flag.Duration("group-max-delay", 0, "fsync=group: extra wait to widen a batch (0 = natural batching only)")
 		queryCache = flag.Int("query-cache", defaultQueryCache, "compiled-query cache entries keyed on raw /v1/search bodies (0 disables)")
+		replicaOf  = flag.String("replica-of", "", "run as a read-only follower of the primary at this base URL (requires -data; mutations answer 403 until POST /v1/promote)")
 	)
 	flag.Parse()
+	if *replicaOf != "" && *dataDir == "" {
+		log.Fatalf("sbmlserved: -replica-of requires -data (the follower persists the primary's log locally)")
+	}
 
 	copts := sbmlcompose.CorpusOptions{
 		Shards:  *shards,
@@ -156,6 +160,14 @@ func main() {
 			log.Printf("sbmlserved: dropped torn WAL tail (%d bytes of unacknowledged writes)", rs.DroppedBytes)
 		}
 		srv = newPersistentServer(st)
+		if *replicaOf != "" {
+			rep, err := sbmlcompose.StartReplica(st, sbmlcompose.ReplicaOptions{PrimaryURL: *replicaOf})
+			if err != nil {
+				log.Fatalf("sbmlserved: start replica: %v", err)
+			}
+			srv.replica = rep
+			log.Printf("sbmlserved: following %s from seq %d (read-only until promoted)", *replicaOf, st.LastSeq())
+		}
 	} else {
 		srv = newServer(sbmlcompose.NewCorpus(&copts))
 	}
@@ -188,6 +200,11 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("sbmlserved: drain incomplete: %v", err)
 	}
+	if srv.replica != nil {
+		// Stop pulling before the store closes; the store stays read-only,
+		// so a restart with the same flags resumes from the durable seq.
+		srv.replica.Stop()
+	}
 	if srv.store != nil {
 		// Graceful-shutdown snapshot: the next start recovers from the
 		// snapshot alone instead of replaying the whole WAL.
@@ -213,9 +230,14 @@ type server struct {
 	corpus *sbmlcompose.Corpus
 	// store is the durable backing, nil when serving in-memory.
 	store *sbmlcompose.CorpusStore
-	mux   *http.ServeMux
-	start time.Time
-	stats map[string]*endpointStat // route label → stats, fixed at construction
+	// replica is non-nil when the server was started with -replica-of: the
+	// puller that keeps the store converged with the primary. Its Status
+	// feeds /healthz and the X-Replica-Lag-Seq header on read responses;
+	// POST /v1/promote stops it and lifts the store's read-only gate.
+	replica *sbmlcompose.Replica
+	mux     *http.ServeMux
+	start   time.Time
+	stats   map[string]*endpointStat // route label → stats, fixed at construction
 	// timeout caps each request handler's context; 0 leaves only the
 	// client-disconnect cancellation of r.Context().
 	timeout time.Duration
@@ -240,24 +262,14 @@ func newServer(c *sbmlcompose.Corpus) *server {
 		stats:       map[string]*endpointStat{},
 		searchCache: lru.New[cachedSearch](defaultQueryCache),
 	}
-	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
-		st := &endpointStat{}
-		s.stats[pattern] = st
-		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			t0 := time.Now()
-			h(w, r)
-			st.count.Add(1)
-			st.totalNs.Add(time.Since(t0).Nanoseconds())
-		})
-	}
-	route("POST /v1/models", s.handleAddModel)
-	route("DELETE /v1/models/{id}", s.handleRemoveModel)
-	route("POST /v1/search", s.handleSearch)
-	route("POST /v1/compose", s.handleCompose)
-	route("POST /v1/simulate", s.handleSimulate)
-	route("POST /v1/check", s.handleCheck)
-	route("POST /v1/snapshot", s.handleSnapshot)
-	route("GET /v1/healthz", s.handleHealthz)
+	s.route("POST /v1/models", s.handleAddModel)
+	s.route("DELETE /v1/models/{id}", s.handleRemoveModel)
+	s.route("POST /v1/search", s.handleSearch)
+	s.route("POST /v1/compose", s.handleCompose)
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/check", s.handleCheck)
+	s.route("POST /v1/snapshot", s.handleSnapshot)
+	s.route("GET /v1/healthz", s.handleHealthz)
 
 	// Legacy unversioned API routes moved permanently to /v1/. The
 	// redirect carries the method-specific pattern so an unknown
@@ -275,8 +287,20 @@ func newServer(c *sbmlcompose.Corpus) *server {
 	}
 	// Liveness probes don't follow redirects; /healthz keeps answering in
 	// place, identically to /v1/healthz.
-	route("GET /healthz", s.handleHealthz)
+	s.route("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// route registers a handler with per-endpoint timing stats.
+func (s *server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	st := &endpointStat{}
+	s.stats[pattern] = st
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		st.count.Add(1)
+		st.totalNs.Add(time.Since(t0).Nanoseconds())
+	})
 }
 
 // redirectV1 permanently redirects a legacy route to its /v1 equivalent,
@@ -297,10 +321,16 @@ func redirectV1(w http.ResponseWriter, r *http.Request) {
 	http.Redirect(w, r, target, status)
 }
 
-// newPersistentServer wires the routes over a recovered durable store.
+// newPersistentServer wires the routes over a recovered durable store,
+// including the replication surface: the WAL feed a follower pulls
+// (mounted straight off the store, which implements the handlers) and
+// the promotion lever.
 func newPersistentServer(st *sbmlcompose.CorpusStore) *server {
 	s := newServer(st.Corpus())
 	s.store = st
+	s.route("GET /v1/replicate", st.ServeReplicate)
+	s.route("GET /v1/replicate/snapshot", st.ServeReplicateSnapshot)
+	s.route("POST /v1/promote", s.handlePromote)
 	return s
 }
 
@@ -499,6 +529,12 @@ type snapshotResponse struct {
 	Store  sbmlcompose.StoreStatus `json:"store"`
 }
 
+type promoteResponse struct {
+	Status         string `json:"status"`
+	Role           string `json:"role"`
+	LastAppliedSeq uint64 `json:"last_applied_seq"`
+}
+
 type healthzResponse struct {
 	Status    string                    `json:"status"`
 	Models    int                       `json:"models"`
@@ -509,11 +545,24 @@ type healthzResponse struct {
 	// compiled-query cache.
 	QueryCacheHits int64                    `json:"query_cache_hits"`
 	Store          *sbmlcompose.StoreStatus `json:"store,omitempty"`
+	// Replication health, reported on every role: a plain primary (or an
+	// in-memory server) shows role "primary" with zero lag; a follower
+	// shows its applied position, lag behind the primary's acknowledged
+	// watermark, and reconnect count, with the full replica detail nested.
+	Role                  string                     `json:"role"`
+	LastAppliedSeq        uint64                     `json:"last_applied_seq"`
+	ReplicationLagRecords uint64                     `json:"replication_lag_records"`
+	Reconnects            uint64                     `json:"reconnects"`
+	Replica               *sbmlcompose.ReplicaStatus `json:"replica,omitempty"`
 }
 
 // --- handlers ---
 
 func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
+	if s.followerMode() {
+		writeReadOnlyError(w)
+		return
+	}
 	m, err := sbmlcompose.ParseModel(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "parse: %v", err)
@@ -524,6 +573,10 @@ func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.corpus.Add(m)
 	if err != nil {
+		if errors.Is(err, sbmlcompose.ErrReplicaReadOnly) {
+			writeReadOnlyError(w)
+			return
+		}
 		status := persistStatus(err)
 		if errors.Is(err, sbmlcompose.ErrDuplicateModel) {
 			status = http.StatusConflict
@@ -539,9 +592,17 @@ func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
+	if s.followerMode() {
+		writeReadOnlyError(w)
+		return
+	}
 	id := r.PathValue("id")
 	ok, err := s.corpus.Remove(id)
 	if err != nil {
+		if errors.Is(err, sbmlcompose.ErrReplicaReadOnly) {
+			writeReadOnlyError(w)
+			return
+		}
 		writeError(w, persistStatus(err), "%v", err)
 		return
 	}
@@ -561,7 +622,61 @@ func persistStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
+// followerMode reports whether this server is currently an unpromoted
+// replica. Mutation handlers check it before doing any work, so a
+// follower answers every write — even one that would fail validation —
+// with the same 403, leaking nothing about its (possibly stale) state.
+// The store-level ErrReadOnly mapping in the handlers stays as the
+// backstop for races with promotion.
+func (s *server) followerMode() bool {
+	return s.replica != nil && s.replica.Status().Role == "follower"
+}
+
+// writeReadOnlyError answers a mutation attempted on a follower: 403 with
+// the machine-readable "read_only" code, so clients can distinguish the
+// graceful-degradation rejection from a real authorization failure and
+// retry against the primary (or after promotion).
+func writeReadOnlyError(w http.ResponseWriter) {
+	writeJSON(w, http.StatusForbidden, errorResponse{
+		Error: "this node is a read-only replica; send writes to the primary or promote this node",
+		Code:  "read_only",
+	})
+}
+
+// setLagHeader stamps follower read responses with the replication lag in
+// sequence numbers (X-Replica-Lag-Seq), the staleness bound for the data
+// about to be served. Primaries and in-memory servers add nothing.
+func (s *server) setLagHeader(w http.ResponseWriter) {
+	if s.replica == nil {
+		return
+	}
+	st := s.replica.Status()
+	if st.Role != "follower" {
+		return
+	}
+	w.Header().Set("X-Replica-Lag-Seq", fmt.Sprintf("%d", st.LagRecords))
+}
+
+// handlePromote stops replication and lifts the read-only gate — the
+// failover lever. Idempotent: promoting an already promoted node answers
+// 200 again; a server that never was a replica answers 409.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.replica == nil {
+		writeError(w, http.StatusConflict, "this server is not a replica; nothing to promote")
+		return
+	}
+	s.replica.Promote()
+	st := s.replica.Status()
+	log.Printf("sbmlserved: promoted to primary at seq %d (was following %s)", st.LastAppliedSeq, st.PrimaryURL)
+	writeJSON(w, http.StatusOK, promoteResponse{
+		Status:         "ok",
+		Role:           st.Role,
+		LastAppliedSeq: st.LastAppliedSeq,
+	})
+}
+
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.setLagHeader(w)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read request body: %v", err)
@@ -647,6 +762,7 @@ func (s *server) searchQuery(w http.ResponseWriter, body []byte) (req searchRequ
 }
 
 func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	s.setLagHeader(w)
 	var req composeRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -687,6 +803,7 @@ func (r simulateRequest) simOptions() sbmlcompose.SimOptions {
 }
 
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.setLagHeader(w)
 	var req simulateRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -718,6 +835,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	s.setLagHeader(w)
 	var req checkRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -764,10 +882,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeS:        time.Since(s.start).Seconds(),
 		Endpoints:      s.endpointReport(),
 		QueryCacheHits: s.searchCacheHits.Load(),
+		Role:           "primary",
 	}
 	if s.store != nil {
 		st := s.store.Status()
 		payload.Store = &st
+		payload.LastAppliedSeq = st.LastSeq
+	}
+	if s.replica != nil {
+		rs := s.replica.Status()
+		payload.Role = rs.Role
+		payload.LastAppliedSeq = rs.LastAppliedSeq
+		payload.ReplicationLagRecords = rs.LagRecords
+		payload.Reconnects = rs.Reconnects
+		payload.Replica = &rs
 	}
 	writeJSON(w, http.StatusOK, payload)
 }

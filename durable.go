@@ -47,6 +47,41 @@ const (
 // ignored.
 var ErrCorruptSnapshot = store.ErrCorruptSnapshot
 
+// Replica keeps a read-only CorpusStore converged with a primary's WAL
+// feed over HTTP: frames are CRC-verified, applied through the recovery
+// parse pool, and persisted locally with one fsync per received chunk,
+// so the follower's durable log is always a prefix of the primary's
+// acknowledged log. Stop halts replication (the store stays read-only);
+// Promote halts it and lifts the read-only gate, making the store a
+// primary serving exactly the old primary's last acknowledged state.
+type Replica = store.Replica
+
+// ReplicaOptions configures StartReplica: the primary's base URL plus
+// fetch sizing and the capped exponential backoff bounds.
+type ReplicaOptions = store.ReplicaOptions
+
+// ReplicaStatus is a point-in-time replication health view (role, last
+// applied sequence, lag in records, reconnect count).
+type ReplicaStatus = store.ReplicaStatus
+
+// ErrLogCompacted reports that a replication tail read asked for records
+// at or below the primary's compaction horizon; the follower bootstraps
+// from a snapshot image instead (Replica does this automatically).
+var ErrLogCompacted = store.ErrCompacted
+
+// ErrReplicaReadOnly marks mutations rejected because the store is a
+// follower replica; matchable with errors.Is through the corpus's
+// persist-error wrapping. Promotion lifts the gate.
+var ErrReplicaReadOnly = store.ErrReadOnly
+
+// StartReplica puts st into read-only follower mode and starts pulling
+// the primary's replication feed (GET /v1/replicate on a sbmlserved
+// primary). Every mutation through the store's corpus fails with
+// ErrReplicaReadOnly until Promote.
+func StartReplica(st *CorpusStore, opts ReplicaOptions) (*Replica, error) {
+	return store.StartReplica(st, opts)
+}
+
 // OpenCorpus opens (or creates) a durable corpus in dir: the snapshot is
 // loaded, the WAL tail replayed on top of it, and the returned store's
 // Corpus() is ready to serve with every subsequent mutation persisted. A

@@ -1,0 +1,154 @@
+package corpus
+
+import (
+	"fmt"
+
+	"sbmlcompose/internal/core"
+)
+
+// This file implements the corpus's bulk mutation paths, built for the
+// replication follower: a received chunk of primary WAL records must be
+// applied as one unit — one persister call (one fsync at the store
+// level) covering every record — and a snapshot bootstrap must replace
+// the whole corpus contents atomically. Both operate under every shard's
+// write lock, the same discipline DumpConsistent uses on the read side,
+// so "the durable log is a prefix of the in-memory state" stays true for
+// batches exactly as it does for single mutations.
+
+// BatchOp is one mutation of an ApplyBatch call: a precompiled add
+// (canonical bytes plus derived keys, like PrecompiledModel) or a
+// removal. Seq, when non-zero, is the externally assigned sequence
+// number forwarded to the batch persister — the replication path
+// preserves the primary's numbering.
+type BatchOp struct {
+	Remove bool
+	Seq    uint64
+	ID     string
+	// SBML is the model's canonical serialization (adds only).
+	SBML []byte
+	// Keys are the match keys derived from SBML under the corpus's match
+	// options; Compiled optionally seeds the compiled model eagerly.
+	Keys     []core.ComponentKey
+	Compiled *core.CompiledModel
+}
+
+// BatchPersister is a Persister that can log a whole batch of mutations
+// with a single durability round-trip. ApplyBatch requires it when a
+// persister is attached: falling back to per-op persist calls would
+// silently reintroduce the per-record fsync the batch path exists to
+// amortize.
+type BatchPersister interface {
+	Persister
+	// PersistBatch logs every op, all-or-nothing, under the same
+	// "before the mutation becomes visible" contract as PersistAdd.
+	PersistBatch(ops []BatchOp) error
+}
+
+// lockAll write-locks every shard in index order — the same order
+// DumpConsistent read-locks them — and returns the matching unlock.
+func (c *Corpus) lockAll() (unlock func()) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+	return func() {
+		for _, sh := range c.shards {
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// ApplyBatch applies a chunk of mutations as one unit: every shard is
+// write-locked, the whole chunk is validated against the corpus plus the
+// chunk's own earlier ops (an add after an in-chunk remove of the same id
+// is legal), the attached persister logs the chunk with one call, and
+// only then do the mutations become visible. An error anywhere leaves
+// both the log and the corpus without any of the chunk — the all-or-
+// nothing contract a replication follower needs to stay a prefix of the
+// primary's log.
+func (c *Corpus) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for i := range ops {
+		if ops[i].ID == "" {
+			return fmt.Errorf("corpus: batch op %d has no id", i)
+		}
+		if !ops[i].Remove && len(ops[i].SBML) == 0 {
+			return fmt.Errorf("corpus: batch add %q has no canonical bytes", ops[i].ID)
+		}
+	}
+	defer c.lockAll()()
+	// Validate the chunk against a presence overlay: the corpus state as
+	// it will be after each earlier op in the chunk applies.
+	present := make(map[string]bool)
+	for _, op := range ops {
+		p, known := present[op.ID]
+		if !known {
+			_, p = c.shardFor(op.ID).entries[op.ID]
+		}
+		if op.Remove {
+			if !p {
+				return fmt.Errorf("corpus: batch remove of absent model %q: %w", op.ID, ErrNotFound)
+			}
+		} else if p {
+			return fmt.Errorf("corpus: batch add of model %q: %w", op.ID, ErrDuplicate)
+		}
+		present[op.ID] = !op.Remove
+	}
+	if c.persister != nil {
+		bp, ok := c.persister.(BatchPersister)
+		if !ok {
+			return fmt.Errorf("corpus: attached persister %T cannot log batches", c.persister)
+		}
+		if err := bp.PersistBatch(ops); err != nil {
+			return fmt.Errorf("corpus: persist batch: %w", err)
+		}
+	}
+	for i := range ops {
+		op := &ops[i]
+		sh := c.shardFor(op.ID)
+		if op.Remove {
+			sh.removeLocked(op.ID)
+			continue
+		}
+		sh.install(&entry{id: op.ID, keys: op.Keys, sbml: op.SBML, match: c.opts.Match, cm: op.Compiled})
+	}
+	return nil
+}
+
+// ReplaceAll atomically replaces the entire corpus contents with models —
+// the snapshot-bootstrap path, used when a follower falls behind the
+// primary's compaction horizon and resynchronizes from a snapshot image.
+// The persister is deliberately bypassed: the caller already holds the
+// durable image the new contents came from. before, if non-nil, runs
+// while every shard write lock is held (the store uses it to reset its
+// sequence state at a point provably consistent with the swap), exactly
+// mirroring DumpConsistent's hook on the read side.
+func (c *Corpus) ReplaceAll(models []PrecompiledModel, before func()) error {
+	seen := make(map[string]bool, len(models))
+	for i := range models {
+		if models[i].ID == "" {
+			return fmt.Errorf("corpus: replacement model %d has no id", i)
+		}
+		if len(models[i].SBML) == 0 {
+			return fmt.Errorf("corpus: replacement model %q has no canonical bytes", models[i].ID)
+		}
+		if seen[models[i].ID] {
+			return fmt.Errorf("corpus: replacement set repeats model %q: %w", models[i].ID, ErrDuplicate)
+		}
+		seen[models[i].ID] = true
+	}
+	defer c.lockAll()()
+	if before != nil {
+		before()
+	}
+	for _, sh := range c.shards {
+		sh.entries = make(map[string]*entry)
+		sh.inv = make(map[string]map[string][]invPosting)
+	}
+	for i := range models {
+		p := &models[i]
+		c.shardFor(p.ID).install(&entry{id: p.ID, keys: p.Keys, sbml: p.SBML, match: c.opts.Match, cm: p.Compiled})
+	}
+	return nil
+}

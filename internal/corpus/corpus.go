@@ -399,14 +399,24 @@ func (c *Corpus) Remove(id string) (bool, error) {
 	sh := c.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := sh.entries[id]
-	if !ok {
+	if _, ok := sh.entries[id]; !ok {
 		return false, nil
 	}
 	if c.persister != nil {
 		if err := c.persister.PersistRemove(id); err != nil {
 			return false, fmt.Errorf("corpus: persist remove %q: %w", id, err)
 		}
+	}
+	sh.removeLocked(id)
+	return true, nil
+}
+
+// removeLocked deletes an entry and its postings; the caller holds the
+// shard write lock. It reports whether the model was present.
+func (sh *shard) removeLocked(id string) bool {
+	e, ok := sh.entries[id]
+	if !ok {
+		return false
 	}
 	delete(sh.entries, id)
 	for _, k := range e.keys {
@@ -417,7 +427,7 @@ func (c *Corpus) Remove(id string) (bool, error) {
 			}
 		}
 	}
-	return true, nil
+	return true
 }
 
 // DumpConsistent returns every stored model in canonical serialized form,

@@ -28,6 +28,15 @@ import "time"
 // memory. If even the rollback cannot be confirmed the writer wedges,
 // exactly like the per-append path.
 
+// groupWaiter is one append (or batch) blocked on the fsync that will
+// acknowledge it: the channel its caller waits on and the highest
+// sequence number its records carry, so a successful commit can advance
+// the acknowledged watermark the replication feed ships up to.
+type groupWaiter struct {
+	ch  chan error
+	seq uint64
+}
+
 // groupLoop waits for the kick that follows each group append, gathers
 // a batch (see gatherBatch), and commits it. On shutdown it takes a
 // final drain: Close sets closing under s.mu before closing done, and
@@ -94,7 +103,7 @@ func (s *Store) groupCommit() {
 // caller guarantees are in w. Callers hold groupMu, which is what pins
 // w against rotation for the duration. The fsync runs outside s.mu so
 // new appends keep landing behind the batch — they form the next one.
-func (s *Store) resolveGroup(w *walWriter, waiters []chan error) {
+func (s *Store) resolveGroup(w *walWriter, waiters []groupWaiter) {
 	if len(waiters) == 0 {
 		return
 	}
@@ -108,8 +117,15 @@ func (s *Store) resolveGroup(w *walWriter, waiters []chan error) {
 		if end > w.syncedOff {
 			w.syncedOff = end
 		}
-		for _, ch := range waiters {
-			ch <- nil
+		// Every captured waiter's records are covered by this sync, so
+		// the replication feed may now ship up to the batch's highest seq.
+		s.mu.Lock()
+		for _, gw := range waiters {
+			s.advanceAckedLocked(gw.seq)
+		}
+		s.mu.Unlock()
+		for _, gw := range waiters {
+			gw.ch <- nil
 		}
 		return
 	}
@@ -128,10 +144,10 @@ func (s *Store) resolveGroup(w *walWriter, waiters []chan error) {
 	}
 	w.rollbackTo(w.syncedOff, "group fsync", err)
 	s.mu.Unlock()
-	for _, ch := range waiters {
-		ch <- err
+	for _, gw := range waiters {
+		gw.ch <- err
 	}
-	for _, ch := range late {
-		ch <- err
+	for _, gw := range late {
+		gw.ch <- err
 	}
 }

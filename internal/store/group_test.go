@@ -250,3 +250,107 @@ func TestGroupCommitDelayBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendBatchSingleSync pins the replication apply path's fsync
+// economics: one AppendBatch of N records — the follower persisting a
+// whole received chunk — must reach stable storage with exactly one
+// sync, even under FsyncAlways, and every record must survive a crash
+// reopen.
+func TestAppendBatchSingleSync(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Fsync = FsyncAlways
+	opts.NoSnapshotOnClose = true // reopen must replay the batched WAL
+	s := mustOpen(t, dir, opts)
+
+	const n = 10
+	var syncs int
+	s.mu.Lock()
+	s.wal.syncHook = func(f *os.File) error {
+		syncs++
+		return f.Sync()
+	}
+	s.mu.Unlock()
+
+	var recs []BatchRecord
+	for i := 0; i < n; i++ {
+		m := testModel(i)
+		recs = append(recs, BatchRecord{
+			Seq:  uint64(i + 1),
+			ID:   m.ID,
+			SBML: []byte(sbml.WrapModel(m).String()),
+		})
+	}
+	if err := s.AppendBatch(recs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if syncs != 1 {
+		t.Fatalf("AppendBatch of %d records issued %d syncs, want exactly 1", n, syncs)
+	}
+	if s.LastSeq() != n {
+		t.Fatalf("LastSeq = %d after batch, want %d", s.LastSeq(), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if got := s2.Corpus().Len(); got != n {
+		t.Fatalf("recovered %d models from batched WAL, want %d", got, n)
+	}
+	if s2.LastSeq() != n {
+		t.Fatalf("recovered LastSeq = %d, want %d", s2.LastSeq(), n)
+	}
+}
+
+// TestAppendBatchGroupPolicySingleSync repeats the pin under FsyncGroup:
+// the whole batch rides one group commit, not one per record.
+func TestAppendBatchGroupPolicySingleSync(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), groupOptions())
+	defer s.Close()
+	var syncs int
+	s.mu.Lock()
+	s.wal.syncHook = func(f *os.File) error {
+		syncs++
+		return f.Sync()
+	}
+	s.mu.Unlock()
+
+	var recs []BatchRecord
+	for i := 0; i < 6; i++ {
+		m := testModel(i)
+		recs = append(recs, BatchRecord{
+			Seq:  uint64(i + 1),
+			ID:   m.ID,
+			SBML: []byte(sbml.WrapModel(m).String()),
+		})
+	}
+	if err := s.AppendBatch(recs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if syncs != 1 {
+		t.Fatalf("group-policy AppendBatch issued %d syncs, want 1", syncs)
+	}
+}
+
+// TestAppendBatchRejectsBadSeqs: explicit seqs must move strictly
+// forward; a regressing batch is refused whole and the log is unchanged.
+func TestAppendBatchRejectsBadSeqs(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	defer s.Close()
+	mustAdd(t, s.Corpus(), testModel(0))
+	before := s.LastSeq()
+
+	m := testModel(1)
+	bad := []BatchRecord{{Seq: before, ID: m.ID, SBML: []byte(sbml.WrapModel(m).String())}}
+	if err := s.AppendBatch(bad); err == nil {
+		t.Fatal("AppendBatch accepted a non-advancing seq")
+	}
+	if s.LastSeq() != before {
+		t.Fatalf("failed batch moved LastSeq from %d to %d", before, s.LastSeq())
+	}
+	if err := s.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}

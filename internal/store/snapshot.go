@@ -57,7 +57,13 @@ type snapManifest struct {
 // blobs' keys were derived under, so a later Open with different options
 // knows to re-derive.
 func writeSnapshot(dir string, lastSeq, fingerprint uint64, blobs []corpus.ModelBlob) error {
-	image := encodeSnapshotV2(lastSeq, fingerprint, blobs)
+	return writeSnapshotImage(dir, encodeSnapshotV2(lastSeq, fingerprint, blobs))
+}
+
+// writeSnapshotImage atomically installs an already encoded snapshot file
+// image as dir/corpus.snap — the shared tail of writeSnapshot and the
+// replication bootstrap path, which receives the primary's image verbatim.
+func writeSnapshotImage(dir string, image []byte) error {
 	f, err := os.CreateTemp(dir, snapName+".tmp*")
 	if err != nil {
 		return err

@@ -225,6 +225,29 @@ type Store struct {
 	closing   bool // Close has begun: no new Close work, appends still drain
 	closed    bool // WAL closed: appends fail
 
+	// Replication-feed state (tail.go), guarded by mu. ackedSeq is the
+	// highest sequence number whose append has been acknowledged to its
+	// caller — the replication feed never ships a record beyond it,
+	// because an unacknowledged record (a group-commit batch awaiting its
+	// fsync) can still be rolled back. compactedSeq is the highest
+	// sequence number that compaction may have removed from the WAL
+	// (the snapshot's LastSeq at the most recent compaction, or at Open);
+	// a tail read starting below it gets ErrCompacted — deterministically,
+	// whether or not the bytes happen to survive on disk — and must
+	// bootstrap from a snapshot instead. tailWake is closed and replaced
+	// whenever ackedSeq or compactedSeq advances, waking blocked readers.
+	ackedSeq     uint64
+	compactedSeq uint64
+	tailWake     chan struct{}
+
+	// readOnly gates the corpus-facing persist path while a follower
+	// replica owns this store: local mutations would interleave
+	// locally-assigned sequence numbers with the primary's and diverge
+	// the replica forever, so PersistAdd/PersistRemove fail with
+	// ErrReadOnly until promotion lifts the gate. The replication apply
+	// path (AppendBatch) is exempt — it is the one legitimate writer.
+	readOnly atomic.Bool
+
 	// Group-commit state (FsyncGroup only; see group.go). groupMu
 	// serializes group commits against segment rotation — lock order is
 	// groupMu → mu, and whoever holds groupMu owns the invariant that
@@ -234,7 +257,7 @@ type Store struct {
 	// groupCh kicks the loop.
 	groupMu      sync.Mutex
 	groupCh      chan struct{}
-	groupWaiters []chan error
+	groupWaiters []groupWaiter
 	groupBytes   int64
 
 	// snapMu serializes snapshots (manual, auto-compaction, close).
@@ -438,6 +461,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.c = c
 	c.SetPersister(s)
 
+	// Everything recovery applied is by definition acknowledged, and
+	// records at or below the snapshot's seq may no longer exist in the
+	// WAL — a replication read must not start below that point.
+	s.ackedSeq = s.seq
+	s.compactedSeq = sf.lastSeq
+	s.tailWake = make(chan struct{})
+
 	s.wg.Add(1)
 	go s.compactLoop()
 	if opts.Fsync == FsyncInterval {
@@ -485,15 +515,26 @@ func persistErr(op string, err error) error {
 	return fmt.Errorf("store: %s: %w: %w", op, err, corpus.ErrPersist)
 }
 
+// ErrReadOnly marks mutations rejected because the store is a follower
+// replica: every local write must come from the primary's log (via the
+// replication apply path), or the replica diverges. Promotion lifts it.
+var ErrReadOnly = errors.New("store is a read-only replica")
+
 // PersistAdd implements corpus.Persister: it logs an AddModel record
 // (synced under FsyncAlways) before the corpus applies the mutation.
 // Called under the mutated shard's write lock.
 func (s *Store) PersistAdd(id string, sbmlBytes []byte) error {
+	if s.readOnly.Load() {
+		return persistErr("wal append add", ErrReadOnly)
+	}
 	return s.appendRecord(walRecord{op: opAdd, id: id, sbml: sbmlBytes}, "wal append add")
 }
 
 // PersistRemove implements corpus.Persister for removals.
 func (s *Store) PersistRemove(id string) error {
+	if s.readOnly.Load() {
+		return persistErr("wal append remove", ErrReadOnly)
+	}
 	return s.appendRecord(walRecord{op: opRemove, id: id}, "wal append remove")
 }
 
@@ -524,6 +565,10 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 		}
 	}
 	if !group {
+		// The append is acknowledged the moment this call returns (the
+		// policy's fsync, if any, already ran), so the replication feed
+		// may ship it.
+		s.advanceAckedLocked(rec.seq)
 		s.mu.Unlock()
 		return nil
 	}
@@ -533,7 +578,7 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 	// holding its bytes — then block until an fsync covers it (or fails;
 	// then the record has been rolled back and the mutation must abort).
 	done := make(chan error, 1)
-	s.groupWaiters = append(s.groupWaiters, done)
+	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: rec.seq})
 	s.groupBytes += int64(walFrameLen + len(payload))
 	s.mu.Unlock()
 	select {
@@ -544,6 +589,112 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 		return persistErr(op, err)
 	}
 	return nil
+}
+
+// advanceAckedLocked raises the acknowledged-sequence watermark and wakes
+// blocked tail readers. Caller holds mu.
+func (s *Store) advanceAckedLocked(seq uint64) {
+	if seq <= s.ackedSeq {
+		return
+	}
+	s.ackedSeq = seq
+	close(s.tailWake)
+	s.tailWake = make(chan struct{})
+}
+
+// BatchRecord is one mutation of an AppendBatch call.
+type BatchRecord struct {
+	// Remove selects a RemoveModel record; otherwise the record is an
+	// AddModel carrying SBML.
+	Remove bool
+	// Seq, when non-zero, is the externally assigned sequence number —
+	// the replication apply path preserves the primary's numbering so a
+	// follower's durable seq is directly comparable to the primary's.
+	// Seqs must be strictly increasing across the batch and greater than
+	// every seq already in this store. Zero assigns the next local seq.
+	Seq  uint64
+	ID   string
+	SBML []byte
+}
+
+// AppendBatch logs a chunk of records with a single write and at most a
+// single fsync covering the whole chunk — the follower apply path's
+// amortization (a received replication batch of N records costs one sync,
+// not N) and the answer to group commit capping batches at the
+// blocked-writer count. Under FsyncGroup the batch enqueues one waiter,
+// so it joins whatever batch the group loop forms. All records land or
+// none do: a failed write or sync rolls the entire chunk back.
+func (s *Store) AppendBatch(recs []BatchRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	group := s.opts.Fsync == FsyncGroup
+	s.mu.Lock()
+	if s.closed || (group && s.closing) {
+		s.mu.Unlock()
+		return persistErr("wal append batch", fmt.Errorf("store is closed"))
+	}
+	seq0 := s.seq
+	var frames []byte
+	for _, br := range recs {
+		rec := walRecord{op: opAdd, id: br.ID, sbml: br.SBML}
+		if br.Remove {
+			rec = walRecord{op: opRemove, id: br.ID}
+		}
+		if br.Seq == 0 {
+			s.seq++
+			rec.seq = s.seq
+		} else {
+			if br.Seq <= s.seq {
+				err := fmt.Errorf("batch seq %d not beyond store seq %d", br.Seq, s.seq)
+				s.seq = seq0
+				s.mu.Unlock()
+				return persistErr("wal append batch", err)
+			}
+			s.seq = br.Seq
+			rec.seq = br.Seq
+		}
+		frames = append(frames, frameRecord(encodeRecord(rec))...)
+	}
+	if err := s.wal.appendFrames(frames); err != nil {
+		// The writer rolled the whole chunk back (or wedged); the seqs it
+		// would have consumed are surrendered too so a retry reuses them.
+		s.seq = seq0
+		s.mu.Unlock()
+		return persistErr("wal append batch", err)
+	}
+	last := s.seq
+	s.tailBytes += int64(len(frames))
+	if s.opts.CompactBytes > 0 && s.tailBytes >= s.opts.CompactBytes {
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	if !group {
+		s.advanceAckedLocked(last)
+		s.mu.Unlock()
+		return nil
+	}
+	done := make(chan error, 1)
+	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: last})
+	s.groupBytes += int64(len(frames))
+	s.mu.Unlock()
+	select {
+	case s.groupCh <- struct{}{}:
+	default:
+	}
+	if err := <-done; err != nil {
+		return persistErr("wal append batch", err)
+	}
+	return nil
+}
+
+// LastSeq returns the highest sequence number assigned so far.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
 }
 
 // Snapshot writes a snapshot of the current corpus and truncates the WAL
@@ -602,7 +753,7 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	s.wal = w
 	s.gen = newGen
 	s.tailBytes = 0
-	var waiters []chan error
+	var waiters []groupWaiter
 	if group {
 		waiters = s.groupWaiters
 		s.groupWaiters = nil
@@ -659,6 +810,18 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 		}
 	}
 	syncDir(s.dir)
+	// Records at or below lastSeq may now be gone from the WAL (those in
+	// the deleted segments are; some in the live segment may survive, but
+	// the replication feed must not depend on which). Raise the floor so
+	// a tail read below it deterministically gets ErrCompacted and
+	// bootstraps from the snapshot instead of guessing.
+	s.mu.Lock()
+	if lastSeq > s.compactedSeq {
+		s.compactedSeq = lastSeq
+		close(s.tailWake)
+		s.tailWake = make(chan struct{})
+	}
+	s.mu.Unlock()
 	s.snapshots.Add(1)
 	return nil
 }

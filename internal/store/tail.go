@@ -1,0 +1,452 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"sbmlcompose/internal/corpus"
+)
+
+// This file implements the primary side of log-shipping replication: a
+// tailing reader over the WAL (a cursor by sequence number that survives
+// segment rotation and compaction) and the HTTP feed a follower pulls
+// from. The wire format is the WAL's own frame format, shipped verbatim —
+// length + CRC + payload, exactly as on disk — so the follower re-runs
+// the same CRC and decode checks recovery uses, and corruption anywhere
+// along the path (disk, network, proxy) is caught before anything is
+// applied.
+//
+// Two watermarks, both guarded by s.mu, make the feed safe and
+// deterministic:
+//
+//   - ackedSeq: the highest sequence number acknowledged to its writer.
+//     The feed never ships beyond it. A record written but not yet
+//     fsynced (a group-commit batch in flight) can still be rolled back,
+//     and a record that the primary rolled back but a follower applied
+//     would fork history.
+//   - compactedSeq: the highest sequence number compaction may have
+//     removed from the segment files. A tail read starting below it gets
+//     ErrCompacted — deterministically, whether or not the requested
+//     bytes happen to survive in the live segment — and the follower
+//     bootstraps from a snapshot image instead. Making the boundary a
+//     watermark rather than "whatever is still on disk" is what pins the
+//     snapshot-or-resume decision under concurrent compaction.
+
+// ErrCompacted reports that a tail read asked for records at or below
+// the compaction horizon: the WAL no longer (reliably) holds them, and
+// the reader must bootstrap from a snapshot image instead.
+var ErrCompacted = errors.New("requested records compacted away")
+
+// TailBatch is one chunk of the replication feed: verbatim WAL frames
+// for every record with FirstSeq <= seq <= LastSeq (gaps from failed
+// appends excepted), plus the acknowledged watermark at read time. A
+// zero-record batch (Frames empty) is a long-poll timeout at the tip.
+type TailBatch struct {
+	Frames   []byte
+	Records  int
+	FirstSeq uint64
+	LastSeq  uint64
+	AckedSeq uint64
+}
+
+// ReadTail returns acknowledged WAL records with seq in (from, ackedSeq],
+// up to roughly maxBytes of frames (at least one record is always
+// returned when any is available; maxBytes <= 0 means 1 MiB). At the tip
+// it blocks until a new record is acknowledged, ctx is done, or wait
+// elapses (wait <= 0 polls without blocking); a timeout returns an empty
+// batch and a nil error. from below the compaction horizon returns
+// ErrCompacted.
+func (s *Store) ReadTail(ctx context.Context, from uint64, maxBytes int, wait time.Duration) (TailBatch, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	var timeout <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return TailBatch{}, fmt.Errorf("store: read tail: store is closed")
+		}
+		acked, compacted, wake := s.ackedSeq, s.compactedSeq, s.tailWake
+		s.mu.Unlock()
+		if from < compacted {
+			return TailBatch{AckedSeq: acked}, ErrCompacted
+		}
+		if acked > from {
+			tb, err := s.collectTail(from, acked, maxBytes)
+			if err != nil {
+				return tb, err
+			}
+			if tb.Records > 0 {
+				tb.AckedSeq = acked
+				return tb, nil
+			}
+			// Nothing collected although acked says records exist past
+			// from: a compaction deleted segments between our watermark
+			// snapshot and the scan. Fall through to wait for the wake its
+			// compactedSeq bump sends, then re-decide (almost always
+			// ErrCompacted on the next pass).
+		}
+		if wait <= 0 {
+			return TailBatch{AckedSeq: acked}, nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return TailBatch{AckedSeq: acked}, ctx.Err()
+		case <-timeout:
+			return TailBatch{AckedSeq: acked}, nil
+		}
+	}
+}
+
+// collectTail scans the segment files in generation order and gathers
+// frames for records with seq in (from, acked], verbatim. Sequence
+// numbers are monotone across generations, so the scan stops at the
+// first record past acked (an unacknowledged group-commit tail that must
+// not ship). A segment vanishing mid-scan (compaction won the race) is
+// skipped — the caller re-checks the compaction watermark. A torn or
+// corrupt frame ends the segment, exactly as in recovery: everything
+// before it is intact and usable.
+func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error) {
+	var tb TailBatch
+	segs, err := segmentPaths(s.dir)
+	if err != nil {
+		return tb, err
+	}
+	for _, path := range segs {
+		data, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return tb, fmt.Errorf("store: read tail: %w", err)
+		}
+		if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+			continue // segment mid-creation; it has no records yet
+		}
+		off := int64(len(walMagic))
+		for {
+			payload, end, ok := nextFrame(data, off)
+			if !ok {
+				break
+			}
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				break
+			}
+			if rec.seq > acked {
+				return tb, nil
+			}
+			if rec.seq > from {
+				if tb.Records > 0 && len(tb.Frames)+int(end-off) > maxBytes {
+					return tb, nil
+				}
+				tb.Frames = append(tb.Frames, data[off:end]...)
+				if tb.Records == 0 {
+					tb.FirstSeq = rec.seq
+				}
+				tb.LastSeq = rec.seq
+				tb.Records++
+			}
+			off = end
+		}
+	}
+	return tb, nil
+}
+
+// PersistBatch implements corpus.BatchPersister: one WAL write and at
+// most one fsync for the whole chunk (AppendBatch). It is the follower
+// apply path's persist hook — and deliberately not gated by the
+// read-only flag, because records arriving through it carry the
+// primary's sequence numbers rather than minting local ones.
+func (s *Store) PersistBatch(ops []corpus.BatchOp) error {
+	recs := make([]BatchRecord, len(ops))
+	for i, op := range ops {
+		recs[i] = BatchRecord{Remove: op.Remove, Seq: op.Seq, ID: op.ID, SBML: op.SBML}
+	}
+	if err := s.AppendBatch(recs); err != nil {
+		return fmt.Errorf("%w: %w", err, corpus.ErrPersist)
+	}
+	return nil
+}
+
+// SnapshotImage encodes the current corpus as a snapshot file image
+// (sbsnap-2, verbatim what corpus.snap would hold) plus the sequence
+// number it covers — the bootstrap payload for a follower that fell
+// behind the compaction horizon. The dump runs under every shard's read
+// lock with the sequence captured inside the same critical section, so
+// the image is exactly as consistent as an on-disk snapshot.
+func (s *Store) SnapshotImage(ctx context.Context) ([]byte, uint64, error) {
+	var lastSeq uint64
+	var closed bool
+	blobs, err := s.c.DumpConsistentContext(ctx, func() {
+		s.mu.Lock()
+		lastSeq = s.seq
+		closed = s.closed
+		s.mu.Unlock()
+	})
+	if err == nil && closed {
+		err = fmt.Errorf("store: snapshot image: store is closed")
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return encodeSnapshotV2(lastSeq, s.fingerprint, blobs), lastSeq, nil
+}
+
+// ApplySnapshotImage replaces this store's entire durable and in-memory
+// state with a primary's snapshot image — the follower's resync path when
+// the feed answers ErrCompacted. The image must be a well-formed sbsnap-2
+// file covering a sequence number beyond this store's (replication never
+// moves backwards). On return the store's corpus, snapshot file, WAL and
+// sequence state all agree with the image; old segments are gone and the
+// next tail request resumes from the image's seq.
+func (s *Store) ApplySnapshotImage(image []byte) error {
+	if len(image) < len(snapMagicV2) || string(image[:len(snapMagicV2)]) != snapMagicV2 {
+		return fmt.Errorf("store: apply snapshot image: not an %s image", snapMagicV2)
+	}
+	sf, err := decodeSnapshotV2(image)
+	if err != nil {
+		return fmt.Errorf("store: apply snapshot image: %w", err)
+	}
+	// Prepare the in-memory entries before touching any state: entries
+	// whose persisted keys are trustworthy under our match options install
+	// directly, the rest take the parse path — recovery's exact rule.
+	trustKeys := !s.opts.RecoveryParseOnly && sf.fingerprint == s.fingerprint
+	var jobs []parseJob
+	for _, e := range sf.entries {
+		if !(trustKeys && e.keysOK) {
+			jobs = append(jobs, parseJob{id: e.id, sbml: e.sbml})
+		}
+	}
+	parsed := parseAll(jobs, s.opts.Corpus.Match)
+	models := make([]corpus.PrecompiledModel, 0, len(sf.entries))
+	ji := 0
+	for _, e := range sf.entries {
+		p := corpus.PrecompiledModel{ID: e.id, SBML: e.sbml, Keys: e.keys}
+		if !(trustKeys && e.keysOK) {
+			r := parsed[ji]
+			ji++
+			if r.err != nil {
+				return fmt.Errorf("store: apply snapshot image: model %q: %w", e.id, r.err)
+			}
+			p.Keys = r.cm.MatchKeys()
+			p.Compiled = r.cm
+		}
+		models = append(models, p)
+	}
+
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	// Rotate to a fresh segment, exactly like compaction: appends (there
+	// should be none on a follower, but the invariants don't depend on
+	// that) move to the new writer, pending group waiters resolve against
+	// the old one.
+	group := s.opts.Fsync == FsyncGroup
+	if group {
+		s.groupMu.Lock()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if group {
+			s.groupMu.Unlock()
+		}
+		return fmt.Errorf("store: apply snapshot image: store is closed")
+	}
+	if sf.lastSeq <= s.seq {
+		cur := s.seq
+		s.mu.Unlock()
+		if group {
+			s.groupMu.Unlock()
+		}
+		return fmt.Errorf("store: apply snapshot image: image seq %d not beyond local seq %d", sf.lastSeq, cur)
+	}
+	newGen := s.gen + 1
+	w, err := createSegment(segmentName(s.dir, newGen), s.opts.Fsync == FsyncAlways)
+	if err != nil {
+		s.mu.Unlock()
+		if group {
+			s.groupMu.Unlock()
+		}
+		return fmt.Errorf("store: apply snapshot image: rotate: %w", err)
+	}
+	old := s.wal
+	s.wal = w
+	s.gen = newGen
+	s.tailBytes = 0
+	var waiters []groupWaiter
+	if group {
+		waiters = s.groupWaiters
+		s.groupWaiters = nil
+		s.groupBytes = 0
+	}
+	s.mu.Unlock()
+	if group {
+		s.resolveGroup(old, waiters)
+		s.groupMu.Unlock()
+	}
+	syncDir(s.dir)
+	_ = old.close()
+
+	// Install the image on disk first: after the rename, a crash at any
+	// later point recovers to exactly the primary's snapshotted state
+	// (surviving older segments hold records at or below the local seq,
+	// which the image's higher seq makes no-ops at replay).
+	if err := writeSnapshotImage(s.dir, image); err != nil {
+		return fmt.Errorf("store: apply snapshot image: %w", err)
+	}
+	segs, err := segmentPaths(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range segs {
+		gen, err := segmentGen(path)
+		if err != nil {
+			return err
+		}
+		if gen < newGen {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: apply snapshot image: drop segment %s: %w", path, err)
+			}
+		}
+	}
+	syncDir(s.dir)
+
+	// Swap memory and sequence state together: the seq bump runs inside
+	// ReplaceAll's all-shards critical section, so no reader can observe
+	// the new contents with the old watermarks or vice versa.
+	err = s.c.ReplaceAll(models, func() {
+		s.mu.Lock()
+		s.seq = sf.lastSeq
+		s.ackedSeq = sf.lastSeq
+		s.compactedSeq = sf.lastSeq
+		close(s.tailWake)
+		s.tailWake = make(chan struct{})
+		s.mu.Unlock()
+	})
+	if err != nil {
+		return fmt.Errorf("store: apply snapshot image: %w", err)
+	}
+	s.snapshots.Add(1)
+	return nil
+}
+
+// Replication feed HTTP surface. The handlers live on Store (rather than
+// in the server binary) so the fault-injection tests can drive a real
+// primary with httptest and the server merely mounts them.
+
+// replicateError is the feed's JSON error body, shape-compatible with
+// the server's error envelope.
+type replicateError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func writeReplicateError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(replicateError{Error: msg, Code: code})
+}
+
+// Feed header and query-parameter names, shared by primary and follower.
+const (
+	hdrReplicationAcked   = "X-Replication-Acked-Seq"
+	hdrReplicationFirst   = "X-Replication-First-Seq"
+	hdrReplicationLast    = "X-Replication-Last-Seq"
+	hdrReplicationSnapSeq = "X-Replication-Snapshot-Seq"
+)
+
+// ServeReplicate is the GET /v1/replicate handler: ?from=<seq> (last
+// sequence the follower holds), optional ?max_bytes= and ?wait_ms=
+// (long-poll at the tip, default 10s, capped at 60s). The 200 body is
+// raw WAL frames; X-Replication-Acked-Seq carries the primary's
+// acknowledged watermark (an empty body with that header is a long-poll
+// timeout). A from below the compaction horizon answers 410 Gone with
+// code "compacted": fetch /v1/replicate/snapshot instead.
+func (s *Store) ServeReplicate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var from uint64
+	if v := q.Get("from"); v != "" {
+		var err error
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeReplicateError(w, http.StatusBadRequest, "bad_request", "from must be an unsigned integer")
+			return
+		}
+	}
+	maxBytes := 1 << 20
+	if v := q.Get("max_bytes"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeReplicateError(w, http.StatusBadRequest, "bad_request", "max_bytes must be a positive integer")
+			return
+		}
+		if n > 8<<20 {
+			n = 8 << 20
+		}
+		maxBytes = n
+	}
+	wait := 10 * time.Second
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeReplicateError(w, http.StatusBadRequest, "bad_request", "wait_ms must be a non-negative integer")
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+	}
+	tb, err := s.ReadTail(r.Context(), from, maxBytes, wait)
+	switch {
+	case errors.Is(err, ErrCompacted):
+		writeReplicateError(w, http.StatusGone, "compacted",
+			fmt.Sprintf("records after seq %d are compacted; bootstrap from /v1/replicate/snapshot", from))
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return // client went away; nothing to say
+	case err != nil:
+		writeReplicateError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(hdrReplicationAcked, strconv.FormatUint(tb.AckedSeq, 10))
+	if tb.Records > 0 {
+		w.Header().Set(hdrReplicationFirst, strconv.FormatUint(tb.FirstSeq, 10))
+		w.Header().Set(hdrReplicationLast, strconv.FormatUint(tb.LastSeq, 10))
+	}
+	_, _ = w.Write(tb.Frames)
+}
+
+// ServeReplicateSnapshot is the GET /v1/replicate/snapshot handler: the
+// body is a complete sbsnap-2 snapshot image of the current corpus and
+// X-Replication-Snapshot-Seq the sequence number it covers.
+func (s *Store) ServeReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
+	image, seq, err := s.SnapshotImage(r.Context())
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		writeReplicateError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(hdrReplicationSnapSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(image)))
+	_, _ = w.Write(image)
+}

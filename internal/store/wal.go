@@ -96,6 +96,40 @@ func decodeRecord(payload []byte) (walRecord, error) {
 	return rec, nil
 }
 
+// frameRecord renders one framed record: length + CRC header, then the
+// payload. This exact byte layout is also the replication wire format —
+// the primary ships WAL frames verbatim and the follower re-verifies the
+// CRC before applying, so corruption anywhere between the primary's disk
+// and the follower's decoder is caught by the same check recovery uses.
+func frameRecord(payload []byte) []byte {
+	frame := make([]byte, walFrameLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walCRC))
+	copy(frame[walFrameLen:], payload)
+	return frame
+}
+
+// nextFrame scans one frame at data[off:]. ok is false at the first torn
+// or corrupt frame — short header, implausible length, CRC mismatch —
+// after which nothing at or beyond off can be trusted. end is the offset
+// just past the frame.
+func nextFrame(data []byte, off int64) (payload []byte, end int64, ok bool) {
+	size := int64(len(data))
+	if size-off < walFrameLen {
+		return nil, off, false
+	}
+	length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if length > walMaxRecord || off+walFrameLen+length > size {
+		return nil, off, false
+	}
+	payload = data[off+walFrameLen : off+walFrameLen+length]
+	if crc32.Checksum(payload, walCRC) != sum {
+		return nil, off, false
+	}
+	return payload, off + walFrameLen + length, true
+}
+
 // walWriter appends framed records to one segment file.
 type walWriter struct {
 	f    *os.File
@@ -163,25 +197,31 @@ func openSegmentForAppend(path string, size int64, syncEvery bool) (*walWriter, 
 // (replay drops everything from the first bad frame, so records behind a
 // gap would be silently lost).
 func (w *walWriter) append(payload []byte) error {
+	return w.appendFrames(frameRecord(payload))
+}
+
+// appendFrames writes one or more pre-framed records as a single write,
+// followed by at most one fsync (under FsyncAlways) regardless of how
+// many records the buffer holds — the batch-append path's whole point.
+// Failure semantics match append: a failed write or sync rolls the whole
+// buffer back (all its records are unacknowledged), and an unrepairable
+// rollback wedges the writer.
+func (w *walWriter) appendFrames(frames []byte) error {
 	if w.wedged != nil {
 		return fmt.Errorf("wal wedged by earlier failure: %w", w.wedged)
 	}
-	frame := make([]byte, walFrameLen+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walCRC))
-	copy(frame[walFrameLen:], payload)
-	if _, err := w.f.Write(frame); err != nil {
+	if _, err := w.f.Write(frames); err != nil {
 		w.rollback("append", err)
 		return err
 	}
-	w.off += int64(len(frame))
+	w.off += int64(len(frames))
 	if w.sync {
 		if err := w.doSync(); err != nil {
 			// The bytes are written but not durable, and the caller will
-			// abort the mutation — the record must not survive in the log
-			// (a later crash would replay a write the client was told
-			// failed), so roll it back like a failed write.
-			w.off -= int64(len(frame))
+			// abort the mutation — the records must not survive in the log
+			// (a later crash would replay writes the client was told
+			// failed), so roll them back like a failed write.
+			w.off -= int64(len(frames))
 			w.rollback("fsync", err)
 			return err
 		}
@@ -270,24 +310,16 @@ func readSegment(path string) (segmentReplay, error) {
 	off := int64(len(walMagic))
 	rep.goodOff = off
 	for off < rep.size {
-		if rep.size-off < walFrameLen {
-			break // torn frame header
-		}
-		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
-		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if length > walMaxRecord || off+walFrameLen+length > rep.size {
-			break // torn or corrupt length
-		}
-		payload := data[off+walFrameLen : off+walFrameLen+length]
-		if crc32.Checksum(payload, walCRC) != sum {
-			break // corrupt payload
+		payload, end, ok := nextFrame(data, off)
+		if !ok {
+			break // torn frame header, torn/corrupt length, corrupt payload
 		}
 		rec, err := decodeRecord(payload)
 		if err != nil {
 			break // intact bytes, unintelligible record
 		}
 		rep.records = append(rep.records, rec)
-		off += walFrameLen + length
+		off = end
 		rep.goodOff = off
 	}
 	rep.droppedBytes = rep.size - rep.goodOff
