@@ -82,6 +82,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -195,6 +196,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("sbmlserved: shutting down (drain %s)", *drain)
+	srv.beginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -250,6 +252,11 @@ type server struct {
 	searchCache *lru.Cache[cachedSearch]
 	// searchCacheHits counts cache hits, reported by /healthz.
 	searchCacheHits atomic.Int64
+	// closing is closed when graceful shutdown begins, waking replication
+	// long-polls that would otherwise sit out their full wait_ms inside
+	// the drain window.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // newServer wires the routes over an in-memory corpus. Split from main so
@@ -261,6 +268,7 @@ func newServer(c *sbmlcompose.Corpus) *server {
 		start:       time.Now(),
 		stats:       map[string]*endpointStat{},
 		searchCache: lru.New[cachedSearch](defaultQueryCache),
+		closing:     make(chan struct{}),
 	}
 	s.route("POST /v1/models", s.handleAddModel)
 	s.route("DELETE /v1/models/{id}", s.handleRemoveModel)
@@ -328,10 +336,35 @@ func redirectV1(w http.ResponseWriter, r *http.Request) {
 func newPersistentServer(st *sbmlcompose.CorpusStore) *server {
 	s := newServer(st.Corpus())
 	s.store = st
-	s.route("GET /v1/replicate", st.ServeReplicate)
+	s.route("GET /v1/replicate", s.cancelOnShutdown(st.ServeReplicate))
 	s.route("GET /v1/replicate/snapshot", st.ServeReplicateSnapshot)
 	s.route("POST /v1/promote", s.handlePromote)
 	return s
+}
+
+// beginShutdown wakes in-flight replication long-polls so the drain
+// window isn't spent waiting out their wait_ms. Idempotent.
+func (s *server) beginShutdown() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+// cancelOnShutdown derives the request context so it is cancelled when
+// graceful shutdown begins. A follower whose poll is cut this way sees a
+// transient fetch error and re-requests from its durable seq — exactly
+// the reconnect path it takes for any other dropped connection.
+func (s *server) cancelOnShutdown(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		go func() {
+			select {
+			case <-s.closing:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		h(w, r.WithContext(ctx))
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -533,6 +566,11 @@ type promoteResponse struct {
 	Status         string `json:"status"`
 	Role           string `json:"role"`
 	LastAppliedSeq uint64 `json:"last_applied_seq"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+	// Warning reports a promotion that succeeded but could not durably
+	// record its epoch bump (the stale-primary guard is weakened until
+	// the disk heals).
+	Warning string `json:"warning,omitempty"`
 }
 
 type healthzResponse struct {
@@ -665,14 +703,22 @@ func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "this server is not a replica; nothing to promote")
 		return
 	}
-	s.replica.Promote()
+	perr := s.replica.Promote()
 	st := s.replica.Status()
-	log.Printf("sbmlserved: promoted to primary at seq %d (was following %s)", st.LastAppliedSeq, st.PrimaryURL)
-	writeJSON(w, http.StatusOK, promoteResponse{
+	log.Printf("sbmlserved: promoted to primary at seq %d, epoch %d (was following %s)", st.LastAppliedSeq, st.Epoch, st.PrimaryURL)
+	resp := promoteResponse{
 		Status:         "ok",
 		Role:           st.Role,
 		LastAppliedSeq: st.LastAppliedSeq,
-	})
+		Epoch:          st.Epoch,
+	}
+	if perr != nil {
+		// The node is promoted and serving; only the epoch bump's
+		// persistence failed. Surface it rather than failing the failover.
+		resp.Warning = perr.Error()
+		log.Printf("sbmlserved: promote: %v", perr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {

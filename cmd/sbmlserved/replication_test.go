@@ -119,3 +119,36 @@ func TestReplicationFollowerServer(t *testing.T) {
 		t.Fatalf("promoted healthz role = %v", health["role"])
 	}
 }
+
+// A replication long-poll parked at the tip must not stall graceful
+// shutdown: beginShutdown cancels it promptly instead of letting it sit
+// out its full wait_ms inside the drain window.
+func TestShutdownWakesReplicationLongPoll(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	srv := newPersistentServer(st)
+	if rec, _ := do(t, srv, "POST", "/v1/models", modelXML("lp_shut", 901)); rec.Code != http.StatusCreated {
+		t.Fatalf("seed POST: %d", rec.Code)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		// from = tip, so the handler parks in the long-poll wait.
+		resp, err := http.Get(ts.URL + "/v1/replicate?from=1&wait_ms=60000")
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // let the poll reach the wait
+	srv.beginShutdown()
+	select {
+	case <-done:
+		// Cut or empty response — either way the handler returned and the
+		// drain can complete. The follower's pull loop re-requests.
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll still parked 5s after beginShutdown")
+	}
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Replication identity: a cluster ID plus a promotion epoch, persisted
+// next to the WAL. Sequence numbers alone cannot tell two histories
+// apart — a follower pointed at an unrelated primary whose seqs happen
+// to overlap would silently merge foreign records into its log, and a
+// follower that survived a failover could be re-attached to the stale
+// pre-failover primary and apply records the promoted line has already
+// diverged from. The identity closes both holes:
+//
+//   - ClusterID names the replicated history. The first primary mints
+//     it (lazily, when it first serves the feed); every follower adopts
+//     it on first contact and thereafter refuses a primary carrying a
+//     different one (ErrClusterMismatch). Promotion keeps the ID, so
+//     re-pointing followers at a promoted sibling still matches.
+//   - Epoch counts promotions within the cluster. Each Promote bumps
+//     it durably; followers track the highest epoch they have seen and
+//     refuse a primary announcing an older one (ErrStaleEpoch) — the
+//     signature of the dead primary coming back from before the
+//     failover.
+//
+// Both checks run against the feed's response headers before any frame
+// or snapshot image is applied, so a mismatched primary can never
+// contribute a single record.
+
+// replIdentityFile is the identity's file name inside the store dir.
+const replIdentityFile = "replication.json"
+
+// ErrClusterMismatch reports a replication peer from a different
+// cluster: its history is unrelated and must not be merged.
+var ErrClusterMismatch = errors.New("replication cluster mismatch")
+
+// ErrStaleEpoch reports a primary announcing an older promotion epoch
+// than this store has already observed — a pre-failover primary that
+// came back. Its unreplicated tail diverges from the promoted line.
+var ErrStaleEpoch = errors.New("replication primary epoch is stale")
+
+// replIdentity is the persisted identity record.
+type replIdentity struct {
+	ClusterID string `json:"cluster_id"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// loadReplIdentity reads the identity file at Open. A missing file is a
+// store that never replicated (zero identity); a corrupt one is a hard
+// error, like a corrupt snapshot — guessing would defeat the check.
+func loadReplIdentity(dir string) (replIdentity, error) {
+	var ident replIdentity
+	data, err := os.ReadFile(filepath.Join(dir, replIdentityFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return ident, nil
+	}
+	if err != nil {
+		return ident, fmt.Errorf("store: read %s: %w", replIdentityFile, err)
+	}
+	if err := json.Unmarshal(data, &ident); err != nil {
+		return ident, fmt.Errorf("store: corrupt %s: %w", replIdentityFile, err)
+	}
+	if ident.ClusterID == "" || ident.Epoch == 0 {
+		return ident, fmt.Errorf("store: corrupt %s: missing cluster id or epoch", replIdentityFile)
+	}
+	return ident, nil
+}
+
+// persistIdentityLocked writes the identity durably (temp + rename +
+// dir sync, like every other store metadata write). Caller holds identMu.
+func (s *Store) persistIdentityLocked() error {
+	data, err := json.Marshal(s.ident)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, replIdentityFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		err = f.Sync()
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// ensureIdentity returns the store's identity, minting one (epoch 1) on
+// first use — the primary side's lazy initialization, called when the
+// feed is first served.
+func (s *Store) ensureIdentity() (replIdentity, error) {
+	s.identMu.Lock()
+	defer s.identMu.Unlock()
+	if s.ident.ClusterID != "" {
+		return s.ident, nil
+	}
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return replIdentity{}, fmt.Errorf("store: mint cluster id: %w", err)
+	}
+	s.ident = replIdentity{ClusterID: hex.EncodeToString(b[:]), Epoch: 1}
+	if err := s.persistIdentityLocked(); err != nil {
+		s.ident = replIdentity{}
+		return replIdentity{}, fmt.Errorf("store: persist cluster id: %w", err)
+	}
+	return s.ident, nil
+}
+
+// adoptIdentity is the follower side: verify a primary's announced
+// identity against the local one before applying anything from it. A
+// store with no identity adopts the primary's (first contact); a known
+// cluster must match exactly; an epoch ahead of ours is adopted (we
+// learned of a promotion), an epoch behind ours is refused.
+func (s *Store) adoptIdentity(clusterID string, epoch uint64) error {
+	if clusterID == "" || epoch == 0 {
+		return fmt.Errorf("store: primary announced no replication identity (cluster %q epoch %d)", clusterID, epoch)
+	}
+	s.identMu.Lock()
+	defer s.identMu.Unlock()
+	switch {
+	case s.ident.ClusterID == "":
+		s.ident = replIdentity{ClusterID: clusterID, Epoch: epoch}
+		if err := s.persistIdentityLocked(); err != nil {
+			s.ident = replIdentity{}
+			return fmt.Errorf("store: persist adopted identity: %w", err)
+		}
+	case s.ident.ClusterID != clusterID:
+		return fmt.Errorf("%w: primary is cluster %s, this store follows cluster %s",
+			ErrClusterMismatch, clusterID, s.ident.ClusterID)
+	case epoch < s.ident.Epoch:
+		return fmt.Errorf("%w: primary announces epoch %d, this store has observed epoch %d",
+			ErrStaleEpoch, epoch, s.ident.Epoch)
+	case epoch > s.ident.Epoch:
+		s.ident.Epoch = epoch
+		if err := s.persistIdentityLocked(); err != nil {
+			s.ident.Epoch = epoch // keep the higher epoch in memory regardless
+			return fmt.Errorf("store: persist epoch %d: %w", epoch, err)
+		}
+	}
+	return nil
+}
+
+// bumpEpoch durably increments the promotion epoch — called by Promote,
+// so the promoted line outranks the dead primary's. A store that never
+// contacted a primary mints a fresh identity first.
+func (s *Store) bumpEpoch() (replIdentity, error) {
+	s.identMu.Lock()
+	defer s.identMu.Unlock()
+	if s.ident.ClusterID == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return replIdentity{}, fmt.Errorf("store: mint cluster id: %w", err)
+		}
+		s.ident = replIdentity{ClusterID: hex.EncodeToString(b[:]), Epoch: 0}
+	}
+	s.ident.Epoch++
+	if err := s.persistIdentityLocked(); err != nil {
+		return s.ident, fmt.Errorf("store: persist promotion epoch %d: %w", s.ident.Epoch, err)
+	}
+	return s.ident, nil
+}
+
+// ReplicationIdentity returns the store's cluster ID and promotion
+// epoch; both are zero until the store first serves or follows a feed.
+func (s *Store) ReplicationIdentity() (clusterID string, epoch uint64) {
+	s.identMu.Lock()
+	defer s.identMu.Unlock()
+	return s.ident.ClusterID, s.ident.Epoch
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Tests for the replication identity (cluster ID + promotion epoch):
+// minting, adoption, refusal of foreign clusters and stale epochs, and
+// durability across reopen.
+
+func TestIdentityMintedLazilyAndDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	if id, epoch := s.ReplicationIdentity(); id != "" || epoch != 0 {
+		t.Fatalf("fresh store has identity %q/%d, want none until first feed use", id, epoch)
+	}
+	ident, err := s.ensureIdentity()
+	if err != nil {
+		t.Fatalf("ensureIdentity: %v", err)
+	}
+	if ident.ClusterID == "" || ident.Epoch != 1 {
+		t.Fatalf("minted identity %+v, want non-empty cluster at epoch 1", ident)
+	}
+	again, err := s.ensureIdentity()
+	if err != nil || again != ident {
+		t.Fatalf("second ensureIdentity = %+v (err %v), want the same %+v", again, err, ident)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir, testOptions())
+	defer reopened.Close()
+	if id, epoch := reopened.ReplicationIdentity(); id != ident.ClusterID || epoch != ident.Epoch {
+		t.Fatalf("reopened identity %q/%d, want %q/%d", id, epoch, ident.ClusterID, ident.Epoch)
+	}
+}
+
+func TestIdentityAdoptionAndRefusal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	defer s.Close()
+
+	// A primary announcing no identity is refused outright.
+	if err := s.adoptIdentity("", 0); err == nil {
+		t.Fatal("adopted an empty identity")
+	}
+	// First contact adopts.
+	if err := s.adoptIdentity("cluster-a", 3); err != nil {
+		t.Fatalf("first adopt: %v", err)
+	}
+	if id, epoch := s.ReplicationIdentity(); id != "cluster-a" || epoch != 3 {
+		t.Fatalf("adopted %q/%d, want cluster-a/3", id, epoch)
+	}
+	// A different cluster is refused, whatever its epoch.
+	if err := s.adoptIdentity("cluster-b", 9); !errors.Is(err, ErrClusterMismatch) {
+		t.Fatalf("foreign cluster: err = %v, want ErrClusterMismatch", err)
+	}
+	// An older epoch from the right cluster is the dead pre-failover
+	// primary: refused.
+	if err := s.adoptIdentity("cluster-a", 2); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch: err = %v, want ErrStaleEpoch", err)
+	}
+	// A newer epoch (we learned of a promotion) is adopted and persisted.
+	if err := s.adoptIdentity("cluster-a", 5); err != nil {
+		t.Fatalf("newer epoch: %v", err)
+	}
+	if _, epoch := s.ReplicationIdentity(); epoch != 5 {
+		t.Fatalf("epoch %d after adoption, want 5", epoch)
+	}
+}
+
+func TestIdentityCorruptFileIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	if _, err := s.ensureIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, replIdentityFile), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("Open accepted a corrupt replication identity file")
+	}
+}

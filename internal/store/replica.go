@@ -113,6 +113,12 @@ type ReplicaStatus struct {
 	// SnapshotResyncs counts bootstraps through a full snapshot image
 	// (the compacted-horizon path).
 	SnapshotResyncs uint64 `json:"snapshot_resyncs,omitempty"`
+	// ClusterID and Epoch are the replication identity adopted from the
+	// primary (identity.go): the cluster whose history this store holds
+	// and the highest promotion epoch it has observed. Empty/zero until
+	// first contact.
+	ClusterID string `json:"cluster_id,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
 }
 
 // Replica keeps a read-only Store converged with a primary's WAL feed.
@@ -168,6 +174,7 @@ func (r *Replica) Status() ReplicaStatus {
 	defer r.mu.Unlock()
 	st := r.st
 	st.LastAppliedSeq = r.s.LastSeq()
+	st.ClusterID, st.Epoch = r.s.ReplicationIdentity()
 	if st.PrimaryAckedSeq > st.LastAppliedSeq {
 		st.LagRecords = st.PrimaryAckedSeq - st.LastAppliedSeq
 	} else {
@@ -196,13 +203,21 @@ func (r *Replica) Stop() {
 // applied record. Because the follower's log is a prefix of the old
 // primary's acknowledged log, a promoted follower serves exactly the
 // primary's last acknowledged state.
-func (r *Replica) Promote() {
+//
+// Promotion durably increments the cluster's epoch, so followers that
+// re-attach here outrank — and will refuse — the dead primary should it
+// come back with its unreplicated tail. Promotion itself always
+// succeeds; a non-nil error reports that the epoch bump could not be
+// persisted (the stale-primary guard is weakened until the disk heals).
+func (r *Replica) Promote() error {
 	r.Stop()
+	_, err := r.s.bumpEpoch()
 	r.s.readOnly.Store(false)
 	r.mu.Lock()
 	r.st.Role = "primary"
 	r.st.Connected = false
 	r.mu.Unlock()
+	return err
 }
 
 // run is the pull loop: fetch, verify, apply, repeat; back off on any
@@ -300,21 +315,55 @@ func (r *Replica) pullOnce(ctx context.Context) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("replicate fetch: primary answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
+	// Verify the primary's identity before applying a single frame: an
+	// unrelated cluster or a stale pre-failover epoch must not contribute
+	// records, however plausible its sequence numbers look.
+	if err := r.verifyIdentity(resp.Header); err != nil {
+		return err
+	}
 	acked, _ := strconv.ParseUint(resp.Header.Get(hdrReplicationAcked), 10, 64)
-	// Read the body fully even on a later apply error: the frames are
-	// bounded by max_bytes plus framing, so the slack cap only guards
-	// against a misbehaving primary.
-	frames, err := io.ReadAll(io.LimitReader(resp.Body, int64(r.opts.MaxBatchBytes)*2+(64<<10)))
+	// Size the read cap to the protocol's true maximum — one chunk is at
+	// most max_bytes of frames plus a single frame, and a frame payload is
+	// bounded by walMaxRecord — never to a guess. A cap below the largest
+	// shippable frame would truncate an oversized model's body silently
+	// (ReadAll through a LimitReader returns nil error at the limit), and
+	// the apply would see a torn frame, ship nothing, and re-request the
+	// same seq forever: replication permanently wedged on one record.
+	limit := int64(r.opts.MaxBatchBytes) + walMaxRecord + walFrameLen
+	frames, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		// A cut mid-body still delivered a (possibly empty) prefix; verify
-		// and apply what survived before reporting the cut.
+		// and apply what survived before reporting the cut. (The feed's
+		// explicit Content-Length makes the cut visible here as
+		// io.ErrUnexpectedEOF rather than a silently short body.)
 		if aerr := r.applyFrames(frames, from); aerr != nil {
 			return fmt.Errorf("replicate fetch: %v (and apply of prefix: %w)", err, aerr)
 		}
 		return fmt.Errorf("replicate fetch: read body: %w", err)
 	}
+	if int64(len(frames)) > limit {
+		// No well-behaved primary can exceed the protocol maximum; apply
+		// nothing and say so rather than silently retrying a truncation.
+		return fmt.Errorf("replicate fetch: body exceeds the %d-byte protocol maximum; refusing truncated chunk", limit)
+	}
 	r.noteSuccess(acked)
 	return r.applyFrames(frames, from)
+}
+
+// verifyIdentity checks a feed response's cluster ID and promotion
+// epoch against the store's persisted identity (adopting them on first
+// contact) before anything from the response is applied. A primary from
+// a different cluster, or one announcing an epoch older than this store
+// has already observed (the dead pre-failover primary coming back),
+// is refused — its history has diverged from ours even where the
+// sequence numbers overlap.
+func (r *Replica) verifyIdentity(h http.Header) error {
+	clusterID := h.Get(hdrReplicationCluster)
+	epoch, _ := strconv.ParseUint(h.Get(hdrReplicationEpoch), 10, 64)
+	if err := r.s.adoptIdentity(clusterID, epoch); err != nil {
+		return fmt.Errorf("replicate fetch: %w", err)
+	}
+	return nil
 }
 
 // applyFrames verifies a received chunk frame by frame (CRC + decode,
@@ -423,6 +472,9 @@ func (r *Replica) resync(ctx context.Context) error {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("snapshot resync: primary answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := r.verifyIdentity(resp.Header); err != nil {
+		return err
 	}
 	image, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -9,9 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"sbmlcompose/internal/biomodels"
 	"sbmlcompose/internal/corpus"
 	"sbmlcompose/internal/sbml"
 )
@@ -406,6 +408,153 @@ func TestReplicaPrimaryKillPromote(t *testing.T) {
 	mustAdd(t, follower.Corpus(), testModel(41))
 	if follower.LastSeq() <= seqBefore {
 		t.Fatal("promoted follower's writes did not advance the log")
+	}
+}
+
+// TestReplicaOversizedFrameReplicates: a single WAL frame far larger
+// than the follower's MaxBatchBytes — larger, in particular, than the
+// 2*MaxBatchBytes+64KiB cap an earlier revision read the body through —
+// must still replicate. A cap below the largest shippable frame
+// silently truncated the body, the apply saw a torn frame, and the loop
+// re-requested the same seq forever: replication permanently wedged on
+// one oversized model.
+func TestReplicaOversizedFrameReplicates(t *testing.T) {
+	primary, ts := newReplicationPrimary(t)
+	big := biomodels.Generate(biomodels.Config{
+		ID: "mbig", Nodes: 200, Edges: 300, Seed: 99, VocabularySize: 400, Decorate: true,
+	})
+	mustAdd(t, primary.Corpus(), big)
+	small := testModel(1)
+	mustAdd(t, primary.Corpus(), small)
+
+	const maxBatch = 4096
+	// Pin the test's premise: the big model's frame alone exceeds the old
+	// revision's truncation point, so this convergence genuinely exercises
+	// the protocol-maximum read cap.
+	tb, err := primary.ReadTail(context.Background(), 0, maxBatch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldCap := int64(maxBatch)*2 + (64 << 10); int64(len(tb.Frames)) <= oldCap {
+		t.Fatalf("big frame is %d bytes, need > %d for this test to bite", len(tb.Frames), oldCap)
+	}
+
+	follower := mustOpen(t, t.TempDir(), testOptions())
+	defer follower.Close()
+	opts := fastReplicaOptions(ts.URL)
+	opts.MaxBatchBytes = maxBatch
+	rep, err := StartReplica(follower, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	waitFor(t, 30*time.Second, "oversized-frame catch-up", func() bool {
+		return follower.LastSeq() == primary.LastSeq()
+	})
+	assertCorporaEquivalent(t, follower.Corpus(), primary.Corpus(), []*sbml.Model{big, small})
+}
+
+// TestReplicaRefusesForeignCluster: a follower re-pointed at an
+// unrelated primary whose sequence numbers overlap must not apply a
+// single record — overlapping seqs from a different history would merge
+// silently otherwise.
+func TestReplicaRefusesForeignCluster(t *testing.T) {
+	primaryA, tsA := newReplicationPrimary(t)
+	probes := replicationWorkload(t, primaryA, 4)
+
+	follower := mustOpen(t, t.TempDir(), testOptions())
+	defer follower.Close()
+	rep, err := StartReplica(follower, fastReplicaOptions(tsA.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "catch-up from cluster A", func() bool {
+		return follower.LastSeq() == primaryA.LastSeq()
+	})
+	rep.Stop()
+
+	// An unrelated primary, with more records so its feed would ship
+	// frames whose seqs continue right where the follower stopped.
+	primaryB, tsB := newReplicationPrimary(t)
+	for i := 0; i < 10; i++ {
+		mustAdd(t, primaryB.Corpus(), testModel(50+i))
+	}
+
+	seqBefore := follower.LastSeq()
+	rep2, err := StartReplica(follower, fastReplicaOptions(tsB.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Stop()
+	waitFor(t, 30*time.Second, "cluster mismatch surfaced", func() bool {
+		return strings.Contains(rep2.Status().LastError, "cluster mismatch")
+	})
+	if got := follower.LastSeq(); got != seqBefore {
+		t.Fatalf("foreign primary advanced the follower from seq %d to %d", seqBefore, got)
+	}
+	assertCorporaEquivalent(t, follower.Corpus(), primaryA.Corpus(), probes)
+}
+
+// TestReplicaRefusesStaleEpochPrimary: after a failover, a follower of
+// the promoted line must refuse the dead pre-failover primary should it
+// come back — same cluster, older epoch, diverged history.
+func TestReplicaRefusesStaleEpochPrimary(t *testing.T) {
+	primaryA, tsA := newReplicationPrimary(t)
+	replicationWorkload(t, primaryA, 4)
+
+	// F follows A, adopting A's identity at epoch 1, then is promoted —
+	// which durably bumps the cluster to epoch 2.
+	f := mustOpen(t, t.TempDir(), testOptions())
+	defer f.Close()
+	repF, err := StartReplica(f, fastReplicaOptions(tsA.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "F catches up", func() bool {
+		return f.LastSeq() == primaryA.LastSeq()
+	})
+	if err := repF.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	clusterA, _ := primaryA.ReplicationIdentity()
+	if id, epoch := f.ReplicationIdentity(); id != clusterA || epoch != 2 {
+		t.Fatalf("promoted identity %q/%d, want %q/2", id, epoch, clusterA)
+	}
+
+	// G follows promoted F, learning epoch 2.
+	muxF := http.NewServeMux()
+	muxF.HandleFunc("GET /v1/replicate", f.ServeReplicate)
+	muxF.HandleFunc("GET /v1/replicate/snapshot", f.ServeReplicateSnapshot)
+	tsF := httptest.NewServer(muxF)
+	defer tsF.Close()
+	g := mustOpen(t, t.TempDir(), testOptions())
+	defer g.Close()
+	repG, err := StartReplica(g, fastReplicaOptions(tsF.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "G catches up from F", func() bool {
+		return g.LastSeq() == f.LastSeq()
+	})
+	repG.Stop()
+	if _, epoch := g.ReplicationIdentity(); epoch != 2 {
+		t.Fatalf("G observed epoch %d, want 2", epoch)
+	}
+
+	// The dead primary A comes back (still epoch 1) with fresh writes; G
+	// pointed at it must refuse every frame.
+	mustAdd(t, primaryA.Corpus(), testModel(70))
+	seqBefore := g.LastSeq()
+	repG2, err := StartReplica(g, fastReplicaOptions(tsA.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repG2.Stop()
+	waitFor(t, 30*time.Second, "stale epoch surfaced", func() bool {
+		return strings.Contains(repG2.Status().LastError, "epoch")
+	})
+	if got := g.LastSeq(); got != seqBefore {
+		t.Fatalf("stale primary advanced G from seq %d to %d", seqBefore, got)
 	}
 }
 

@@ -99,7 +99,13 @@ const (
 	// FsyncInterval syncs on a timer (Options.FsyncEvery): loss after a
 	// crash is bounded by the interval.
 	FsyncInterval FsyncPolicy = "interval"
-	// FsyncNever leaves flushing to the operating system.
+	// FsyncNever leaves flushing to the operating system. Replication
+	// caveat: with no sync point to gate on, the feed ships records the
+	// moment they are written, so a primary crash can lose records a
+	// follower already holds durably — the follower is then no prefix of
+	// the restarted primary and can never reconcile. Primaries that feed
+	// followers should run FsyncAlways, FsyncGroup or FsyncInterval (all
+	// of which ship only durable records).
 	FsyncNever FsyncPolicy = "never"
 )
 
@@ -239,6 +245,15 @@ type Store struct {
 	ackedSeq     uint64
 	compactedSeq uint64
 	tailWake     chan struct{}
+	// tailCur caches where the last tail scan stopped, so a follower
+	// walking the feed forward seeks straight to its next frame instead
+	// of re-reading the whole WAL per chunk (tail.go).
+	tailCur tailCursor
+
+	// identMu guards the replication identity (cluster ID + promotion
+	// epoch, identity.go), persisted in replication.json.
+	identMu sync.Mutex
+	ident   replIdentity
 
 	// readOnly gates the corpus-facing persist path while a follower
 	// replica owns this store: local mutations would interleave
@@ -300,6 +315,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.closeCtx, s.closeCancel = context.WithCancel(context.Background())
 
+	if s.ident, err = loadReplIdentity(dir); err != nil {
+		return nil, err
+	}
 	sf, haveSnap, err := loadSnapshot(dir)
 	if err != nil {
 		return nil, err
@@ -565,10 +583,15 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 		}
 	}
 	if !group {
-		// The append is acknowledged the moment this call returns (the
-		// policy's fsync, if any, already ran), so the replication feed
-		// may ship it.
-		s.advanceAckedLocked(rec.seq)
+		// Under FsyncAlways the append's sync already ran, so the
+		// replication feed may ship it. Under FsyncInterval the record is
+		// not durable until the next timer sync — the fsync loop advances
+		// the watermark then, so a primary crash can never lose a record a
+		// follower durably holds. FsyncNever has no sync point to gate on
+		// and ships immediately (see the policy's replication caveat).
+		if s.opts.Fsync != FsyncInterval {
+			s.advanceAckedLocked(rec.seq)
+		}
 		s.mu.Unlock()
 		return nil
 	}
@@ -672,7 +695,11 @@ func (s *Store) AppendBatch(recs []BatchRecord) error {
 		}
 	}
 	if !group {
-		s.advanceAckedLocked(last)
+		// Same watermark gating as appendRecord: FsyncInterval records
+		// become shippable at the next timer sync, not on return.
+		if s.opts.Fsync != FsyncInterval {
+			s.advanceAckedLocked(last)
+		}
 		s.mu.Unlock()
 		return nil
 	}
@@ -816,6 +843,12 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	// a tail read below it deterministically gets ErrCompacted and
 	// bootstraps from the snapshot instead of guessing.
 	s.mu.Lock()
+	// The snapshot itself is cold-path durable, so every record it covers
+	// is now crash-safe regardless of fsync policy — acknowledge them to
+	// the feed (this is how FsyncInterval records covered by a compaction
+	// ship without waiting for the next timer sync, and it keeps the
+	// acked watermark at or above the compaction floor).
+	s.advanceAckedLocked(lastSeq)
 	if lastSeq > s.compactedSeq {
 		s.compactedSeq = lastSeq
 		close(s.tailWake)
@@ -862,7 +895,14 @@ func (s *Store) fsyncLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			if !s.closed {
-				_ = s.wal.fsync()
+				// Appends hold mu, so every record with seq <= s.seq was
+				// fully written before this sync began; a successful sync
+				// makes them durable and therefore shippable. (Records in
+				// segments rotated out since the last tick were already
+				// synced by the rotation's close.)
+				if err := s.wal.fsync(); err == nil {
+					s.advanceAckedLocked(s.seq)
+				}
 			}
 			s.mu.Unlock()
 		}
@@ -899,6 +939,11 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	w := s.wal
+	// Wake blocked tail readers (long-polling followers) so they observe
+	// closed immediately instead of sleeping out their wait timer and
+	// stalling server shutdown past the drain window.
+	close(s.tailWake)
+	s.tailWake = make(chan struct{})
 	s.mu.Unlock()
 	closeErr := w.close()
 	if snapErr != nil {

@@ -112,6 +112,20 @@ func (s *Store) ReadTail(ctx context.Context, from uint64, maxBytes int, wait ti
 	}
 }
 
+// tailCursor remembers where a tail scan stopped: the byte offset just
+// past the last frame consumed for a reader whose next request will say
+// from=seq. Positions are reader-independent — they describe immutable
+// acked bytes of an append-only segment, so any reader presenting the
+// same from may resume there. The cursor never points past an
+// unacknowledged frame (the scan stops before them), which is what makes
+// it safe against the append path's failed-write rollback truncation.
+type tailCursor struct {
+	ok  bool
+	seq uint64 // the from a resumed read must present
+	gen uint64 // segment generation the offset lives in
+	off int64  // offset just past the last consumed frame
+}
+
 // collectTail scans the segment files in generation order and gathers
 // frames for records with seq in (from, acked], verbatim. Sequence
 // numbers are monotone across generations, so the scan stops at the
@@ -120,13 +134,41 @@ func (s *Store) ReadTail(ctx context.Context, from uint64, maxBytes int, wait ti
 // skipped — the caller re-checks the compaction watermark. A torn or
 // corrupt frame ends the segment, exactly as in recovery: everything
 // before it is intact and usable.
+//
+// A follower walking the feed forward presents from = the previous
+// batch's LastSeq, which matches the cached tailCursor: the scan then
+// seeks straight to the next unshipped frame instead of re-reading and
+// re-decoding the entire WAL per chunk (catch-up over a large log would
+// otherwise cost O(WAL bytes) per chunk — quadratic in total). A cursor
+// miss (different reader position, rotation, deleted segment) falls back
+// to the full scan, which is always correct.
 func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error) {
 	var tb TailBatch
+	s.mu.Lock()
+	cur := s.tailCur
+	s.mu.Unlock()
+	hit := cur.ok && cur.seq == from
+	pos := tailCursor{}
+	save := func() {
+		if !pos.ok {
+			return
+		}
+		s.mu.Lock()
+		s.tailCur = pos
+		s.mu.Unlock()
+	}
 	segs, err := segmentPaths(s.dir)
 	if err != nil {
 		return tb, err
 	}
 	for _, path := range segs {
+		gen, err := segmentGen(path)
+		if err != nil {
+			return tb, err
+		}
+		if hit && gen < cur.gen {
+			continue // fully consumed by the position the cursor resumes at
+		}
 		data, err := os.ReadFile(path)
 		if errors.Is(err, fs.ErrNotExist) {
 			continue
@@ -138,6 +180,9 @@ func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error)
 			continue // segment mid-creation; it has no records yet
 		}
 		off := int64(len(walMagic))
+		if hit && gen == cur.gen && cur.off >= off && cur.off <= int64(len(data)) {
+			off = cur.off // seek straight past the already-consumed prefix
+		}
 		for {
 			payload, end, ok := nextFrame(data, off)
 			if !ok {
@@ -148,10 +193,12 @@ func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error)
 				break
 			}
 			if rec.seq > acked {
+				save()
 				return tb, nil
 			}
 			if rec.seq > from {
 				if tb.Records > 0 && len(tb.Frames)+int(end-off) > maxBytes {
+					save()
 					return tb, nil
 				}
 				tb.Frames = append(tb.Frames, data[off:end]...)
@@ -162,8 +209,16 @@ func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error)
 				tb.Records++
 			}
 			off = end
+			// Frames at or below from count as consumed too: the boundary
+			// after them is exactly where a re-request with the same from
+			// should resume.
+			pos = tailCursor{ok: true, seq: from, gen: gen, off: off}
+			if tb.Records > 0 {
+				pos.seq = tb.LastSeq
+			}
 		}
 	}
+	save()
 	return tb, nil
 }
 
@@ -335,6 +390,7 @@ func (s *Store) ApplySnapshotImage(image []byte) error {
 		s.seq = sf.lastSeq
 		s.ackedSeq = sf.lastSeq
 		s.compactedSeq = sf.lastSeq
+		s.tailCur = tailCursor{} // every cached position predates the wipe
 		close(s.tailWake)
 		s.tailWake = make(chan struct{})
 		s.mu.Unlock()
@@ -369,6 +425,10 @@ const (
 	hdrReplicationFirst   = "X-Replication-First-Seq"
 	hdrReplicationLast    = "X-Replication-Last-Seq"
 	hdrReplicationSnapSeq = "X-Replication-Snapshot-Seq"
+	// Identity headers (identity.go): the follower verifies both before
+	// applying a single frame or image from a response.
+	hdrReplicationCluster = "X-Replication-Cluster-Id"
+	hdrReplicationEpoch   = "X-Replication-Epoch"
 )
 
 // ServeReplicate is the GET /v1/replicate handler: ?from=<seq> (last
@@ -412,6 +472,13 @@ func (s *Store) ServeReplicate(w http.ResponseWriter, r *http.Request) {
 			wait = time.Minute
 		}
 	}
+	ident, err := s.ensureIdentity()
+	if err != nil {
+		writeReplicateError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set(hdrReplicationCluster, ident.ClusterID)
+	w.Header().Set(hdrReplicationEpoch, strconv.FormatUint(ident.Epoch, 10))
 	tb, err := s.ReadTail(r.Context(), from, maxBytes, wait)
 	switch {
 	case errors.Is(err, ErrCompacted):
@@ -430,6 +497,10 @@ func (s *Store) ServeReplicate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(hdrReplicationFirst, strconv.FormatUint(tb.FirstSeq, 10))
 		w.Header().Set(hdrReplicationLast, strconv.FormatUint(tb.LastSeq, 10))
 	}
+	// An explicit Content-Length makes a cut transfer unambiguous on the
+	// follower: its ReadAll reports io.ErrUnexpectedEOF instead of
+	// returning a silently truncated body.
+	w.Header().Set("Content-Length", strconv.Itoa(len(tb.Frames)))
 	_, _ = w.Write(tb.Frames)
 }
 
@@ -437,6 +508,11 @@ func (s *Store) ServeReplicate(w http.ResponseWriter, r *http.Request) {
 // body is a complete sbsnap-2 snapshot image of the current corpus and
 // X-Replication-Snapshot-Seq the sequence number it covers.
 func (s *Store) ServeReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
+	ident, err := s.ensureIdentity()
+	if err != nil {
+		writeReplicateError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
 	image, seq, err := s.SnapshotImage(r.Context())
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -445,6 +521,8 @@ func (s *Store) ServeReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeReplicateError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
+	w.Header().Set(hdrReplicationCluster, ident.ClusterID)
+	w.Header().Set(hdrReplicationEpoch, strconv.FormatUint(ident.Epoch, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(hdrReplicationSnapSeq, strconv.FormatUint(seq, 10))
 	w.Header().Set("Content-Length", strconv.Itoa(len(image)))

@@ -548,6 +548,148 @@ func TestServeReplicateProtocol(t *testing.T) {
 	}
 }
 
+// TestReadTailIntervalPolicyShipsOnlyDurableRecords: under
+// FsyncInterval the feed's watermark must trail the sync, not the
+// write — otherwise a primary crash can lose records a follower already
+// holds durably, and the follower is no longer a prefix of the restarted
+// primary. Written-but-unsynced records stay unshippable until a timer
+// sync (or a snapshot, which is durable by construction) covers them.
+func TestReadTailIntervalPolicyShipsOnlyDurableRecords(t *testing.T) {
+	opts := testOptions()
+	opts.Fsync = FsyncInterval
+	opts.FsyncEvery = time.Hour // no timer sync during the test
+	s := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		mustAdd(t, s.Corpus(), testModel(i))
+	}
+	// Written, acknowledged to the writer, but not yet durable: the feed
+	// must not ship them.
+	tb, err := s.ReadTail(context.Background(), 0, 0, 0)
+	if err != nil || tb.Records != 0 || tb.AckedSeq != 0 {
+		t.Fatalf("unsynced records shipped: records=%d acked=%d err=%v, want none", tb.Records, tb.AckedSeq, err)
+	}
+	// A snapshot is cold-path durable regardless of policy: the covered
+	// records become shippable (and, having been compacted, a reader
+	// below the horizon is deterministically sent to the snapshot).
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadTail(context.Background(), 0, 0, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("below-horizon read after durable snapshot: err = %v, want ErrCompacted", err)
+	}
+	tb, err = s.ReadTail(context.Background(), 3, 0, 0)
+	if err != nil || tb.AckedSeq != 3 {
+		t.Fatalf("post-snapshot watermark: acked=%d err=%v, want 3", tb.AckedSeq, err)
+	}
+	// New writes are again gated until the next sync point.
+	mustAdd(t, s.Corpus(), testModel(10))
+	tb, err = s.ReadTail(context.Background(), 3, 0, 0)
+	if err != nil || tb.Records != 0 || tb.AckedSeq != 3 {
+		t.Fatalf("unsynced post-snapshot record shipped: records=%d acked=%d err=%v", tb.Records, tb.AckedSeq, err)
+	}
+
+	// With a short interval, the fsync loop advances the watermark on its
+	// own and the records ship.
+	opts.FsyncEvery = 20 * time.Millisecond
+	s2 := mustOpen(t, t.TempDir(), opts)
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		mustAdd(t, s2.Corpus(), testModel(i))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		tb, err := s2.ReadTail(context.Background(), 0, 0, 0)
+		if err != nil {
+			t.Fatalf("ReadTail: %v", err)
+		}
+		if tb.Records == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fsync loop never made %d records shippable (got %d)", 3, tb.Records)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseWakesBlockedTailReaders: a long-polling follower blocked at
+// the tip must observe Close immediately — not after its wait timer —
+// or server shutdown stalls past the drain window.
+func TestCloseWakesBlockedTailReaders(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	mustAdd(t, s.Corpus(), testModel(0))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.ReadTail(context.Background(), 1, 0, 5*time.Minute)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the reader reach the tip wait
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("woken reader returned %v, want a store-closed error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked tail reader slept through Close")
+	}
+}
+
+// TestReadTailCursorResumesAcrossRotationAndInterleaving: the cached
+// tail cursor is a pure optimization — walks that hit it, miss it
+// (interleaved readers at different positions), or land in a compacted
+// segment must all ship exactly the right records.
+func TestReadTailCursorResumesAcrossRotationAndInterleaving(t *testing.T) {
+	opts := testOptions()
+	opts.CompactBytes = -1
+	s := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		mustAdd(t, s.Corpus(), testModel(i))
+	}
+	// Sequential walk primes the cursor at the tip.
+	tb, err := s.ReadTail(context.Background(), 0, 0, 0)
+	if err != nil || tb.LastSeq != 5 {
+		t.Fatalf("prime walk: last=%d err=%v", tb.LastSeq, err)
+	}
+	// Rotation deletes the segment the cursor points into; the next read
+	// must fall back cleanly and ship the post-rotation records.
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		mustAdd(t, s.Corpus(), testModel(i))
+	}
+	tb, err = s.ReadTail(context.Background(), 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeFrames(t, tb.Frames)
+	if len(recs) != 3 || recs[0].seq != 6 || recs[2].seq != 8 {
+		t.Fatalf("post-rotation read shipped %d records (first %d), want seqs [6 7 8]", len(recs), recs[0].seq)
+	}
+	// Interleaved readers at different positions: each gets exactly its
+	// range, cursor hits or not.
+	for _, from := range []uint64{6, 5, 7, 5, 8, 6} {
+		tb, err := s.ReadTail(context.Background(), from, 0, 0)
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		recs := decodeFrames(t, tb.Frames)
+		if want := int(8 - from); len(recs) != want {
+			t.Fatalf("from=%d shipped %d records, want %d", from, len(recs), want)
+		}
+		for i, rec := range recs {
+			if rec.seq != from+uint64(i)+1 {
+				t.Fatalf("from=%d record %d has seq %d", from, i, rec.seq)
+			}
+		}
+	}
+}
+
 // TestReplicaResyncFailureSurfacesInStatus: a primary whose feed says
 // "compacted" but whose snapshot endpoint is broken leaves the follower
 // retrying with the failure visible in Status.
