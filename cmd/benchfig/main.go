@@ -30,10 +30,16 @@
 //	                              fsync=always against group commit — and
 //	                              recovery (Open) latency from raw WAL vs
 //	                              binary snapshot vs the forced parse path
-//	                              across corpus sizes. -quick runs each
-//	                              benchmark once
-//	                              (CI smoke) instead of through
-//	                              testing.Benchmark.
+//	                              across corpus sizes. Suite "serve"
+//	                              (BENCH_serve.json): serving-level load
+//	                              harness — mixed search/compose/simulate
+//	                              traffic against an in-process sbmlserved
+//	                              handler, open-loop at fixed arrival rates
+//	                              and closed-loop across concurrency
+//	                              levels, percentiles from the same
+//	                              histograms /v1/metrics serves. -quick
+//	                              runs each benchmark once (CI smoke)
+//	                              instead of through testing.Benchmark.
 //
 // Output is one whitespace-separated row per composition (ready for
 // gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
@@ -96,7 +102,7 @@ func run(ctx context.Context) error {
 		stride   = flag.Int("stride", 4, "corpus sampling stride for figure 8 (1 = full sweep)")
 		reps     = flag.Int("reps", 3, "repetitions per pair; the minimum is reported")
 		jsonMode = flag.Bool("json", false, "run an engine benchmark suite and write JSON")
-		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim | corpus")
+		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim | corpus | store | serve")
 		outPath  = flag.String("out", "", "output file for -json (default BENCH_<suite>.json)")
 		quick    = flag.Bool("quick", false, "single-iteration smoke run instead of testing.Benchmark")
 	)
@@ -115,8 +121,10 @@ func run(ctx context.Context) error {
 			return benchJSON(ctx, out, *quick, benchCorpus)
 		case "store":
 			return benchJSON(ctx, out, *quick, benchStore)
+		case "serve":
+			return benchServe(ctx, out, *quick)
 		default:
-			return fmt.Errorf("unknown suite %q (want compose, sim, corpus or store)", *suite)
+			return fmt.Errorf("unknown suite %q (want compose, sim, corpus, store or serve)", *suite)
 		}
 	}
 	switch *fig {

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sbmlcompose/internal/core"
+	"sbmlcompose/internal/corpus"
+	"sbmlcompose/internal/obs"
+	"sbmlcompose/internal/sbml"
+	"sbmlcompose/internal/serve"
+	"sbmlcompose/internal/synonym"
+)
+
+// The serve suite measures the system at the level production sees it —
+// the full HTTP handler with routing, JSON, caching, metrics, and the
+// corpus pipeline behind it — rather than any one engine. Two sweeps:
+//
+//   - Open loop: requests arrive on a fixed schedule regardless of
+//     whether earlier ones finished, the way real clients behave. At
+//     rates past the service's capacity, latency grows without bound;
+//     the percentile columns across the rate ladder show where that
+//     knee is. Closed-loop harnesses hide it (coordinated omission).
+//   - Closed loop: N workers issue requests back-to-back. The
+//     throughput column across the concurrency ladder is the saturation
+//     sweep: where it stops scaling is the service's usable parallelism.
+//
+// Latency is measured per request with the same fixed-bucket histogram
+// the server itself serves at /v1/metrics (internal/obs), so harness
+// percentiles and production percentiles are computed identically.
+//
+// Traffic is a deterministic mix — 70% /v1/search (rotating through 8
+// distinct query bodies so the compiled-query cache sees hits and
+// misses), 20% /v1/compose, 10% /v1/simulate — against an in-process
+// server over a seeded in-memory corpus. ServeHTTP is called directly:
+// no sockets, so the numbers isolate the serving stack from the kernel's
+// network path.
+
+// serveRow is one load point of BENCH_serve.json.
+type serveRow struct {
+	Name string `json:"name"`
+	// Mode is "open" (scheduled arrivals) or "closed" (back-to-back
+	// workers).
+	Mode        string  `json:"mode"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	// AchievedRPS is completed requests over wall-clock; in open-loop
+	// mode it tracks TargetRPS until the service saturates.
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	GoVersion  string     `json:"go_version"`
+	GoMaxProcs int        `json:"go_maxprocs"`
+	Unix       int64      `json:"generated_unix"`
+	Rows       []serveRow `json:"rows"`
+}
+
+// serveSpec is one request of the traffic mix.
+type serveSpec struct {
+	method, path, body string
+}
+
+// serveWorkload is the seeded server plus the weighted request mix.
+type serveWorkload struct {
+	srv *serve.Server
+	// specs holds the mix expanded to a 10-slot weight table; a worker
+	// picks uniformly from it.
+	specs []serveSpec
+}
+
+const serveSeedModels = 48
+
+// newServeWorkload seeds an in-memory server and precomputes the
+// request mix bodies.
+func newServeWorkload() (*serveWorkload, error) {
+	c := corpus.New(corpus.Options{
+		Shards: 4, Workers: 0, Match: core.Options{Synonyms: synonym.Builtin()},
+	})
+	models := corpusModels(serveSeedModels)
+	for _, m := range models {
+		if _, err := c.Add(m); err != nil {
+			return nil, err
+		}
+	}
+	srv := serve.New(c, serve.Config{SlowRequest: -1})
+
+	jsonStr := func(v any) (string, error) {
+		b, err := json.Marshal(v)
+		return string(b), err
+	}
+	modelStr := func(m *sbml.Model) string { return sbml.WrapModel(m).String() }
+
+	// 8 distinct search bodies: 7 drawn from stored models (cache-warm
+	// after the first pass) plus one fresh query that always compiles.
+	var searches []string
+	for i := 0; i < 7; i++ {
+		body, err := jsonStr(map[string]any{"sbml": modelStr(models[i*5]), "top_k": 5})
+		if err != nil {
+			return nil, err
+		}
+		searches = append(searches, body)
+	}
+	fresh, err := jsonStr(map[string]any{"sbml": modelStr(benchModel("servequery", 15, 20, 777)), "top_k": 5})
+	if err != nil {
+		return nil, err
+	}
+	searches = append(searches, fresh)
+
+	composeBody, err := jsonStr(map[string]any{"id": models[3].ID, "sbml": modelStr(benchModel("servemerge", 12, 16, 778))})
+	if err != nil {
+		return nil, err
+	}
+	simBody, err := jsonStr(map[string]any{"id": models[7].ID, "method": "ode", "t0": 0, "t1": 0.5, "step": 0.01})
+	if err != nil {
+		return nil, err
+	}
+
+	// Weight table: 7 search slots, 2 compose, 1 simulate.
+	w := &serveWorkload{srv: srv}
+	for i := 0; i < 7; i++ {
+		w.specs = append(w.specs, serveSpec{"POST", "/v1/search", searches[i%len(searches)]})
+	}
+	w.specs = append(w.specs,
+		serveSpec{"POST", "/v1/compose", composeBody},
+		serveSpec{"POST", "/v1/compose", composeBody},
+		serveSpec{"POST", "/v1/simulate", simBody},
+	)
+	return w, nil
+}
+
+// hit issues one request in-process and records its latency; reports
+// whether the response was a success.
+func (w *serveWorkload) hit(spec serveSpec, hist *obs.Histogram) bool {
+	req := httptest.NewRequest(spec.method, spec.path, strings.NewReader(spec.body))
+	rec := httptest.NewRecorder()
+	t0 := time.Now()
+	w.srv.ServeHTTP(rec, req)
+	hist.Observe(time.Since(t0).Seconds())
+	return rec.Code < 400
+}
+
+// runOpenLoop fires requests at a fixed arrival rate for dur, never
+// waiting for responses: each arrival gets its own goroutine, exactly
+// like an independent client population.
+func (w *serveWorkload) runOpenLoop(ctx context.Context, rate float64, dur time.Duration) serveRow {
+	hist := obs.MustHistogram(obs.LatencyBuckets())
+	rng := rand.New(rand.NewSource(42))
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(dur)
+	defer deadline.Stop()
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		errCount  atomic.Int64
+		wallStart = time.Now()
+	)
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			spec := w.specs[rng.Intn(len(w.specs))]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				requests.Add(1)
+				if !w.hit(spec, hist) {
+					errCount.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(wallStart).Seconds()
+	return serveRow{
+		Name:        fmt.Sprintf("ServeOpenLoop/rps=%g", rate),
+		Mode:        "open",
+		TargetRPS:   rate,
+		DurationS:   wall,
+		Requests:    requests.Load(),
+		Errors:      errCount.Load(),
+		AchievedRPS: float64(requests.Load()) / wall,
+		P50Ms:       hist.Quantile(0.50) * 1e3,
+		P90Ms:       hist.Quantile(0.90) * 1e3,
+		P99Ms:       hist.Quantile(0.99) * 1e3,
+		MaxMs:       hist.Max() * 1e3,
+	}
+}
+
+// runClosedLoop runs conc workers issuing requests back-to-back for dur:
+// the in-flight saturation sweep.
+func (w *serveWorkload) runClosedLoop(ctx context.Context, conc int, dur time.Duration) serveRow {
+	hist := obs.MustHistogram(obs.LatencyBuckets())
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		errCount  atomic.Int64
+		wallStart = time.Now()
+	)
+	stop := time.Now().Add(dur)
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(stop) && ctx.Err() == nil {
+				requests.Add(1)
+				if !w.hit(w.specs[rng.Intn(len(w.specs))], hist) {
+					errCount.Add(1)
+				}
+			}
+		}(int64(100 + i))
+	}
+	wg.Wait()
+	wall := time.Since(wallStart).Seconds()
+	return serveRow{
+		Name:        fmt.Sprintf("ServeClosedLoop/conc=%d", conc),
+		Mode:        "closed",
+		Concurrency: conc,
+		DurationS:   wall,
+		Requests:    requests.Load(),
+		Errors:      errCount.Load(),
+		AchievedRPS: float64(requests.Load()) / wall,
+		P50Ms:       hist.Quantile(0.50) * 1e3,
+		P90Ms:       hist.Quantile(0.90) * 1e3,
+		P99Ms:       hist.Quantile(0.99) * 1e3,
+		MaxMs:       hist.Max() * 1e3,
+	}
+}
+
+// benchServe runs the serving-level load suite and writes BENCH_serve.json.
+func benchServe(ctx context.Context, outPath string, quick bool) error {
+	f, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := f.Name()
+	defer os.Remove(tmpPath)
+
+	w, err := newServeWorkload()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	// Warm the caches (query cache, simulation engines) so every row
+	// measures steady state, not first-touch compilation.
+	for _, spec := range w.specs {
+		if ok := w.hit(spec, obs.MustHistogram(obs.LatencyBuckets())); !ok {
+			f.Close()
+			return fmt.Errorf("warmup %s %s failed", spec.method, spec.path)
+		}
+	}
+
+	dur := 2 * time.Second
+	if quick {
+		dur = 150 * time.Millisecond
+	}
+	rates := []float64{200, 1000, 4000}
+	concs := []int{1, 4, 16, 64}
+	if quick {
+		rates = []float64{500}
+	}
+
+	report := &serveReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Unix:       time.Now().Unix(),
+	}
+	for _, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		row := w.runOpenLoop(ctx, rate, dur)
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(os.Stderr, "%-28s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
+			row.Name, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+	}
+	for _, conc := range concs {
+		if err := ctx.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		row := w.runClosedLoop(ctx, conc, dur)
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(os.Stderr, "%-28s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
+			row.Name, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+	}
+	if err := ctx.Err(); err != nil {
+		f.Close()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "benchfig: cancelled after %d rows; %s left untouched\n", len(report.Rows), outPath)
+		}
+		return err
+	}
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(report.Rows), outPath)
+	return nil
+}

@@ -1,58 +1,9 @@
 // Command sbmlserved serves a model repository over HTTP: the corpus
 // subsystem (sharded storage, inverted-index top-K matching, cached
-// simulation engines) exposed as a query service, the serving layer the
-// ROADMAP's "heavy traffic" north star demands.
-//
-// The API is versioned under /v1/ with typed JSON requests and responses:
-//
-//	POST   /v1/models        add a model; body is SBML XML, ?id= overrides
-//	                         the model id. 201 with {"id","components",
-//	                         "models"}.
-//	DELETE /v1/models/{id}   remove a model. 204, or 404 if absent.
-//	POST   /v1/search        rank the corpus against a query model. JSON
-//	                         body {"sbml","top_k","cutoff","min_score",
-//	                         "offset","limit"}; returns the ranked page
-//	                         with per-component evidence. offset/limit
-//	                         paginate inside the ranking merge, so page N
-//	                         is exactly that slice of the full ranking.
-//	POST   /v1/compose       merge a query model into a stored model. JSON
-//	                         body {"id","sbml"}; returns the merged SBML
-//	                         with warnings and statistics.
-//	POST   /v1/simulate      simulate a stored model on its cached engine.
-//	                         JSON body {"id","method","t0","t1","step",
-//	                         "seed","adaptive","tolerance"}.
-//	POST   /v1/check         evaluate a temporal-logic property over a
-//	                         deterministic simulation of a stored model.
-//	                         JSON body {"id","formula","t0","t1","step"}.
-//	POST   /v1/snapshot      force a snapshot + WAL compaction of the
-//	                         durable store. 200 with the store status, 409
-//	                         without -data, 500 on write failure.
-//	GET    /v1/healthz       liveness, the in-flight request gauge,
-//	                         per-endpoint request counts and mean
-//	                         latencies; with -data also the store status.
-//
-// The legacy unversioned routes (POST /models, /search, ...) respond
-// with a permanent redirect to their /v1/ equivalents (308 for
-// method-bearing requests so a followed POST keeps its method and body;
-// 301 for GET/HEAD), preserving path suffix and query string. GET
-// /healthz alone still answers directly (and
-// identically to /v1/healthz): liveness probes and load balancers do not
-// follow redirects, and breaking them on upgrade would read as an outage.
-//
-// Every request handler runs under the request's context capped by
-// -request-timeout: a client that disconnects cancels the in-flight
-// corpus search, simulation or composition at its next cancellation
-// check, freeing the worker pool, and the handler maps the two context
-// terminations to JSON errors — 408 Request Timeout when the deadline
-// expired server-side, 499 (the de-facto "client closed request" status)
-// when the peer went away. Request bodies are capped at 64 MiB.
-//
-// /v1/search responses are accelerated by a raw-body query cache
-// (-query-cache, default 128 entries; 0 disables): a byte-for-byte
-// repeat of an earlier request body skips JSON decoding, SBML parsing
-// and match-key derivation, going straight to ranking. Rankings always
-// run fresh against the live corpus, so cached and uncached responses
-// are identical even across adds and removes.
+// simulation engines) exposed as a versioned JSON query service, the
+// serving layer the ROADMAP's "heavy traffic" north star demands. The
+// server itself lives in internal/serve (see that package's doc for the
+// full API); this binary is flags, lifecycle, and logging.
 //
 // With -data DIR the corpus is durable: every add/remove is appended to a
 // write-ahead log (fsynced per -fsync: "always" syncs each append,
@@ -62,87 +13,82 @@
 // flushing to the OS) before it is acknowledged, and snapshots bound
 // recovery time. Restarting the server on the same directory
 // reconstructs the corpus exactly — ids, rankings, scores.
-// Without -data the corpus lives in memory only, as before.
+// Without -data the corpus lives in memory only.
+//
+// Observability: GET /v1/metrics serves a Prometheus text exposition
+// covering per-route request counts and latency histograms, pipeline
+// stage timings, WAL append/fsync/group-commit/snapshot durability
+// series, and replication lag. Every request is logged with its
+// X-Request-Id; requests slower than -slow-request additionally log a
+// per-stage breakdown. -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window before the listener closes; with -data the shutdown
-// takes a final snapshot so the next start is a pure snapshot load.
+// takes a final snapshot so the next start is a pure snapshot load. The
+// shutdown log repeats each route's count and p50/p95/p99 latency.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sbmlcompose"
-	"sbmlcompose/internal/lru"
+	"sbmlcompose/internal/obs"
+	"sbmlcompose/internal/serve"
 )
-
-// statusClientClosedRequest is nginx's non-standard 499: the client
-// disconnected before the response was written. There is no standard
-// status for it; 499 is what fleet dashboards already aggregate.
-const statusClientClosedRequest = 499
-
-// maxBodyBytes caps request bodies (models can legitimately be large).
-const maxBodyBytes = 64 << 20
-
-// defaultQueryCache is the -query-cache default: how many compiled
-// search queries the server remembers, keyed on the raw request body.
-const defaultQueryCache = 128
-
-// searchCacheMaxBody bounds which /v1/search bodies are cache-keyed; a
-// giant one-off query should not evict a working set of small ones (the
-// cache holds the raw body as its key).
-const searchCacheMaxBody = 1 << 20
-
-// cachedSearch is one query-cache entry: the decoded request and the
-// query compiled against the corpus's match options. Rankings are always
-// computed fresh against the live corpus, so an entry never goes stale
-// when models are added or removed — only the parse/compile work is
-// reused, never a result.
-type cachedSearch struct {
-	req searchRequest
-	cq  *sbmlcompose.CompiledQuery
-}
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
-		shards     = flag.Int("shards", 4, "corpus shard count")
-		workers    = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
-		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
-		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for search/compose/simulate/check (0 disables)")
-		dataDir    = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
-		fsync      = flag.String("fsync", "always", "WAL fsync policy with -data: always | group | interval | never")
-		compact    = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
-		groupBytes = flag.Int64("group-max-bytes", 0, "fsync=group: batched bytes forcing an immediate sync (0 = 1 MiB default)")
-		groupDelay = flag.Duration("group-max-delay", 0, "fsync=group: extra wait to widen a batch (0 = natural batching only)")
-		queryCache = flag.Int("query-cache", defaultQueryCache, "compiled-query cache entries keyed on raw /v1/search bodies (0 disables)")
-		replicaOf  = flag.String("replica-of", "", "run as a read-only follower of the primary at this base URL (requires -data; mutations answer 403 until POST /v1/promote)")
+		addr        = flag.String("addr", "127.0.0.1:8451", "listen address (host:port; port 0 picks a free port)")
+		shards      = flag.Int("shards", 4, "corpus shard count")
+		workers     = flag.Int("workers", 0, "search worker pool size (0 = GOMAXPROCS)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for search/compose/simulate/check (0 disables)")
+		dataDir     = flag.String("data", "", "durable store directory (empty = in-memory corpus, lost on exit)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy with -data: always | group | interval | never")
+		compact     = flag.Int64("compact-bytes", 0, "WAL tail size triggering auto-compaction (0 = 8 MiB default, <0 disables)")
+		groupBytes  = flag.Int64("group-max-bytes", 0, "fsync=group: batched bytes forcing an immediate sync (0 = 1 MiB default)")
+		groupDelay  = flag.Duration("group-max-delay", 0, "fsync=group: extra wait to widen a batch (0 = natural batching only)")
+		queryCache  = flag.Int("query-cache", 128, "compiled-query cache entries keyed on raw /v1/search bodies (0 disables)")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only follower of the primary at this base URL (requires -data; mutations answer 403 until POST /v1/promote)")
+		slowRequest = flag.Duration("slow-request", time.Second, "log requests slower than this with their per-stage breakdown (0 disables)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *replicaOf != "" && *dataDir == "" {
 		log.Fatalf("sbmlserved: -replica-of requires -data (the follower persists the primary's log locally)")
 	}
 
+	// One registry serves /v1/metrics; it must exist before the store
+	// opens so recovery-time appends already have somewhere to land.
+	reg := obs.NewRegistry()
 	copts := sbmlcompose.CorpusOptions{
 		Shards:  *shards,
 		Workers: *workers,
 	}
-	var srv *server
+	cfg := serve.Config{
+		Registry:       reg,
+		RequestTimeout: *reqTimeout,
+		QueryCache:     *queryCache,
+		SlowRequest:    *slowRequest,
+		Logf:           log.Printf,
+		Pprof:          *pprofFlag,
+	}
+	if *queryCache <= 0 {
+		cfg.QueryCache = -1
+	}
+	if *slowRequest <= 0 {
+		cfg.SlowRequest = -1
+	}
+
+	var srv *serve.Server
 	if *dataDir != "" {
 		st, err := sbmlcompose.OpenCorpus(*dataDir, &sbmlcompose.StoreOptions{
 			Corpus:        copts,
@@ -150,6 +96,7 @@ func main() {
 			CompactBytes:  *compact,
 			GroupMaxBytes: *groupBytes,
 			GroupMaxDelay: *groupDelay,
+			Metrics:       serve.NewStoreMetrics(reg),
 		})
 		if err != nil {
 			log.Fatalf("sbmlserved: open data dir: %v", err)
@@ -160,23 +107,20 @@ func main() {
 		if rs.TornTail {
 			log.Printf("sbmlserved: dropped torn WAL tail (%d bytes of unacknowledged writes)", rs.DroppedBytes)
 		}
-		srv = newPersistentServer(st)
+		srv = serve.NewPersistent(st, cfg)
 		if *replicaOf != "" {
-			rep, err := sbmlcompose.StartReplica(st, sbmlcompose.ReplicaOptions{PrimaryURL: *replicaOf})
+			rep, err := sbmlcompose.StartReplica(st, sbmlcompose.ReplicaOptions{
+				PrimaryURL: *replicaOf,
+				Metrics:    serve.NewReplicaMetrics(reg),
+			})
 			if err != nil {
 				log.Fatalf("sbmlserved: start replica: %v", err)
 			}
-			srv.replica = rep
+			srv.SetReplica(rep)
 			log.Printf("sbmlserved: following %s from seq %d (read-only until promoted)", *replicaOf, st.LastSeq())
 		}
 	} else {
-		srv = newServer(sbmlcompose.NewCorpus(&copts))
-	}
-	srv.timeout = *reqTimeout
-	if *queryCache <= 0 {
-		srv.searchCache = nil
-	} else if *queryCache != defaultQueryCache {
-		srv.searchCache = lru.New[cachedSearch](*queryCache)
+		srv = serve.New(sbmlcompose.NewCorpus(&copts), cfg)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -196,752 +140,27 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("sbmlserved: shutting down (drain %s)", *drain)
-	srv.beginShutdown()
+	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("sbmlserved: drain incomplete: %v", err)
 	}
-	if srv.replica != nil {
+	if rep := srv.ReplicaHandle(); rep != nil {
 		// Stop pulling before the store closes; the store stays read-only,
 		// so a restart with the same flags resumes from the durable seq.
-		srv.replica.Stop()
+		rep.Stop()
 	}
-	if srv.store != nil {
+	if st := srv.Store(); st != nil {
 		// Graceful-shutdown snapshot: the next start recovers from the
 		// snapshot alone instead of replaying the whole WAL.
-		if err := srv.store.Close(); err != nil {
+		if err := st.Close(); err != nil {
 			log.Printf("sbmlserved: store close: %v", err)
 		} else {
-			log.Printf("sbmlserved: final snapshot written (%d models)", srv.corpus.Len())
+			log.Printf("sbmlserved: final snapshot written (%d models)", st.Corpus().Len())
 		}
 	}
-	for _, line := range srv.statsLines() {
+	for _, line := range srv.StatsLines() {
 		log.Print(line)
 	}
-}
-
-// endpointStat accumulates per-endpoint request counts and total latency.
-type endpointStat struct {
-	count   atomic.Int64
-	totalNs atomic.Int64
-}
-
-// server routes requests to the corpus and records per-endpoint timings.
-type server struct {
-	corpus *sbmlcompose.Corpus
-	// store is the durable backing, nil when serving in-memory.
-	store *sbmlcompose.CorpusStore
-	// replica is non-nil when the server was started with -replica-of: the
-	// puller that keeps the store converged with the primary. Its Status
-	// feeds /healthz and the X-Replica-Lag-Seq header on read responses;
-	// POST /v1/promote stops it and lifts the store's read-only gate.
-	replica *sbmlcompose.Replica
-	mux     *http.ServeMux
-	start   time.Time
-	stats   map[string]*endpointStat // route label → stats, fixed at construction
-	// timeout caps each request handler's context; 0 leaves only the
-	// client-disconnect cancellation of r.Context().
-	timeout time.Duration
-	// inFlight gauges currently executing requests, served by /healthz.
-	inFlight atomic.Int64
-	// searchCache maps raw /v1/search bodies to their decoded request and
-	// compiled query; nil disables caching (-query-cache 0). Byte-for-byte
-	// repeat searches — pollers, dashboards, paging clients — skip JSON
-	// decoding, SBML parsing and match-key derivation.
-	searchCache *lru.Cache[cachedSearch]
-	// searchCacheHits counts cache hits, reported by /healthz.
-	searchCacheHits atomic.Int64
-	// closing is closed when graceful shutdown begins, waking replication
-	// long-polls that would otherwise sit out their full wait_ms inside
-	// the drain window.
-	closing   chan struct{}
-	closeOnce sync.Once
-}
-
-// newServer wires the routes over an in-memory corpus. Split from main so
-// tests can drive the handler through httptest without a listener.
-func newServer(c *sbmlcompose.Corpus) *server {
-	s := &server{
-		corpus:      c,
-		mux:         http.NewServeMux(),
-		start:       time.Now(),
-		stats:       map[string]*endpointStat{},
-		searchCache: lru.New[cachedSearch](defaultQueryCache),
-		closing:     make(chan struct{}),
-	}
-	s.route("POST /v1/models", s.handleAddModel)
-	s.route("DELETE /v1/models/{id}", s.handleRemoveModel)
-	s.route("POST /v1/search", s.handleSearch)
-	s.route("POST /v1/compose", s.handleCompose)
-	s.route("POST /v1/simulate", s.handleSimulate)
-	s.route("POST /v1/check", s.handleCheck)
-	s.route("POST /v1/snapshot", s.handleSnapshot)
-	s.route("GET /v1/healthz", s.handleHealthz)
-
-	// Legacy unversioned API routes moved permanently to /v1/. The
-	// redirect carries the method-specific pattern so an unknown
-	// path/method still 404/405s instead of bouncing.
-	for _, pattern := range []string{
-		"POST /models",
-		"DELETE /models/{id}",
-		"POST /search",
-		"POST /compose",
-		"POST /simulate",
-		"POST /check",
-		"POST /snapshot",
-	} {
-		s.mux.HandleFunc(pattern, redirectV1)
-	}
-	// Liveness probes don't follow redirects; /healthz keeps answering in
-	// place, identically to /v1/healthz.
-	s.route("GET /healthz", s.handleHealthz)
-	return s
-}
-
-// route registers a handler with per-endpoint timing stats.
-func (s *server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
-	st := &endpointStat{}
-	s.stats[pattern] = st
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		h(w, r)
-		st.count.Add(1)
-		st.totalNs.Add(time.Since(t0).Nanoseconds())
-	})
-}
-
-// redirectV1 permanently redirects a legacy route to its /v1 equivalent,
-// preserving the remaining path and the query string. GET/HEAD use the
-// classic 301; everything else uses 308 Permanent Redirect, because
-// clients rewrite a 301'd POST into a body-less GET (Go's http.Client,
-// curl -L) — the redirect must preserve method and body for a legacy
-// POST /search caller that follows it to keep working.
-func redirectV1(w http.ResponseWriter, r *http.Request) {
-	target := "/v1" + r.URL.Path
-	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
-	}
-	status := http.StatusPermanentRedirect
-	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		status = http.StatusMovedPermanently
-	}
-	http.Redirect(w, r, target, status)
-}
-
-// newPersistentServer wires the routes over a recovered durable store,
-// including the replication surface: the WAL feed a follower pulls
-// (mounted straight off the store, which implements the handlers) and
-// the promotion lever.
-func newPersistentServer(st *sbmlcompose.CorpusStore) *server {
-	s := newServer(st.Corpus())
-	s.store = st
-	s.route("GET /v1/replicate", s.cancelOnShutdown(st.ServeReplicate))
-	s.route("GET /v1/replicate/snapshot", st.ServeReplicateSnapshot)
-	s.route("POST /v1/promote", s.handlePromote)
-	return s
-}
-
-// beginShutdown wakes in-flight replication long-polls so the drain
-// window isn't spent waiting out their wait_ms. Idempotent.
-func (s *server) beginShutdown() {
-	s.closeOnce.Do(func() { close(s.closing) })
-}
-
-// cancelOnShutdown derives the request context so it is cancelled when
-// graceful shutdown begins. A follower whose poll is cut this way sees a
-// transient fetch error and re-requests from its durable seq — exactly
-// the reconnect path it takes for any other dropped connection.
-func (s *server) cancelOnShutdown(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithCancel(r.Context())
-		defer cancel()
-		go func() {
-			select {
-			case <-s.closing:
-				cancel()
-			case <-ctx.Done():
-			}
-		}()
-		h(w, r.WithContext(ctx))
-	}
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	s.mux.ServeHTTP(w, r)
-}
-
-// requestCtx derives the handler context: the request's own context (so a
-// client disconnect cancels in-flight work) capped by the configured
-// per-request deadline.
-func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.timeout > 0 {
-		return context.WithTimeout(r.Context(), s.timeout)
-	}
-	return context.WithCancel(r.Context())
-}
-
-// statsLines renders the per-endpoint timing summary (logged at
-// shutdown; also served by /healthz).
-func (s *server) statsLines() []string {
-	var out []string
-	for pattern, ep := range s.endpointReport() {
-		out = append(out, fmt.Sprintf("sbmlserved: %-22s %6d requests, mean %.3f ms", pattern, ep.Count, ep.MeanMs))
-	}
-	return out
-}
-
-type endpointReport struct {
-	Count  int64   `json:"count"`
-	MeanMs float64 `json:"mean_ms"`
-}
-
-func (s *server) endpointReport() map[string]endpointReport {
-	out := make(map[string]endpointReport, len(s.stats))
-	for pattern, st := range s.stats {
-		n := st.count.Load()
-		ep := endpointReport{Count: n}
-		if n > 0 {
-			ep.MeanMs = float64(st.totalNs.Load()) / float64(n) / 1e6
-		}
-		out[pattern] = ep
-	}
-	return out
-}
-
-// --- response helpers ---
-
-// errorResponse is the uniform JSON error body. Code is machine-readable
-// and set for context terminations ("deadline_exceeded",
-// "client_closed_request"); other errors carry only the message.
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// writeCtxError reports a context termination: 408 when the server-side
-// deadline expired, 499 when the client went away (the write is then
-// best-effort, but the status still lands in the endpoint stats).
-// Returns false if err is not a context termination.
-func writeCtxError(w http.ResponseWriter, err error) bool {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusRequestTimeout, errorResponse{
-			Error: "request timed out server-side: " + err.Error(),
-			Code:  "deadline_exceeded",
-		})
-		return true
-	case errors.Is(err, context.Canceled):
-		writeJSON(w, statusClientClosedRequest, errorResponse{
-			Error: "client closed request: " + err.Error(),
-			Code:  "client_closed_request",
-		})
-		return true
-	}
-	return false
-}
-
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	return true
-}
-
-// modelError reports corpus "no model" errors as 404, context
-// terminations as 408/499, and everything else as 422 (the model exists
-// but the operation failed on it).
-func modelError(w http.ResponseWriter, err error) {
-	if errors.Is(err, sbmlcompose.ErrModelNotFound) {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	if writeCtxError(w, err) {
-		return
-	}
-	writeError(w, http.StatusUnprocessableEntity, "%v", err)
-}
-
-// --- typed request/response DTOs ---
-
-type addModelResponse struct {
-	ID         string `json:"id"`
-	Components int    `json:"components"`
-	Models     int    `json:"models"`
-}
-
-type searchRequest struct {
-	SBML     string  `json:"sbml"`
-	TopK     int     `json:"top_k"`
-	Cutoff   float64 `json:"cutoff"`
-	MinScore float64 `json:"min_score"`
-	// Offset/Limit paginate the ranking: the response holds hits
-	// [Offset, Offset+Limit) of the full ranking. Limit takes precedence
-	// over the older TopK field when both are set.
-	Offset int `json:"offset"`
-	Limit  int `json:"limit"`
-}
-
-type searchResponse struct {
-	Hits []sbmlcompose.Hit `json:"hits"`
-	// Offset and Limit echo the effective pagination window; Returned is
-	// len(Hits) for clients paging until a short page.
-	Offset   int     `json:"offset"`
-	Limit    int     `json:"limit"`
-	Returned int     `json:"returned"`
-	TookMs   float64 `json:"took_ms"`
-}
-
-type composeRequest struct {
-	ID   string `json:"id"`
-	SBML string `json:"sbml"`
-}
-
-type composeStats struct {
-	Merged    int `json:"merged"`
-	Added     int `json:"added"`
-	Renamed   int `json:"renamed"`
-	Conflicts int `json:"conflicts"`
-}
-
-type composeResponse struct {
-	SBML     string       `json:"sbml"`
-	Warnings []string     `json:"warnings"`
-	Stats    composeStats `json:"stats"`
-}
-
-type simulateRequest struct {
-	ID        string  `json:"id"`
-	Method    string  `json:"method"` // "ode" (default) or "ssa"
-	T0        float64 `json:"t0"`
-	T1        float64 `json:"t1"`
-	Step      float64 `json:"step"`
-	Seed      int64   `json:"seed"`
-	Adaptive  bool    `json:"adaptive"`
-	Tolerance float64 `json:"tolerance"`
-}
-
-type simulateResponse struct {
-	Names  []string    `json:"names"`
-	Times  []float64   `json:"times"`
-	Values [][]float64 `json:"values"`
-}
-
-type checkRequest struct {
-	ID      string  `json:"id"`
-	Formula string  `json:"formula"`
-	T0      float64 `json:"t0"`
-	T1      float64 `json:"t1"`
-	Step    float64 `json:"step"`
-}
-
-type checkResponse struct {
-	Satisfied bool `json:"satisfied"`
-}
-
-type snapshotResponse struct {
-	Status string                  `json:"status"`
-	Store  sbmlcompose.StoreStatus `json:"store"`
-}
-
-type promoteResponse struct {
-	Status         string `json:"status"`
-	Role           string `json:"role"`
-	LastAppliedSeq uint64 `json:"last_applied_seq"`
-	Epoch          uint64 `json:"epoch,omitempty"`
-	// Warning reports a promotion that succeeded but could not durably
-	// record its epoch bump (the stale-primary guard is weakened until
-	// the disk heals).
-	Warning string `json:"warning,omitempty"`
-}
-
-type healthzResponse struct {
-	Status    string                    `json:"status"`
-	Models    int                       `json:"models"`
-	InFlight  int64                     `json:"in_flight"`
-	UptimeS   float64                   `json:"uptime_s"`
-	Endpoints map[string]endpointReport `json:"endpoints"`
-	// QueryCacheHits counts /v1/search requests answered from the raw-body
-	// compiled-query cache.
-	QueryCacheHits int64                    `json:"query_cache_hits"`
-	Store          *sbmlcompose.StoreStatus `json:"store,omitempty"`
-	// Replication health, reported on every role: a plain primary (or an
-	// in-memory server) shows role "primary" with zero lag; a follower
-	// shows its applied position, lag behind the primary's acknowledged
-	// watermark, and reconnect count, with the full replica detail nested.
-	Role                  string                     `json:"role"`
-	LastAppliedSeq        uint64                     `json:"last_applied_seq"`
-	ReplicationLagRecords uint64                     `json:"replication_lag_records"`
-	Reconnects            uint64                     `json:"reconnects"`
-	Replica               *sbmlcompose.ReplicaStatus `json:"replica,omitempty"`
-}
-
-// --- handlers ---
-
-func (s *server) handleAddModel(w http.ResponseWriter, r *http.Request) {
-	if s.followerMode() {
-		writeReadOnlyError(w)
-		return
-	}
-	m, err := sbmlcompose.ParseModel(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse: %v", err)
-		return
-	}
-	if id := r.URL.Query().Get("id"); id != "" {
-		m.ID = id
-	}
-	id, err := s.corpus.Add(m)
-	if err != nil {
-		if errors.Is(err, sbmlcompose.ErrReplicaReadOnly) {
-			writeReadOnlyError(w)
-			return
-		}
-		status := persistStatus(err)
-		if errors.Is(err, sbmlcompose.ErrDuplicateModel) {
-			status = http.StatusConflict
-		}
-		writeError(w, status, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, addModelResponse{
-		ID:         id,
-		Components: m.ComponentCount(),
-		Models:     s.corpus.Len(),
-	})
-}
-
-func (s *server) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
-	if s.followerMode() {
-		writeReadOnlyError(w)
-		return
-	}
-	id := r.PathValue("id")
-	ok, err := s.corpus.Remove(id)
-	if err != nil {
-		if errors.Is(err, sbmlcompose.ErrReplicaReadOnly) {
-			writeReadOnlyError(w)
-			return
-		}
-		writeError(w, persistStatus(err), "%v", err)
-		return
-	}
-	if !ok {
-		writeError(w, http.StatusNotFound, "corpus: no model %q", id)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// persistStatus maps a mutation error to a status: durable-store failures
-// are server faults (500), everything else is a request fault (422).
-func persistStatus(err error) int {
-	if errors.Is(err, sbmlcompose.ErrPersistFailed) {
-		return http.StatusInternalServerError
-	}
-	return http.StatusUnprocessableEntity
-}
-
-// followerMode reports whether this server is currently an unpromoted
-// replica. Mutation handlers check it before doing any work, so a
-// follower answers every write — even one that would fail validation —
-// with the same 403, leaking nothing about its (possibly stale) state.
-// The store-level ErrReadOnly mapping in the handlers stays as the
-// backstop for races with promotion.
-func (s *server) followerMode() bool {
-	return s.replica != nil && s.replica.Status().Role == "follower"
-}
-
-// writeReadOnlyError answers a mutation attempted on a follower: 403 with
-// the machine-readable "read_only" code, so clients can distinguish the
-// graceful-degradation rejection from a real authorization failure and
-// retry against the primary (or after promotion).
-func writeReadOnlyError(w http.ResponseWriter) {
-	writeJSON(w, http.StatusForbidden, errorResponse{
-		Error: "this node is a read-only replica; send writes to the primary or promote this node",
-		Code:  "read_only",
-	})
-}
-
-// setLagHeader stamps follower read responses with the replication lag in
-// sequence numbers (X-Replica-Lag-Seq), the staleness bound for the data
-// about to be served. Primaries and in-memory servers add nothing.
-func (s *server) setLagHeader(w http.ResponseWriter) {
-	if s.replica == nil {
-		return
-	}
-	st := s.replica.Status()
-	if st.Role != "follower" {
-		return
-	}
-	w.Header().Set("X-Replica-Lag-Seq", fmt.Sprintf("%d", st.LagRecords))
-}
-
-// handlePromote stops replication and lifts the read-only gate — the
-// failover lever. Idempotent: promoting an already promoted node answers
-// 200 again; a server that never was a replica answers 409.
-func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
-	if s.replica == nil {
-		writeError(w, http.StatusConflict, "this server is not a replica; nothing to promote")
-		return
-	}
-	perr := s.replica.Promote()
-	st := s.replica.Status()
-	log.Printf("sbmlserved: promoted to primary at seq %d, epoch %d (was following %s)", st.LastAppliedSeq, st.Epoch, st.PrimaryURL)
-	resp := promoteResponse{
-		Status:         "ok",
-		Role:           st.Role,
-		LastAppliedSeq: st.LastAppliedSeq,
-		Epoch:          st.Epoch,
-	}
-	if perr != nil {
-		// The node is promoted and serving; only the epoch bump's
-		// persistence failed. Surface it rather than failing the failover.
-		resp.Warning = perr.Error()
-		log.Printf("sbmlserved: promote: %v", perr)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	s.setLagHeader(w)
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "read request body: %v", err)
-		return
-	}
-	req, cq, ok := s.searchQuery(w, body)
-	if !ok {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	limit := req.TopK
-	if req.Limit > 0 {
-		limit = req.Limit
-	}
-	t0 := time.Now()
-	hits, err := s.corpus.SearchCompiledContext(ctx, cq, sbmlcompose.SearchOptions{
-		TopK: limit, Offset: req.Offset, Cutoff: req.Cutoff, MinScore: req.MinScore,
-	})
-	if err != nil {
-		if writeCtxError(w, err) {
-			return
-		}
-		writeError(w, http.StatusUnprocessableEntity, "search: %v", err)
-		return
-	}
-	if hits == nil {
-		hits = []sbmlcompose.Hit{}
-	}
-	offset := req.Offset
-	if offset < 0 {
-		offset = 0
-	}
-	if limit == 0 {
-		limit = 5 // the SearchOptions.TopK default the corpus applied
-	}
-	writeJSON(w, http.StatusOK, searchResponse{
-		Hits:     hits,
-		Offset:   offset,
-		Limit:    limit,
-		Returned: len(hits),
-		TookMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
-	})
-}
-
-// searchQuery resolves a raw /v1/search body to its decoded request and
-// compiled query, through the raw-body cache when one is configured. On
-// a hit the body is never JSON-decoded, the SBML never parsed, the match
-// keys never rederived; rankings still run fresh per request, so cached
-// and uncached responses are identical. Only fully successful
-// decode+parse+compile chains are cached — a body that produced a 4xx
-// re-earns its error every time — and oversized bodies bypass the cache
-// rather than evict a working set. On failure the response has been
-// written and ok is false.
-func (s *server) searchQuery(w http.ResponseWriter, body []byte) (req searchRequest, cq *sbmlcompose.CompiledQuery, ok bool) {
-	cacheable := s.searchCache != nil && len(body) <= searchCacheMaxBody
-	if cacheable {
-		if hit, found := s.searchCache.Get(string(body)); found {
-			s.searchCacheHits.Add(1)
-			return hit.req, hit.cq, true
-		}
-	}
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return req, nil, false
-	}
-	query, err := sbmlcompose.ParseModelString(req.SBML)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse query: %v", err)
-		return req, nil, false
-	}
-	cq, err = s.corpus.CompileQuery(query)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "search: %v", err)
-		return req, nil, false
-	}
-	if cacheable {
-		s.searchCache.Put(string(body), cachedSearch{req: req, cq: cq})
-	}
-	return req, cq, true
-}
-
-func (s *server) handleCompose(w http.ResponseWriter, r *http.Request) {
-	s.setLagHeader(w)
-	var req composeRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	query, err := sbmlcompose.ParseModelString(req.SBML)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse query: %v", err)
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	res, err := s.corpus.ComposeWithContext(ctx, req.ID, query)
-	if err != nil {
-		modelError(w, err)
-		return
-	}
-	warnings := make([]string, len(res.Warnings))
-	for i, warn := range res.Warnings {
-		warnings[i] = warn.String()
-	}
-	writeJSON(w, http.StatusOK, composeResponse{
-		SBML:     sbmlcompose.ModelToString(res.Model),
-		Warnings: warnings,
-		Stats: composeStats{
-			Merged:    res.Stats.Merged,
-			Added:     res.Stats.Added,
-			Renamed:   res.Stats.Renamed,
-			Conflicts: res.Stats.Conflicts,
-		},
-	})
-}
-
-func (r simulateRequest) simOptions() sbmlcompose.SimOptions {
-	return sbmlcompose.SimOptions{
-		T0: r.T0, T1: r.T1, Step: r.Step, Seed: r.Seed,
-		Adaptive: r.Adaptive, Tolerance: r.Tolerance,
-	}
-}
-
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.setLagHeader(w)
-	var req simulateRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	var (
-		tr  *sbmlcompose.Trace
-		err error
-	)
-	switch req.Method {
-	case "", "ode":
-		tr, err = s.corpus.SimulateODEContext(ctx, req.ID, req.simOptions())
-	case "ssa":
-		tr, err = s.corpus.SimulateSSAContext(ctx, req.ID, req.simOptions())
-	default:
-		writeError(w, http.StatusBadRequest, "method must be \"ode\" or \"ssa\"")
-		return
-	}
-	if err != nil {
-		modelError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, simulateResponse{
-		Names:  tr.Names,
-		Times:  tr.Times,
-		Values: tr.Values,
-	})
-}
-
-func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	s.setLagHeader(w)
-	var req checkRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	sat, err := s.corpus.CheckPropertyContext(ctx, req.ID, req.Formula, sbmlcompose.SimOptions{
-		T0: req.T0, T1: req.T1, Step: req.Step,
-	})
-	if err != nil {
-		modelError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, checkResponse{Satisfied: sat})
-}
-
-// handleSnapshot forces a snapshot + WAL compaction: the admin lever for
-// bounding recovery time before a planned restart. Failures are server
-// faults (500) carrying the store error detail. The snapshot honors the
-// request context too — an impatient admin's Ctrl-C abandons the dump
-// between models rather than writing a snapshot nobody waits for.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
-		writeError(w, http.StatusConflict, "server is running without -data; nothing to snapshot")
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	if err := s.store.SnapshotContext(ctx); err != nil {
-		if writeCtxError(w, err) {
-			return
-		}
-		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, snapshotResponse{Status: "ok", Store: s.store.Status()})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	payload := healthzResponse{
-		Status:         "ok",
-		Models:         s.corpus.Len(),
-		InFlight:       s.inFlight.Load(),
-		UptimeS:        time.Since(s.start).Seconds(),
-		Endpoints:      s.endpointReport(),
-		QueryCacheHits: s.searchCacheHits.Load(),
-		Role:           "primary",
-	}
-	if s.store != nil {
-		st := s.store.Status()
-		payload.Store = &st
-		payload.LastAppliedSeq = st.LastSeq
-	}
-	if s.replica != nil {
-		rs := s.replica.Status()
-		payload.Role = rs.Role
-		payload.LastAppliedSeq = rs.LastAppliedSeq
-		payload.ReplicationLagRecords = rs.LagRecords
-		payload.Reconnects = rs.Reconnects
-		payload.Replica = &rs
-	}
-	writeJSON(w, http.StatusOK, payload)
 }

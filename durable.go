@@ -61,8 +61,20 @@ type Replica = store.Replica
 type ReplicaOptions = store.ReplicaOptions
 
 // ReplicaStatus is a point-in-time replication health view (role, last
-// applied sequence, lag in records, reconnect count).
+// applied sequence, lag in records and bytes, staleness ages in seconds,
+// reconnect count).
 type ReplicaStatus = store.ReplicaStatus
+
+// StoreMetrics carries the store's durability instruments (WAL append
+// and fsync latency, group-commit batch sizes, snapshot duration); pass
+// one via StoreOptions.Metrics to wire a store into a metrics registry.
+// A nil StoreMetrics (the default) keeps the store entirely uninstrumented.
+type StoreMetrics = store.Metrics
+
+// ReplicaMetrics carries the follower-side replication instruments
+// (chunk fetch/verify/apply timings, reconnects, snapshot resyncs);
+// pass one via ReplicaOptions.Metrics.
+type ReplicaMetrics = store.ReplicaMetrics
 
 // ErrLogCompacted reports that a replication tail read asked for records
 // at or below the primary's compaction horizon; the follower bootstraps

@@ -33,6 +33,7 @@ import (
 
 	"sbmlcompose/internal/core"
 	"sbmlcompose/internal/mc2"
+	"sbmlcompose/internal/obs"
 	"sbmlcompose/internal/sbml"
 	"sbmlcompose/internal/sim"
 	"sbmlcompose/internal/trace"
@@ -562,7 +563,10 @@ func (c *Corpus) ComposeWithContext(ctx context.Context, id string, query *sbml.
 	if err != nil {
 		return nil, err
 	}
-	return core.ComposeContext(ctx, cm.Model(), query, c.opts.Match)
+	sp := obs.FromContext(ctx).Start("compose")
+	res, err := core.ComposeContext(ctx, cm.Model(), query, c.opts.Match)
+	sp.End()
+	return res, err
 }
 
 // SimulateODE integrates a stored model on its cached engine.
@@ -581,7 +585,10 @@ func (c *Corpus) SimulateODEContext(ctx context.Context, id string, opts sim.Opt
 	if err != nil {
 		return nil, err
 	}
-	return eng.ODECtx(ctx, opts)
+	sp := obs.FromContext(ctx).Start("simulate")
+	tr, err := eng.ODECtx(ctx, opts)
+	sp.End()
+	return tr, err
 }
 
 // SimulateSSA runs Gillespie's direct method on a stored model's cached
@@ -601,7 +608,10 @@ func (c *Corpus) SimulateSSAContext(ctx context.Context, id string, opts sim.Opt
 	if err != nil {
 		return nil, err
 	}
-	return eng.SSACtx(ctx, opts)
+	sp := obs.FromContext(ctx).Start("simulate")
+	tr, err := eng.SSACtx(ctx, opts)
+	sp.End()
+	return tr, err
 }
 
 // CheckProperty evaluates a temporal-logic formula (mc2 syntax) over a
@@ -625,10 +635,13 @@ func (c *Corpus) CheckPropertyContext(ctx context.Context, id string, formula st
 	if err != nil {
 		return false, err
 	}
+	sp := obs.FromContext(ctx).Start("simulate")
 	tr, err := eng.ODECtx(ctx, opts)
+	sp.End()
 	if err != nil {
 		return false, err
 	}
+	defer obs.FromContext(ctx).Start("check").End()
 	return mc2.Check(tr, f)
 }
 
@@ -728,7 +741,9 @@ func (c *Corpus) SearchContext(ctx context.Context, query *sbml.Model, opts Sear
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.FromContext(ctx).Start("compile")
 	qkeys, denom, err := c.compileQuery(query)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -751,6 +766,7 @@ func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int,
 	// its postings share with the query. The per-model cell set is the
 	// union over all shards of that model's postings, so shard layout
 	// cannot influence it.
+	retrieveSpan := obs.FromContext(ctx).Start("retrieve")
 	cells := make(map[string]*candidate)
 	for _, sh := range c.shards {
 		if err := ctx.Err(); err != nil {
@@ -778,6 +794,7 @@ func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int,
 		}
 		sh.mu.RUnlock()
 	}
+	retrieveSpan.End()
 	if len(cells) == 0 {
 		return nil, nil
 	}
@@ -787,6 +804,7 @@ func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int,
 	// each score depends only on the candidate's own cells. Workers check
 	// ctx between candidates and bail early when it fires; the partial
 	// hits slice is then discarded.
+	scoreSpan := obs.FromContext(ctx).Start("score")
 	cands := make([]*candidate, 0, len(cells))
 	for _, cand := range cells {
 		cands = append(cands, cand)
@@ -811,6 +829,7 @@ func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int,
 		}(w)
 	}
 	wg.Wait()
+	scoreSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -819,6 +838,7 @@ func (c *Corpus) rank(ctx context.Context, qkeys []core.ComponentKey, denom int,
 	// score then id, then cut the pagination window out of the full
 	// ranking — Offset models skipped here, inside the merge, so a page is
 	// exactly the corresponding slice of the unpaginated ranking.
+	defer obs.FromContext(ctx).Start("merge").End()
 	ranked := hits[:0]
 	for _, h := range hits {
 		if h.Matched == 0 || h.Score < opts.MinScore {

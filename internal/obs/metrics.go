@@ -1,0 +1,331 @@
+// Package obs is a dependency-free metrics and tracing layer for the
+// serving stack: atomic counters and gauges, fixed-bucket mergeable
+// latency histograms, a registry with Prometheus text exposition, and a
+// lightweight span API carried via context. Every type is nil-safe —
+// calling methods on a nil metric or trace is a no-op — so library
+// packages (corpus, store, sim) can be instrumented unconditionally and
+// pay nothing when no server wires a registry in.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter ignores all operations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer value that can go up and down (in-flight requests,
+// replication lag). The zero value is ready; nil ignores all operations.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets with configured upper
+// bounds plus an implicit +Inf overflow bucket, and tracks the running sum
+// and maximum. All methods are safe for concurrent use and nil-safe.
+// Quantiles are estimated by linear interpolation inside the bucket that
+// holds the target rank, so the error is bounded by the bucket width.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds (inclusive)
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	maxBits atomic.Uint64 // float64 bits, CAS-maximized
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds,
+// which must be non-empty and strictly increasing. An observation v lands
+// in the first bucket with v <= bound, or the +Inf overflow bucket.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("obs: bucket bound %d is NaN", i)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: bucket bounds not strictly increasing at %d (%g <= %g)", i, b, bounds[i-1])
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// MustHistogram is NewHistogram that panics on invalid bounds; for
+// package-level bucket layouts that are fixed at compile time.
+func MustHistogram(bounds []float64) *Histogram {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bucket whose bound >= v; len(bounds) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	// Max tracking: the zero value doubles as "empty", which is only
+	// sound for non-negative observations (all we record: latencies,
+	// sizes, counts).
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the running sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observed value, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Mean returns the arithmetic mean of observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// snapshot copies the per-bucket counts. Concurrent observers may land
+// between loads; the snapshot is internally consistent enough for
+// monitoring (counts never decrease).
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// The lower edge of the first bucket is taken as 0 for non-negative
+// layouts (bounds[0] >= 0), else the first bound itself. Observations in
+// the +Inf bucket clamp to the highest finite bound or the observed max,
+// whichever is larger. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			if m := h.Max(); m > h.bounds[len(h.bounds)-1] {
+				return m
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		} else if h.bounds[0] < 0 {
+			lo = h.bounds[0]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - prev) / float64(c)
+		v := lo + (hi-lo)*frac
+		if m := h.Max(); m > 0 && v > m {
+			// Never report a quantile above the observed maximum.
+			v = m
+		}
+		return v
+	}
+	return h.Max()
+}
+
+// Merge adds other's observations into h. Both histograms must share the
+// exact same bucket bounds; merging is associative and commutative up to
+// floating-point addition order in the sum.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h == nil || other == nil {
+		return fmt.Errorf("obs: cannot merge nil histogram")
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: merge bucket count mismatch: %d vs %d", len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("obs: merge bucket bound mismatch at %d: %g vs %g", i, h.bounds[i], other.bounds[i])
+		}
+	}
+	var n uint64
+	for i := range other.counts {
+		c := other.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		h.counts[i].Add(c)
+		n += c
+	}
+	h.total.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + other.Sum())
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if om := other.Max(); om > 0 {
+		for {
+			old := h.maxBits.Load()
+			if math.Float64frombits(old) >= om {
+				break
+			}
+			if h.maxBits.CompareAndSwap(old, math.Float64bits(om)) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// LatencyBuckets is the default bucket layout for request and stage
+// latencies in seconds: 100µs up to 10s, roughly 2.5x apart, matching the
+// spread between a cached in-memory lookup and a pathological tail.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor
+// times the previous. start must be positive and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

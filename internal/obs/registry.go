@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKind discriminates what a registered series reads from.
+type seriesKind int
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type series struct {
+	labels  []Label
+	key     string // canonical rendered label set, for dedup
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   seriesKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds named metric families and renders them in the Prometheus
+// text exposition format. Families and series appear in registration
+// order. A nil *Registry hands out nil metrics, so an unwired component
+// instruments itself for free.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// getOrAdd finds or creates the series for (name, labels) within a family
+// of the given kind, calling mk to build a fresh series body.
+func (r *Registry) getOrAdd(name, help string, kind seriesKind, labels []Label, mk func(*series)) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.fams = append(r.fams, fam)
+		r.byName[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+	}
+	key := labelKey(labels)
+	if s := fam.byKey[key]; s != nil {
+		return s
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: key}
+	mk(s)
+	fam.series = append(fam.series, s)
+	fam.byKey[key] = s
+	return s
+}
+
+// Counter registers (or returns the existing) counter series.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrAdd(name, help, kindCounter, labels, func(s *series) {
+		s.counter = &Counter{}
+	})
+	return s.counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrAdd(name, help, kindGauge, labels, func(s *series) {
+		s.gauge = &Gauge{}
+	})
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series whose value is computed by fn at
+// scrape time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.getOrAdd(name, help, kindGaugeFunc, labels, func(s *series) {
+		s.fn = fn
+	})
+}
+
+// Histogram registers (or returns the existing) histogram series over the
+// given bucket bounds. Panics if bounds are invalid — bucket layouts are
+// compile-time constants in this codebase.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrAdd(name, help, kindHistogram, labels, func(s *series) {
+		s.hist = MustHistogram(bounds)
+	})
+	return s.hist
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one sample line per series — histograms expand to cumulative
+// _bucket{le=...} lines plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	// Copy the family/series structure so rendering (which calls user
+	// GaugeFunc hooks) happens outside the registry lock.
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		typ := "counter"
+		switch fam.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		b.WriteString("# HELP ")
+		b.WriteString(fam.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(fam.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(fam.name)
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		b.WriteByte('\n')
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				b.WriteString(fam.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.counter.Value(), 10))
+				b.WriteByte('\n')
+			case kindGauge:
+				b.WriteString(fam.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.gauge.Value(), 10))
+				b.WriteByte('\n')
+			case kindGaugeFunc:
+				b.WriteString(fam.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.fn()))
+				b.WriteByte('\n')
+			case kindHistogram:
+				writeHistogram(&b, fam.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	counts := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.labels, L("le", le))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNilIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Counter("x", "h") != nil || r.Gauge("x", "h") != nil || r.Histogram("x", "h", []float64{1}) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Fatal("nil registry must render nothing")
+	}
+}
+
+func TestRegistryDedupAndTypes(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests", L("route", "search"))
+	c2 := r.Counter("reqs_total", "requests", L("route", "search"))
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c3 := r.Counter("reqs_total", "requests", L("route", "compose"))
+	if c1 == c3 {
+		t.Fatal("different labels must return a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a name with a different type must panic")
+		}
+	}()
+	r.Gauge("reqs_total", "requests")
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_requests_total", "Requests served.", L("route", "search")).Add(3)
+	r.Counter("http_requests_total", "Requests served.", L("route", "compose")).Add(1)
+	r.Gauge("inflight", "In-flight requests.").Set(2)
+	r.GaugeFunc("lag_seconds", "Replication lag.", func() float64 { return 1.5 })
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1}, L("route", "search"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP http_requests_total Requests served.\n",
+		"# TYPE http_requests_total counter\n",
+		`http_requests_total{route="search"} 3` + "\n",
+		`http_requests_total{route="compose"} 1` + "\n",
+		"# TYPE inflight gauge\n",
+		"inflight 2\n",
+		"# TYPE lag_seconds gauge\n",
+		"lag_seconds 1.5\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{route="search",le="0.1"} 1` + "\n",
+		`latency_seconds_bucket{route="search",le="1"} 2` + "\n",
+		`latency_seconds_bucket{route="search",le="+Inf"} 3` + "\n",
+		`latency_seconds_sum{route="search"} 2.55` + "\n",
+		`latency_seconds_count{route="search"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, out)
+		}
+	}
+
+	// Families render in registration order; +Inf bucket count equals
+	// the _count sample.
+	if strings.Index(out, "http_requests_total") > strings.Index(out, "inflight") {
+		t.Fatal("families must render in registration order")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", `help with \ and`+"\nnewline", L("q", `va"l\ue`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP weird_total help with \\ and\nnewline`) {
+		t.Fatalf("HELP not escaped: %q", out)
+	}
+	if !strings.Contains(out, `weird_total{q="va\"l\\ue\n"} 1`) {
+		t.Fatalf("label value not escaped: %q", out)
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage is one completed span inside a Trace: a named pipeline stage and
+// how long it took.
+type Stage struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Trace collects the per-stage timings of one request. A nil *Trace is a
+// valid no-op: Start returns an inert Span, Stages returns nil. Library
+// code therefore calls FromContext(ctx).Start("stage") unconditionally;
+// the cost on an untraced context is a map-free ctx.Value lookup and
+// nothing else.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Start opens a span for the named stage. Close it with End to record
+// the elapsed time into the trace.
+func (t *Trace) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// add appends a completed stage. Safe for concurrent spans (e.g. stages
+// measured on different goroutines of the same request).
+func (t *Trace) add(s Stage) {
+	t.mu.Lock()
+	t.stages = append(t.stages, s)
+	t.mu.Unlock()
+}
+
+// Stages returns the completed stages in End order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// Breakdown renders the completed stages as "name=dur name=dur ..." with
+// stages in End order, for slow-request log lines. Empty string when the
+// trace is nil or recorded nothing.
+func (t *Trace) Breakdown() string {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString(s.Duration.Round(time.Microsecond).String())
+	}
+	return b.String()
+}
+
+// StageDurations sums the recorded durations per stage name, sorted by
+// name, for feeding per-stage histograms after the request completes.
+func (t *Trace) StageDurations() []Stage {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return nil
+	}
+	byName := make(map[string]*Stage, len(stages))
+	order := make([]string, 0, len(stages))
+	for _, s := range stages {
+		if agg, ok := byName[s.Name]; ok {
+			agg.Duration += s.Duration
+			continue
+		}
+		cp := s
+		byName[s.Name] = &cp
+		order = append(order, s.Name)
+	}
+	sort.Strings(order)
+	out := make([]Stage, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// Span is an open stage measurement. The zero value (from a nil trace)
+// is inert: End does nothing.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End records the elapsed time since Start into the trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.add(Stage{Name: s.name, Start: s.start, Duration: time.Since(s.start)})
+}
+
+// ctxKey is the context key for the request trace. A zero-size key keeps
+// ctx.Value lookups allocation-free.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. Nil is a valid
+// receiver for every Trace method, so callers chain without checking:
+//
+//	defer obs.FromContext(ctx).Start("compile").End()
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

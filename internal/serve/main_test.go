@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -13,7 +13,7 @@ import (
 	"sbmlcompose/internal/biomodels"
 )
 
-func testServer() *server {
+func testServer() *Server {
 	return newServer(sbmlcompose.NewCorpus(&sbmlcompose.CorpusOptions{Shards: 2, Workers: 2}))
 }
 

@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Tests for the /v1 surface added by the context-aware API redesign:
 // legacy-route redirects, pagination inside the ranking merge, the

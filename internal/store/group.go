@@ -35,6 +35,10 @@ import "time"
 type groupWaiter struct {
 	ch  chan error
 	seq uint64
+	// records counts the WAL records this waiter's append wrote (1 for a
+	// single append, len(recs) for a batch) — the unit the group-commit
+	// batch-size histogram sums over.
+	records int
 }
 
 // groupLoop waits for the kick that follows each group append, gathers
@@ -124,6 +128,13 @@ func (s *Store) resolveGroup(w *walWriter, waiters []groupWaiter) {
 			s.advanceAckedLocked(gw.seq)
 		}
 		s.mu.Unlock()
+		if m := s.opts.Metrics; m != nil {
+			var n int
+			for _, gw := range waiters {
+				n += gw.records
+			}
+			m.GroupBatchRecords.Observe(float64(n))
+		}
 		for _, gw := range waiters {
 			gw.ch <- nil
 		}

@@ -59,6 +59,9 @@ type ReplicaOptions struct {
 	// (with jitter) between failed attempts; they default to 100ms and 5s.
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
+	// Metrics, when non-nil, receives replication instrumentation
+	// (metrics.go); nil costs nothing.
+	Metrics *ReplicaMetrics
 }
 
 func (o ReplicaOptions) withDefaults() (ReplicaOptions, error) {
@@ -101,6 +104,21 @@ type ReplicaStatus struct {
 	LastAppliedSeq  uint64 `json:"last_applied_seq"`
 	PrimaryAckedSeq uint64 `json:"primary_acked_seq"`
 	LagRecords      uint64 `json:"replication_lag_records"`
+	// LagBytes is the primary's estimate (shipped with each feed
+	// response) of acknowledged WAL bytes not yet delivered to this
+	// follower — an upper bound: it can include a not-yet-acknowledged
+	// group-commit tail, and like PrimaryAckedSeq it is last-contact
+	// data, frozen while the primary is unreachable. 0 when caught up.
+	LagBytes uint64 `json:"replication_lag_bytes"`
+	// SecondsSinceLastApply is the age of the last applied record batch
+	// (or of replica start, before any apply); SecondsSinceLastContact
+	// the age of the last successful primary contact. Unlike the lag
+	// fields these keep growing while the primary is unreachable, which
+	// makes them the staleness signal to alert on — read together with
+	// LagRecords, since an idle-but-connected feed also ages the apply
+	// clock.
+	SecondsSinceLastApply   float64 `json:"seconds_since_last_apply"`
+	SecondsSinceLastContact float64 `json:"seconds_since_last_contact"`
 	// Connected reports that the most recent feed request succeeded;
 	// Reconnects counts how many times contact was re-established after
 	// at least one failure.
@@ -134,6 +152,10 @@ type Replica struct {
 	st          ReplicaStatus
 	failedSince bool // a failure happened since the last success
 	stopped     bool
+	// lastApply is when the last chunk (or snapshot image) landed;
+	// initialized to the start time so the staleness clock ticks from
+	// the replica's birth even before first contact.
+	lastApply time.Time
 }
 
 // errFeedCompacted is the fetch loop's internal signal that the primary
@@ -163,6 +185,7 @@ func StartReplica(s *Store, opts ReplicaOptions) (*Replica, error) {
 			LastAppliedSeq:  s.LastSeq(),
 			PrimaryAckedSeq: s.LastSeq(),
 		},
+		lastApply: time.Now(),
 	}
 	go r.run(ctx)
 	return r, nil
@@ -179,7 +202,14 @@ func (r *Replica) Status() ReplicaStatus {
 		st.LagRecords = st.PrimaryAckedSeq - st.LastAppliedSeq
 	} else {
 		st.LagRecords = 0
+		st.LagBytes = 0
 	}
+	st.SecondsSinceLastApply = time.Since(r.lastApply).Seconds()
+	contact := r.lastApply
+	if !r.st.LastContact.IsZero() {
+		contact = r.st.LastContact
+	}
+	st.SecondsSinceLastContact = time.Since(contact).Seconds()
 	return st
 }
 
@@ -268,8 +298,9 @@ func (r *Replica) noteFailure(err error) {
 	r.mu.Unlock()
 }
 
-// noteSuccess records a successful contact (and the primary's watermark).
-func (r *Replica) noteSuccess(acked uint64) {
+// noteSuccess records a successful contact: the primary's acknowledged
+// watermark and its estimate of the bytes still owed to this follower.
+func (r *Replica) noteSuccess(acked, lagBytes uint64) {
 	r.mu.Lock()
 	r.st.Connected = true
 	r.st.LastError = ""
@@ -277,9 +308,13 @@ func (r *Replica) noteSuccess(acked uint64) {
 	if acked > r.st.PrimaryAckedSeq {
 		r.st.PrimaryAckedSeq = acked
 	}
+	r.st.LagBytes = lagBytes
 	if r.failedSince {
 		r.failedSince = false
 		r.st.Reconnects++
+		if m := r.opts.Metrics; m != nil {
+			m.Reconnects.Inc()
+		}
 	}
 	r.mu.Unlock()
 }
@@ -290,6 +325,7 @@ func (r *Replica) noteSuccess(acked uint64) {
 // applied store always resumes from truth.
 func (r *Replica) pullOnce(ctx context.Context) error {
 	from := r.s.LastSeq()
+	fetchStart := time.Now()
 	waitMS := int(r.opts.PollWait / time.Millisecond)
 	url := fmt.Sprintf("%s/v1/replicate?from=%d&max_bytes=%d&wait_ms=%d",
 		r.opts.PrimaryURL, from, r.opts.MaxBatchBytes, waitMS)
@@ -322,6 +358,7 @@ func (r *Replica) pullOnce(ctx context.Context) error {
 		return err
 	}
 	acked, _ := strconv.ParseUint(resp.Header.Get(hdrReplicationAcked), 10, 64)
+	lagBytes, _ := strconv.ParseUint(resp.Header.Get(hdrReplicationLagBytes), 10, 64)
 	// Size the read cap to the protocol's true maximum — one chunk is at
 	// most max_bytes of frames plus a single frame, and a frame payload is
 	// bounded by walMaxRecord — never to a guess. A cap below the largest
@@ -346,7 +383,10 @@ func (r *Replica) pullOnce(ctx context.Context) error {
 		// nothing and say so rather than silently retrying a truncation.
 		return fmt.Errorf("replicate fetch: body exceeds the %d-byte protocol maximum; refusing truncated chunk", limit)
 	}
-	r.noteSuccess(acked)
+	if m := r.opts.Metrics; m != nil && len(frames) > 0 {
+		m.FetchSeconds.Observe(time.Since(fetchStart).Seconds())
+	}
+	r.noteSuccess(acked, lagBytes)
 	return r.applyFrames(frames, from)
 }
 
@@ -376,6 +416,7 @@ func (r *Replica) applyFrames(frames []byte, from uint64) error {
 	var recs []walRecord
 	off := int64(0)
 	size := int64(len(frames))
+	verifyStart := time.Now()
 	var damaged error
 	for off < size {
 		payload, end, ok := nextFrame(frames, off)
@@ -401,6 +442,9 @@ func (r *Replica) applyFrames(frames []byte, from uint64) error {
 		recs = append(recs, rec)
 		off = end
 	}
+	if m := r.opts.Metrics; m != nil && size > 0 {
+		m.VerifySeconds.Observe(time.Since(verifyStart).Seconds())
+	}
 	if err := r.applyRecords(recs); err != nil {
 		return err
 	}
@@ -415,6 +459,7 @@ func (r *Replica) applyRecords(recs []walRecord) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	applyStart := time.Now()
 	var jobs []parseJob
 	for _, rec := range recs {
 		if rec.op == opAdd {
@@ -448,8 +493,12 @@ func (r *Replica) applyRecords(recs []walRecord) error {
 	if err := r.s.c.ApplyBatch(ops); err != nil {
 		return err
 	}
+	if m := r.opts.Metrics; m != nil {
+		m.ApplySeconds.Observe(time.Since(applyStart).Seconds())
+	}
 	r.mu.Lock()
 	r.st.LastAppliedSeq = recs[len(recs)-1].seq
+	r.lastApply = time.Now()
 	r.mu.Unlock()
 	return nil
 }
@@ -487,10 +536,14 @@ func (r *Replica) resync(ctx context.Context) error {
 		return err
 	}
 	seq, _ := strconv.ParseUint(resp.Header.Get(hdrReplicationSnapSeq), 10, 64)
-	r.noteSuccess(seq)
+	r.noteSuccess(seq, 0)
+	if m := r.opts.Metrics; m != nil {
+		m.SnapshotResyncs.Inc()
+	}
 	r.mu.Lock()
 	r.st.SnapshotResyncs++
 	r.st.LastAppliedSeq = r.s.LastSeq()
+	r.lastApply = time.Now()
 	r.mu.Unlock()
 	return nil
 }

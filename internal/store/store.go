@@ -143,6 +143,9 @@ type Options struct {
 	// (used by crash harnesses and recovery benchmarks that need the raw
 	// WAL to survive).
 	NoSnapshotOnClose bool
+	// Metrics, when non-nil, receives durability instrumentation
+	// (metrics.go); nil costs nothing.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -435,6 +438,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		syncDir(dir)
 	}
+	s.wal.metrics = opts.Metrics
 
 	// Apply the WAL tail in record order. The adds' parse work runs in
 	// parallel first; the apply itself stays sequential because removes
@@ -557,6 +561,10 @@ func (s *Store) PersistRemove(id string) error {
 }
 
 func (s *Store) appendRecord(rec walRecord, op string) error {
+	if m := s.opts.Metrics; m != nil {
+		t0 := time.Now()
+		defer func() { m.AppendSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	group := s.opts.Fsync == FsyncGroup
 	s.mu.Lock()
 	if s.closed || (group && s.closing) {
@@ -601,7 +609,7 @@ func (s *Store) appendRecord(rec walRecord, op string) error {
 	// holding its bytes — then block until an fsync covers it (or fails;
 	// then the record has been rolled back and the mutation must abort).
 	done := make(chan error, 1)
-	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: rec.seq})
+	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: rec.seq, records: 1})
 	s.groupBytes += int64(walFrameLen + len(payload))
 	s.mu.Unlock()
 	select {
@@ -650,6 +658,10 @@ type BatchRecord struct {
 func (s *Store) AppendBatch(recs []BatchRecord) error {
 	if len(recs) == 0 {
 		return nil
+	}
+	if m := s.opts.Metrics; m != nil {
+		t0 := time.Now()
+		defer func() { m.AppendSeconds.Observe(time.Since(t0).Seconds()) }()
 	}
 	group := s.opts.Fsync == FsyncGroup
 	s.mu.Lock()
@@ -704,7 +716,7 @@ func (s *Store) AppendBatch(recs []BatchRecord) error {
 		return nil
 	}
 	done := make(chan error, 1)
-	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: last})
+	s.groupWaiters = append(s.groupWaiters, groupWaiter{ch: done, seq: last, records: len(recs)})
 	s.groupBytes += int64(len(frames))
 	s.mu.Unlock()
 	select {
@@ -747,6 +759,7 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	snapStart := time.Now()
 
 	// Rotate: new appends go to a fresh segment so the snapshot write
 	// happens without holding any corpus or WAL lock. Under FsyncGroup the
@@ -776,6 +789,7 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 		}
 		return fmt.Errorf("store: snapshot rotate: %w", err)
 	}
+	w.metrics = s.opts.Metrics
 	old := s.wal
 	s.wal = w
 	s.gen = newGen
@@ -856,6 +870,9 @@ func (s *Store) SnapshotContext(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.snapshots.Add(1)
+	if m := s.opts.Metrics; m != nil {
+		m.SnapshotSeconds.Observe(time.Since(snapStart).Seconds())
+	}
 	return nil
 }
 

@@ -54,6 +54,12 @@ type TailBatch struct {
 	FirstSeq uint64
 	LastSeq  uint64
 	AckedSeq uint64
+	// LagBytes estimates the WAL bytes still owed past this batch — what
+	// remains when the scan stops at maxBytes. It is an upper bound: the
+	// remainder is sized from the segment files, which can include a
+	// written-but-unacknowledged group-commit tail. 0 when the batch
+	// reached the acknowledged tip.
+	LagBytes int64
 }
 
 // ReadTail returns acknowledged WAL records with seq in (from, ackedSeq],
@@ -161,7 +167,7 @@ func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error)
 	if err != nil {
 		return tb, err
 	}
-	for _, path := range segs {
+	for si, path := range segs {
 		gen, err := segmentGen(path)
 		if err != nil {
 			return tb, err
@@ -198,6 +204,19 @@ func (s *Store) collectTail(from, acked uint64, maxBytes int) (TailBatch, error)
 			}
 			if rec.seq > from {
 				if tb.Records > 0 && len(tb.Frames)+int(end-off) > maxBytes {
+					// Batch full with acked records still unread: size the
+					// remainder (rest of this segment plus every later one)
+					// so the follower can report lag in bytes. The tail of
+					// the live segment may hold unacknowledged records too,
+					// which makes this an upper bound.
+					tb.LagBytes = int64(len(data)) - off
+					for _, later := range segs[si+1:] {
+						if fi, serr := os.Stat(later); serr == nil {
+							if sz := fi.Size() - int64(len(walMagic)); sz > 0 {
+								tb.LagBytes += sz
+							}
+						}
+					}
 					save()
 					return tb, nil
 				}
@@ -340,6 +359,7 @@ func (s *Store) ApplySnapshotImage(image []byte) error {
 		}
 		return fmt.Errorf("store: apply snapshot image: rotate: %w", err)
 	}
+	w.metrics = s.opts.Metrics
 	old := s.wal
 	s.wal = w
 	s.gen = newGen
@@ -421,10 +441,11 @@ func writeReplicateError(w http.ResponseWriter, status int, code, msg string) {
 
 // Feed header and query-parameter names, shared by primary and follower.
 const (
-	hdrReplicationAcked   = "X-Replication-Acked-Seq"
-	hdrReplicationFirst   = "X-Replication-First-Seq"
-	hdrReplicationLast    = "X-Replication-Last-Seq"
-	hdrReplicationSnapSeq = "X-Replication-Snapshot-Seq"
+	hdrReplicationAcked    = "X-Replication-Acked-Seq"
+	hdrReplicationLagBytes = "X-Replication-Lag-Bytes"
+	hdrReplicationFirst    = "X-Replication-First-Seq"
+	hdrReplicationLast     = "X-Replication-Last-Seq"
+	hdrReplicationSnapSeq  = "X-Replication-Snapshot-Seq"
 	// Identity headers (identity.go): the follower verifies both before
 	// applying a single frame or image from a response.
 	hdrReplicationCluster = "X-Replication-Cluster-Id"
@@ -493,6 +514,7 @@ func (s *Store) ServeReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(hdrReplicationAcked, strconv.FormatUint(tb.AckedSeq, 10))
+	w.Header().Set(hdrReplicationLagBytes, strconv.FormatInt(tb.LagBytes, 10))
 	if tb.Records > 0 {
 		w.Header().Set(hdrReplicationFirst, strconv.FormatUint(tb.FirstSeq, 10))
 		w.Header().Set(hdrReplicationLast, strconv.FormatUint(tb.LastSeq, 10))

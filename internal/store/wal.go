@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // This file implements the write-ahead-log layer: record framing,
@@ -146,10 +147,17 @@ type walWriter struct {
 	// counts its calls can fail the append sync but let the rollback sync
 	// through, or fail both.
 	syncHook func(*os.File) error
+	// metrics, when non-nil, times every physical sync (Options.Metrics,
+	// installed by the store after segment creation).
+	metrics *Metrics
 }
 
 // doSync flushes the file, through the test hook when one is set.
 func (w *walWriter) doSync() error {
+	if w.metrics != nil {
+		t0 := time.Now()
+		defer func() { w.metrics.FsyncSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	if w.syncHook != nil {
 		return w.syncHook(w.f)
 	}
