@@ -58,7 +58,13 @@ type serveRow struct {
 	DurationS   float64 `json:"duration_s"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
-	// AchievedRPS is completed requests over wall-clock; in open-loop
+	// OfferedRPS (open loop only) is arrivals fired over the generation
+	// window; it pins the load actually offered, so a shortfall in the
+	// generator itself is visible rather than silently folded into the
+	// achieved number.
+	OfferedRPS float64 `json:"offered_rps,omitempty"`
+	// AchievedRPS is completed requests over wall-clock (which includes
+	// draining in-flight requests after the last arrival); in open-loop
 	// mode it tracks TargetRPS until the service saturates.
 	AchievedRPS float64 `json:"achieved_rps"`
 	P50Ms       float64 `json:"p50_ms"`
@@ -166,45 +172,56 @@ func (w *serveWorkload) runOpenLoop(ctx context.Context, rate float64, dur time.
 	hist := obs.MustHistogram(obs.LatencyBuckets())
 	rng := rand.New(rand.NewSource(42))
 	interval := time.Duration(float64(time.Second) / rate)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	deadline := time.NewTimer(dur)
-	defer deadline.Stop()
 	var (
-		wg        sync.WaitGroup
-		requests  atomic.Int64
-		errCount  atomic.Int64
-		wallStart = time.Now()
+		wg       sync.WaitGroup
+		errCount atomic.Int64
 	)
+	// Arrivals are scheduled at absolute times: arrival n fires at
+	// start + n*interval, and a dispatch loop that falls behind fires
+	// the whole backlog immediately on its next pass. A time.Ticker
+	// would drop missed ticks and silently lower the offered rate —
+	// reintroducing the coordinated omission this loop exists to avoid.
+	var fired int64
+	start := time.Now()
 loop:
 	for {
-		select {
-		case <-ctx.Done():
-			break loop
-		case <-deadline.C:
-			break loop
-		case <-ticker.C:
-			spec := w.specs[rng.Intn(len(w.specs))]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				requests.Add(1)
-				if !w.hit(spec, hist) {
-					errCount.Add(1)
-				}
-			}()
+		next := start.Add(time.Duration(fired) * interval)
+		if next.Sub(start) >= dur {
+			break
 		}
+		if d := time.Until(next); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				break loop
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		spec := w.specs[rng.Intn(len(w.specs))]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !w.hit(spec, hist) {
+				errCount.Add(1)
+			}
+		}()
+		fired++
 	}
+	genWall := time.Since(start).Seconds()
 	wg.Wait()
-	wall := time.Since(wallStart).Seconds()
+	wall := time.Since(start).Seconds()
 	return serveRow{
 		Name:        fmt.Sprintf("ServeOpenLoop/rps=%g", rate),
 		Mode:        "open",
 		TargetRPS:   rate,
 		DurationS:   wall,
-		Requests:    requests.Load(),
+		Requests:    fired,
 		Errors:      errCount.Load(),
-		AchievedRPS: float64(requests.Load()) / wall,
+		OfferedRPS:  float64(fired) / genWall,
+		AchievedRPS: float64(fired) / wall,
 		P50Ms:       hist.Quantile(0.50) * 1e3,
 		P90Ms:       hist.Quantile(0.90) * 1e3,
 		P99Ms:       hist.Quantile(0.99) * 1e3,
@@ -298,8 +315,8 @@ func benchServe(ctx context.Context, outPath string, quick bool) error {
 		}
 		row := w.runOpenLoop(ctx, rate, dur)
 		report.Rows = append(report.Rows, row)
-		fmt.Fprintf(os.Stderr, "%-28s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
-			row.Name, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+		fmt.Fprintf(os.Stderr, "%-28s offered %8.0f  achieved %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
+			row.Name, row.OfferedRPS, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
 	}
 	for _, conc := range concs {
 		if err := ctx.Err(); err != nil {

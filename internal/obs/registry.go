@@ -21,6 +21,7 @@ type seriesKind int
 
 const (
 	kindCounter seriesKind = iota
+	kindCounterFunc
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
@@ -58,18 +59,19 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
 }
 
+// labelKey canonicalizes a label set into a dedup key. Keys and values
+// are individually quoted so separator characters inside a value cannot
+// make two distinct label sets collide onto one series.
 func labelKey(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	for i, l := range labels {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(l.Key)
+	for _, l := range labels {
+		b.WriteString(strconv.Quote(l.Key))
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		b.WriteString(strconv.Quote(l.Value))
+		b.WriteByte(',')
 	}
 	return b.String()
 }
@@ -129,6 +131,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 		return
 	}
 	r.getOrAdd(name, help, kindGaugeFunc, labels, func(s *series) {
+		s.fn = fn
+	})
+}
+
+// CounterFunc registers a counter series whose value is computed by fn at
+// scrape time, for monotonic totals already tracked elsewhere (an atomic
+// hit count, a store status field). fn must be monotonically
+// non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.getOrAdd(name, help, kindCounterFunc, labels, func(s *series) {
 		s.fn = fn
 	})
 }
@@ -208,10 +223,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	// Copy the family/series structure so rendering (which calls user
-	// GaugeFunc hooks) happens outside the registry lock.
-	fams := make([]*family, len(r.fams))
-	copy(fams, r.fams)
+	// Snapshot the family list AND each family's series slice while
+	// holding the lock: getOrAdd appends to fam.series under r.mu, so
+	// iterating the live slice here would race with concurrent lazy
+	// registration (e.g. a first-seen stage label during a request).
+	// Rendering — which calls user GaugeFunc/CounterFunc hooks — then
+	// happens outside the lock, against the snapshot.
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, &family{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*series(nil), f.series...),
+		})
+	}
 	r.mu.Unlock()
 
 	var b strings.Builder
@@ -247,7 +273,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 				b.WriteByte(' ')
 				b.WriteString(strconv.FormatInt(s.gauge.Value(), 10))
 				b.WriteByte('\n')
-			case kindGaugeFunc:
+			case kindGaugeFunc, kindCounterFunc:
 				b.WriteString(fam.name)
 				writeLabels(&b, s.labels)
 				b.WriteByte(' ')

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"io"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -78,6 +80,65 @@ func TestWriteTextExposition(t *testing.T) {
 	// the _count sample.
 	if strings.Index(out, "http_requests_total") > strings.Index(out, "inflight") {
 		t.Fatal("families must render in registration order")
+	}
+}
+
+func TestCounterFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("cache_hits_total", "Cache hits.", func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cache_hits_total counter\n",
+		"cache_hits_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelKeyNoCollision(t *testing.T) {
+	// Distinct label sets whose values embed the separator characters
+	// must not canonicalize to one series: {a="b,c=d"} vs {a="b", c="d"}.
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "h", L("a", "b,c=d"))
+	c2 := r.Counter("x_total", "h", L("a", "b"), L("c", "d"))
+	if c1 == c2 {
+		t.Fatal("label sets with separator characters in values must stay distinct series")
+	}
+}
+
+// TestWriteTextConcurrentRegistration hammers scrapes against lazy series
+// registration; under -race this pins that WriteText snapshots each
+// family's series slice inside the lock rather than iterating the live
+// slice getOrAdd appends to.
+func TestWriteTextConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.Histogram("stage_seconds", "h", []float64{0.1, 1}, L("stage", strconv.Itoa(i))).Observe(0.05)
+			r.Counter("reqs_total", "h", L("route", strconv.Itoa(i))).Inc()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			if err := r.WriteText(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 }
 

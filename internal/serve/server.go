@@ -198,7 +198,7 @@ func New(c *sbmlcompose.Corpus, cfg Config) *Server {
 	s.reg.GaugeFunc("sbmlserved_in_flight_requests",
 		"Requests currently executing.",
 		func() float64 { return float64(s.inFlight.Load()) })
-	s.reg.GaugeFunc("sbmlserved_query_cache_hits_total",
+	s.reg.CounterFunc("sbmlserved_query_cache_hits_total",
 		"/v1/search requests answered from the raw-body compiled-query cache.",
 		func() float64 { return float64(s.searchCacheHits.Load()) })
 	s.slowTotal = s.reg.Counter("sbmlserved_slow_requests_total",
@@ -254,7 +254,7 @@ func NewPersistent(st *sbmlcompose.CorpusStore, cfg Config) *Server {
 	s.reg.GaugeFunc("sbmlstore_wal_tail_bytes",
 		"Bytes in the live WAL segment since the last snapshot.",
 		func() float64 { return float64(st.Status().TailBytes) })
-	s.reg.GaugeFunc("sbmlstore_snapshots_total",
+	s.reg.CounterFunc("sbmlstore_snapshots_total",
 		"Snapshots taken since open (manual, automatic, on close).",
 		func() float64 { return float64(st.Status().Snapshots) })
 	s.route("GET /v1/replicate", "replicate", s.cancelOnShutdown(st.ServeReplicate))
@@ -301,7 +301,7 @@ func (s *Server) registerReplicaGauges() {
 			}
 			return 0
 		})
-	s.reg.GaugeFunc("sbmlrepl_reconnects_total",
+	s.reg.CounterFunc("sbmlrepl_reconnects_total",
 		"Contact re-established after at least one failure.",
 		func() float64 { return float64(rep.Status().Reconnects) })
 }
