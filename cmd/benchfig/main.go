@@ -33,13 +33,17 @@
 //	                              across corpus sizes. Suite "serve"
 //	                              (BENCH_serve.json): serving-level load
 //	                              harness — mixed search/compose/simulate
-//	                              traffic against an in-process sbmlserved
-//	                              handler, open-loop at fixed arrival rates
-//	                              and closed-loop across concurrency
-//	                              levels, percentiles from the same
-//	                              histograms /v1/metrics serves. -quick
-//	                              runs each benchmark once (CI smoke)
-//	                              instead of through testing.Benchmark.
+//	                              traffic against an sbmlserved handler —
+//	                              in-process by default, over a real TCP
+//	                              loopback listener with -socket —
+//	                              open-loop at fixed arrival rates and
+//	                              closed-loop across concurrency levels,
+//	                              percentiles from the same histograms
+//	                              /v1/metrics serves, plus scatter-gather
+//	                              rows through a gateway over 3 TCP shard
+//	                              nodes. -quick runs each benchmark once
+//	                              (CI smoke) instead of through
+//	                              testing.Benchmark.
 //
 // Output is one whitespace-separated row per composition (ready for
 // gnuplot); a summary — the numbers EXPERIMENTS.md records — goes to
@@ -105,6 +109,7 @@ func run(ctx context.Context) error {
 		suite    = flag.String("suite", "compose", "benchmark suite for -json: compose | sim | corpus | store | serve")
 		outPath  = flag.String("out", "", "output file for -json (default BENCH_<suite>.json)")
 		quick    = flag.Bool("quick", false, "single-iteration smoke run instead of testing.Benchmark")
+		socket   = flag.Bool("socket", false, "serve suite: drive the sweeps over a real TCP loopback listener instead of in-process ServeHTTP")
 	)
 	flag.Parse()
 	if *jsonMode {
@@ -122,7 +127,7 @@ func run(ctx context.Context) error {
 		case "store":
 			return benchJSON(ctx, out, *quick, benchStore)
 		case "serve":
-			return benchServe(ctx, out, *quick)
+			return benchServe(ctx, out, *quick, *socket)
 		default:
 			return fmt.Errorf("unknown suite %q (want compose, sim, corpus, store or serve)", *suite)
 		}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -15,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sbmlcompose/internal/cluster"
 	"sbmlcompose/internal/core"
 	"sbmlcompose/internal/corpus"
 	"sbmlcompose/internal/obs"
@@ -42,17 +45,27 @@ import (
 //
 // Traffic is a deterministic mix — 70% /v1/search (rotating through 8
 // distinct query bodies so the compiled-query cache sees hits and
-// misses), 20% /v1/compose, 10% /v1/simulate — against an in-process
-// server over a seeded in-memory corpus. ServeHTTP is called directly:
-// no sockets, so the numbers isolate the serving stack from the kernel's
-// network path.
+// misses), 20% /v1/compose, 10% /v1/simulate — against a server over a
+// seeded in-memory corpus. By default ServeHTTP is called directly: no
+// sockets, so the numbers isolate the serving stack from the kernel's
+// network path. With -socket the same sweeps run over a real TCP
+// loopback listener (what a deployment actually pays per request); each
+// row's "transport" field records which path it measured.
+//
+// The suite always ends with the cluster rows: the same search bodies
+// issued through a scatter-gather gateway over 3 shard nodes behind
+// real TCP listeners, next to a single node behind the same kind of
+// listener — the marginal cost of fan-out + merge over one network hop.
 
 // serveRow is one load point of BENCH_serve.json.
 type serveRow struct {
 	Name string `json:"name"`
 	// Mode is "open" (scheduled arrivals) or "closed" (back-to-back
 	// workers).
-	Mode        string  `json:"mode"`
+	Mode string `json:"mode"`
+	// Transport is "inproc" (direct ServeHTTP) or "socket" (real TCP
+	// loopback); cluster rows are always socket on the node hops.
+	Transport   string  `json:"transport"`
 	TargetRPS   float64 `json:"target_rps,omitempty"`
 	Concurrency int     `json:"concurrency,omitempty"`
 	DurationS   float64 `json:"duration_s"`
@@ -88,13 +101,43 @@ type serveSpec struct {
 
 // serveWorkload is the seeded server plus the weighted request mix.
 type serveWorkload struct {
-	srv *serve.Server
+	handler http.Handler
+	// base and client, when set, switch hit to real HTTP over the TCP
+	// loopback instead of direct ServeHTTP calls.
+	base   string
+	client *http.Client
+	// transport labels the rows: "inproc" or "socket".
+	transport string
 	// specs holds the mix expanded to a 10-slot weight table; a worker
 	// picks uniformly from it.
 	specs []serveSpec
 }
 
 const serveSeedModels = 48
+
+// serveSearchBodies builds the 8 distinct search bodies the suite
+// rotates through: 7 drawn from stored models (cache-warm after the
+// first pass) plus one fresh query that always compiles.
+func serveSearchBodies(models []*sbml.Model) ([]string, error) {
+	jsonStr := func(v any) (string, error) {
+		b, err := json.Marshal(v)
+		return string(b), err
+	}
+	modelStr := func(m *sbml.Model) string { return sbml.WrapModel(m).String() }
+	var searches []string
+	for i := 0; i < 7; i++ {
+		body, err := jsonStr(map[string]any{"sbml": modelStr(models[i*5]), "top_k": 5})
+		if err != nil {
+			return nil, err
+		}
+		searches = append(searches, body)
+	}
+	fresh, err := jsonStr(map[string]any{"sbml": modelStr(benchModel("servequery", 15, 20, 777)), "top_k": 5})
+	if err != nil {
+		return nil, err
+	}
+	return append(searches, fresh), nil
+}
 
 // newServeWorkload seeds an in-memory server and precomputes the
 // request mix bodies.
@@ -116,22 +159,10 @@ func newServeWorkload() (*serveWorkload, error) {
 	}
 	modelStr := func(m *sbml.Model) string { return sbml.WrapModel(m).String() }
 
-	// 8 distinct search bodies: 7 drawn from stored models (cache-warm
-	// after the first pass) plus one fresh query that always compiles.
-	var searches []string
-	for i := 0; i < 7; i++ {
-		body, err := jsonStr(map[string]any{"sbml": modelStr(models[i*5]), "top_k": 5})
-		if err != nil {
-			return nil, err
-		}
-		searches = append(searches, body)
-	}
-	fresh, err := jsonStr(map[string]any{"sbml": modelStr(benchModel("servequery", 15, 20, 777)), "top_k": 5})
+	searches, err := serveSearchBodies(models)
 	if err != nil {
 		return nil, err
 	}
-	searches = append(searches, fresh)
-
 	composeBody, err := jsonStr(map[string]any{"id": models[3].ID, "sbml": modelStr(benchModel("servemerge", 12, 16, 778))})
 	if err != nil {
 		return nil, err
@@ -142,7 +173,7 @@ func newServeWorkload() (*serveWorkload, error) {
 	}
 
 	// Weight table: 7 search slots, 2 compose, 1 simulate.
-	w := &serveWorkload{srv: srv}
+	w := &serveWorkload{handler: srv, transport: "inproc"}
 	for i := 0; i < 7; i++ {
 		w.specs = append(w.specs, serveSpec{"POST", "/v1/search", searches[i%len(searches)]})
 	}
@@ -154,21 +185,55 @@ func newServeWorkload() (*serveWorkload, error) {
 	return w, nil
 }
 
-// hit issues one request in-process and records its latency; reports
-// whether the response was a success.
+// overSocket rebinds the workload to a real TCP listener in front of
+// its handler; the returned closer shuts the listener down.
+func (w *serveWorkload) overSocket() func() {
+	ts := httptest.NewServer(w.handler)
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	// The closed-loop sweep holds up to 64 connections to one host; the
+	// default of 2 idle conns per host would thrash connection setup.
+	tr.MaxIdleConnsPerHost = 128
+	w.base = ts.URL
+	w.client = &http.Client{Transport: tr}
+	w.transport = "socket"
+	return func() {
+		w.client.CloseIdleConnections()
+		ts.Close()
+	}
+}
+
+// hit issues one request — in-process or over the socket — and records
+// its latency; reports whether the response was a success.
 func (w *serveWorkload) hit(spec serveSpec, hist *obs.Histogram) bool {
-	req := httptest.NewRequest(spec.method, spec.path, strings.NewReader(spec.body))
-	rec := httptest.NewRecorder()
 	t0 := time.Now()
-	w.srv.ServeHTTP(rec, req)
+	var code int
+	if w.base != "" {
+		req, err := http.NewRequest(spec.method, w.base+spec.path, strings.NewReader(spec.body))
+		if err != nil {
+			return false
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			hist.Observe(time.Since(t0).Seconds())
+			return false
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		code = resp.StatusCode
+	} else {
+		req := httptest.NewRequest(spec.method, spec.path, strings.NewReader(spec.body))
+		rec := httptest.NewRecorder()
+		w.handler.ServeHTTP(rec, req)
+		code = rec.Code
+	}
 	hist.Observe(time.Since(t0).Seconds())
-	return rec.Code < 400
+	return code < 400
 }
 
 // runOpenLoop fires requests at a fixed arrival rate for dur, never
 // waiting for responses: each arrival gets its own goroutine, exactly
 // like an independent client population.
-func (w *serveWorkload) runOpenLoop(ctx context.Context, rate float64, dur time.Duration) serveRow {
+func (w *serveWorkload) runOpenLoop(ctx context.Context, name string, rate float64, dur time.Duration) serveRow {
 	hist := obs.MustHistogram(obs.LatencyBuckets())
 	rng := rand.New(rand.NewSource(42))
 	interval := time.Duration(float64(time.Second) / rate)
@@ -214,8 +279,9 @@ loop:
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 	return serveRow{
-		Name:        fmt.Sprintf("ServeOpenLoop/rps=%g", rate),
+		Name:        name,
 		Mode:        "open",
+		Transport:   w.transport,
 		TargetRPS:   rate,
 		DurationS:   wall,
 		Requests:    fired,
@@ -231,7 +297,7 @@ loop:
 
 // runClosedLoop runs conc workers issuing requests back-to-back for dur:
 // the in-flight saturation sweep.
-func (w *serveWorkload) runClosedLoop(ctx context.Context, conc int, dur time.Duration) serveRow {
+func (w *serveWorkload) runClosedLoop(ctx context.Context, name string, conc int, dur time.Duration) serveRow {
 	hist := obs.MustHistogram(obs.LatencyBuckets())
 	var (
 		wg        sync.WaitGroup
@@ -256,8 +322,9 @@ func (w *serveWorkload) runClosedLoop(ctx context.Context, conc int, dur time.Du
 	wg.Wait()
 	wall := time.Since(wallStart).Seconds()
 	return serveRow{
-		Name:        fmt.Sprintf("ServeClosedLoop/conc=%d", conc),
+		Name:        name,
 		Mode:        "closed",
+		Transport:   w.transport,
 		Concurrency: conc,
 		DurationS:   wall,
 		Requests:    requests.Load(),
@@ -270,8 +337,59 @@ func (w *serveWorkload) runClosedLoop(ctx context.Context, conc int, dur time.Du
 	}
 }
 
+// newClusterWorkload stands up a scatter-gather fleet — nNodes shard
+// nodes behind real TCP listeners, a gateway over them — seeded with the
+// same models as the single-node workload, with a search-only mix (the
+// scatter-gather path is the read path; writes are plain forwards). The
+// gateway handler is driven in-process: every measured request still
+// pays the real network fan-out to the nodes.
+func newClusterWorkload(nNodes int) (*serveWorkload, func(), error) {
+	var (
+		servers []*httptest.Server
+		urls    []string
+	)
+	closeAll := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		c := corpus.New(corpus.Options{
+			Shards: 2, Workers: 0, Match: core.Options{Synonyms: synonym.Builtin()},
+		})
+		ts := httptest.NewServer(serve.New(c, serve.Config{SlowRequest: -1}))
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	gw, err := cluster.New(cluster.Options{Nodes: urls})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	models := corpusModels(serveSeedModels)
+	for _, m := range models {
+		req := httptest.NewRequest("POST", "/v1/models", strings.NewReader(sbml.WrapModel(m).String()))
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, req)
+		if rec.Code >= 400 {
+			closeAll()
+			return nil, nil, fmt.Errorf("cluster seed %s: %d %s", m.ID, rec.Code, rec.Body.String())
+		}
+	}
+	searches, err := serveSearchBodies(models)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	w := &serveWorkload{handler: gw, transport: "socket"}
+	for _, body := range searches {
+		w.specs = append(w.specs, serveSpec{"POST", "/v1/search", body})
+	}
+	return w, closeAll, nil
+}
+
 // benchServe runs the serving-level load suite and writes BENCH_serve.json.
-func benchServe(ctx context.Context, outPath string, quick bool) error {
+func benchServe(ctx context.Context, outPath string, quick, socket bool) error {
 	f, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp*")
 	if err != nil {
 		return err
@@ -283,6 +401,12 @@ func benchServe(ctx context.Context, outPath string, quick bool) error {
 	if err != nil {
 		f.Close()
 		return err
+	}
+	suffix := ""
+	if socket {
+		closeSocket := w.overSocket()
+		defer closeSocket()
+		suffix = "/socket"
 	}
 	// Warm the caches (query cache, simulation engines) so every row
 	// measures steady state, not first-touch compilation.
@@ -299,8 +423,10 @@ func benchServe(ctx context.Context, outPath string, quick bool) error {
 	}
 	rates := []float64{200, 1000, 4000}
 	concs := []int{1, 4, 16, 64}
+	clusterConcs := []int{1, 4, 16}
 	if quick {
 		rates = []float64{500}
+		clusterConcs = []int{4}
 	}
 
 	report := &serveReport{
@@ -308,26 +434,54 @@ func benchServe(ctx context.Context, outPath string, quick bool) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Unix:       time.Now().Unix(),
 	}
+	emit := func(row serveRow) {
+		report.Rows = append(report.Rows, row)
+		if row.Mode == "open" {
+			fmt.Fprintf(os.Stderr, "%-36s offered %8.0f  achieved %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
+				row.Name, row.OfferedRPS, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+		} else {
+			fmt.Fprintf(os.Stderr, "%-36s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
+				row.Name, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+		}
+	}
 	for _, rate := range rates {
 		if err := ctx.Err(); err != nil {
 			f.Close()
 			return err
 		}
-		row := w.runOpenLoop(ctx, rate, dur)
-		report.Rows = append(report.Rows, row)
-		fmt.Fprintf(os.Stderr, "%-28s offered %8.0f  achieved %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
-			row.Name, row.OfferedRPS, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+		emit(w.runOpenLoop(ctx, fmt.Sprintf("ServeOpenLoop/rps=%g%s", rate, suffix), rate, dur))
 	}
 	for _, conc := range concs {
 		if err := ctx.Err(); err != nil {
 			f.Close()
 			return err
 		}
-		row := w.runClosedLoop(ctx, conc, dur)
-		report.Rows = append(report.Rows, row)
-		fmt.Fprintf(os.Stderr, "%-28s %8.0f req/s  p50 %7.3f ms  p99 %7.3f ms  errs %d\n",
-			row.Name, row.AchievedRPS, row.P50Ms, row.P99Ms, row.Errors)
+		emit(w.runClosedLoop(ctx, fmt.Sprintf("ServeClosedLoop/conc=%d%s", conc, suffix), conc, dur))
 	}
+
+	// Cluster rows: the scatter-gather gateway over 3 TCP shard nodes,
+	// driven closed-loop with the search mix. Always present (regardless
+	// of -socket) so the fan-out cost is tracked across changes.
+	cw, closeCluster, err := newClusterWorkload(3)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	defer closeCluster()
+	for _, spec := range cw.specs {
+		if ok := cw.hit(spec, obs.MustHistogram(obs.LatencyBuckets())); !ok {
+			f.Close()
+			return fmt.Errorf("cluster warmup %s %s failed", spec.method, spec.path)
+		}
+	}
+	for _, conc := range clusterConcs {
+		if err := ctx.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		emit(cw.runClosedLoop(ctx, fmt.Sprintf("ServeClusterSearch/nodes=3/conc=%d", conc), conc, dur))
+	}
+
 	if err := ctx.Err(); err != nil {
 		f.Close()
 		if errors.Is(err, context.Canceled) {

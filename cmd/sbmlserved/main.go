@@ -26,6 +26,13 @@
 // get a drain window before the listener closes; with -data the shutdown
 // takes a final snapshot so the next start is a pure snapshot load. The
 // shutdown log repeats each route's count and p50/p95/p99 latency.
+//
+// With -gateway the binary runs as a stateless scatter-gather
+// coordinator instead: -node lists the shard node base URLs, model ids
+// are partitioned across them by rendezvous hashing, write routes
+// forward to the owning node, and /v1/search fans out to every node and
+// merges rankings byte-identically to a single-node corpus. See
+// internal/cluster for the routing and degraded-mode contract.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,10 +68,27 @@ func main() {
 		replicaOf   = flag.String("replica-of", "", "run as a read-only follower of the primary at this base URL (requires -data; mutations answer 403 until POST /v1/promote)")
 		slowRequest = flag.Duration("slow-request", time.Second, "log requests slower than this with their per-stage breakdown (0 disables)")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		gateway     = flag.Bool("gateway", false, "run as a scatter-gather gateway over the shard nodes in -node (no corpus of its own)")
+		nodeList    = flag.String("node", "", "gateway mode: comma-separated shard node base URLs (e.g. http://10.0.0.1:8451,http://10.0.0.2:8451)")
+		nodeTimeout = flag.Duration("node-timeout", 30*time.Second, "gateway mode: per-attempt deadline for node requests")
+		nodeRetries = flag.Int("node-retries", 3, "gateway mode: transport-failure attempts per node request (HTTP statuses are never retried)")
 	)
 	flag.Parse()
 	if *replicaOf != "" && *dataDir == "" {
 		log.Fatalf("sbmlserved: -replica-of requires -data (the follower persists the primary's log locally)")
+	}
+	if !*gateway && *nodeList != "" {
+		log.Fatalf("sbmlserved: -node requires -gateway")
+	}
+	if *gateway {
+		// A gateway holds no models: the shard nodes are the stores. The
+		// corpus/durability/replication flags all describe node state and
+		// are rejected rather than silently ignored.
+		if *dataDir != "" || *replicaOf != "" {
+			log.Fatalf("sbmlserved: -gateway is incompatible with -data and -replica-of (shard nodes own the stores)")
+		}
+		runGateway(*addr, *nodeList, *nodeTimeout, *nodeRetries, *drain)
+		return
 	}
 
 	// One registry serves /v1/metrics; it must exist before the store
@@ -162,5 +187,53 @@ func main() {
 	}
 	for _, line := range srv.StatsLines() {
 		log.Print(line)
+	}
+}
+
+// runGateway is the -gateway main: build the scatter-gather coordinator
+// over the shard nodes, serve until a signal, drain, exit. No store, no
+// corpus — the gateway is stateless and restartable at will.
+func runGateway(addr, nodeList string, nodeTimeout time.Duration, nodeRetries int, drain time.Duration) {
+	var nodes []string
+	for _, n := range strings.Split(nodeList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		log.Fatalf("sbmlserved: -gateway requires -node with at least one shard node URL")
+	}
+	gw, err := sbmlcompose.New().OpenGateway(nodes, &sbmlcompose.GatewayOptions{
+		Registry:    obs.NewRegistry(),
+		NodeTimeout: nodeTimeout,
+		Retries:     nodeRetries,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("sbmlserved: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("sbmlserved: %v", err)
+	}
+	httpSrv := &http.Server{Handler: gw, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	log.Printf("sbmlserved gateway listening on %s, %d shard nodes: %s",
+		ln.Addr(), len(nodes), strings.Join(nodes, ", "))
+
+	select {
+	case err := <-done:
+		log.Fatalf("sbmlserved: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("sbmlserved: gateway shutting down (drain %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sbmlserved: drain incomplete: %v", err)
 	}
 }

@@ -1,0 +1,42 @@
+package sbmlcompose
+
+// This file is the horizontal-serving facade: the scatter-gather gateway
+// from internal/cluster re-exported for embedders. A Gateway is an
+// http.Handler speaking the same /v1 surface as one sbmlserved node,
+// fronting a fleet of shard nodes that each hold a disjoint subset of
+// the model ids (rendezvous-hashed, so any gateway over the same node
+// set routes identically). Cluster search rankings are byte-identical
+// to a single corpus holding the same models; see internal/cluster's
+// package doc for the routing and degraded-mode contract.
+
+import (
+	"sbmlcompose/internal/cluster"
+)
+
+// Gateway is a scatter-gather HTTP coordinator over a fleet of
+// sbmlserved shard nodes. See Client.OpenGateway.
+type Gateway = cluster.Gateway
+
+// GatewayOptions configures OpenGateway: node set, metrics registry,
+// per-node timeout and retry/backoff bounds.
+type GatewayOptions = cluster.Options
+
+// PartitionMap assigns model ids to shard nodes by rendezvous hashing;
+// it is exposed for routing diagnostics (Gateway.Partition).
+type PartitionMap = cluster.PartitionMap
+
+// OpenGateway builds a scatter-gather gateway over the shard nodes at
+// the given base URLs (e.g. "http://10.0.0.1:8451"). A nil opts uses
+// the defaults (30s node timeout, 3 transport attempts with capped
+// jittered backoff, private metrics registry); a non-nil opts is used
+// as given with its Nodes field replaced by nodes. The returned Gateway
+// is an http.Handler ready for http.Server; it holds no model state, so
+// any number of gateways may front the same fleet.
+func (c *Client) OpenGateway(nodes []string, opts *GatewayOptions) (*Gateway, error) {
+	var o GatewayOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.Nodes = nodes
+	return cluster.New(o)
+}

@@ -1,0 +1,84 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeWindow(t *testing.T) {
+	cases := []struct {
+		name                string
+		topK, limit, offset int
+		wantOffset          int
+		wantLimit           int
+		wantErr             bool
+	}{
+		{"neither set defaults to 5", 0, 0, 0, 0, 5, false},
+		{"top_k alone", 3, 0, 0, 0, 3, false},
+		{"limit alone", 0, 7, 2, 2, 7, false},
+		{"both set and equal", 4, 4, 0, 0, 4, false},
+		{"both set and disagree", 3, 7, 0, 0, 0, true},
+		{"negative top_k is unbounded", -1, 0, 0, 0, -1, false},
+		{"any negative canonicalizes to -1", -7, 0, 0, 0, -1, false},
+		{"negative limit is unbounded", 0, -3, 1, 1, -1, false},
+		{"both unbounded agree", -2, -9, 0, 0, -1, false},
+		{"unbounded vs bounded disagree", -1, 5, 0, 0, 0, true},
+		{"negative offset clamps to 0", 2, 0, -4, 0, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NormalizeWindow(tc.topK, tc.limit, tc.offset)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("NormalizeWindow(%d,%d,%d) = %+v, want error", tc.topK, tc.limit, tc.offset, w)
+				}
+				if !strings.Contains(err.Error(), "disagree") {
+					t.Fatalf("error %q does not name the disagreement", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NormalizeWindow(%d,%d,%d): %v", tc.topK, tc.limit, tc.offset, err)
+			}
+			if w.Offset != tc.wantOffset || w.Limit != tc.wantLimit {
+				t.Fatalf("NormalizeWindow(%d,%d,%d) = %+v, want offset %d limit %d",
+					tc.topK, tc.limit, tc.offset, w, tc.wantOffset, tc.wantLimit)
+			}
+		})
+	}
+}
+
+func TestWindowEnd(t *testing.T) {
+	if end := (Window{Offset: 3, Limit: 4}).End(); end != 7 {
+		t.Fatalf("End() = %d, want 7", end)
+	}
+	if end := (Window{Offset: 3, Limit: -1}).End(); end != -1 {
+		t.Fatalf("unbounded End() = %d, want -1", end)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "ci-smoke-1", "Node_7.trace:42", strings.Repeat("x", 128)}
+	for _, id := range valid {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{
+		"",
+		strings.Repeat("x", 129),
+		"has space",
+		"tab\there",
+		"new\nline",
+		`quote"ed`,
+		"curly{brace}",
+		"null\x00byte",
+		"high\xc3\xa9byte",
+		"comma,separated",
+	}
+	for _, id := range invalid {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+	}
+}

@@ -11,21 +11,19 @@ import (
 	"time"
 
 	"sbmlcompose"
+	"sbmlcompose/internal/api"
 	"sbmlcompose/internal/obs"
 )
 
 // --- response helpers ---
 
-// errorResponse is the uniform JSON error body. Code is machine-readable
-// and set for context terminations ("deadline_exceeded",
-// "client_closed_request"); other errors carry only the message.
-// RequestID echoes the X-Request-Id header so one string ties the failure
-// a client saw to the server's log line for it.
-type errorResponse struct {
-	Error     string `json:"error"`
-	Code      string `json:"code,omitempty"`
-	RequestID string `json:"request_id,omitempty"`
-}
+// errorResponse is the uniform JSON error body (internal/api): Code is
+// machine-readable and set for context terminations ("deadline_exceeded",
+// "client_closed_request"); RequestID echoes the X-Request-Id header so
+// one string ties the failure a client saw to the server's log line for
+// it. The type lives in internal/api so the cluster gateway answers the
+// exact same shape.
+type errorResponse = api.ErrorResponse
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Error bodies pick up the request id from the middleware's writer;
@@ -104,27 +102,15 @@ type addModelResponse struct {
 	Models     int    `json:"models"`
 }
 
-type searchRequest struct {
-	SBML     string  `json:"sbml"`
-	TopK     int     `json:"top_k"`
-	Cutoff   float64 `json:"cutoff"`
-	MinScore float64 `json:"min_score"`
-	// Offset/Limit paginate the ranking: the response holds hits
-	// [Offset, Offset+Limit) of the full ranking. Limit takes precedence
-	// over the older TopK field when both are set.
-	Offset int `json:"offset"`
-	Limit  int `json:"limit"`
-}
-
-type searchResponse struct {
-	Hits []sbmlcompose.Hit `json:"hits"`
-	// Offset and Limit echo the effective pagination window; Returned is
-	// len(Hits) for clients paging until a short page.
-	Offset   int     `json:"offset"`
-	Limit    int     `json:"limit"`
-	Returned int     `json:"returned"`
-	TookMs   float64 `json:"took_ms"`
-}
+// searchRequest/searchResponse are the /v1/search wire shapes, shared
+// with the cluster gateway through internal/api: the gateway both
+// normalizes the window with the same rules (pages must tile across
+// partitions) and answers the same response shape (a complete gateway
+// answer is byte-identical to a single node's, modulo took_ms).
+type (
+	searchRequest  = api.SearchRequest
+	searchResponse = api.SearchResponse
+)
 
 type composeRequest struct {
 	ID   string `json:"id"`
@@ -366,15 +352,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Normalize the pagination window exactly once, after the (possibly
+	// cached) decode: the same Window drives the corpus call and the
+	// response echo, so the two can never disagree, and the cluster
+	// gateway applies the identical function so its pages tile across
+	// partitions. Disagreeing limit/top_k is a client bug, reported as
+	// one rather than silently resolved.
+	win, err := api.NormalizeWindow(req.TopK, req.Limit, req.Offset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	limit := req.TopK
-	if req.Limit > 0 {
-		limit = req.Limit
-	}
 	t0 := time.Now()
 	hits, err := s.corpus.SearchCompiledContext(ctx, cq, sbmlcompose.SearchOptions{
-		TopK: limit, Offset: req.Offset, Cutoff: req.Cutoff, MinScore: req.MinScore,
+		TopK: win.Limit, Offset: win.Offset, Cutoff: req.Cutoff, MinScore: req.MinScore,
 	})
 	if err != nil {
 		if writeCtxError(w, err) {
@@ -386,17 +379,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if hits == nil {
 		hits = []sbmlcompose.Hit{}
 	}
-	offset := req.Offset
-	if offset < 0 {
-		offset = 0
-	}
-	if limit == 0 {
-		limit = 5 // the SearchOptions.TopK default the corpus applied
-	}
 	writeJSON(w, http.StatusOK, searchResponse{
 		Hits:     hits,
-		Offset:   offset,
-		Limit:    limit,
+		Offset:   win.Offset,
+		Limit:    win.Limit,
 		Returned: len(hits),
 		TookMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
 	})

@@ -49,6 +49,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -58,6 +60,7 @@ import (
 	"time"
 
 	"sbmlcompose"
+	"sbmlcompose/internal/api"
 	"sbmlcompose/internal/lru"
 	"sbmlcompose/internal/obs"
 )
@@ -155,6 +158,10 @@ type Server struct {
 	searchCache *lru.Cache[cachedSearch]
 	// searchCacheHits counts cache hits, reported by /healthz.
 	searchCacheHits atomic.Int64
+	// stages caches the sbmlserved_stage_seconds histogram handles so the
+	// per-request middleware never goes through the registry's locked
+	// getOrAdd on the hot path.
+	stages stageCache
 	// slowTotal and readOnlyRejected count slow requests and follower
 	// write rejections for the registry.
 	slowTotal        *obs.Counter
@@ -181,9 +188,10 @@ func New(c *sbmlcompose.Corpus, cfg Config) *Server {
 		timeout:     cfg.RequestTimeout,
 		slowRequest: cfg.SlowRequest,
 		logf:        cfg.Logf,
-		ridPrefix:   fmt.Sprintf("%x", time.Now().UnixNano()&0xffffffff),
+		ridPrefix:   newRIDPrefix(),
 		closing:     make(chan struct{}),
 	}
+	s.stages.init(reg)
 	if s.slowRequest == 0 {
 		s.slowRequest = defaultSlowRequest
 	} else if s.slowRequest < 0 {
@@ -337,10 +345,29 @@ func (w *respWriter) Flush() {
 	}
 }
 
-// requestID returns the inbound X-Request-Id when the client sent a
-// plausible one, else a fresh "<server-prefix>-<seq>" id.
+// newRIDPrefix mints the per-server request-id prefix from crypto/rand:
+// 40 random bits, so two nodes started in the same instant — the normal
+// case when a cluster boots — cannot mint colliding ids the way the old
+// truncated wall-clock prefix did. Cross-node request correlation through
+// the gateway depends on ids being unique fleet-wide.
+func newRIDPrefix() string {
+	var b [5]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Only reachable when the system's randomness is broken; a
+		// time-derived prefix is strictly better than no server identity.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID returns the inbound X-Request-Id when the client sent a safe
+// one — printable-safe charset, bounded length (api.ValidRequestID) —
+// else a fresh "<server-prefix>-<seq>" id. Arbitrary inbound bytes are
+// never adopted: the id is echoed into response headers, JSON error
+// bodies and log lines, so control bytes or quotes would let a client
+// corrupt logs and break error-body parsing.
 func (s *Server) requestID(r *http.Request) string {
-	if rid := r.Header.Get("X-Request-Id"); rid != "" && len(rid) <= 128 {
+	if rid := r.Header.Get("X-Request-Id"); api.ValidRequestID(rid) {
 		return rid
 	}
 	return s.ridPrefix + "-" + strconv.FormatUint(s.ridSeq.Add(1), 10)
@@ -371,9 +398,7 @@ func (s *Server) route(pattern, label string, h func(http.ResponseWriter, *http.
 		st.count.Inc()
 		st.lat.Observe(d.Seconds())
 		for _, stage := range tr.StageDurations() {
-			s.reg.Histogram("sbmlserved_stage_seconds",
-				"Pipeline stage latency in seconds, by stage.", obs.LatencyBuckets(),
-				obs.L("stage", stage.Name)).Observe(stage.Duration.Seconds())
+			s.stages.get(stage.Name).Observe(stage.Duration.Seconds())
 		}
 		if s.logf != nil {
 			s.logf("sbmlserved: %s %s status=%d dur=%.3fms rid=%s", r.Method, r.URL.Path, rw.status, float64(d.Nanoseconds())/1e6, rid)
@@ -389,6 +414,55 @@ func (s *Server) route(pattern, label string, h func(http.ResponseWriter, *http.
 			}
 		}
 	})
+}
+
+// knownStageNames enumerates every stage span the pipeline records today
+// (handlers: cache_lookup/decode/parse/compile/persist; corpus:
+// retrieve/score/merge/compose/simulate/check), so their histogram
+// handles exist before the first request and the middleware's hot path
+// is a read-only map lookup.
+var knownStageNames = []string{
+	"cache_lookup", "decode", "parse", "compile", "persist",
+	"retrieve", "score", "merge", "compose", "simulate", "check",
+}
+
+// stageCache resolves stage names to their sbmlserved_stage_seconds
+// histogram handles without going through the registry's locked getOrAdd
+// per stage of every request (that per-request lock churn was the same
+// code path behind the WriteText scrape race). Known stages — all of
+// them, today — resolve through an immutable map built at construction:
+// lock-free and allocation-free. A stage name introduced later (new
+// instrumentation without this list updated) still works through the
+// sync.Map slow path, registering once and then loading lock-free.
+type stageCache struct {
+	reg   *obs.Registry
+	known map[string]*obs.Histogram
+	dyn   sync.Map // string → *obs.Histogram
+}
+
+const stageHistName = "sbmlserved_stage_seconds"
+const stageHistHelp = "Pipeline stage latency in seconds, by stage."
+
+func (c *stageCache) init(reg *obs.Registry) {
+	c.reg = reg
+	c.known = make(map[string]*obs.Histogram, len(knownStageNames))
+	for _, name := range knownStageNames {
+		c.known[name] = reg.Histogram(stageHistName, stageHistHelp,
+			obs.LatencyBuckets(), obs.L("stage", name))
+	}
+}
+
+func (c *stageCache) get(name string) *obs.Histogram {
+	if h, ok := c.known[name]; ok {
+		return h
+	}
+	if h, ok := c.dyn.Load(name); ok {
+		return h.(*obs.Histogram)
+	}
+	h := c.reg.Histogram(stageHistName, stageHistHelp,
+		obs.LatencyBuckets(), obs.L("stage", name))
+	c.dyn.Store(name, h)
+	return h
 }
 
 // redirectV1 permanently redirects a legacy route to its /v1 equivalent,

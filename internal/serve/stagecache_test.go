@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sbmlcompose/internal/obs"
+)
+
+// TestStageCacheStableHandles pins the lock-churn fix: every stage the
+// pipeline records today resolves through the immutable known map to the
+// same handle the registry owns — no per-request getOrAdd — and an
+// unknown (future) stage still lands in the registry via the slow path.
+func TestStageCacheStableHandles(t *testing.T) {
+	s := testServer()
+	for _, name := range knownStageNames {
+		h1 := s.stages.get(name)
+		h2 := s.stages.get(name)
+		if h1 == nil || h1 != h2 {
+			t.Fatalf("stage %q: unstable handle (%p vs %p)", name, h1, h2)
+		}
+		if s.stages.known[name] != h1 {
+			t.Fatalf("stage %q resolved outside the known map", name)
+		}
+	}
+	// Unknown stages register once through the dynamic path and then
+	// resolve to the same handle.
+	d1 := s.stages.get("future_stage")
+	d2 := s.stages.get("future_stage")
+	if d1 != d2 {
+		t.Fatalf("dynamic stage: unstable handle")
+	}
+	d1.Observe(0.001)
+	var text strings.Builder
+	if err := s.Registry().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `sbmlserved_stage_seconds_count{stage="future_stage"} 1`) {
+		t.Fatalf("dynamic stage missing from exposition:\n%s", text.String())
+	}
+}
+
+// TestStageCacheHotPathAllocationFree pins that resolving a known stage
+// and observing into it allocates nothing — the middleware runs this per
+// stage of every request.
+func TestStageCacheHotPathAllocationFree(t *testing.T) {
+	s := testServer()
+	h := s.stages.get("parse")
+	_ = h
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.stages.get("parse").Observe(0.0005)
+		s.stages.get("merge").Observe(0.0005)
+	})
+	if allocs != 0 {
+		t.Fatalf("known-stage observe path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestStageCacheConcurrentWithScrape hammers stage resolution (including
+// dynamic registration) against registry scrapes — the interleaving
+// behind the PR 8 WriteText race, now with the hot path off the registry
+// lock entirely.
+func TestStageCacheConcurrentWithScrape(t *testing.T) {
+	s := testServer()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.stages.get("parse").Observe(0.001)
+				s.stages.get(fmt.Sprintf("dyn_%d_%d", w, i%8)).Observe(0.001)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sink strings.Builder
+		if err := s.Registry().WriteText(&sink); err != nil {
+			t.Errorf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkStageObserve measures the middleware's per-stage cost: cached
+// handle lookup + lock-free histogram observe.
+func BenchmarkStageObserve(b *testing.B) {
+	s := testServer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.stages.get("parse").Observe(0.0005)
+	}
+}
+
+// BenchmarkStageObserveRegistry is the old code path for comparison:
+// every observation re-resolves the series through the registry's locked
+// getOrAdd, allocating the label slice each time.
+func BenchmarkStageObserveRegistry(b *testing.B) {
+	s := testServer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Registry().Histogram(stageHistName, stageHistHelp,
+			obs.LatencyBuckets(), obs.L("stage", "parse")).Observe(0.0005)
+	}
+}

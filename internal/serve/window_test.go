@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSearchWindowNormalization pins the /v1/search pagination contract:
+// the effective window is normalized once (internal/api) and drives both
+// the corpus call and the response echo, negative sizes canonicalize to
+// the -1 unbounded sentinel instead of echoing raw client values, and a
+// limit/top_k disagreement is a 400 — the old handler silently preferred
+// limit, returned that page, and echoed whatever fell out.
+func TestSearchWindowNormalization(t *testing.T) {
+	s := testServer()
+	for i := 0; i < 8; i++ {
+		rec, _ := do(t, s, "POST", "/v1/models", modelXML(fmt.Sprintf("win_%d", i), int64(700+i)))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("seed model %d: %d", i, rec.Code)
+		}
+	}
+	query := modelXML("win_0", 700)
+
+	cases := []struct {
+		name       string
+		req        map[string]any
+		wantStatus int
+		wantOffset int
+		wantLimit  int
+		wantHits   int // -1 to skip the count check
+		wantErrSub string
+	}{
+		{"default window is 5", map[string]any{"sbml": query}, 200, 0, 5, 5, ""},
+		{"top_k alone", map[string]any{"sbml": query, "top_k": 3}, 200, 0, 3, 3, ""},
+		{"limit alone", map[string]any{"sbml": query, "limit": 2, "offset": 1}, 200, 1, 2, 2, ""},
+		{"limit and top_k equal", map[string]any{"sbml": query, "limit": 4, "top_k": 4}, 200, 0, 4, 4, ""},
+		{"limit and top_k disagree", map[string]any{"sbml": query, "limit": 2, "top_k": 6}, 400, 0, 0, -1, "disagree"},
+		{"negative top_k is unbounded, echoed -1", map[string]any{"sbml": query, "top_k": -1}, 200, 0, -1, 8, ""},
+		{"raw negative canonicalized", map[string]any{"sbml": query, "top_k": -7}, 200, 0, -1, 8, ""},
+		{"negative limit is unbounded too", map[string]any{"sbml": query, "limit": -3}, 200, 0, -1, 8, ""},
+		{"unbounded vs bounded disagree", map[string]any{"sbml": query, "top_k": -1, "limit": 3}, 400, 0, 0, -1, "disagree"},
+		{"negative offset clamps to 0", map[string]any{"sbml": query, "offset": -9, "limit": 2}, 200, 0, 2, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, payload := do(t, s, "POST", "/v1/search", jsonBody(t, tc.req))
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d body %v, want %d", rec.Code, payload, tc.wantStatus)
+			}
+			if tc.wantStatus != http.StatusOK {
+				if !strings.Contains(payload["error"].(string), tc.wantErrSub) {
+					t.Fatalf("error %q does not contain %q", payload["error"], tc.wantErrSub)
+				}
+				return
+			}
+			if got := int(payload["offset"].(float64)); got != tc.wantOffset {
+				t.Errorf("offset echo = %d, want %d", got, tc.wantOffset)
+			}
+			if got := int(payload["limit"].(float64)); got != tc.wantLimit {
+				t.Errorf("limit echo = %d, want %d", got, tc.wantLimit)
+			}
+			hits := payload["hits"].([]any)
+			if tc.wantHits >= 0 && len(hits) != tc.wantHits {
+				t.Errorf("hits = %d, want %d", len(hits), tc.wantHits)
+			}
+			if got := int(payload["returned"].(float64)); got != len(hits) {
+				t.Errorf("returned echo = %d, want %d", got, len(hits))
+			}
+		})
+	}
+}
+
+// TestSearchWindowNormalizationCachedPath pins that the raw-body query
+// cache cannot bypass window validation: the same invalid body earns its
+// 400 on the cache-miss path and again on what would be the hit path.
+func TestSearchWindowNormalizationCachedPath(t *testing.T) {
+	s := testServer()
+	rec, _ := do(t, s, "POST", "/v1/models", modelXML("winc", 710))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("seed: %d", rec.Code)
+	}
+	bad := jsonBody(t, map[string]any{"sbml": modelXML("winc", 710), "limit": 2, "top_k": 6})
+	for pass := 0; pass < 2; pass++ {
+		rec, payload := do(t, s, "POST", "/v1/search", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("pass %d: status = %d %v, want 400", pass, rec.Code, payload)
+		}
+	}
+	// And a valid body answers identically (modulo took_ms) cached and
+	// uncached — normalization after the cache cannot change the page.
+	good := jsonBody(t, map[string]any{"sbml": modelXML("winc", 710), "limit": 3, "offset": 0})
+	var pages []string
+	for pass := 0; pass < 2; pass++ {
+		rec, payload := do(t, s, "POST", "/v1/search", good)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pass %d: status = %d", pass, rec.Code)
+		}
+		delete(payload, "took_ms")
+		b, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, string(b))
+	}
+	if pages[0] != pages[1] {
+		t.Fatalf("cached page differs from uncached:\n%s\n%s", pages[0], pages[1])
+	}
+}
