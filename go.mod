@@ -1,3 +1,9 @@
 module sbmlcompose
 
 go 1.24
+
+// x/tools is vendored (vendor/golang.org/x/tools) so the sbmlvet
+// analyzer suite builds hermetically: the subset is exactly the
+// go/analysis + unitchecker closure the Go toolchain itself vendors
+// for cmd/vet, copied at the same pinned version.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

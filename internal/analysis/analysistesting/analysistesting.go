@@ -1,0 +1,239 @@
+// Package analysistesting is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// package from a testdata/src tree, type-checks it (standard-library
+// imports resolve from GOROOT source; sibling fixture directories
+// resolve as local stub packages), runs one analyzer over it, and
+// diffs the reported diagnostics against the fixture's // want
+// comments.
+//
+// analysistest itself depends on go/packages, which needs a module
+// proxy or GOPATH the hermetic build environment does not have; this
+// harness keeps the same contract — an expectation comment
+//
+//	// want "regexp" `another regexp`
+//
+// on a line means every listed pattern must match a diagnostic
+// reported on that line, and any diagnostic on a line without a
+// matching want fails the test.
+package analysistesting
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// loader resolves imports: fixture sibling directories under srcRoot
+// first, the standard library (from GOROOT source) second.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	pkgs    map[string]*types.Package
+	std     types.Importer
+	loading map[string]bool
+}
+
+func newLoader(fset *token.FileSet, srcRoot string) *loader {
+	return &loader{
+		fset:    fset,
+		srcRoot: srcRoot,
+		pkgs:    make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil),
+		loading: make(map[string]bool),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if l.loading[path] {
+			return nil, fmt.Errorf("import cycle through fixture %q", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		pkg, _, _, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at srcRoot/path.
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture %s holds no .go files", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	return pkg, files, info, nil
+}
+
+// Run applies a to the fixture package testdata/src/<pkgPath> and
+// compares diagnostics with the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := newLoader(fset, filepath.Join(testdata, "src"))
+	pkg, files, info, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, req := range a.Requires {
+		if req != inspect.Analyzer {
+			t.Fatalf("analyzer %s requires %s; this harness only provides inspect", a.Name, req.Name)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(files),
+		},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// lineKey identifies one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re  *regexp.Regexp
+	raw string
+	met bool
+}
+
+// wantRx matches the expectation comment syntax: the word want followed
+// by one or more Go string literals (interpreted or raw).
+var wantRx = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var strRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, lit := range strRx.FindAllString(m[1], -1) {
+					pattern := strings.Trim(lit, "`")
+					if lit[0] == '"' {
+						var err error
+						pattern, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.met && w.re.MatchString(d.Message) {
+				w.met, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.met {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	sbml "sbmlcompose/internal/analysis"
+	"sbmlcompose/internal/analysis/analysistesting"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistesting.Run(t, "testdata", sbml.CtxFirst, "core")
+}
+
+// The corpus fixture's basename places it in ctxfirst scope; its pure
+// compute loops must not demand a context.
+func TestCtxFirstNoFalsePositives(t *testing.T) {
+	analysistesting.Run(t, "testdata", sbml.CtxFirst, "corpus")
+}

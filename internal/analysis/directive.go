@@ -1,0 +1,132 @@
+// Package analysis holds the sbmlvet analyzer suite: go/analysis
+// analyzers encoding this repository's hard-won invariants — map-order
+// determinism (maporder), sentinel-error discipline (errsentinel),
+// context plumbing (ctxfirst), wire-DTO hygiene (wiredto), and metric
+// naming/typing conventions (obshygiene). cmd/sbmlvet bundles them into
+// a go vet -vettool binary that CI runs over every package.
+//
+// A rule that needs an escape hatch honors an //sbml:<rule> suppression
+// directive placed on the flagged line or the line directly above it.
+// A directive only suppresses when it carries a justification — a bare
+// directive is itself a diagnostic, so every intentional violation in
+// the tree documents why it is intentional:
+//
+//	//sbml:unordered hits land in a dedup set; the caller re-sorts
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix introduces a suppression comment: //sbml:<rule> <why>.
+const directivePrefix = "//sbml:"
+
+// directive is one parsed //sbml: comment.
+type directive struct {
+	rule      string // e.g. "unordered"
+	justified bool   // carries a non-empty justification after the rule
+	pos       token.Pos
+}
+
+// fileDirectives collects every //sbml: directive in a file, keyed by
+// the line the comment sits on.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int]directive {
+	var out map[int]directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := c.Text[len(directivePrefix):]
+			rule := rest
+			why := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				rule, why = rest[:i], strings.TrimSpace(rest[i:])
+			}
+			if out == nil {
+				out = make(map[int]directive)
+			}
+			out[fset.Position(c.Pos()).Line] = directive{
+				rule:      rule,
+				justified: why != "",
+				pos:       c.Pos(),
+			}
+		}
+	}
+	return out
+}
+
+// suppressor indexes a pass's //sbml: directives and answers whether a
+// position is covered by a given rule's directive. It also reports
+// bare (justification-free) directives for the rules it was asked
+// about, exactly once each.
+type suppressor struct {
+	pass     *analysis.Pass
+	byFile   map[*token.File]map[int]directive
+	reported map[token.Pos]bool
+}
+
+func newSuppressor(pass *analysis.Pass) *suppressor {
+	s := &suppressor{
+		pass:     pass,
+		byFile:   make(map[*token.File]map[int]directive),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf != nil {
+			s.byFile[tf] = fileDirectives(pass.Fset, f)
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a justified //sbml:<rule> directive sits on
+// pos's line or the line directly above it. An unjustified directive for
+// the rule does not suppress and is reported as its own diagnostic.
+func (s *suppressor) suppressed(pos token.Pos, rule string) bool {
+	tf := s.pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	dirs := s.byFile[tf]
+	if dirs == nil {
+		return false
+	}
+	line := s.pass.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		d, ok := dirs[l]
+		if !ok || d.rule != rule {
+			continue
+		}
+		if !d.justified {
+			if !s.reported[d.pos] {
+				s.reported[d.pos] = true
+				s.pass.Reportf(d.pos, "//sbml:%s directive needs a justification (//sbml:%s <why>)", rule, rule)
+			}
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// inTestFile reports whether pos lies in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}
+
+// packageBase returns the last element of the package path — the unit
+// analyzers scope themselves by (testdata fixture packages carry bare
+// one-element paths, the real tree sbmlcompose/internal/<base>).
+func packageBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

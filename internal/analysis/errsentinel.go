@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ErrSentinel enforces the sentinel-error discipline PR 3's review
+// instituted: exported Err* sentinels may be wrapped anywhere along the
+// return path, so callers must match them with errors.Is/As — never
+// with ==/!=, never by substring-searching err.Error(), and a
+// fmt.Errorf that carries a sentinel across a package boundary must
+// wrap it with %w or downstream errors.Is goes blind. The escape hatch
+// is //sbml:sentinelcmp, for the rare site that genuinely wants
+// identity (e.g. the defining package's own tests pinning an unwrapped
+// return).
+var ErrSentinel = &analysis.Analyzer{
+	Name:     "errsentinel",
+	Doc:      "require errors.Is/As for Err* sentinels and %w when Errorf carries one across packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runErrSentinel,
+}
+
+func runErrSentinel(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := newSuppressor(pass)
+
+	insp.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkSentinelCompare(pass, sup, n)
+		case *ast.CallExpr:
+			checkErrorSubstring(pass, sup, n)
+			checkErrorfSentinel(pass, sup, n)
+		}
+	})
+	return nil, nil
+}
+
+// sentinelObj resolves e to an exported package-level error variable
+// named Err*, or nil.
+func sentinelObj(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	// Package-level only: a sentinel lives at package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorInterface) && !types.Implements(types.NewPointer(v.Type()), errorInterface) {
+		return nil
+	}
+	return v
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func checkSentinelCompare(pass *analysis.Pass, sup *suppressor, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range [2]ast.Expr{be.X, be.Y} {
+		v := sentinelObj(pass, side)
+		if v == nil {
+			continue
+		}
+		// The other side must be error-typed (rules out comparing two
+		// untyped things that merely share the Err prefix).
+		other := be.Y
+		if side == be.Y {
+			other = be.X
+		}
+		if t := pass.TypesInfo.TypeOf(other); t == nil || !types.Implements(t, errorInterface) {
+			continue
+		}
+		if sup.suppressed(be.Pos(), "sentinelcmp") {
+			return
+		}
+		pass.Reportf(be.Pos(),
+			"comparing to sentinel %s with %s misses wrapped errors; use errors.Is (or //sbml:sentinelcmp <why>)",
+			v.Name(), be.Op)
+		return
+	}
+}
+
+// checkErrorSubstring flags strings.Contains/HasPrefix/HasSuffix/Index
+// applied to err.Error() — error identity by message substring. The
+// rule skips _test.go files: tests legitimately pin the CONTENT of an
+// error message (a user-facing contract); it is production dispatch on
+// message text that breaks under rewording.
+func checkErrorSubstring(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
+	if inTestFile(pass.Fset, call.Pos()) {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "strings" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix", "Index":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if !isErrorErrorCall(pass, arg) {
+			continue
+		}
+		if sup.suppressed(call.Pos(), "sentinelcmp") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"matching errors by strings.%s on err.Error() is brittle; use errors.Is/errors.As (or //sbml:sentinelcmp <why>)",
+			sel.Sel.Name)
+		return
+	}
+}
+
+func isErrorErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && types.Implements(t, errorInterface)
+}
+
+// checkErrorfSentinel flags fmt.Errorf calls that format a sentinel from
+// another package with a verb other than %w: the resulting error no
+// longer answers errors.Is(err, pkg.ErrX) on the far side of the API.
+func checkErrorfSentinel(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		v := sentinelObj(pass, arg)
+		if v == nil || v.Pkg() == pass.Pkg {
+			continue // same-package wrapping may legitimately flatten
+		}
+		if i < len(verbs) && verbs[i] == 'w' {
+			continue
+		}
+		if sup.suppressed(call.Pos(), "sentinelcmp") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf carries sentinel %s.%s across a package boundary without %%w; errors.Is cannot match it (or //sbml:sentinelcmp <why>)",
+			v.Pkg().Name(), v.Name())
+		return
+	}
+}
+
+// formatVerbs extracts the verb letter consumed by each successive
+// argument of a Printf-style format. Width/precision stars and argument
+// indexes are rare in this codebase and not modeled; a format using them
+// simply yields a conservative (possibly short) verb list.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

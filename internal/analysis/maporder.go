@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapOrder flags `for range` loops over maps whose bodies append to a
+// slice declared outside the loop — the construct behind every
+// nondeterministic-ranking bug this repo has shipped: Go randomizes map
+// iteration order, so output built that way differs run to run and
+// breaks the byte-identical pins (Figure 9 validity, cluster/replica
+// equivalence). A loop is compliant when the enclosing function sorts
+// after the loop (the collect-keys-then-sort idiom), or when it carries
+// a justified //sbml:unordered directive (e.g. the slice is an
+// order-free set handed to a sorter elsewhere).
+var MapOrder = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration feeding an outer slice without a subsequent sort (determinism invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := newSuppressor(pass)
+
+	// Walk function bodies so each range statement knows its enclosing
+	// function (the scope the sort-after check runs over).
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil || inTestFile(pass.Fset, body.Pos()) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			checkMapRange(pass, sup, body, rs)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func checkMapRange(pass *analysis.Pass, sup *suppressor, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	target := appendTargetOutside(pass, rs)
+	if target == "" {
+		return
+	}
+	if sortsAfter(pass, fnBody, rs) {
+		return
+	}
+	if sup.suppressed(rs.Pos(), "unordered") {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration appends to %s in nondeterministic order; sort the result after the loop or mark it //sbml:unordered <why>",
+		target)
+}
+
+// appendTargetOutside returns the name of a slice declared outside rs
+// that rs's body appends to, or "" when the loop builds no such output.
+func appendTargetOutside(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	var target string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if target != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if name, outside := declaredOutside(pass, as.Lhs[i], rs); outside {
+				target = name
+			}
+		}
+		return true
+	})
+	return target
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside resolves an assignment target to its root variable and
+// reports whether that variable was declared outside the range statement.
+func declaredOutside(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) (string, bool) {
+	root := lhs
+	for {
+		switch e := root.(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+			continue
+		case *ast.IndexExpr:
+			root = e.X
+			continue
+		case *ast.ParenExpr:
+			root = e.X
+			continue
+		case *ast.StarExpr:
+			root = e.X
+			continue
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(e)
+			if obj == nil {
+				return "", false
+			}
+			if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+				return "", false
+			}
+			return types.ExprString(lhs), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// sortsAfter reports whether any statement of fnBody positioned after the
+// range loop calls into sort or a slices.Sort* helper — the
+// collect-then-sort idiom that restores a deterministic order.
+func sortsAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if isSortCall(pass, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}

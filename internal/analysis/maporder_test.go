@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	sbml "sbmlcompose/internal/analysis"
+	"sbmlcompose/internal/analysis/analysistesting"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistesting.Run(t, "testdata", sbml.MapOrder, "maporder")
+}
+
+// The corpus fixture mirrors internal/corpus's real collect-then-sort
+// sharded iteration; maporder must stay silent over it.
+func TestMapOrderNoFalsePositives(t *testing.T) {
+	analysistesting.Run(t, "testdata", sbml.MapOrder, "corpus")
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ObsHygiene enforces the internal/obs metric conventions that PR 8's
+// review kept re-teaching: a *_total series must register as
+// Counter/CounterFunc (a gauge rendering TYPE gauge under a _total name
+// breaks promtool and rate()), a *_seconds series is a latency
+// Histogram (except *_age_seconds / *_timestamp_seconds point-in-time
+// gauges, per Prometheus convention), counters end in _total, and
+// histograms carry a unit suffix. Separately, a label value built from
+// request input (anything reached through *http.Request) is an
+// unbounded-cardinality series bomb and must be mapped through a
+// bounded set first — //sbml:boundedlabel <why> marks a value that is
+// provably bounded. Naming exceptions use //sbml:metricname <why>.
+var ObsHygiene = &analysis.Analyzer{
+	Name:     "obshygiene",
+	Doc:      "enforce metric name/type conventions and bounded label values for internal/obs registrations",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runObsHygiene,
+}
+
+func runObsHygiene(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := newSuppressor(pass)
+
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		checkMetricRegistration(pass, sup, call)
+		checkLabelValue(pass, sup, call)
+	})
+	return nil, nil
+}
+
+func checkMetricRegistration(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
+	// Tests register deliberately tiny fixture names ("x"); the naming
+	// conventions guard what production exposes to a scraper.
+	if inTestFile(pass.Fset, call.Pos()) {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Counter", "CounterFunc", "Gauge", "GaugeFunc", "Histogram":
+	default:
+		return
+	}
+	if !isObsRegistry(pass.TypesInfo.TypeOf(sel.X)) || len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	report := func(format string, args ...interface{}) {
+		if !sup.suppressed(call.Pos(), "metricname") {
+			pass.Reportf(call.Args[0].Pos(), format, args...)
+		}
+	}
+	isCounter := method == "Counter" || method == "CounterFunc"
+	isGauge := method == "Gauge" || method == "GaugeFunc"
+	switch {
+	case strings.HasSuffix(name, "_total") && !isCounter:
+		report("metric %q ends _total but registers as %s; _total series are counters (Counter/CounterFunc)", name, method)
+	case strings.HasSuffix(name, "_age_seconds") || strings.HasSuffix(name, "_timestamp_seconds"):
+		if !isGauge {
+			report("metric %q is a point-in-time age/timestamp and must register as Gauge/GaugeFunc, not %s", name, method)
+		}
+	case strings.HasSuffix(name, "_seconds") && method != "Histogram":
+		report("metric %q ends _seconds but registers as %s; duration series are histograms (ages use _age_seconds gauges)", name, method)
+	case isCounter && !strings.HasSuffix(name, "_total"):
+		report("counter %q must end in _total (promtool/rate() convention)", name)
+	case method == "Histogram" && !hasUnitSuffix(name):
+		report("histogram %q carries no unit suffix; end it in _seconds, _bytes, or _records", name)
+	}
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range []string{"_seconds", "_bytes", "_records"} {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isObsRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// checkLabelValue flags obs.L(key, value) / obs.Label{...} constructions
+// whose value derives from an *http.Request.
+func checkLabelValue(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
+	var valueExpr ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "L" || len(call.Args) != 2 {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+			return
+		}
+		valueExpr = call.Args[1]
+	default:
+		return
+	}
+	if id := requestDerived(pass, valueExpr); id != "" {
+		if !sup.suppressed(call.Pos(), "boundedlabel") {
+			pass.Reportf(valueExpr.Pos(),
+				"label value derives from request input (%s); unbounded label cardinality — map it through a bounded set (or //sbml:boundedlabel <why>)", id)
+		}
+	}
+}
+
+// requestDerived returns the name of an identifier inside e whose type
+// is (a pointer to) net/http's Request, or "".
+func requestDerived(pass *analysis.Pass, e ast.Expr) string {
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(id)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Name() == "http" {
+				name = id.Name
+			}
+		}
+		return name == ""
+	})
+	return name
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// Suite returns the project analyzers in a fixed order — the set
+// cmd/sbmlvet bundles (alongside the stock passes it adds) and the set
+// the analyzer unit tests enumerate.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MapOrder,
+		ErrSentinel,
+		CtxFirst,
+		WireDTO,
+		ObsHygiene,
+	}
+}

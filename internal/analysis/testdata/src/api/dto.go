@@ -1,0 +1,58 @@
+// Fixture for the wiredto analyzer; directory basename "api" puts this
+// package in scope, as internal/api is in the real tree.
+package api
+
+// Good: fully tagged, optional response fields carry omitempty.
+type SearchResponse struct {
+	Query string   `json:"query"`
+	Hits  []string `json:"hits,omitempty"`
+	Took  float64  `json:"took_seconds"`
+}
+
+// Bad: an exported field with no json tag serializes under its Go name.
+type MatchRequest struct {
+	Model string `json:"model"`
+	Limit int    // want `exported field MatchRequest\.Limit has no json tag`
+}
+
+// Bad: two fields cannot share a wire name.
+type DiffReport struct {
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"added,omitempty"` // want `field DiffReport\.Removed reuses json tag "added" already held by Added`
+}
+
+// Bad: a zero-valued bool silently vanishes from SOME responses unless
+// omitempty makes the omission uniform.
+type CheckResponse struct {
+	Partial bool `json:"partial"` // want `optional response field CheckResponse\.Partial lacks omitempty`
+	Score   int  `json:"score"`
+}
+
+// Good: a response field that must always appear says so.
+type VerifyResponse struct {
+	//sbml:alwayspresent false is the verdict, not absence; clients key on the field existing
+	Satisfied bool     `json:"satisfied"`
+	Notes     []string `json:"notes,omitempty"`
+}
+
+// Good: unexported fields and explicit json:"-" opt-outs are fine.
+type TraceResponse struct {
+	Steps  []string `json:"steps,omitempty"`
+	Hidden string   `json:"-"`
+	cache  map[string]int
+}
+
+// Good: a struct near the wire that never crosses it opts out wholesale.
+//
+//sbml:notwire in-memory index bookkeeping; never marshaled
+type IndexStateResponse struct {
+	Generation int
+	Dirty      bool
+}
+
+// Good: a plain struct with no json tags and no DTO suffix is not a
+// wire type at all.
+type cursor struct {
+	Offset int
+	Limit  int
+}

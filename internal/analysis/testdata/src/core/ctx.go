@@ -1,0 +1,105 @@
+// Fixture for the ctxfirst analyzer; the directory basename "core" puts
+// this package in scope, as internal/core is in the real tree.
+package core
+
+import "context"
+
+// workContext is a context-aware callee for the swallowed-cancellation
+// cases below.
+func workContext(ctx context.Context, n int) int { return n }
+
+// Bad: ctx exists but hides behind another parameter.
+func Misplaced(name string, ctx context.Context) error { // want "takes context.Context at position 1; ctx is always the first parameter"
+	_ = workContext(ctx, 1)
+	return nil
+}
+
+// Good: ctx first.
+func Placed(ctx context.Context, name string) error {
+	_ = workContext(ctx, 1)
+	return nil
+}
+
+// ProcessContext is the cancellable variant of Process.
+func ProcessContext(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workContext(ctx, it)
+	}
+	return total
+}
+
+// Good: the legacy entry point delegates to its Context variant.
+func Process(items []int) int {
+	return ProcessContext(context.Background(), items)
+}
+
+// RebuildContext exists, so Rebuild must delegate to it.
+func RebuildContext(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workContext(ctx, it)
+	}
+	return total
+}
+
+// Bad: a parallel implementation instead of delegation; the two bodies
+// will drift.
+func Rebuild(items []int) int { // want "Rebuild has a RebuildContext variant but does not delegate to it"
+	total := 0
+	for _, it := range items {
+		total += it * 2
+	}
+	return total
+}
+
+// Bad: loops over a context-aware callee with no way to cancel it.
+func Fold(items []int) int { // want "exported Fold loops over context-aware calls but takes no context.Context"
+	total := 0
+	for _, it := range items {
+		total += workContext(context.Background(), it)
+	}
+	return total
+}
+
+// Good: justified opt-out for a frozen reference implementation.
+//
+//sbml:noctx frozen bitwise reference; equivalence pins depend on this exact body
+func FoldReference(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workContext(context.Background(), it)
+	}
+	return total
+}
+
+// Good: a pure compute loop (no context-aware callees) needs no ctx.
+func Checksum(items []int) int {
+	total := 0
+	for _, it := range items {
+		total = total*31 + it
+	}
+	return total
+}
+
+// Good: unexported functions are the package's own business.
+func fold(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workContext(context.Background(), it)
+	}
+	return total
+}
+
+// Methods are covered too.
+type Engine struct{}
+
+// RunContext is Run's cancellable variant.
+func (e *Engine) RunContext(ctx context.Context, items []int) int {
+	return ProcessContext(ctx, items)
+}
+
+// Good: method delegation.
+func (e *Engine) Run(items []int) int {
+	return e.RunContext(context.Background(), items)
+}

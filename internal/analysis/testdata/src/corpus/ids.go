@@ -1,0 +1,56 @@
+// Fixture mirroring internal/corpus's real sharded-iteration patterns:
+// every map walk that builds output is followed by a sort, exactly as
+// Corpus.IDs and DumpConsistent do. The maporder and ctxfirst analyzers
+// must stay silent over this package (its path basename "corpus" also
+// puts it in ctxfirst's scope on purpose).
+package corpus
+
+import "sort"
+
+type entry struct{ id string }
+
+type shard struct {
+	entries map[string]*entry
+}
+
+type Corpus struct {
+	shards []*shard
+}
+
+// IDs mirrors corpus.Corpus.IDs: collect across per-shard maps, sort
+// once at the end.
+func (c *Corpus) IDs() []string {
+	var ids []string
+	for _, sh := range c.shards {
+		for id := range sh.entries {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len mirrors corpus.Corpus.Len: a pure counting loop needs no context
+// and no ordering.
+func (c *Corpus) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.entries)
+	}
+	return n
+}
+
+// Blob mirrors the DumpConsistent shape: map-ordered collection into a
+// struct slice, sorted by id before use.
+type Blob struct{ ID string }
+
+func (c *Corpus) Dump() []Blob {
+	var blobs []Blob
+	for _, sh := range c.shards {
+		for id := range sh.entries {
+			blobs = append(blobs, Blob{ID: id})
+		}
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].ID < blobs[j].ID })
+	return blobs
+}

@@ -1,0 +1,84 @@
+// Fixture for the errsentinel analyzer: sentinel comparison, message
+// substring matching, and cross-package wrapping.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sentinels"
+)
+
+var ErrLocal = errors.New("local failure")
+
+// errInternal is unexported: not a sentinel the rule guards.
+var errInternal = errors.New("internal")
+
+// Bad: identity comparison misses wrapped sentinels.
+func Eq(err error) bool {
+	return err == ErrLocal // want `comparing to sentinel ErrLocal with == misses wrapped errors`
+}
+
+// Bad: same for != and for a sentinel from another package.
+func Neq(err error) bool {
+	return err != sentinels.ErrRemote // want `comparing to sentinel ErrRemote with != misses wrapped errors`
+}
+
+// Good: errors.Is follows wrap chains.
+func Is(err error) bool {
+	return errors.Is(err, ErrLocal)
+}
+
+// Good: nil checks are not sentinel comparisons.
+func IsNil(err error) bool {
+	return err == nil
+}
+
+// Good: unexported error values may be compared (wrapping is the
+// defining package's own business).
+func EqInternal(err error) bool {
+	return err == errInternal
+}
+
+// Good: a justified suppression, for identity semantics on purpose.
+func EqExact(err error) bool {
+	//sbml:sentinelcmp this API documents returning the unwrapped sentinel itself
+	return err == ErrLocal
+}
+
+// Bad: dispatching on message text breaks under rewording.
+func MatchMessage(err error) bool {
+	return strings.Contains(err.Error(), "corrupt") // want `matching errors by strings\.Contains on err\.Error\(\) is brittle`
+}
+
+// Bad: prefix matching is the same disease.
+func MatchPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "store:") // want `matching errors by strings\.HasPrefix on err\.Error\(\) is brittle`
+}
+
+// Good: substring search over a non-error string is fine.
+func MatchString(s string) bool {
+	return strings.Contains(s, "corrupt")
+}
+
+// Bad: %v flattens the remote sentinel; errors.Is goes blind downstream.
+func WrapFlat() error {
+	return fmt.Errorf("loading: %v", sentinels.ErrRemote) // want `fmt\.Errorf carries sentinel sentinels\.ErrRemote across a package boundary without %w`
+}
+
+// Good: %w preserves the chain.
+func Wrap() error {
+	return fmt.Errorf("loading: %w", sentinels.ErrRemote)
+}
+
+// Good: a same-package sentinel may be flattened deliberately (the
+// defining package owns its wrapping policy).
+func WrapLocalFlat() error {
+	return fmt.Errorf("loading: %v", ErrLocal)
+}
+
+// Good: earlier non-sentinel verbs do not confuse the verb/arg pairing.
+func WrapMixed(path string) error {
+	return fmt.Errorf("loading %q after %d tries: %w", path, 3, sentinels.ErrRemote)
+}

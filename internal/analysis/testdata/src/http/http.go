@@ -1,0 +1,15 @@
+// Package http is a stub standing in for net/http in the obshygiene
+// fixture: the analyzer matches Request structurally by (package name,
+// type name), so a local stub exercises the same code path without
+// loading the real net/http.
+package http
+
+import "net/url"
+
+type Request struct {
+	Method string
+	URL    *url.URL
+	Host   string
+}
+
+func (r *Request) UserAgent() string { return "stub" }

@@ -1,0 +1,75 @@
+// Fixture for the maporder analyzer: map iteration feeding output.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bad: appends map keys to an outer slice and returns it unsorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration appends to out in nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bad: the append target is a field of an outer struct.
+type collector struct{ rows []string }
+
+func (c *collector) Collect(m map[string]int) {
+	for k, v := range m { // want `map iteration appends to c\.rows in nondeterministic order`
+		c.rows = append(c.rows, fmt.Sprintf("%s=%d", k, v))
+	}
+}
+
+// Good: the collect-then-sort idiom restores a deterministic order.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Good: a justified directive accepts the nondeterminism explicitly.
+func UnorderedKeys(m map[string]int) []string {
+	var out []string
+	//sbml:unordered callers treat this as a set; ordering is rebuilt downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bad: a bare directive suppresses nothing and is itself reported.
+func BareDirective(m map[string]int) []string {
+	var out []string
+	/* want "directive needs a justification" */ //sbml:unordered
+	for k := range m {                           // want "map iteration appends to out in nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Good: the slice lives inside the loop; no outer order leaks.
+func PerKey(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// Good: iteration aggregates order-independently (no slice output).
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+// Package obs is a stub mirroring internal/obs's registration surface,
+// so the obshygiene fixture typechecks without importing the real tree.
+package obs
+
+type Label struct {
+	Key   string
+	Value string
+}
+
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {}
+
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return &Gauge{} }
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {}
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}

@@ -1,0 +1,53 @@
+// Fixture for the obshygiene analyzer: metric name/type conventions and
+// request-derived label values.
+package obshyg
+
+import (
+	"http"
+
+	"obs"
+)
+
+var buckets = []float64{0.001, 0.01, 0.1, 1}
+
+func Register(r *obs.Registry) {
+	// Good: counters end _total, durations are histograms with a unit.
+	r.Counter("sbml_requests_total", "requests served")
+	r.Histogram("sbml_stage_seconds", "per-stage latency", buckets)
+	r.Gauge("sbml_inflight", "in-flight requests")
+	r.GaugeFunc("sbml_wal_age_seconds", "age of newest WAL record", func() float64 { return 0 })
+
+	// Bad: a _total series rendering TYPE gauge breaks rate().
+	r.Gauge("sbml_errors_total", "errors") // want `metric "sbml_errors_total" ends _total but registers as Gauge`
+
+	// Bad: a duration series registered as a counter.
+	r.Counter("sbml_compose_seconds", "compose latency") // want `metric "sbml_compose_seconds" ends _seconds but registers as Counter`
+
+	// Bad: an age is a point-in-time value, not a distribution.
+	r.Histogram("sbml_snapshot_age_seconds", "snapshot age", buckets) // want `metric "sbml_snapshot_age_seconds" is a point-in-time age/timestamp and must register as Gauge/GaugeFunc`
+
+	// Bad: a counter without the _total suffix.
+	r.CounterFunc("sbml_restarts", "restarts", func() float64 { return 0 }) // want `counter "sbml_restarts" must end in _total`
+
+	// Bad: a histogram with no unit in its name.
+	r.Histogram("sbml_payload", "payload size", buckets) // want `histogram "sbml_payload" carries no unit suffix`
+
+	// Good: a justified naming exception.
+	//sbml:metricname mirrors the upstream exporter's series name verbatim
+	r.Gauge("process_start_time_total", "quirky upstream name")
+}
+
+// Bad: a label value reached through the request is unbounded.
+func Observe(r *obs.Registry, req *http.Request) {
+	c := r.Counter("sbml_hits_total", "hits", obs.L("path", req.URL.Path)) // want `label value derives from request input \(req\); unbounded label cardinality`
+	c.Inc()
+
+	// Good: a constant label value is bounded by construction.
+	c2 := r.Counter("sbml_probes_total", "probes", obs.L("kind", "liveness"))
+	c2.Inc()
+
+	// Good: a justified bounded-by-construction request-derived value.
+	//sbml:boundedlabel method is canonicalized to the fixed HTTP verb set upstream
+	c3 := r.Counter("sbml_methods_total", "methods", obs.L("method", req.Method))
+	c3.Inc()
+}

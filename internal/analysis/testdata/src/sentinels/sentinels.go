@@ -1,0 +1,8 @@
+// Package sentinels is a stub dependency for the errsentinel fixture:
+// an exported sentinel defined in ANOTHER package, so wrapping it with
+// a non-%w verb severs errors.Is across the boundary.
+package sentinels
+
+import "errors"
+
+var ErrRemote = errors.New("remote failure")

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// wireDTOPackages is where the wire-DTO invariant applies: the shared
+// /v1 wire types (internal/api) and the server/gateway DTOs that must
+// stay byte-identical across single-node and scatter-gather answers.
+var wireDTOPackages = map[string]bool{"api": true, "serve": true, "cluster": true}
+
+// WireDTO enforces the /v1 wire-shape rules the cluster equivalence
+// pins depend on: every exported field of a wire struct carries an
+// explicit json tag (Go's default FieldName casing is an accident
+// waiting for a rename), no two fields of a struct share a tag name,
+// and fields of omittable kinds (bool/slice/map/pointer) in Response
+// DTOs carry omitempty — a zero-valued "partial":false serialized into
+// only SOME answers is exactly the PR 9 byte-identity bug. A response
+// field that must always appear says so: //sbml:alwayspresent <why>.
+// A struct that merely lives near the wire but never crosses it opts
+// out with //sbml:notwire <why>.
+var WireDTO = &analysis.Analyzer{
+	Name:     "wiredto",
+	Doc:      "require explicit unique json tags (and omitempty on optional response fields) on wire DTOs",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWireDTO,
+}
+
+func runWireDTO(pass *analysis.Pass) (interface{}, error) {
+	if !wireDTOPackages[packageBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := newSuppressor(pass)
+
+	insp.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || inTestFile(pass.Fset, ts.Pos()) {
+			return
+		}
+		if !isWireStruct(ts, st) {
+			return
+		}
+		if sup.suppressed(ts.Pos(), "notwire") {
+			return
+		}
+		checkWireStruct(pass, sup, ts, st)
+	})
+	return nil, nil
+}
+
+// isWireStruct: a struct is a wire DTO when any field carries a json
+// tag, or its name marks it as a request/response/report shape.
+func isWireStruct(ts *ast.TypeSpec, st *ast.StructType) bool {
+	name := ts.Name.Name
+	for _, suffix := range []string{"Request", "Response", "Report"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	for _, f := range st.Fields.List {
+		if _, ok := jsonTagName(f); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTagName extracts the json tag's name part; ok is false when the
+// field has no json tag at all.
+func jsonTagName(f *ast.Field) (name string, ok bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		return tag[:i], true
+	}
+	return tag, true
+}
+
+func jsonTagHasOption(f *ast.Field, opt string) bool {
+	raw := strings.Trim(f.Tag.Value, "`")
+	tag, _ := reflect.StructTag(raw).Lookup("json")
+	parts := strings.Split(tag, ",")
+	for _, p := range parts[1:] {
+		if p == opt {
+			return true
+		}
+	}
+	return false
+}
+
+func checkWireStruct(pass *analysis.Pass, sup *suppressor, ts *ast.TypeSpec, st *ast.StructType) {
+	isResponse := strings.HasSuffix(ts.Name.Name, "Response")
+	seen := make(map[string]*ast.Field)
+	for _, f := range st.Fields.List {
+		exported := false
+		for _, n := range f.Names {
+			if n.IsExported() {
+				exported = true
+			}
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: its promoted fields are checked where the
+			// embedded type is declared.
+			continue
+		}
+		tag, hasTag := jsonTagName(f)
+		if !exported {
+			continue
+		}
+		if !hasTag {
+			if !sup.suppressed(f.Pos(), "notwire") {
+				pass.Reportf(f.Pos(),
+					"exported field %s.%s has no json tag; wire DTOs name every field explicitly (or //sbml:notwire <why>)",
+					ts.Name.Name, f.Names[0].Name)
+			}
+			continue
+		}
+		if tag == "-" {
+			continue
+		}
+		if prev, dup := seen[tag]; dup {
+			pass.Reportf(f.Pos(),
+				"field %s.%s reuses json tag %q already held by %s; two fields cannot share a wire name",
+				ts.Name.Name, f.Names[0].Name, tag, prev.Names[0].Name)
+		} else {
+			seen[tag] = f
+		}
+		if isResponse && omittableKind(pass.TypesInfo.TypeOf(f.Type)) && !jsonTagHasOption(f, "omitempty") {
+			if !sup.suppressed(f.Pos(), "alwayspresent") {
+				pass.Reportf(f.Pos(),
+					"optional response field %s.%s lacks omitempty; its zero value breaks byte-identical responses (add omitempty or //sbml:alwayspresent <why>)",
+					ts.Name.Name, f.Names[0].Name)
+			}
+		}
+	}
+}
+
+// omittableKind reports whether a field's type is one whose zero value
+// reads as "absent" on the wire: bool, slice, map, pointer.
+func omittableKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.Bool
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	sbml "sbmlcompose/internal/analysis"
+	"sbmlcompose/internal/analysis/analysistesting"
+)
+
+func TestWireDTO(t *testing.T) {
+	analysistesting.Run(t, "testdata", sbml.WireDTO, "api")
+}

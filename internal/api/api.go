@@ -46,6 +46,10 @@ type SearchRequest struct {
 
 // SearchResponse is the POST /v1/search response.
 type SearchResponse struct {
+	// Hits is normalized to non-nil on both node and gateway paths, so an
+	// empty result serializes as "hits":[] everywhere — omitting it on
+	// some paths is exactly the byte-identity bug the pins guard against.
+	//sbml:alwayspresent nil is normalized to [] on node and gateway; "hits":[] is part of the wire contract
 	Hits []corpus.Hit `json:"hits"`
 	// Offset and Limit echo the normalized pagination window (Limit -1
 	// reports an unbounded window); Returned is len(Hits) for clients

@@ -126,7 +126,7 @@ type composeStats struct {
 
 type composeResponse struct {
 	SBML     string       `json:"sbml"`
-	Warnings []string     `json:"warnings"`
+	Warnings []string     `json:"warnings,omitempty"`
 	Stats    composeStats `json:"stats"`
 }
 
@@ -142,8 +142,13 @@ type simulateRequest struct {
 }
 
 type simulateResponse struct {
-	Names  []string    `json:"names"`
-	Times  []float64   `json:"times"`
+	// All three series are populated from the trace on every 200: a
+	// simulation always has at least its initial time point.
+	//sbml:alwayspresent filled from the trace on every success; never empty on a 200
+	Names []string `json:"names"`
+	//sbml:alwayspresent filled from the trace on every success; never empty on a 200
+	Times []float64 `json:"times"`
+	//sbml:alwayspresent filled from the trace on every success; never empty on a 200
 	Values [][]float64 `json:"values"`
 }
 
@@ -156,6 +161,7 @@ type checkRequest struct {
 }
 
 type checkResponse struct {
+	//sbml:alwayspresent false is the verdict, not absence; clients key on the field existing
 	Satisfied bool `json:"satisfied"`
 }
 
@@ -176,10 +182,11 @@ type promoteResponse struct {
 }
 
 type healthzResponse struct {
-	Status    string                    `json:"status"`
-	Models    int                       `json:"models"`
-	InFlight  int64                     `json:"in_flight"`
-	UptimeS   float64                   `json:"uptime_s"`
+	Status   string  `json:"status"`
+	Models   int     `json:"models"`
+	InFlight int64   `json:"in_flight"`
+	UptimeS  float64 `json:"uptime_s"`
+	//sbml:alwayspresent always make()'d by the stats snapshot, even with zero routes hit
 	Endpoints map[string]endpointReport `json:"endpoints"`
 	// QueryCacheHits counts /v1/search requests answered from the raw-body
 	// compiled-query cache.

@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -536,6 +537,9 @@ func (s *Server) StatsLines() []string {
 		out = append(out, fmt.Sprintf("sbmlserved: %-22s %6d requests, mean %.3f ms, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms",
 			pattern, ep.Count, ep.MeanMs, ep.P50Ms, ep.P95Ms, ep.P99Ms))
 	}
+	// The pattern is the leading field of every line, so a lexical sort
+	// orders the summary by route instead of by map iteration accident.
+	sort.Strings(out)
 	return out
 }
 
